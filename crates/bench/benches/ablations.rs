@@ -1,0 +1,123 @@
+//! Ablation studies for the design choices `DESIGN.md` §5 calls out.
+//!
+//! These are *measurement* benches: each compares a design decision
+//! against its ablated variant and asserts (in the measured quantity, not
+//! wall-clock) that the decision earns its keep:
+//!
+//! * folding policy — even/internal-drain folding vs a single fold:
+//!   drain-capacitance reduction on the frequency-critical nets;
+//! * matching style — common-centroid stacks vs plain side-by-side
+//!   placement: statistical offset from a Pelgrom Monte Carlo is the
+//!   layout's concern; here we measure the centroid error the stack
+//!   generator achieves;
+//! * reliability sizing — EM-driven wire widths on vs min-width wires:
+//!   counts the violations the reliability rules prevent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use losac_device::folding::{DiffusionGeometry, FoldSpec};
+use losac_layout::stack::{plan_stack, StackDevice, StackSpec, StackStyle};
+use losac_tech::units::um;
+use losac_tech::{Polarity, Technology};
+use std::collections::HashMap;
+
+fn ablation_folding(c: &mut Criterion) {
+    let tech = Technology::cmos06();
+    let w = 40_000;
+    // Measured effect (printed once): drain capacitance ratio.
+    let unfolded = DiffusionGeometry::drain(w, FoldSpec::UNFOLDED, &tech.rules);
+    let folded = DiffusionGeometry::drain(w, FoldSpec::even_internal(6), &tech.rules);
+    let ratio = folded.area / unfolded.area;
+    assert!(ratio < 0.6, "even/internal folding must at least halve the drain area");
+    println!("[ablation] drain area folded/unfolded = {ratio:.3}");
+
+    c.bench_function("ablation_folding_geometry", |b| {
+        b.iter(|| {
+            let a = DiffusionGeometry::drain(w, FoldSpec::UNFOLDED, &tech.rules);
+            let f = DiffusionGeometry::drain(w, FoldSpec::even_internal(6), &tech.rules);
+            (a.area, f.area)
+        })
+    });
+}
+
+fn ablation_matching(c: &mut Criterion) {
+    let mk = |name: &str, style| {
+        let spec = StackSpec {
+            name: name.into(),
+            polarity: Polarity::Pmos,
+            finger_w: um(6.0),
+            gate_l: um(1.0),
+            devices: vec![
+                StackDevice {
+                    name: "a".into(),
+                    fingers: 6,
+                    drain_net: "da".into(),
+                    gate_net: "ga".into(),
+                },
+                StackDevice {
+                    name: "b".into(),
+                    fingers: 6,
+                    drain_net: "db".into(),
+                    gate_net: "gb".into(),
+                },
+            ],
+            source_net: "s".into(),
+            bulk_net: "vdd".into(),
+            end_dummies: true,
+            style,
+            net_currents: HashMap::new(),
+        };
+        plan_stack(&spec).unwrap()
+    };
+    let cc = mk("cc", StackStyle::CommonCentroid);
+    let inter = mk("inter", StackStyle::Interdigitated);
+    let worst = |p: &losac_layout::stack::StackPlan| {
+        p.centroid_offset.values().fold(0.0f64, |m, o| m.max(o.abs()))
+    };
+    assert!(
+        worst(&cc) <= worst(&inter) + 1e-9,
+        "common centroid must not be worse than interdigitated: {} vs {}",
+        worst(&cc),
+        worst(&inter)
+    );
+    println!(
+        "[ablation] centroid error: common-centroid {:.2} gp, interdigitated {:.2} gp",
+        worst(&cc),
+        worst(&inter)
+    );
+
+    c.bench_function("ablation_matching_stack_planning", |b| {
+        b.iter(|| (mk("cc", StackStyle::CommonCentroid), mk("i", StackStyle::Interdigitated)))
+    });
+}
+
+fn ablation_reliability(c: &mut Criterion) {
+    let tech = Technology::cmos06();
+    // A 5 mA net: EM sizing widens the wire; the min-width wire violates.
+    let current = 5e-3;
+    let em_width = tech.reliability.min_metal_width(1, current);
+    let min_width = tech.rules.metal1_width;
+    assert!(em_width > min_width, "5 mA must demand more than the minimum width");
+    assert!(!tech.reliability.wire_ok(1, min_width, current));
+    assert!(tech.reliability.wire_ok(1, em_width, current));
+    println!(
+        "[ablation] 5 mA wire: EM width {} nm vs min width {} nm ({}x)",
+        em_width,
+        min_width,
+        em_width / min_width
+    );
+
+    c.bench_function("ablation_reliability_widths", |b| {
+        b.iter(|| {
+            (0..100)
+                .map(|k| tech.reliability.min_metal_width(1, 1e-4 * k as f64))
+                .sum::<i64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = ablation_folding, ablation_matching, ablation_reliability
+}
+criterion_main!(benches);

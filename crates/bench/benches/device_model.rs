@@ -1,0 +1,38 @@
+//! Device-model throughput: the EKV evaluation sits in the inner loop of
+//! every Newton iteration, so its cost bounds the whole flow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use losac_device::ekv::{drain_current_only, evaluate};
+use losac_device::Mosfet;
+use losac_tech::Technology;
+
+fn bench_device(c: &mut Criterion) {
+    let tech = Technology::cmos06();
+    let m = Mosfet::new(tech.nmos, 20e-6, 1e-6);
+
+    c.bench_function("ekv_evaluate_full", |b| {
+        b.iter(|| evaluate(black_box(&m), black_box(1.2), black_box(1.5), black_box(-0.2)))
+    });
+
+    c.bench_function("ekv_current_only", |b| {
+        b.iter(|| drain_current_only(black_box(&m), black_box(1.2), black_box(1.5), black_box(-0.2)))
+    });
+
+    c.bench_function("ekv_bias_sweep_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let vgs = 0.5 + 0.015 * k as f64;
+                acc += evaluate(&m, vgs, 1.5, 0.0).id;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_device
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end flow benchmark: the paper's Fig. 1(b) loop (sizing ↔
+//! parasitic calculation until convergence, then generation) against the
+//! traditional compensate-and-repeat baseline of Fig. 1(a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
+use losac_core::traditional::traditional_flow;
+use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+use losac_tech::Technology;
+
+fn bench_flow(c: &mut Criterion) {
+    let tech = Technology::cmos06();
+    let specs = OtaSpecs::paper_example();
+
+    c.bench_function("layout_oriented_flow_full", |b| {
+        b.iter(|| {
+            layout_oriented_synthesis(
+                &tech,
+                &specs,
+                &FoldedCascodePlan::default(),
+                &FlowOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("traditional_flow_full", |b| {
+        b.iter(|| traditional_flow(&tech, &specs, 8).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_flow
+}
+criterion_main!(benches);

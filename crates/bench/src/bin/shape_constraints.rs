@@ -1,0 +1,61 @@
+//! Shape-constraint study: the paper's layout language "tries to produce
+//! the most compact layout" under "a given height or aspect ratio"
+//! (§3, *Shape constraints*). This binary runs the full layout-oriented
+//! flow under different global shape constraints and shows how the area
+//! optimiser re-folds the transistors to comply.
+
+use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
+use losac_layout::slicing::ShapeConstraint;
+use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+use losac_tech::Technology;
+
+fn main() {
+    let tech = Technology::cmos06();
+    let specs = OtaSpecs::paper_example();
+    println!("shape-constraint study on the paper's OTA ({specs})");
+    println!();
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8} {:>7} {:>6}",
+        "constraint", "W (um)", "H (um)", "aspect", "area", "calls", "folds(mptail)"
+    );
+
+    let constraints: [(&str, ShapeConstraint); 4] = [
+        ("min area", ShapeConstraint::MinArea),
+        ("aspect 1:1", ShapeConstraint::Aspect(1.0)),
+        ("aspect 1:2 (tall)", ShapeConstraint::Aspect(0.5)),
+        ("max height 100 um*", ShapeConstraint::MaxHeight(100_000)),
+    ];
+
+    for (label, shape) in constraints {
+        let r = match layout_oriented_synthesis(
+            &tech,
+            &specs,
+            &FoldedCascodePlan::default(),
+            &FlowOptions { shape, ..Default::default() },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{label:<22} infeasible: {e}");
+                continue;
+            }
+        };
+        let bbox = r.layout.cell.bbox().expect("layout");
+        let (w, h) = (bbox.width() as f64 / 1000.0, bbox.height() as f64 / 1000.0);
+        println!(
+            "{label:<22} {w:>10.1} {h:>10.1} {:>8.2} {:>7.0}k {:>7} {:>6}",
+            w / h,
+            w * h / 1000.0,
+            r.layout_calls,
+            r.layout.devices["mptail"].folds
+        );
+    }
+
+    println!();
+    println!("(*) the height cap constrains the module placement; the routing");
+    println!("    channels add to the final bounding box. An infeasible cap is");
+    println!("    reported, not silently violated.");
+    println!();
+    println!("the area optimiser picks fold counts per device from its shape");
+    println!("function; tighter height caps force more folds (wider, shorter");
+    println!("modules), exactly the mechanism of the paper's Fig. 2 discussion.");
+}

@@ -1,0 +1,57 @@
+//! # losac-bench — experiment regeneration and performance benchmarks
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig1_flow_comparison` | Fig. 1 — traditional vs layout-oriented flow |
+//! | `fig2_cap_reduction` | Fig. 2 — capacitance reduction factor F(N_f) |
+//! | `fig3_mirror_stack` | Fig. 3 — 1:3:6 current-mirror stack |
+//! | `fig5_layout` | Fig. 5 — generated layout of the case-4 OTA (SVG) |
+//! | `table1_cases` | Table 1 — the four sizing cases, synthesized vs extracted |
+//!
+//! Criterion benches cover the performance claims (procedural layout is
+//! fast enough to sit inside the sizing loop; the whole flow finishes in
+//! seconds) and the ablation studies listed in `DESIGN.md` §5.
+
+use losac_sizing::Performance;
+
+/// Format one paper-style table cell: synthesized value with the
+/// extracted value in brackets.
+pub fn cell(synth: f64, extracted: f64) -> String {
+    format!("{synth:.1}({extracted:.1})")
+}
+
+/// Relative deviation |a−b| / max(|a|,|b|), for match metrics.
+pub fn rel_dev(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-30)
+}
+
+/// How closely a synthesized row matches its extracted row: the largest
+/// relative deviation over the frequency-domain quantities the paper's
+/// convergence argument is about (gain, GBW, phase margin).
+pub fn synth_vs_extracted(synth: &Performance, extracted: &Performance) -> f64 {
+    [
+        rel_dev(synth.dc_gain_db, extracted.dc_gain_db),
+        rel_dev(synth.gbw, extracted.gbw),
+        rel_dev(synth.phase_margin, extracted.phase_margin),
+    ]
+    .into_iter()
+    .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_format() {
+        assert_eq!(cell(70.06, 70.12), "70.1(70.1)");
+    }
+
+    #[test]
+    fn rel_dev_basics() {
+        assert!(rel_dev(1.0, 1.0) < 1e-12);
+        assert!((rel_dev(1.0, 0.9) - 0.1).abs() < 1e-9);
+    }
+}

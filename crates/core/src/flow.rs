@@ -1,0 +1,308 @@
+//! The layout-oriented synthesis flow — the paper's contribution.
+//!
+//! ```text
+//!          spec, technology
+//!                │
+//!        ┌──── sizing ◄────────────┐
+//!        │       │                 │
+//!        │   layout tool           │ folding styles, diffusion
+//!        │  (parasitic mode)       │ geometry, routing/coupling/well
+//!        │       │                 │ capacitance
+//!        │       └────────────────►┘
+//!        │  (repeat until the parasitics stop changing)
+//!        ▼
+//!   layout tool (generation mode) → physical layout
+//! ```
+//!
+//! The first sizing assumes one fold per transistor with diffusion
+//! capacitance only (exactly the paper's §2); each subsequent iteration
+//! feeds the freshly calculated parasitics back into the sizing plan.
+//! Convergence is declared when no net's lumped parasitic capacitance
+//! moves by more than the tolerance between consecutive layout calls —
+//! the paper needed three calls on the example OTA.
+
+use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use losac_layout::plan::{GeneratedLayout, ParasiticReport};
+use losac_layout::slicing::ShapeConstraint;
+use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError};
+use losac_tech::Technology;
+use std::fmt;
+use std::time::Instant;
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Shape constraint handed to the layout tool.
+    pub shape: ShapeConstraint,
+    /// Layout implementation options.
+    pub layout: LayoutOptions,
+    /// Convergence tolerance on the relative change of any net's lumped
+    /// parasitic capacitance.
+    pub tolerance: f64,
+    /// Maximum number of layout-tool calls.
+    pub max_layout_calls: usize,
+    /// Feed back only diffusion information (Table 1 case 3) instead of
+    /// all parasitics (case 4).
+    pub diffusion_only: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            shape: ShapeConstraint::MinArea,
+            layout: LayoutOptions::default(),
+            tolerance: 0.02,
+            max_layout_calls: 10,
+            diffusion_only: false,
+        }
+    }
+}
+
+/// The result of a layout-oriented synthesis run.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// The final sized circuit.
+    pub ota: FoldedCascodeOta,
+    /// The parasitic mode the final sizing used (carries the feedback).
+    pub mode: ParasiticMode,
+    /// The physically generated layout (generation mode output).
+    pub layout: GeneratedLayout,
+    /// The final parasitic report.
+    pub report: ParasiticReport,
+    /// Number of layout-tool calls before convergence.
+    pub layout_calls: usize,
+    /// Whether the parasitics converged within the call budget.
+    pub converged: bool,
+    /// Largest relative parasitic change per iteration (diagnostic).
+    pub history: Vec<f64>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: std::time::Duration,
+}
+
+/// Flow failure.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The sizing plan failed.
+    Sizing(SizingError),
+    /// The layout tool failed.
+    Layout(losac_layout::plan::PlanError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sizing(e) => write!(f, "flow failed in sizing: {e}"),
+            FlowError::Layout(e) => write!(f, "flow failed in layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SizingError> for FlowError {
+    fn from(e: SizingError) -> Self {
+        FlowError::Sizing(e)
+    }
+}
+
+impl From<losac_layout::plan::PlanError> for FlowError {
+    fn from(e: losac_layout::plan::PlanError) -> Self {
+        FlowError::Layout(e)
+    }
+}
+
+/// Largest relative change of any device's drain/source diffusion area
+/// between two reports.
+fn diffusion_change(a: &ParasiticReport, b: &ParasiticReport) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (name, da) in &a.devices {
+        let Some(db) = b.devices.get(name) else {
+            return 1.0;
+        };
+        for (x, y) in [(da.drain.area, db.drain.area), (da.source.area, db.source.area)] {
+            let denom = x.abs().max(y.abs()).max(1e-18);
+            worst = worst.max((x - y).abs() / denom);
+        }
+    }
+    worst
+}
+
+/// Run the layout-oriented synthesis flow (Fig. 1(b) of the paper).
+///
+/// # Errors
+///
+/// Returns [`FlowError`] when sizing or layout generation fails; an
+/// unconverged run within the call budget is *not* an error (see
+/// [`FlowResult::converged`]).
+pub fn layout_oriented_synthesis(
+    tech: &Technology,
+    specs: &OtaSpecs,
+    plan: &FoldedCascodePlan,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let start = Instant::now();
+
+    // First sizing: one fold per transistor, diffusion capacitance only.
+    let mut mode = ParasiticMode::UnfoldedDiffusion;
+    let mut history = Vec::new();
+    let mut prev_report: Option<ParasiticReport> = None;
+    let mut layout_calls = 0;
+    let mut converged = false;
+    let mut ota = plan.size(tech, specs, &mode)?;
+
+    let mut layout_opts = opts.layout.clone();
+    while layout_calls < opts.max_layout_calls {
+        // Call the layout tool in parasitic-calculation mode.
+        let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+        let report = lplan.calculate_parasitics(tech, opts.shape)?;
+        layout_calls += 1;
+        // Freeze the discrete folding decisions after the first call so
+        // the loop converges on the continuous quantities (the paper's
+        // tool behaves the same way: the layout style is an input option,
+        // not something re-decided every call).
+        if layout_calls == 1 {
+            for (name, d) in &report.devices {
+                layout_opts.fold_hints.insert(name.clone(), d.folds);
+            }
+        }
+
+        if let Some(prev) = &prev_report {
+            // Convergence is judged on what the loop actually feeds back:
+            // all lumped parasitics in the full flow, the diffusion
+            // geometry alone in the diffusion-only variant.
+            let change = if opts.diffusion_only {
+                diffusion_change(&report, prev)
+            } else {
+                report.max_relative_change(prev)
+            };
+            history.push(change);
+            if change < opts.tolerance {
+                prev_report = Some(report);
+                converged = true;
+                break;
+            }
+        }
+
+        // Feed the parasitics back and re-size, with relaxation: averaging
+        // successive capacitance reports makes the sizing↔layout fixed
+        // point a contraction, damping the small limit cycles that the
+        // calibration's discrete stopping criterion would otherwise
+        // sustain.
+        let mut fb = to_feedback(&report, true);
+        if let Some(prev_mode) = mode.feedback() {
+            for (name, d) in fb.devices.iter_mut() {
+                if let Some(p) = prev_mode.devices.get(name) {
+                    d.drain.area = 0.5 * (d.drain.area + p.drain.area);
+                    d.drain.perimeter = 0.5 * (d.drain.perimeter + p.drain.perimeter);
+                    d.source.area = 0.5 * (d.source.area + p.source.area);
+                    d.source.perimeter = 0.5 * (d.source.perimeter + p.source.perimeter);
+                }
+            }
+            for (net, c) in fb.net_caps.iter_mut() {
+                if let Some(p) = prev_mode.net_caps.get(net) {
+                    *c = 0.5 * (*c + p);
+                }
+            }
+            for (k, c) in fb.coupling.iter_mut() {
+                if let Some(p) = prev_mode.coupling.get(k) {
+                    *c = 0.5 * (*c + p);
+                }
+            }
+            for (net, c) in fb.well_caps.iter_mut() {
+                if let Some(p) = prev_mode.well_caps.get(net) {
+                    *c = 0.5 * (*c + p);
+                }
+            }
+        }
+        mode = if opts.diffusion_only {
+            ParasiticMode::DiffusionOnly(fb)
+        } else {
+            ParasiticMode::Full(fb)
+        };
+        ota = plan.size(tech, specs, &mode)?;
+        prev_report = Some(report);
+    }
+
+    // Generation mode: produce the physical layout of the final sizing,
+    // with the same frozen folding decisions the loop converged on.
+    let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+    let layout = lplan.generate(tech, opts.shape)?;
+    let report = prev_report.expect("at least one layout call");
+
+    Ok(FlowResult {
+        ota,
+        mode,
+        layout,
+        report,
+        layout_calls,
+        converged,
+        history,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> FlowResult {
+        let tech = Technology::cmos06();
+        layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flow_converges_in_few_calls() {
+        let r = run();
+        assert!(r.converged, "history: {:?}", r.history);
+        // The paper needed three layout calls on this example.
+        assert!(
+            (2..=6).contains(&r.layout_calls),
+            "layout calls = {} (history {:?})",
+            r.layout_calls,
+            r.history
+        );
+        // Convergence history must be decreasing-ish and end small.
+        assert!(*r.history.last().unwrap() < 0.02);
+    }
+
+    #[test]
+    fn flow_is_fast() {
+        // The paper: "the sizing time for each case including layout
+        // calls does not exceed two minutes" on a 1999 workstation. Ours
+        // must finish in seconds.
+        let r = run();
+        assert!(r.elapsed.as_secs() < 60, "took {:?}", r.elapsed);
+    }
+
+    #[test]
+    fn final_mode_carries_feedback() {
+        let r = run();
+        assert!(matches!(r.mode, ParasiticMode::Full(_)));
+        let fb = r.mode.feedback().unwrap();
+        assert_eq!(fb.devices.len(), 11);
+        // Final layout agrees with the final feedback folding.
+        for (name, d) in &r.layout.devices {
+            assert_eq!(d.folds, fb.devices[name].folds, "{name}");
+        }
+    }
+
+    #[test]
+    fn diffusion_only_flow_also_converges() {
+        let tech = Technology::cmos06();
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions { diffusion_only: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert!(matches!(r.mode, ParasiticMode::DiffusionOnly(_)));
+    }
+}

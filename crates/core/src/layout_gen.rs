@@ -1,0 +1,312 @@
+//! Layout-plan construction for the folded-cascode OTA, and the
+//! conversion of the layout tool's parasitic report into sizing-tool
+//! feedback.
+//!
+//! This module is the "glue" the paper describes in §2: it carries
+//! transistor sizes, currents, layout options (matching styles) and the
+//! shape constraint *to* the layout tool, and folding styles, diffusion
+//! geometry, routing/coupling/well capacitance *back* to the sizing tool.
+
+use losac_layout::plan::{DeviceDef, FoldPolicy, LayoutPlan, Module, ParasiticReport};
+use losac_layout::slicing::SlicingTree;
+use losac_layout::stack::{StackDevice, StackSpec, StackStyle};
+use losac_sizing::{DeviceFeedback, DiffGeom, FoldedCascodeOta, LayoutFeedback};
+use losac_tech::units::{m_to_nm, Nm};
+use losac_tech::{Polarity, Technology};
+use std::collections::HashMap;
+
+/// Options forwarded to the layout tool ("layout options regarding the
+/// implementation of certain devices", §2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayoutOptions {
+    /// Matching style of the input differential pair.
+    pub input_pair_style: StackStyle,
+    /// Target finger channel width for the stacked matched groups (nm).
+    pub finger_target: Nm,
+    /// Freeze fold counts to these values (device name → folds). The flow
+    /// sets this after the first layout call so the discrete folding
+    /// decisions stay put while the continuous sizes converge.
+    pub fold_hints: HashMap<String, u32>,
+}
+
+impl LayoutOptions {
+    /// The defaults used by the flow on its first call.
+    pub fn new() -> Self {
+        Self {
+            input_pair_style: StackStyle::CommonCentroid,
+            finger_target: 12_000,
+            fold_hints: HashMap::new(),
+        }
+    }
+}
+
+/// Build the OTA's layout plan from the sized circuit.
+///
+/// Matched groups that share a source net become stacks (input pair,
+/// bottom sinks, mirror sources); cascodes have distinct sources and
+/// become individually folded devices with the even/internal-drain
+/// policy that minimises drain capacitance on the signal path (Fig. 2
+/// case (a)).
+pub fn ota_layout_plan(
+    tech: &Technology,
+    ota: &FoldedCascodeOta,
+    opts: &LayoutOptions,
+) -> LayoutPlan {
+    let w_nm = |name: &str| m_to_nm(ota.devices[name].w);
+    let l_nm = |name: &str| m_to_nm(ota.devices[name].l);
+
+    // Even finger count per stacked device near the target finger width,
+    // unless a fold hint pins it.
+    let target = if opts.finger_target > 0 { opts.finger_target } else { 12_000 };
+    let fingers_of = |name: &str| -> u32 {
+        if let Some(&nf) = opts.fold_hints.get(name) {
+            return nf.max(2);
+        }
+        let w = w_nm(name);
+        // Multiples of four give each device an even number of pair
+        // units, so the common-centroid interleave mirrors *exactly*.
+        let nf4 = ((w as f64 / target as f64) / 4.0).round() as u32 * 4;
+        if nf4 >= 4 {
+            nf4
+        } else {
+            2
+        }
+    };
+    let finger_w_of = |name: &str, nf: u32| -> Nm {
+        tech.snap(w_nm(name) / nf as Nm)
+            .max(losac_layout::row::min_finger_width(tech))
+    };
+
+    let mut net_currents: HashMap<String, f64> = HashMap::new();
+    let cur = &ota.currents;
+    net_currents.insert("vdd".into(), cur.i_tail + 2.0 * cur.i_casc);
+    net_currents.insert("gnd".into(), 2.0 * cur.i_sink);
+    net_currents.insert("tail".into(), cur.i_tail);
+    net_currents.insert("f1".into(), cur.i_sink);
+    net_currents.insert("f2".into(), cur.i_sink);
+    net_currents.insert("m".into(), cur.i_casc);
+    net_currents.insert("a".into(), cur.i_casc);
+    net_currents.insert("b".into(), cur.i_casc);
+    net_currents.insert("out".into(), cur.i_casc);
+
+    // --- matched stacks -----------------------------------------------------
+    let pair_nf = fingers_of("mp1");
+    let input_pair = StackSpec {
+        name: "pair".into(),
+        polarity: Polarity::Pmos,
+        finger_w: finger_w_of("mp1", pair_nf),
+        gate_l: l_nm("mp1"),
+        devices: vec![
+            StackDevice {
+                name: "mp1".into(),
+                fingers: pair_nf,
+                drain_net: "f1".into(),
+                gate_net: "vinp".into(),
+            },
+            StackDevice {
+                name: "mp2".into(),
+                fingers: pair_nf,
+                drain_net: "f2".into(),
+                gate_net: "vinn".into(),
+            },
+        ],
+        source_net: "tail".into(),
+        bulk_net: "vdd".into(),
+        end_dummies: true,
+        style: opts.input_pair_style,
+        net_currents: net_currents.clone(),
+    };
+
+    let sink_nf = fingers_of("mn5");
+    let sinks = StackSpec {
+        name: "sinks".into(),
+        polarity: Polarity::Nmos,
+        finger_w: finger_w_of("mn5", sink_nf),
+        gate_l: l_nm("mn5"),
+        devices: vec![
+            StackDevice {
+                name: "mn5".into(),
+                fingers: sink_nf,
+                drain_net: "f1".into(),
+                gate_net: "vbn".into(),
+            },
+            StackDevice {
+                name: "mn6".into(),
+                fingers: sink_nf,
+                drain_net: "f2".into(),
+                gate_net: "vbn".into(),
+            },
+        ],
+        source_net: "gnd".into(),
+        bulk_net: "gnd".into(),
+        end_dummies: true,
+        style: StackStyle::CommonCentroid,
+        net_currents: net_currents.clone(),
+    };
+
+    let mirror_nf = fingers_of("mp3");
+    let mirror = StackSpec {
+        name: "mirror".into(),
+        polarity: Polarity::Pmos,
+        finger_w: finger_w_of("mp3", mirror_nf),
+        gate_l: l_nm("mp3"),
+        devices: vec![
+            StackDevice {
+                name: "mp3".into(),
+                fingers: mirror_nf,
+                drain_net: "a".into(),
+                gate_net: "m".into(),
+            },
+            StackDevice {
+                name: "mp4".into(),
+                fingers: mirror_nf,
+                drain_net: "b".into(),
+                gate_net: "m".into(),
+            },
+        ],
+        source_net: "vdd".into(),
+        bulk_net: "vdd".into(),
+        end_dummies: true,
+        style: StackStyle::CommonCentroid,
+        net_currents: net_currents.clone(),
+    };
+
+    // --- individually folded devices -----------------------------------------
+    let dev = |name: &str, d: &str, g: &str, s: &str, b: &str, pol: Polarity| {
+        let policy = match opts.fold_hints.get(name) {
+            Some(&nf) => FoldPolicy::Fixed(nf),
+            None => FoldPolicy::EvenInternal,
+        };
+        Module::Device(DeviceDef {
+            name: name.into(),
+            polarity: pol,
+            w: w_nm(name),
+            l: l_nm(name),
+            d: d.into(),
+            g: g.into(),
+            s: s.into(),
+            b: b.into(),
+            policy,
+        })
+    };
+
+    let modules = vec![
+        Module::Stack(input_pair),                                        // 0
+        dev("mptail", "tail", "vp1", "vdd", "vdd", Polarity::Pmos),       // 1
+        Module::Stack(sinks),                                             // 2
+        dev("mn1c", "m", "vc1", "f1", "gnd", Polarity::Nmos),             // 3
+        dev("mn2c", "out", "vc1", "f2", "gnd", Polarity::Nmos),           // 4
+        Module::Stack(mirror),                                            // 5
+        dev("mp3c", "m", "vc3", "a", "vdd", Polarity::Pmos),              // 6
+        dev("mp4c", "out", "vc3", "b", "vdd", Polarity::Pmos),            // 7
+    ];
+
+    // Placement: NMOS rows at the bottom, PMOS rows (shared well region)
+    // at the top — the arrangement of the paper's Fig. 5.
+    let tree = SlicingTree::Column(
+        Box::new(SlicingTree::row_of(&[3, 2, 4])),
+        Box::new(SlicingTree::Column(
+            Box::new(SlicingTree::row_of(&[6, 5, 7])),
+            Box::new(SlicingTree::row_of(&[0, 1])),
+        )),
+    );
+
+    let mut plan = LayoutPlan::new("folded_cascode_ota", modules);
+    plan.tree = tree;
+    plan.net_currents = net_currents;
+    plan
+}
+
+/// Convert the layout tool's parasitic report into the sizing tool's
+/// feedback structure.
+pub fn to_feedback(report: &ParasiticReport, lump_coupling_to_ground: bool) -> LayoutFeedback {
+    let mut fb = LayoutFeedback {
+        lump_coupling_to_ground,
+        ..Default::default()
+    };
+    for (name, d) in &report.devices {
+        fb.devices.insert(
+            name.clone(),
+            DeviceFeedback {
+                folds: d.folds,
+                drawn_w: d.drawn_w,
+                drain: DiffGeom { area: d.drain.area, perimeter: d.drain.perimeter },
+                source: DiffGeom { area: d.source.area, perimeter: d.source.perimeter },
+            },
+        );
+    }
+    for (net, c) in &report.net_cap {
+        fb.net_caps.insert(map_net(net), *c);
+    }
+    for ((a, b), c) in &report.coupling {
+        fb.coupling.insert((map_net(a), map_net(b)), *c);
+    }
+    for (net, c) in &report.well_cap {
+        fb.well_caps.insert(map_net(net), *c);
+    }
+    fb
+}
+
+/// Net-name mapping between the layout plan and the simulation netlist
+/// (ground is `gnd` in layout, `0` in SPICE-style netlists — the
+/// simulator aliases them, so only the identity mapping is needed today).
+fn map_net(net: &str) -> String {
+    net.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losac_layout::slicing::ShapeConstraint;
+    use losac_sizing::{FoldedCascodePlan, OtaSpecs, ParasiticMode};
+
+    fn sized() -> (Technology, FoldedCascodeOta) {
+        let tech = Technology::cmos06();
+        let ota = FoldedCascodePlan::default()
+            .size(&tech, &OtaSpecs::paper_example(), &ParasiticMode::None)
+            .unwrap();
+        (tech, ota)
+    }
+
+    #[test]
+    fn plan_builds_and_generates() {
+        let (tech, ota) = sized();
+        let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
+        assert_eq!(plan.modules.len(), 8);
+        let g = plan.generate(&tech, ShapeConstraint::MinArea).unwrap();
+        // All eleven transistors reported.
+        assert_eq!(g.devices.len(), 11);
+        // The stacks carry their matching metrics.
+        assert!(g.stack_plans.contains_key("pair"));
+        assert!(g.stack_plans["pair"].dummies >= 2);
+    }
+
+    #[test]
+    fn parasitic_report_roundtrip() {
+        let (tech, ota) = sized();
+        let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
+        let rep = plan.calculate_parasitics(&tech, ShapeConstraint::MinArea).unwrap();
+        let fb = to_feedback(&rep, true);
+        assert_eq!(fb.devices.len(), 11);
+        assert!(fb.lump_coupling_to_ground);
+        // Every signal net picked up some routing capacitance.
+        for net in ["out", "f1", "f2", "m"] {
+            assert!(
+                fb.net_caps.get(net).copied().unwrap_or(0.0) > 0.0,
+                "net {net} has no routing capacitance"
+            );
+        }
+        // Folding: drains of the cascodes are internal (even folds).
+        assert_eq!(fb.devices["mn2c"].folds % 2, 0);
+        // Input pair drawn widths are identical (matching!).
+        assert_eq!(fb.devices["mp1"].drawn_w, fb.devices["mp2"].drawn_w);
+    }
+
+    #[test]
+    fn em_clean_with_plan_currents() {
+        let (tech, ota) = sized();
+        let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
+        let rep = plan.calculate_parasitics(&tech, ShapeConstraint::MinArea).unwrap();
+        assert!(rep.em_clean, "reliability rules satisfied");
+    }
+}

@@ -1,0 +1,47 @@
+//! # losac-core — the layout-oriented synthesis flow
+//!
+//! The reproduction of the paper's contribution: circuit sizing and
+//! layout generation coupled in a loop. The sizing tool
+//! (`losac-sizing`) calls the layout tool (`losac-layout`) in
+//! parasitic-calculation mode; the layout tool returns folding styles,
+//! exact diffusion geometry and routing/coupling/well capacitance; the
+//! sizing tool compensates; the loop repeats until the parasitics stop
+//! changing, after which the layout tool runs once in generation mode.
+//!
+//! * [`flow`] — the convergence loop ([Fig. 1(b)]);
+//! * [`traditional`] — the size→layout→extract→simulate baseline
+//!   ([Fig. 1(a)]);
+//! * [`cases`] — the four parasitic-awareness strategies of Table 1;
+//! * [`layout_gen`] — OTA-specific layout-plan construction and the
+//!   report→feedback conversion;
+//! * [`report`] — Table-1-style formatting.
+//!
+//! [Fig. 1(b)]: flow::layout_oriented_synthesis
+//! [Fig. 1(a)]: traditional::traditional_flow
+//!
+//! ```no_run
+//! use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
+//! use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+//! use losac_tech::Technology;
+//!
+//! let tech = Technology::cmos06();
+//! let result = layout_oriented_synthesis(
+//!     &tech,
+//!     &OtaSpecs::paper_example(),
+//!     &FoldedCascodePlan::default(),
+//!     &FlowOptions::default(),
+//! )?;
+//! println!("converged after {} layout calls", result.layout_calls);
+//! # Ok::<(), losac_core::flow::FlowError>(())
+//! ```
+
+pub mod cases;
+pub mod flow;
+pub mod layout_gen;
+pub mod report;
+pub mod traditional;
+
+pub use cases::{run_case, Case, CaseResult};
+pub use flow::{layout_oriented_synthesis, FlowOptions, FlowResult};
+pub use layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+pub use traditional::{traditional_flow, TraditionalResult};

@@ -1,0 +1,73 @@
+//! Table-1-style report formatting.
+
+use crate::cases::CaseResult;
+use losac_sizing::Performance;
+use std::fmt::Write as _;
+
+/// One row accessor: label, unit, and how to pull the value out of a
+/// [`Performance`].
+type Row = (&'static str, fn(&Performance) -> f64);
+
+/// The Table-1 rows in paper order.
+pub const ROWS: [Row; 11] = [
+    ("DC gain (dB)", |p| p.dc_gain_db),
+    ("GBW (MHz)", |p| p.gbw / 1e6),
+    ("Phase margin (deg)", |p| p.phase_margin),
+    ("Slew rate (V/us)", |p| p.slew_rate / 1e6),
+    ("CMRR (dB)", |p| p.cmrr_db),
+    ("Offset voltage (mV)", |p| p.offset * 1e3),
+    ("Output resistance (MOhm)", |p| p.output_resistance / 1e6),
+    ("Input noise voltage (uV)", |p| p.input_noise_rms * 1e6),
+    ("Thermal noise (nV/rtHz)", |p| p.thermal_noise_density * 1e9),
+    ("Flicker noise (uV/rtHz)", |p| p.flicker_noise_density * 1e6),
+    ("Power dissipation (mW)", |p| p.power * 1e3),
+];
+
+/// Format a set of case results as the paper's Table 1: synthesized
+/// values with the extracted-simulation values in brackets.
+pub fn table1(results: &[CaseResult]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<28}", "Specification");
+    for r in results {
+        let _ = write!(out, "{:>22}", r.case.label());
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(28 + 22 * results.len()));
+    for (label, get) in ROWS {
+        let _ = write!(out, "{label:<28}");
+        for r in results {
+            let cell = format!("{:.1}({:.1})", get(&r.synthesized), get(&r.extracted));
+            let _ = write!(out, "{cell:>22}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_table1_line() {
+        let labels: Vec<&str> = ROWS.iter().map(|(l, _)| *l).collect();
+        for expected in [
+            "DC gain",
+            "GBW",
+            "Phase margin",
+            "Slew rate",
+            "CMRR",
+            "Offset",
+            "Output resistance",
+            "Input noise",
+            "Thermal noise",
+            "Flicker noise",
+            "Power",
+        ] {
+            assert!(
+                labels.iter().any(|l| l.starts_with(expected)),
+                "missing Table-1 row {expected}"
+            );
+        }
+    }
+}

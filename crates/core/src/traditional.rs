@@ -1,0 +1,125 @@
+//! The traditional design flow (the paper's Fig. 1(a)) — the baseline the
+//! layout-oriented methodology replaces.
+//!
+//! Sizing is done blind (no layout information); the layout is generated,
+//! extracted and simulated; if the extracted performance misses the
+//! specification, the designer compensates by re-sizing against inflated
+//! targets and repeats. Each iteration costs a layout generation *and* a
+//! full extracted-netlist verification — the expensive loop the paper's
+//! flow eliminates.
+
+use crate::cases::CaseError;
+use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use losac_layout::slicing::ShapeConstraint;
+use losac_sizing::eval::evaluate;
+use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
+use losac_tech::Technology;
+use std::time::Instant;
+
+/// Result of a traditional-flow run.
+#[derive(Debug)]
+pub struct TraditionalResult {
+    /// Final sized circuit.
+    pub ota: FoldedCascodeOta,
+    /// Final extracted performance.
+    pub extracted: Performance,
+    /// Number of size→layout→extract→simulate iterations.
+    pub iterations: usize,
+    /// Whether the extracted performance met GBW and phase margin.
+    pub met_specs: bool,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+    /// Extracted GBW after each iteration (Hz) — the convergence record.
+    pub gbw_history: Vec<f64>,
+}
+
+/// Run the traditional flow: blind sizing, then compensate by inflating
+/// the GBW/PM targets until the *extracted* performance meets the spec.
+///
+/// # Errors
+///
+/// Returns [`CaseError`] when sizing, layout or measurement fails.
+pub fn traditional_flow(
+    tech: &Technology,
+    specs: &OtaSpecs,
+    max_iterations: usize,
+) -> Result<TraditionalResult, CaseError> {
+    let start = Instant::now();
+    let plan = FoldedCascodePlan::default();
+    let layout_opts = LayoutOptions::default();
+
+    let mut working_specs = *specs;
+    let mut gbw_history = Vec::new();
+    let mut best: Option<(FoldedCascodeOta, Performance)> = None;
+    let mut met = false;
+    let mut iterations = 0;
+
+    for _ in 0..max_iterations {
+        iterations += 1;
+        // Blind sizing (no layout information at all).
+        let ota = plan.size(tech, &working_specs, &ParasiticMode::None)?;
+
+        // Layout → extraction → simulation of the extracted netlist.
+        let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+        let generated = lplan.generate(tech, ShapeConstraint::MinArea)?;
+        let report = losac_layout::plan::ParasiticReport {
+            devices: generated.devices.clone(),
+            net_cap: generated.extraction.net_cap.clone(),
+            coupling: generated.extraction.coupling.clone(),
+            well_cap: generated.extraction.well_cap.clone(),
+            bbox: generated.cell.bbox().map(|b| (b.width(), b.height())).unwrap_or((0, 0)),
+            em_clean: generated.em_clean,
+        };
+        let full = ParasiticMode::Full(to_feedback(&report, false));
+        let perf = evaluate(&ota, tech, &full)?;
+        gbw_history.push(perf.gbw);
+
+        let gbw_ok = perf.gbw >= specs.gbw;
+        let pm_ok = perf.phase_margin >= specs.phase_margin - 0.5;
+        best = Some((ota, perf));
+        if gbw_ok && pm_ok {
+            met = true;
+            break;
+        }
+
+        // Designer-style compensation: inflate the targets by the
+        // measured shortfall (plus a safety factor).
+        if !gbw_ok {
+            let ratio = (specs.gbw / perf.gbw).max(1.0);
+            working_specs.gbw *= ratio * 1.05;
+        }
+        if !pm_ok {
+            working_specs.phase_margin =
+                (working_specs.phase_margin + (specs.phase_margin - perf.phase_margin) + 1.0)
+                    .min(85.0);
+        }
+    }
+
+    let (ota, extracted) = best.expect("at least one iteration ran");
+    Ok(TraditionalResult {
+        ota,
+        extracted,
+        iterations,
+        met_specs: met,
+        elapsed: start.elapsed(),
+        gbw_history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_flow_eventually_meets_specs() {
+        let tech = Technology::cmos06();
+        let specs = OtaSpecs::paper_example();
+        let r = traditional_flow(&tech, &specs, 8).unwrap();
+        assert!(r.met_specs, "gbw history: {:?}", r.gbw_history);
+        // It takes at least one compensation round: blind sizing cannot
+        // hit the extracted target first try.
+        assert!(r.iterations >= 2, "iterations = {}", r.iterations);
+        // The history climbs towards the target.
+        assert!(r.gbw_history.last().unwrap() >= &specs.gbw);
+    }
+}

@@ -1,0 +1,155 @@
+//! Intrinsic gate capacitances (Meyer partition) plus overlap terms.
+//!
+//! The sizing tool and the AC small-signal stamp both take their gate
+//! capacitances from here, again keeping synthesis and verification
+//! consistent.
+
+use crate::ekv::MosOp;
+use crate::Mosfet;
+
+/// The gate capacitances of one transistor at one bias point (farads).
+///
+/// Junction (diffusion) capacitances are *not* included here — they depend
+/// on the layout folding style and are computed by
+/// [`crate::folding::DiffusionGeometry`] together with the technology's
+/// junction coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntrinsicCaps {
+    /// Gate–source capacitance, including overlap (F).
+    pub cgs: f64,
+    /// Gate–drain capacitance, including overlap (F).
+    pub cgd: f64,
+    /// Gate–bulk capacitance (F).
+    pub cgb: f64,
+}
+
+impl IntrinsicCaps {
+    /// Total capacitance seen at the gate node (F).
+    pub fn gate_total(&self) -> f64 {
+        self.cgs + self.cgd + self.cgb
+    }
+}
+
+/// Meyer-style gate capacitances for a transistor at operating point `op`.
+///
+/// * Saturation: cgs = ⅔·Cox·W·L, cgd = 0 (plus overlaps);
+/// * Triode: both approach ½·Cox·W·L, interpolated with the
+///   reverse/forward current ratio so the transition is smooth;
+/// * Weak/cutoff: channel charge vanishes, the gate sees the bulk through
+///   the oxide in series with the depletion region, modelled as
+///   `Cox·W·L·(n−1)/n`.
+pub fn intrinsic_caps(m: &Mosfet, op: &MosOp) -> IntrinsicCaps {
+    let cox_total = m.c_gate_total();
+    let cov_d = m.params.cgdo * m.w;
+    let cov_s = m.params.cgso * m.w;
+
+    // Strong-inversion Meyer partition: x = √(i_r/i_f) ∈ [0, 1] plays the
+    // role of (1 − vds/vdsat): 1 at vds = 0, 0 in deep saturation, and
+    // varies smoothly because both inversion levels do:
+    //   cgs = 2/3 · (1 − (x/(1+x))²) · C
+    //   cgd = 2/3 · (1 − (1/(1+x))²) · C
+    // which meet at ½·C when x = 1 and give (⅔, 0) at x = 0.
+    let x = (op.reverse / op.inversion.max(1e-30)).clamp(0.0, 1.0).sqrt();
+    let a = x / (1.0 + x);
+    let b = 1.0 / (1.0 + x);
+    let cgs_strong = 2.0 / 3.0 * cox_total * (1.0 - a * a);
+    let cgd_strong = 2.0 / 3.0 * cox_total * (1.0 - b * b);
+    // Weak inversion: the channel charge vanishes and the gate sees the
+    // bulk through the oxide/depletion divider.
+    let n = op.slope_n;
+    let cgb_weak = cox_total * (n - 1.0) / n;
+    // Smooth blend on the inversion coefficient (centred at IC = 0.1,
+    // where the region classifier puts the weak/moderate boundary). A
+    // continuous capacitance is essential for the transient Newton loop —
+    // a branchy region switch produces limit cycles during slewing.
+    let s = op.inversion / (op.inversion + 0.1);
+    let cgs_i = s * cgs_strong;
+    let cgd_i = s * cgd_strong;
+    let cgb_i = (1.0 - s) * cgb_weak;
+
+    IntrinsicCaps { cgs: cgs_i + cov_s, cgd: cgd_i + cov_d, cgb: cgb_i }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ekv::evaluate;
+    use losac_tech::Technology;
+
+    fn dev() -> Mosfet {
+        Mosfet::new(Technology::cmos06().nmos, 10e-6, 1e-6)
+    }
+
+    #[test]
+    fn saturation_caps() {
+        let m = dev();
+        let op = evaluate(&m, 1.3, 2.5, 0.0);
+        let c = intrinsic_caps(&m, &op);
+        let cox = m.c_gate_total();
+        let cov = m.params.cgdo * m.w;
+        // cgs = 2/3 Cox + overlap, cgd = overlap only.
+        assert!((c.cgs - (2.0 / 3.0 * cox + cov)).abs() < 0.02 * cox, "cgs = {:e}", c.cgs);
+        assert!((c.cgd - cov).abs() < 0.02 * cox, "cgd = {:e}", c.cgd);
+        // Strong inversion: the weak-inversion bulk term has blended away.
+        assert!(c.cgb < 0.01 * cox, "cgb = {:e}", c.cgb);
+    }
+
+    #[test]
+    fn cutoff_caps_are_bulk_only() {
+        let m = dev();
+        let op = evaluate(&m, 0.0, 2.0, 0.0);
+        let c = intrinsic_caps(&m, &op);
+        let cov = m.params.cgdo * m.w;
+        // Channel contribution vanishes (smoothly) in cutoff.
+        assert!((c.cgs - cov).abs() < 0.01 * m.c_gate_total(), "cgs = {:e}", c.cgs);
+        assert!((c.cgd - cov).abs() < 0.01 * m.c_gate_total());
+        assert!(c.cgb > 0.0);
+    }
+
+    #[test]
+    fn caps_are_continuous_across_weak_boundary() {
+        // Sweep vgs finely through the weak/moderate transition and check
+        // no jumps larger than the sweep step would explain.
+        let m = dev();
+        let mut prev: Option<f64> = None;
+        let mut vgs = 0.5;
+        while vgs < 1.1 {
+            let op = evaluate(&m, vgs, 1.5, 0.0);
+            let c = intrinsic_caps(&m, &op);
+            let total = c.gate_total();
+            if let Some(p) = prev {
+                assert!(
+                    (total - p).abs() < 0.05 * m.c_gate_total(),
+                    "jump at vgs = {vgs}: {p:e} -> {total:e}"
+                );
+            }
+            prev = Some(total);
+            vgs += 0.005;
+        }
+    }
+
+    #[test]
+    fn gate_total_positive_everywhere() {
+        let m = dev();
+        for vgs in [0.0, 0.6, 0.9, 1.3, 2.0] {
+            for vds in [0.0, 0.2, 1.0, 3.0] {
+                let op = evaluate(&m, vgs, vds, 0.0);
+                let c = intrinsic_caps(&m, &op);
+                assert!(c.gate_total() > 0.0);
+                assert!(c.cgs >= 0.0 && c.cgd >= 0.0 && c.cgb >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_triode_splits_channel() {
+        let m = dev();
+        let op = evaluate(&m, 2.5, 0.01, 0.0);
+        let c = intrinsic_caps(&m, &op);
+        // Near vds = 0 the channel splits evenly: cgs ≈ cgd.
+        let cov = m.params.cgdo * m.w;
+        let cgs_i = c.cgs - cov;
+        let cgd_i = c.cgd - cov;
+        assert!((cgs_i - cgd_i).abs() < 0.15 * cgs_i, "cgs_i={cgs_i:e} cgd_i={cgd_i:e}");
+    }
+}

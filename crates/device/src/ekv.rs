@@ -1,0 +1,459 @@
+//! The EKV-style drain-current model.
+//!
+//! A simplified EKV formulation: bulk-referenced, symmetric in source and
+//! drain, single smooth expression valid from weak through strong
+//! inversion. On top of the ideal charge-sheet current it applies
+//! vertical-field mobility degradation, velocity saturation and
+//! channel-length modulation.
+//!
+//! The model equations (NMOS convention; PMOS is handled by negating the
+//! terminal voltages and the resulting current):
+//!
+//! ```text
+//! a      = √φ + γ/2
+//! VP     = VG − VT0 − γ·(√(VG − VT0 + a²) − a)      pinch-off voltage
+//! n      = 1 + γ / (2·√(φ + VP))                     slope factor
+//! i_f    = F((VP − VS)/Ut),  i_r = F((VP − VD)/Ut)   normalised currents
+//! F(x)   = ln²(1 + e^{x/2})
+//! Is     = 2·n·β·Ut²,  β = kp·W/L_eff
+//! v_deg  = n·Ut·(√i_f + √i_r)                        symmetric overdrive
+//! d      = 1 / ((1 + θ·v_deg)·(1 + v_deg/(Ecrit·L_eff)))
+//! Id     = d · Is · (i_f − i_r) · (1 + v_clm/VA)
+//! v_clm  = smooth |VDS|,  VA = va_per_l · L_eff
+//! ```
+//!
+//! Small-signal parameters are obtained by central finite differences of
+//! the same expression — which guarantees that the Jacobian used by the
+//! Newton solver in `losac-sim` is exactly consistent with the current
+//! equation, and that the sizing tool and the simulator can never disagree
+//! about gm.
+
+use crate::Mosfet;
+use losac_tech::units::{KBOLTZMANN, QELECTRON, T_NOMINAL};
+use losac_tech::MosParams;
+
+/// Operating region, classified from the inversion coefficient and the
+/// drain saturation voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Channel off (negligible inversion charge).
+    Cutoff,
+    /// Weak inversion (inversion coefficient < 0.1).
+    Weak,
+    /// VDS below the saturation voltage: resistive channel.
+    Triode,
+    /// Forward saturation.
+    Saturation,
+}
+
+/// Result of a model evaluation: the DC operating point and the
+/// small-signal parameters, all in the *device's own* sign convention
+/// (`id > 0` flows drain→source for NMOS conducting forward; for PMOS the
+/// reported `id` is the source→drain magnitude-signed current so that a
+/// conducting PMOS also reports positive `id`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOp {
+    /// Drain current (A), polarity-normalised as described above.
+    pub id: f64,
+    /// Gate transconductance ∂Id/∂VGS (A/V).
+    pub gm: f64,
+    /// Output conductance ∂Id/∂VDS (A/V).
+    pub gds: f64,
+    /// Bulk transconductance ∂Id/∂VBS (A/V).
+    pub gmb: f64,
+    /// Inversion coefficient (forward normalised current i_f).
+    pub inversion: f64,
+    /// Reverse normalised current i_r (equals i_f at VDS = 0, → 0 in
+    /// saturation). The ratio i_r/i_f measures how deep in triode the
+    /// channel is.
+    pub reverse: f64,
+    /// Saturation voltage VDsat (V, positive).
+    pub vdsat: f64,
+    /// Effective gate overdrive ≈ VGS − VT (V, positive in inversion).
+    pub veff: f64,
+    /// Pinch-off voltage VP (V, bulk-referenced, NMOS-normalised).
+    pub vp: f64,
+    /// Slope factor n at this bias.
+    pub slope_n: f64,
+    /// Classified operating region.
+    pub region: Region,
+}
+
+impl MosOp {
+    /// Transconductance efficiency gm/Id (1/V); 0 for an off device.
+    pub fn gm_over_id(&self) -> f64 {
+        if self.id.abs() < 1e-18 {
+            0.0
+        } else {
+            self.gm / self.id.abs()
+        }
+    }
+
+    /// Small-signal intrinsic gain gm/gds.
+    pub fn intrinsic_gain(&self) -> f64 {
+        if self.gds.abs() < 1e-30 {
+            f64::INFINITY
+        } else {
+            self.gm / self.gds
+        }
+    }
+}
+
+/// `ln(1 + e^x)`, overflow-safe.
+fn ln1pexp(x: f64) -> f64 {
+    if x > 35.0 {
+        x
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// EKV interpolation function F(x) = ln²(1 + e^{x/2}).
+fn ekv_f(x: f64) -> f64 {
+    let l = ln1pexp(x / 2.0);
+    l * l
+}
+
+/// Smooth |x| used for the channel-length-modulation term:
+/// `Ut·ln(cosh(x/Ut))` ≈ |x| for |x| ≫ Ut, smooth at 0.
+fn smooth_abs(x: f64, ut: f64) -> f64 {
+    let y = x / ut;
+    let a = y.abs();
+    if a > 30.0 {
+        ut * (a - core::f64::consts::LN_2)
+    } else {
+        ut * a.cosh().ln()
+    }
+}
+
+/// Threshold temperature coefficient (V/K): VT drops ≈ 2 mV per kelvin.
+const VT_TEMP_COEFF: f64 = -2.0e-3;
+
+/// Mobility temperature exponent: µ ∝ (T/T₀)^−1.5.
+const MOBILITY_TEMP_EXP: f64 = -1.5;
+
+/// Pinch-off voltage and slope factor for a bulk-referenced gate voltage
+/// `vg` (NMOS-normalised), at threshold `vt0_t` (already
+/// temperature-shifted).
+fn pinch_off(p: &MosParams, vg: f64, vt0_t: f64) -> (f64, f64) {
+    let a = p.phi.sqrt() + p.gamma / 2.0;
+    let arg = (vg - vt0_t + a * a).max(1e-12);
+    let vp = vg - vt0_t - p.gamma * (arg.sqrt() - a);
+    let n = 1.0 + p.gamma / (2.0 * (p.phi + vp).max(0.05).sqrt());
+    (vp, n)
+}
+
+/// Raw drain current for bulk-referenced, NMOS-normalised terminal
+/// voltages at temperature `temp_k`. Returns (id, i_f, i_r, vp, n, veff).
+fn drain_current(
+    m: &Mosfet,
+    vg: f64,
+    vs: f64,
+    vd: f64,
+    temp_k: f64,
+) -> (f64, f64, f64, f64, f64, f64) {
+    let p = &m.params;
+    let ut = KBOLTZMANN * temp_k / QELECTRON;
+    let vt0_t = p.vt0 + VT_TEMP_COEFF * (temp_k - T_NOMINAL);
+    let (vp, n) = pinch_off(p, vg, vt0_t);
+    let i_f = ekv_f((vp - vs) / ut);
+    let i_r = ekv_f((vp - vd) / ut);
+    let l_eff = m.l_eff();
+    let beta = p.kp * (temp_k / T_NOMINAL).powf(MOBILITY_TEMP_EXP) * m.w / l_eff;
+    let is = 2.0 * n * beta * ut * ut;
+    let veff = 2.0 * n * ut * i_f.sqrt();
+    // Degradation uses a source/drain-symmetric inversion measure so that
+    // swapping the terminal labels exactly negates the current:
+    // v_deg = n·Ut·(√i_f + √i_r) equals veff at VDS = 0 and veff/2 in deep
+    // saturation (θ and Ecrit are fitted to this convention).
+    let v_deg = n * ut * (i_f.sqrt() + i_r.sqrt());
+    let mobility = 1.0 / ((1.0 + p.theta * v_deg) * (1.0 + v_deg / (p.ecrit * l_eff)));
+    let va = p.va_per_l * l_eff;
+    let clm = 1.0 + smooth_abs(vd - vs, ut) / va;
+    let id = mobility * is * (i_f - i_r) * clm;
+    (id, i_f, i_r, vp, n, veff)
+}
+
+/// Evaluate the model at a source-referenced bias point.
+///
+/// `vgs`, `vds`, `vbs` follow the usual SPICE convention **in the device's
+/// natural signs**: for a conducting NMOS they are positive, positive,
+/// ≤ 0; for a conducting PMOS they are negative, negative, ≥ 0. The
+/// returned [`MosOp`] is polarity-normalised (positive `id` for forward
+/// conduction of either polarity).
+///
+/// The evaluation is total: any finite bias produces a finite result.
+pub fn evaluate(m: &Mosfet, vgs: f64, vds: f64, vbs: f64) -> MosOp {
+    evaluate_at(m, vgs, vds, vbs, T_NOMINAL)
+}
+
+/// [`evaluate`] at an explicit temperature (K). The threshold drifts by
+/// −2 mV/K and the mobility scales as (T/T₀)^−1.5 — enough to expose the
+/// zero-temperature-coefficient bias point the paper's operating-point
+/// discipline exploits.
+pub fn evaluate_at(m: &Mosfet, vgs: f64, vds: f64, vbs: f64, temp_k: f64) -> MosOp {
+    assert!(temp_k > 0.0, "temperature must be positive kelvin");
+    let s = m.params.polarity.sign();
+    // Normalise to NMOS, bulk-referenced: VB = 0.
+    let vg = s * (vgs - vbs);
+    let vs = s * (-vbs);
+    let vd = s * (vds - vbs);
+
+    let (id, i_f, i_r, vp, n, veff) = drain_current(m, vg, vs, vd, temp_k);
+
+    // Central differences on the normalised voltages. gm = ∂Id/∂VGS maps to
+    // ∂Id/∂vg; gds to ∂Id/∂vd; gmb = −(∂/∂vg + ∂/∂vs + ∂/∂vd) because a
+    // bulk wiggle moves all three normalised voltages together (sign folded
+    // through twice, so the source-referenced conductances keep NMOS signs).
+    let h = 1e-6;
+    let d_vg = (drain_current(m, vg + h, vs, vd, temp_k).0
+        - drain_current(m, vg - h, vs, vd, temp_k).0)
+        / (2.0 * h);
+    let d_vs = (drain_current(m, vg, vs + h, vd, temp_k).0
+        - drain_current(m, vg, vs - h, vd, temp_k).0)
+        / (2.0 * h);
+    let d_vd = (drain_current(m, vg, vs, vd + h, temp_k).0
+        - drain_current(m, vg, vs, vd - h, temp_k).0)
+        / (2.0 * h);
+    let gm = d_vg;
+    let gds = d_vd;
+    let gmb = -(d_vg + d_vs + d_vd);
+
+    let ut = KBOLTZMANN * temp_k / QELECTRON;
+    let vdsat = 2.0 * ut * i_f.sqrt() + 4.0 * ut;
+    let region = if i_f < 1e-3 {
+        Region::Cutoff
+    } else if i_f < 0.1 {
+        Region::Weak
+    } else if (vd - vs) < vdsat {
+        Region::Triode
+    } else {
+        Region::Saturation
+    };
+
+    MosOp { id, gm, gds, gmb, inversion: i_f, reverse: i_r, vdsat, veff, vp, slope_n: n, region }
+}
+
+/// Evaluate only the drain current (A, polarity-normalised). Cheaper than
+/// [`evaluate`] when derivatives are not needed (inner Newton loops use the
+/// full version).
+pub fn drain_current_only(m: &Mosfet, vgs: f64, vds: f64, vbs: f64) -> f64 {
+    let s = m.params.polarity.sign();
+    drain_current(m, s * (vgs - vbs), s * (-vbs), s * (vds - vbs), T_NOMINAL).0
+}
+
+/// Threshold voltage magnitude at a given source-bulk reverse bias
+/// `vsb` (≥ 0), from the long-channel body-effect expression.
+pub fn threshold(p: &MosParams, vsb: f64) -> f64 {
+    let vsb = vsb.max(-p.phi / 2.0);
+    p.vt0 + p.gamma * ((p.phi + vsb).sqrt() - p.phi.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losac_tech::units::UT_NOMINAL;
+    use losac_tech::Technology;
+
+    fn nmos(w: f64, l: f64) -> Mosfet {
+        Mosfet::new(Technology::cmos06().nmos, w, l)
+    }
+
+    fn pmos(w: f64, l: f64) -> Mosfet {
+        Mosfet::new(Technology::cmos06().pmos, w, l)
+    }
+
+    #[test]
+    fn zero_vds_zero_current() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 1.5, 0.0, 0.0);
+        assert!(op.id.abs() < 1e-12, "id = {}", op.id);
+    }
+
+    #[test]
+    fn current_increases_with_vgs() {
+        let m = nmos(10e-6, 1e-6);
+        let i1 = evaluate(&m, 1.0, 2.0, 0.0).id;
+        let i2 = evaluate(&m, 1.4, 2.0, 0.0).id;
+        assert!(i2 > i1 && i1 > 0.0);
+    }
+
+    #[test]
+    fn current_scales_with_width() {
+        let a = evaluate(&nmos(10e-6, 1e-6), 1.3, 2.0, 0.0).id;
+        let b = evaluate(&nmos(20e-6, 1e-6), 1.3, 2.0, 0.0).id;
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_inversion_square_law_magnitude() {
+        // Veff = 0.55 V, W/L = 10/0.9: Id ≈ ½·kp·(W/L_eff)·Veff²·(corrections)
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 1.3, 2.5, 0.0);
+        let ideal = 0.5 * 100e-6 * (10.0 / 0.9) * 0.55f64.powi(2);
+        // Degradation pulls it below ideal; CLM pushes up a little.
+        assert!(op.id > 0.4 * ideal && op.id < 1.1 * ideal, "id = {:e}, ideal = {ideal:e}", op.id);
+        assert_eq!(op.region, Region::Saturation);
+    }
+
+    #[test]
+    fn weak_inversion_slope() {
+        // In weak inversion gm/Id → 1/(n·Ut).
+        let m = nmos(100e-6, 2e-6);
+        let op = evaluate(&m, 0.55, 1.0, 0.0); // well below VT0 = 0.75
+        assert!(op.inversion < 0.1, "ic = {}", op.inversion);
+        let limit = 1.0 / (op.slope_n * UT_NOMINAL);
+        let eff = op.gm_over_id();
+        assert!(
+            (eff / limit) > 0.85 && (eff / limit) < 1.05,
+            "gm/Id = {eff}, weak-inversion limit = {limit}"
+        );
+    }
+
+    #[test]
+    fn strong_inversion_gm_over_id_low() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 1.6, 2.5, 0.0);
+        assert!(op.gm_over_id() < 5.0, "strong inversion should have low gm/Id");
+    }
+
+    #[test]
+    fn pmos_mirror_symmetry() {
+        // A PMOS biased with mirrored voltages must match its own NMOS-form.
+        let mp = pmos(30e-6, 1e-6);
+        let op = evaluate(&mp, -1.3, -1.5, 0.0);
+        assert!(op.id > 0.0, "conducting PMOS reports positive id, got {}", op.id);
+        assert!(op.gm > 0.0);
+        assert_eq!(op.region, Region::Saturation);
+    }
+
+    #[test]
+    fn symmetric_in_source_drain() {
+        // Swapping the source and drain labels of the same physical bias
+        // (gate 1.2 V, terminals at 0 V and 0.1 V, bulk 0 V) negates the
+        // current. The charge-sheet core is exactly symmetric; the
+        // gate-overdrive-based mobility degradation refers to whichever
+        // terminal is called "source", so the match is approximate.
+        let m = nmos(10e-6, 1e-6);
+        let fwd = evaluate(&m, 1.2, 0.1, 0.0).id;
+        let rev = evaluate(&m, 1.1, -0.1, -0.1).id;
+        assert!(rev < 0.0, "reverse conduction must be negative, got {rev:e}");
+        assert!((fwd + rev).abs() < 1e-9 * fwd.abs(), "fwd {fwd:e} rev {rev:e}");
+    }
+
+    #[test]
+    fn gds_positive_and_small_in_saturation() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 1.3, 2.5, 0.0);
+        assert!(op.gds > 0.0);
+        assert!(op.gds < op.gm / 10.0, "intrinsic gain should exceed 10");
+    }
+
+    #[test]
+    fn gmb_positive_fraction_of_gm() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 1.3, 2.5, -0.5);
+        assert!(op.gmb > 0.0);
+        assert!(op.gmb < op.gm, "gmb = {} should be below gm = {}", op.gmb, op.gm);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let p = Technology::cmos06().nmos;
+        assert!(threshold(&p, 1.0) > threshold(&p, 0.0));
+        assert!((threshold(&p, 0.0) - p.vt0).abs() < 1e-12);
+        // And the current model agrees: reverse body bias reduces current.
+        let m = nmos(10e-6, 1e-6);
+        let i0 = evaluate(&m, 1.2, 2.0, 0.0).id;
+        let ib = evaluate(&m, 1.2, 2.0, -1.0).id;
+        assert!(ib < i0);
+    }
+
+    #[test]
+    fn longer_channel_higher_output_resistance() {
+        let short = evaluate(&nmos(10e-6, 0.6e-6), 1.3, 2.0, 0.0);
+        let long = evaluate(&nmos(10e-6, 3e-6), 1.3, 2.0, 0.0);
+        let r_short = short.id / short.gds;
+        let r_long = long.id / long.gds;
+        assert!(r_long > 2.0 * r_short, "VA grows with L: {r_short} vs {r_long}");
+    }
+
+    #[test]
+    fn evaluation_is_total() {
+        let m = nmos(1e-6, 0.6e-6);
+        for vgs in [-5.0, -1.0, 0.0, 0.3, 5.0] {
+            for vds in [-5.0, 0.0, 5.0] {
+                for vbs in [-5.0, 0.0, 1.0] {
+                    let op = evaluate(&m, vgs, vds, vbs);
+                    assert!(op.id.is_finite() && op.gm.is_finite() && op.gds.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triode_region_classified() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 2.0, 0.1, 0.0);
+        assert_eq!(op.region, Region::Triode);
+        // Triode: gds comparable to gm.
+        assert!(op.gds > op.gm / 5.0);
+    }
+
+    #[test]
+    fn cutoff_region_classified() {
+        let m = nmos(10e-6, 1e-6);
+        let op = evaluate(&m, 0.0, 2.0, 0.0);
+        assert_eq!(op.region, Region::Cutoff);
+        assert!(op.id < 1e-12);
+    }
+
+    #[test]
+    fn drain_current_only_matches_evaluate() {
+        let m = nmos(12e-6, 0.8e-6);
+        let full = evaluate(&m, 1.25, 1.7, -0.2);
+        let fast = drain_current_only(&m, 1.25, 1.7, -0.2);
+        assert!((full.id - fast).abs() < 1e-15);
+    }
+
+    #[test]
+    fn temperature_behaviour() {
+        let m = nmos(10e-6, 1e-6);
+        // Strong inversion: mobility loss dominates — current drops when
+        // hot.
+        let strong_cold = evaluate_at(&m, 1.8, 2.0, 0.0, 250.0).id;
+        let strong_hot = evaluate_at(&m, 1.8, 2.0, 0.0, 400.0).id;
+        assert!(strong_hot < strong_cold, "{strong_hot:e} !< {strong_cold:e}");
+        // Weak inversion: the threshold drop dominates — current rises.
+        let weak_cold = evaluate_at(&m, 0.65, 1.0, 0.0, 250.0).id;
+        let weak_hot = evaluate_at(&m, 0.65, 1.0, 0.0, 400.0).id;
+        assert!(weak_hot > weak_cold, "{weak_hot:e} !> {weak_cold:e}");
+        // Nominal temperature reproduces evaluate().
+        let a = evaluate(&m, 1.2, 1.5, 0.0);
+        let b = evaluate_at(&m, 1.2, 1.5, 0.0, losac_tech::units::T_NOMINAL);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_temperature_coefficient_point_exists() {
+        // Between weak and strong inversion there is a VGS where the
+        // current barely moves with temperature (the ZTC bias).
+        let m = nmos(10e-6, 1e-6);
+        let drift = |vgs: f64| {
+            evaluate_at(&m, vgs, 1.5, 0.0, 350.0).id - evaluate_at(&m, vgs, 1.5, 0.0, 300.0).id
+        };
+        assert!(drift(0.8) > 0.0);
+        assert!(drift(1.9) < 0.0);
+    }
+
+    #[test]
+    fn vdsat_tracks_overdrive() {
+        let m = nmos(10e-6, 1e-6);
+        let lo = evaluate(&m, 1.0, 2.5, 0.0);
+        let hi = evaluate(&m, 1.8, 2.5, 0.0);
+        assert!(hi.vdsat > lo.vdsat);
+        assert!(lo.vdsat > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Pelgrom-model device mismatch.
+//!
+//! Random mismatch between identically drawn transistors follows the
+//! Pelgrom area law: `σ(ΔVT) = AVT/√(W·L)` and `σ(Δβ/β) = Aβ/√(W·L)`.
+//! The sizing tool's statistical analysis draws offset samples from these
+//! sigmas; the layout generators reduce the *systematic* component with
+//! common-centroid placement and dummies, which is modelled here as a
+//! gradient term that careful layout cancels.
+
+use crate::ekv::MosOp;
+use crate::Mosfet;
+
+/// Mismatch standard deviations for a *pair* of identically drawn devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMismatch {
+    /// σ of the threshold-voltage difference (V).
+    pub sigma_vt: f64,
+    /// σ of the relative current-factor difference (dimensionless).
+    pub sigma_beta: f64,
+}
+
+impl PairMismatch {
+    /// Pelgrom sigmas for a pair of transistors drawn like `m`.
+    pub fn of(m: &Mosfet) -> Self {
+        let area = m.w * m.l; // drawn area per device
+        let sqrt_area = area.sqrt();
+        Self {
+            sigma_vt: m.params.avt / sqrt_area,
+            sigma_beta: m.params.abeta / sqrt_area,
+        }
+    }
+
+    /// σ of the drain-current mismatch (relative), combining both
+    /// mechanisms at operating point `op`:
+    /// `σ(ΔI/I)² = σβ² + (gm/Id · σVT)²`.
+    pub fn sigma_current(&self, op: &MosOp) -> f64 {
+        let gm_id = op.gm_over_id();
+        (self.sigma_beta.powi(2) + (gm_id * self.sigma_vt).powi(2)).sqrt()
+    }
+
+    /// σ of the gate-referred offset (V) this pair contributes when it
+    /// processes the signal with transconductance ratio `gm_ratio`
+    /// (its own gm divided by the input-pair gm).
+    pub fn sigma_offset(&self, op: &MosOp, gm_ratio: f64) -> f64 {
+        // ΔVT refers directly; Δβ/β contributes (Id/gm)·σβ at the device's
+        // own gate, both scaled to the input by gm_ratio.
+        let id_gm = if op.gm > 0.0 { op.id.abs() / op.gm } else { 0.0 };
+        gm_ratio * (self.sigma_vt.powi(2) + (id_gm * self.sigma_beta).powi(2)).sqrt()
+    }
+}
+
+/// Systematic mismatch from an on-die parameter gradient, for a pair whose
+/// centroids are `distance` metres apart along the gradient.
+///
+/// `gradient` is the threshold drift in V/m (a typical die sees ~0.1 mV
+/// per 10 µm, i.e. 10 V/m). Common-centroid layouts make `distance`
+/// (the centroid separation) zero, cancelling this term — the reason the
+/// paper draws the input pair common-centroid with dummies.
+pub fn systematic_vt_offset(gradient: f64, distance: f64) -> f64 {
+    gradient * distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ekv::evaluate;
+    use losac_tech::Technology;
+
+    #[test]
+    fn pelgrom_area_law() {
+        let t = Technology::cmos06();
+        let small = PairMismatch::of(&Mosfet::new(t.nmos, 10e-6, 1e-6));
+        let large = PairMismatch::of(&Mosfet::new(t.nmos, 40e-6, 1e-6));
+        assert!((small.sigma_vt / large.sigma_vt - 2.0).abs() < 1e-9);
+        assert!((small.sigma_beta / large.sigma_beta - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_vt_magnitude() {
+        // AVT = 10 mV·µm, W·L = 100 µm² → σVT = 1 mV.
+        let t = Technology::cmos06();
+        let m = Mosfet::new(t.nmos, 100e-6, 1e-6);
+        let mm = PairMismatch::of(&m);
+        assert!((mm.sigma_vt - 1.0e-3).abs() < 1e-5, "σVT = {}", mm.sigma_vt);
+    }
+
+    #[test]
+    fn current_mismatch_grows_with_gm_over_id() {
+        let t = Technology::cmos06();
+        let m = Mosfet::new(t.nmos, 50e-6, 1e-6);
+        let mm = PairMismatch::of(&m);
+        let weak = evaluate(&m, 0.7, 1.5, 0.0);
+        let strong = evaluate(&m, 1.8, 1.5, 0.0);
+        assert!(mm.sigma_current(&weak) > mm.sigma_current(&strong));
+    }
+
+    #[test]
+    fn offset_scaled_by_gm_ratio() {
+        let t = Technology::cmos06();
+        let m = Mosfet::new(t.nmos, 50e-6, 1e-6);
+        let mm = PairMismatch::of(&m);
+        let op = evaluate(&m, 1.1, 1.5, 0.0);
+        let full = mm.sigma_offset(&op, 1.0);
+        let half = mm.sigma_offset(&op, 0.5);
+        assert!((full / half - 2.0).abs() < 1e-9);
+        assert!(full >= mm.sigma_vt, "offset includes the beta term");
+    }
+
+    #[test]
+    fn common_centroid_cancels_gradient() {
+        assert_eq!(systematic_vt_offset(10.0, 0.0), 0.0);
+        // 10 V/m over 20 µm = 0.2 mV.
+        assert!((systematic_vt_offset(10.0, 20e-6) - 0.2e-3).abs() < 1e-9);
+    }
+}

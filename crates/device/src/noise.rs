@@ -1,0 +1,161 @@
+//! Transistor noise models.
+//!
+//! * **Thermal (channel) noise**: current PSD `Sid = 4·k·T·γt·gm`, with
+//!   the excess factor γt interpolated between ½ (weak inversion) and ⅔
+//!   (strong inversion) through the inversion coefficient.
+//! * **Flicker (1/f) noise**: gate-referred voltage PSD
+//!   `Svg(f) = KF / (Cox·W·L·f^AF)`, translated to a drain-current PSD by
+//!   multiplying with gm².
+//!
+//! The sizing tool integrates these analytically; the simulator's noise
+//! analysis sums exactly the same densities through the small-signal
+//! network, so both report consistent input-referred noise.
+
+use crate::ekv::MosOp;
+use crate::Mosfet;
+use losac_tech::units::{KBOLTZMANN, T_NOMINAL};
+
+/// Thermal-noise drain-current PSD (A²/Hz) at operating point `op`.
+pub fn thermal_current_psd(op: &MosOp) -> f64 {
+    4.0 * KBOLTZMANN * T_NOMINAL * gamma_t(op) * op.gm.max(0.0)
+}
+
+/// The thermal-noise excess factor γt: ½ in weak inversion, ⅔ in strong
+/// inversion, smoothly interpolated with the inversion coefficient.
+pub fn gamma_t(op: &MosOp) -> f64 {
+    // Logistic blend centred at IC = 1 (moderate inversion).
+    let ic = op.inversion.max(1e-12);
+    let s = 1.0 / (1.0 + 1.0 / ic); // 0 → weak, 1 → strong
+    0.5 + (2.0 / 3.0 - 0.5) * s
+}
+
+/// Flicker-noise gate-referred voltage PSD (V²/Hz) at frequency `f` (Hz).
+///
+/// # Panics
+///
+/// Panics if `f` is not strictly positive.
+pub fn flicker_gate_psd(m: &Mosfet, f: f64) -> f64 {
+    assert!(f > 0.0, "flicker noise needs a positive frequency, got {f}");
+    let p = &m.params;
+    p.kf / (p.cox * m.w * m.l_eff() * f.powf(p.af))
+}
+
+/// Flicker-noise drain-current PSD (A²/Hz): gate PSD times gm².
+pub fn flicker_current_psd(m: &Mosfet, op: &MosOp, f: f64) -> f64 {
+    flicker_gate_psd(m, f) * op.gm * op.gm
+}
+
+/// Total drain-current noise PSD (A²/Hz) at frequency `f`.
+pub fn total_current_psd(m: &Mosfet, op: &MosOp, f: f64) -> f64 {
+    thermal_current_psd(op) + flicker_current_psd(m, op, f)
+}
+
+/// Smallest transconductance regarded as "on" (S). Below this the device
+/// is treated as off for gate-referred quantities.
+pub const GM_OFF_THRESHOLD: f64 = 1e-9;
+
+/// Gate-referred total voltage noise PSD (V²/Hz): current PSD / gm².
+///
+/// Returns infinity for an (almost) off device — noise cannot meaningfully
+/// be referred to the gate of a transistor with gm below
+/// [`GM_OFF_THRESHOLD`].
+pub fn gate_referred_psd(m: &Mosfet, op: &MosOp, f: f64) -> f64 {
+    if op.gm <= GM_OFF_THRESHOLD {
+        return f64::INFINITY;
+    }
+    total_current_psd(m, op, f) / (op.gm * op.gm)
+}
+
+/// Corner frequency where flicker equals thermal noise (Hz), assuming
+/// AF = 1; `None` for an off device.
+pub fn flicker_corner(m: &Mosfet, op: &MosOp) -> Option<f64> {
+    if op.gm <= GM_OFF_THRESHOLD {
+        return None;
+    }
+    let thermal = thermal_current_psd(op);
+    // flicker_current_psd(f) = K/f with K = flicker at 1 Hz.
+    let k = flicker_current_psd(m, op, 1.0);
+    Some(k / thermal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ekv::evaluate;
+    use losac_tech::Technology;
+
+    fn biased() -> (Mosfet, MosOp) {
+        let m = Mosfet::new(Technology::cmos06().nmos, 50e-6, 1e-6);
+        let op = evaluate(&m, 1.1, 1.5, 0.0);
+        (m, op)
+    }
+
+    #[test]
+    fn thermal_scales_with_gm() {
+        let (m, op) = biased();
+        let hot = evaluate(&m, 1.5, 1.5, 0.0);
+        assert!(hot.gm > op.gm);
+        assert!(thermal_current_psd(&hot) > thermal_current_psd(&op));
+    }
+
+    #[test]
+    fn thermal_magnitude_sane() {
+        // gm = 1 mS, strong inversion: Sid ≈ 4kT·(2/3)·1e-3 ≈ 1.1e-23 A²/Hz
+        // → equivalent input noise √(Sid)/gm ≈ 3.3 nV/√Hz.
+        let (m, op) = biased();
+        let vn = (gate_referred_psd(&m, &op, 1e6)).sqrt();
+        assert!(vn > 1e-9 && vn < 50e-9, "input noise at 1 MHz = {vn:e} V/√Hz");
+    }
+
+    #[test]
+    fn flicker_dominates_low_frequency() {
+        let (m, op) = biased();
+        let lo = gate_referred_psd(&m, &op, 10.0);
+        let hi = gate_referred_psd(&m, &op, 10e6);
+        assert!(lo > hi, "1/f noise must dominate at low frequency");
+    }
+
+    #[test]
+    fn flicker_scales_inverse_area() {
+        let t = Technology::cmos06();
+        let small = Mosfet::new(t.nmos, 10e-6, 1e-6);
+        let large = Mosfet::new(t.nmos, 40e-6, 1e-6);
+        let ratio = flicker_gate_psd(&small, 1e3) / flicker_gate_psd(&large, 1e3);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_frequency_positive() {
+        let (m, op) = biased();
+        let fc = flicker_corner(&m, &op).unwrap();
+        assert!(fc > 1e2 && fc < 1e8, "corner = {fc:e} Hz");
+        // At the corner, both contributions are equal.
+        let th = thermal_current_psd(&op);
+        let fl = flicker_current_psd(&m, &op, fc);
+        assert!((th - fl).abs() < 1e-6 * th);
+    }
+
+    #[test]
+    fn gamma_t_limits() {
+        let (m, _) = biased();
+        let weak = evaluate(&m, 0.55, 1.0, 0.0);
+        let strong = evaluate(&m, 2.0, 2.5, 0.0);
+        assert!(gamma_t(&weak) < 0.55);
+        assert!(gamma_t(&strong) > 0.62);
+    }
+
+    #[test]
+    fn off_device_noise_is_infinite_at_gate() {
+        let m = Mosfet::new(Technology::cmos06().nmos, 10e-6, 1e-6);
+        let off = evaluate(&m, 0.0, 1.0, 0.0);
+        assert!(gate_referred_psd(&m, &off, 1e3).is_infinite());
+        assert!(flicker_corner(&m, &off).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive frequency")]
+    fn zero_frequency_panics() {
+        let (m, _) = biased();
+        let _ = flicker_gate_psd(&m, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Layout export backends: SVG for human inspection (the paper's Fig. 5
+//! style plots) and a CIF-like text dump for tooling.
+
+use crate::cell::Cell;
+use losac_tech::Layer;
+use std::fmt::Write as _;
+
+/// Fill colour and opacity per layer for the SVG backend.
+fn style(layer: Layer) -> (&'static str, f64) {
+    match layer {
+        Layer::Nwell => ("#f5f0c0", 0.8),
+        Layer::Active => ("#2e8b57", 0.65),
+        Layer::Nplus => ("#9acd32", 0.25),
+        Layer::Pplus => ("#e9967a", 0.25),
+        Layer::Poly => ("#cc2222", 0.75),
+        Layer::Contact => ("#111111", 0.95),
+        Layer::Metal1 => ("#3b6fd4", 0.60),
+        Layer::Via1 => ("#444444", 0.95),
+        Layer::Metal2 => ("#b044d4", 0.55),
+    }
+}
+
+/// Render a cell as a standalone SVG document.
+///
+/// The y axis is flipped so the layout appears in the usual
+/// "y grows upward" orientation.
+pub fn to_svg(cell: &Cell) -> String {
+    let Some(bbox) = cell.bbox() else {
+        return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>".to_owned();
+    };
+    let margin = 1000; // nm
+    let (x0, _y0) = (bbox.x0 - margin, bbox.y0 - margin);
+    let (w, h) = (bbox.width() + 2 * margin, bbox.height() + 2 * margin);
+    // Scale: 1 px per 50 nm keeps files small.
+    let scale = 0.02;
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.0} {:.0}\">\n",
+        w as f64 * scale,
+        h as f64 * scale,
+        w as f64 * scale,
+        h as f64 * scale
+    );
+    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>");
+    // Draw in process order so upper layers appear on top.
+    for layer in Layer::ALL {
+        for s in cell.shapes_on(layer) {
+            let (color, opacity) = style(layer);
+            let rx = (s.rect.x0 - x0) as f64 * scale;
+            // Flip y.
+            let ry = (bbox.y1 + margin - s.rect.y1) as f64 * scale;
+            let rw = s.rect.width() as f64 * scale;
+            let rh = s.rect.height() as f64 * scale;
+            let title = match &s.net {
+                Some(n) => format!("<title>{} {}</title>", layer, n),
+                None => format!("<title>{layer}</title>"),
+            };
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{rx:.1}\" y=\"{ry:.1}\" width=\"{rw:.1}\" height=\"{rh:.1}\" \
+                 fill=\"{color}\" fill-opacity=\"{opacity}\" stroke=\"{color}\" \
+                 stroke-width=\"0.5\">{title}</rect>"
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Dump a cell as line-oriented text: one `rect <layer> <net> x0 y0 x1 y1`
+/// per shape (a CIF-flavoured interchange format that diffs well).
+pub fn to_text(cell: &Cell) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "cell {}", cell.name);
+    for s in &cell.shapes {
+        let net = s.net.as_deref().unwrap_or("-");
+        let _ = writeln!(
+            out,
+            "rect {} {} {} {} {} {}",
+            s.layer, net, s.rect.x0, s.rect.y0, s.rect.x1, s.rect.y1
+        );
+    }
+    for p in &cell.ports {
+        let _ = writeln!(
+            out,
+            "port {} {} {} {} {} {} {}",
+            p.name, p.net, p.layer, p.rect.x0, p.rect.y0, p.rect.x1, p.rect.y1
+        );
+    }
+    let _ = writeln!(out, "end {}", cell.name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+
+    fn sample() -> Cell {
+        let mut c = Cell::new("t");
+        c.draw(Layer::Active, Rect::from_size(0, 0, 2000, 1000));
+        c.draw_net(Layer::Metal1, Rect::from_size(0, 1500, 2000, 800), "out");
+        c.port("o", "out", Layer::Metal1, Rect::from_size(0, 1500, 800, 800));
+        c
+    }
+
+    #[test]
+    fn svg_contains_shapes_and_nets() {
+        let svg = to_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 3, "background + 2 shapes");
+        assert!(svg.contains("met1 out"));
+    }
+
+    #[test]
+    fn empty_cell_svg_valid() {
+        let svg = to_svg(&Cell::new("empty"));
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn text_roundtrip_fields() {
+        let txt = to_text(&sample());
+        assert!(txt.contains("cell t"));
+        assert!(txt.contains("rect active - 0 0 2000 1000"));
+        assert!(txt.contains("rect met1 out 0 1500 2000 2300"));
+        assert!(txt.contains("port o out met1"));
+        assert!(txt.trim_end().ends_with("end t"));
+    }
+}

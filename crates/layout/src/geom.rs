@@ -1,0 +1,271 @@
+//! Integer-nanometre geometry primitives.
+//!
+//! Everything the generators draw is an axis-aligned rectangle on a
+//! symbolic layer. Integer coordinates make grid snapping, overlap tests
+//! and DRC measurements exact.
+
+use losac_tech::units::Nm;
+use std::fmt;
+
+/// A point in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// X coordinate (nm).
+    pub x: Nm,
+    /// Y coordinate (nm).
+    pub y: Nm,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: Nm, y: Nm) -> Self {
+        Self { x, y }
+    }
+
+    /// Translate by (dx, dy).
+    pub fn translated(self, dx: Nm, dy: Nm) -> Self {
+        Self { x: self.x + dx, y: self.y + dy }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, stored as inclusive-exclusive
+/// `[x0, x1) × [y0, y1)` with `x0 < x1`, `y0 < y1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (nm).
+    pub x0: Nm,
+    /// Bottom edge (nm).
+    pub y0: Nm,
+    /// Right edge (nm).
+    pub x1: Nm,
+    /// Top edge (nm).
+    pub y1: Nm,
+}
+
+impl Rect {
+    /// Construct from corners (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle would be degenerate (zero width or height).
+    pub fn new(xa: Nm, ya: Nm, xb: Nm, yb: Nm) -> Self {
+        let (x0, x1) = if xa <= xb { (xa, xb) } else { (xb, xa) };
+        let (y0, y1) = if ya <= yb { (ya, yb) } else { (yb, ya) };
+        assert!(x0 < x1 && y0 < y1, "degenerate rectangle ({xa},{ya})-({xb},{yb})");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Construct from the lower-left corner and a size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is not strictly positive.
+    pub fn from_size(x0: Nm, y0: Nm, w: Nm, h: Nm) -> Self {
+        assert!(w > 0 && h > 0, "rectangle size must be positive, got {w}×{h}");
+        Self { x0, y0, x1: x0 + w, y1: y0 + h }
+    }
+
+    /// Width (nm).
+    pub fn width(&self) -> Nm {
+        self.x1 - self.x0
+    }
+
+    /// Height (nm).
+    pub fn height(&self) -> Nm {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area_nm2(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Area in m².
+    pub fn area_m2(&self) -> f64 {
+        (self.width() as f64 * 1e-9) * (self.height() as f64 * 1e-9)
+    }
+
+    /// Perimeter in nm.
+    pub fn perimeter_nm(&self) -> Nm {
+        2 * (self.width() + self.height())
+    }
+
+    /// Perimeter in metres.
+    pub fn perimeter_m(&self) -> f64 {
+        self.perimeter_nm() as f64 * 1e-9
+    }
+
+    /// Centre point (rounded down to integer nm).
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Translated copy.
+    pub fn translated(&self, dx: Nm, dy: Nm) -> Self {
+        Self { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
+    }
+
+    /// Copy expanded by `margin` on every side (negative shrinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking would make it degenerate.
+    pub fn expanded(&self, margin: Nm) -> Self {
+        Self::new(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+    }
+
+    /// Do the interiors overlap (touching edges do not count)?
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Does `self` fully contain `other`?
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && self.x1 >= other.x1 && self.y1 >= other.y1
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Overlapping region, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if self.overlaps(other) {
+            Some(Rect {
+                x0: self.x0.max(other.x0),
+                y0: self.y0.max(other.y0),
+                x1: self.x1.min(other.x1),
+                y1: self.y1.min(other.y1),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Manhattan clearance between two non-overlapping rectangles: the
+    /// larger of the x-gap and y-gap (0 if they touch or overlap in both
+    /// axes). This is the quantity spacing rules constrain for
+    /// diagonal/lateral neighbours.
+    pub fn spacing_to(&self, other: &Rect) -> Nm {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        dx.max(dy)
+    }
+
+    /// Horizontal overlap length with another rect (0 if none).
+    pub fn x_overlap(&self, other: &Rect) -> Nm {
+        (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0)
+    }
+
+    /// Vertical overlap length with another rect (0 if none).
+    pub fn y_overlap(&self, other: &Rect) -> Nm {
+        (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0)
+    }
+
+    /// Mirror about the vertical line `x = axis`.
+    pub fn mirrored_x(&self, axis: Nm) -> Rect {
+        Rect::new(2 * axis - self.x0, self.y0, 2 * axis - self.x1, self.y1)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{} {}x{}]", self.x0, self.y0, self.width(), self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalises_corners() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_rejected() {
+        let _ = Rect::new(0, 0, 0, 10);
+    }
+
+    #[test]
+    fn area_and_perimeter() {
+        let r = Rect::from_size(0, 0, 1000, 2000); // 1 µm × 2 µm
+        assert_eq!(r.area_nm2(), 2_000_000);
+        assert!((r.area_m2() - 2e-12).abs() < 1e-24);
+        assert_eq!(r.perimeter_nm(), 6000);
+        assert!((r.perimeter_m() - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = Rect::from_size(0, 0, 10, 10);
+        let b = Rect::from_size(10, 0, 10, 10); // touching edge
+        let c = Rect::from_size(5, 5, 10, 10);
+        assert!(!a.overlaps(&b), "touching edges do not overlap");
+        assert!(a.overlaps(&c));
+        assert_eq!(a.intersection(&c), Some(Rect::new(5, 5, 10, 10)));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn containment_and_union() {
+        let a = Rect::from_size(0, 0, 100, 100);
+        let b = Rect::from_size(10, 10, 20, 20);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert_eq!(a.union(&b), a);
+    }
+
+    #[test]
+    fn spacing_measurements() {
+        let a = Rect::from_size(0, 0, 10, 10);
+        let b = Rect::from_size(15, 0, 10, 10);
+        assert_eq!(a.spacing_to(&b), 5);
+        let c = Rect::from_size(15, 20, 10, 10);
+        // x gap 5, y gap 10 → constraint distance is the max.
+        assert_eq!(a.spacing_to(&c), 10);
+        let d = Rect::from_size(5, 5, 10, 10);
+        assert_eq!(a.spacing_to(&d), 0);
+    }
+
+    #[test]
+    fn overlap_lengths() {
+        let a = Rect::from_size(0, 0, 100, 10);
+        let b = Rect::from_size(50, 20, 100, 10);
+        assert_eq!(a.x_overlap(&b), 50);
+        assert_eq!(a.y_overlap(&b), 0);
+    }
+
+    #[test]
+    fn mirror_about_axis() {
+        let r = Rect::from_size(10, 0, 20, 5);
+        let m = r.mirrored_x(0);
+        assert_eq!(m, Rect::new(-30, 0, -10, 5));
+        // Mirroring twice restores.
+        assert_eq!(m.mirrored_x(0), r);
+    }
+
+    #[test]
+    fn expand_shrink() {
+        let r = Rect::from_size(0, 0, 100, 100);
+        assert_eq!(r.expanded(10), Rect::new(-10, -10, 110, 110));
+        assert_eq!(r.expanded(-10), Rect::new(10, 10, 90, 90));
+    }
+}

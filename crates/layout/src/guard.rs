@@ -1,0 +1,202 @@
+//! Guard rings and substrate/well taps.
+//!
+//! Analog blocks are ringed by substrate (P+) or well (N+-in-well) taps:
+//! they pin the local bulk potential, collect injected carriers, and keep
+//! every device within the latch-up rule's maximum distance to a tap
+//! (`DesignRules::well_contact_space`). The generators here draw a
+//! contacted ring of `guard_width` diffusion around a given region.
+
+use crate::cell::Cell;
+use crate::geom::Rect;
+use losac_tech::units::Nm;
+use losac_tech::{Layer, Technology};
+
+/// What the ring ties down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardKind {
+    /// P+ ring in the substrate (tie to ground).
+    SubstrateTap,
+    /// N+ ring inside an N-well collar (tie to the positive supply).
+    WellTap,
+}
+
+/// A generated guard ring.
+#[derive(Debug, Clone)]
+pub struct GuardRing {
+    /// The ring geometry (ring only — place it over/around the guarded
+    /// cell).
+    pub cell: Cell,
+    /// Outer boundary of the ring.
+    pub outer: Rect,
+    /// Inner boundary (the guarded region must stay inside).
+    pub inner: Rect,
+    /// Number of contact cuts placed.
+    pub contacts: usize,
+}
+
+/// Generate a guard ring around `region` with `clearance` between the
+/// region and the ring's inner edge. The ring carries a metal-1 strap and
+/// is ported on `net`.
+///
+/// # Panics
+///
+/// Panics if `clearance` is negative.
+pub fn guard_ring(
+    tech: &Technology,
+    region: Rect,
+    clearance: Nm,
+    kind: GuardKind,
+    net: &str,
+) -> GuardRing {
+    assert!(clearance >= 0, "clearance must be non-negative");
+    let r = &tech.rules;
+    let w = r.guard_width;
+    let inner = region.expanded(clearance.max(r.active_space));
+    let outer = inner.expanded(w);
+
+    let mut cell = Cell::new(format!("guard_{net}"));
+
+    // Four diffusion bars forming the ring (drawn as overlapping rects of
+    // the same net — legal same-net geometry).
+    let bars = [
+        Rect::new(outer.x0, outer.y0, outer.x1, inner.y0), // bottom
+        Rect::new(outer.x0, inner.y1, outer.x1, outer.y1), // top
+        Rect::new(outer.x0, outer.y0, inner.x0, outer.y1), // left
+        Rect::new(inner.x1, outer.y0, outer.x1, outer.y1), // right
+    ];
+    let implant = match kind {
+        GuardKind::SubstrateTap => Layer::Pplus,
+        GuardKind::WellTap => Layer::Nplus,
+    };
+    for b in &bars {
+        cell.draw_net(Layer::Active, *b, net);
+        cell.draw(implant, b.expanded(r.gate_extension));
+        cell.draw_net(Layer::Metal1, *b, net);
+    }
+    if kind == GuardKind::WellTap {
+        cell.draw_net(Layer::Nwell, outer.expanded(r.nwell_over_pactive), net);
+    }
+
+    // Contacts along the ring centreline, pitched to the contact rules.
+    let pitch = 2 * (r.contact_size + r.contact_space);
+    let mut contacts = 0usize;
+    let mut place_run = |cell: &mut Cell, horizontal: bool, fixed: Nm, from: Nm, to: Nm| {
+        let mut p = from + r.active_over_contact;
+        while p + r.contact_size + r.active_over_contact <= to {
+            let rect = if horizontal {
+                Rect::from_size(p, fixed - r.contact_size / 2, r.contact_size, r.contact_size)
+            } else {
+                Rect::from_size(fixed - r.contact_size / 2, p, r.contact_size, r.contact_size)
+            };
+            cell.draw_net(Layer::Contact, rect, net);
+            contacts += 1;
+            p += pitch;
+        }
+    };
+    let cy_bot = tech.snap((outer.y0 + inner.y0) / 2);
+    let cy_top = tech.snap((inner.y1 + outer.y1) / 2);
+    let cx_left = tech.snap((outer.x0 + inner.x0) / 2);
+    let cx_right = tech.snap((inner.x1 + outer.x1) / 2);
+    place_run(&mut cell, true, cy_bot, outer.x0, outer.x1);
+    place_run(&mut cell, true, cy_top, outer.x0, outer.x1);
+    place_run(&mut cell, false, cx_left, inner.y0, inner.y1);
+    place_run(&mut cell, false, cx_right, inner.y0, inner.y1);
+
+    cell.port(net, net, Layer::Metal1, bars[0]);
+
+    GuardRing { cell, outer, inner, contacts }
+}
+
+/// Does every point of `region` lie within the latch-up distance of the
+/// ring? (Conservative check: the farthest interior point to the nearest
+/// ring edge.)
+pub fn latchup_ok(tech: &Technology, ring: &GuardRing, region: &Rect) -> bool {
+    // Farthest point from the ring inner boundary is the region centre;
+    // its distance to the nearest edge of the ring.
+    let c = region.center();
+    let d = [
+        c.x - ring.inner.x0,
+        ring.inner.x1 - c.x,
+        c.y - ring.inner.y0,
+        ring.inner.y1 - c.y,
+    ]
+    .into_iter()
+    .min()
+    .unwrap_or(Nm::MAX);
+    d <= tech.rules.well_contact_space
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc;
+    use losac_tech::units::um;
+
+    fn tech() -> Technology {
+        Technology::cmos06()
+    }
+
+    #[test]
+    fn ring_encloses_region() {
+        let t = tech();
+        let region = Rect::from_size(0, 0, um(20.0), um(10.0));
+        let g = guard_ring(&t, region, um(2.0), GuardKind::SubstrateTap, "gnd");
+        assert!(g.inner.contains(&region));
+        assert!(g.outer.contains(&g.inner));
+        assert_eq!(g.outer.width() - g.inner.width(), 2 * t.rules.guard_width);
+    }
+
+    #[test]
+    fn ring_is_contacted_all_around() {
+        let t = tech();
+        let region = Rect::from_size(0, 0, um(20.0), um(10.0));
+        let g = guard_ring(&t, region, um(2.0), GuardKind::SubstrateTap, "gnd");
+        // Perimeter ≈ 2·(24+14) µm = 76 µm; one contact per 2.6 µm pitch
+        // per run → dozens of cuts.
+        assert!(g.contacts > 20, "{} contacts", g.contacts);
+    }
+
+    #[test]
+    fn substrate_ring_is_drc_clean() {
+        let t = tech();
+        let region = Rect::from_size(0, 0, um(20.0), um(10.0));
+        let g = guard_ring(&t, region, um(2.0), GuardKind::SubstrateTap, "gnd");
+        let v: Vec<_> = drc::check(&t, &g.cell)
+            .into_iter()
+            // P+ outside a well is exactly what a substrate tap is.
+            .filter(|x| x.rule != "pplus-outside-well")
+            .collect();
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn well_ring_has_a_well() {
+        let t = tech();
+        let region = Rect::from_size(0, 0, um(20.0), um(10.0));
+        let g = guard_ring(&t, region, um(2.0), GuardKind::WellTap, "vdd");
+        assert!(g.cell.shapes_on(Layer::Nwell).count() == 1);
+        let v: Vec<_> = drc::check(&t, &g.cell).into_iter().collect();
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn latchup_distance_checked() {
+        let t = tech();
+        let small = Rect::from_size(0, 0, um(6.0), um(6.0));
+        let g = guard_ring(&t, small, um(1.2), GuardKind::SubstrateTap, "gnd");
+        assert!(latchup_ok(&t, &g, &small));
+        // A huge region would put its centre too far from any tap.
+        let huge = Rect::from_size(0, 0, um(30.0), um(30.0));
+        let g2 = guard_ring(&t, huge, um(1.2), GuardKind::SubstrateTap, "gnd");
+        assert!(!latchup_ok(&t, &g2, &huge), "15 µm exceeds the 5 µm tap rule");
+    }
+
+    #[test]
+    fn works_in_both_technologies() {
+        for t in [Technology::cmos06(), Technology::cmos035()] {
+            let region = Rect::from_size(0, 0, um(12.0), um(8.0));
+            let g = guard_ring(&t, region, um(1.5), GuardKind::SubstrateTap, "gnd");
+            assert!(g.contacts > 0, "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,787 @@
+//! The transistor-row builder: the geometry engine behind every device
+//! generator.
+//!
+//! A *row* is a single strip of active with `n` poly fingers over it and
+//! `n + 1` contacted diffusion strips between/around them. Each diffusion
+//! strip and each gate is bound to a net; fingers belong to devices (or
+//! are dummies). The builder draws:
+//!
+//! * the active area, implants, and (for PMOS) the enclosing N-well,
+//! * poly fingers, joined per gate net by poly bars above/below the
+//!   active, each bar contacted to a metal-1 port pad,
+//! * contact columns in every diffusion strip — the contact count follows
+//!   the electromigration rules,
+//! * metal-1 straps over the strips, metal-2 risers, and one horizontal
+//!   metal-1 rail per diffusion net — rail and riser widths follow the
+//!   electromigration rules,
+//! * ports for every net.
+//!
+//! All device generators (single folded transistor, interdigitated /
+//! common-centroid pairs, current-mirror stacks) reduce to a [`RowSpec`],
+//! which is what makes their matching patterns easy to test.
+
+use crate::cell::Cell;
+use crate::geom::Rect;
+use losac_tech::units::Nm;
+use losac_tech::{Layer, Polarity, Technology};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One poly finger of a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finger {
+    /// Net of the gate.
+    pub gate_net: String,
+    /// Owning device name, or `None` for a dummy finger.
+    pub device: Option<String>,
+    /// Current flows source→drain in +x (`false`) or −x (`true`)?
+    /// Pure bookkeeping for the matching analysis; the drawn geometry is
+    /// identical.
+    pub flipped: bool,
+}
+
+/// Specification of a transistor row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSpec {
+    /// Cell name.
+    pub name: String,
+    /// Device polarity of the whole row.
+    pub polarity: Polarity,
+    /// Channel width of each finger (nm).
+    pub finger_w: Nm,
+    /// Drawn channel length (nm).
+    pub gate_l: Nm,
+    /// Diffusion-strip nets, length = fingers + 1.
+    pub strip_nets: Vec<String>,
+    /// The fingers, in x order.
+    pub fingers: Vec<Finger>,
+    /// Bulk net (well or substrate).
+    pub bulk_net: String,
+    /// Total DC current carried by each net (A), for electromigration
+    /// sizing. Missing nets are treated as signal-level (minimum widths).
+    pub net_currents: HashMap<String, f64>,
+}
+
+/// Row construction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowError {
+    message: String,
+}
+
+impl RowError {
+    fn new(m: impl Into<String>) -> Self {
+        Self { message: m.into() }
+    }
+}
+
+impl fmt::Display for RowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row generation failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for RowError {}
+
+/// A generated row: the cell plus the bookkeeping the parasitic
+/// calculation mode reports back to the sizing tool.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The generated geometry.
+    pub cell: Cell,
+    /// Diffusion area per net (m²) — junction bottom plates.
+    pub diff_area: HashMap<String, f64>,
+    /// Diffusion sidewall perimeter per net (m), gate edges excluded.
+    pub diff_perimeter: HashMap<String, f64>,
+    /// N-well rectangle (PMOS rows), for floating-well capacitance.
+    pub well: Option<Rect>,
+    /// Number of contacts placed per strip-net.
+    pub contacts: HashMap<String, usize>,
+    /// Whether every wire/contact met its electromigration requirement.
+    pub em_clean: bool,
+}
+
+/// Minimum finger width that can host one contact (nm).
+pub fn min_finger_width(tech: &Technology) -> Nm {
+    tech.rules.contact_size + 2 * tech.rules.active_over_contact
+}
+
+/// Build the geometry for a [`RowSpec`].
+///
+/// # Errors
+///
+/// Returns [`RowError`] for structurally impossible specs: mismatched
+/// strip/finger counts, a finger narrower than a contact, more than four
+/// distinct gate nets, or poly bars that cannot be assigned
+/// non-conflicting bands.
+pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
+    let r = &tech.rules;
+    let nf = spec.fingers.len();
+    if nf == 0 {
+        return Err(RowError::new("a row needs at least one finger"));
+    }
+    if spec.strip_nets.len() != nf + 1 {
+        return Err(RowError::new(format!(
+            "{} fingers need {} diffusion strips, got {}",
+            nf,
+            nf + 1,
+            spec.strip_nets.len()
+        )));
+    }
+    if spec.finger_w < min_finger_width(tech) {
+        return Err(RowError::new(format!(
+            "finger width {} nm below contactable minimum {} nm",
+            spec.finger_w,
+            min_finger_width(tech)
+        )));
+    }
+    if spec.gate_l < r.poly_width {
+        return Err(RowError::new(format!(
+            "gate length {} nm below minimum {} nm",
+            spec.gate_l, r.poly_width
+        )));
+    }
+
+    let mut cell = Cell::new(spec.name.clone());
+    let mut em_clean = true;
+
+    // ---- x geometry -----------------------------------------------------
+    let e = r.end_diffusion();
+    let c2 = r.contacted_diffusion();
+    let l = spec.gate_l;
+    let wf = spec.finger_w;
+    // Strip i x-range.
+    let strip_range = |i: usize| -> (Nm, Nm) {
+        if i == 0 {
+            (0, e)
+        } else {
+            let x0 = e + (i as Nm) * l + ((i - 1) as Nm) * c2;
+            if i == nf {
+                (x0, x0 + e)
+            } else {
+                (x0, x0 + c2)
+            }
+        }
+    };
+    // gate i sits right after strip i:
+    let gate_x = |i: usize| -> Nm { strip_range(i).1 };
+    let total_w = strip_range(nf).1;
+
+    // ---- active, implants, well -----------------------------------------
+    let active = Rect::from_size(0, 0, total_w, wf);
+    cell.draw(Layer::Active, active);
+    let implant = match spec.polarity {
+        Polarity::Nmos => Layer::Nplus,
+        Polarity::Pmos => Layer::Pplus,
+    };
+    cell.draw(implant, active.expanded(r.gate_extension));
+    let well = match spec.polarity {
+        Polarity::Pmos => {
+            let w = active.expanded(r.nwell_over_pactive);
+            // The well is tagged with the bulk net so the extractor can
+            // attribute the floating-well junction capacitance.
+            cell.draw_net(Layer::Nwell, w, &spec.bulk_net);
+            Some(w)
+        }
+        Polarity::Nmos => None,
+    };
+
+    // ---- strip-net bookkeeping -------------------------------------------
+    let mut net_strips: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, net) in spec.strip_nets.iter().enumerate() {
+        net_strips.entry(net.clone()).or_default().push(i);
+    }
+    let strip_current = |net: &str| -> f64 {
+        let total = spec.net_currents.get(net).copied().unwrap_or(0.0);
+        let n = net_strips.get(net).map_or(1, |v| v.len().max(1));
+        total / n as f64
+    };
+
+    // ---- rails: one per diffusion net ------------------------------------
+    // Alternate top/bottom in order of first appearance.
+    let mut rail_order: Vec<String> = Vec::new();
+    for net in &spec.strip_nets {
+        if !rail_order.contains(net) {
+            rail_order.push(net.clone());
+        }
+    }
+    // Poly-bar band geometry (below/above active) is computed first so the
+    // bottom rails can clear the poly bands. Only *device* fingers use
+    // shared bars; dummy fingers tie locally to their neighbouring strip.
+    let bands = assign_gate_bands(spec)?;
+    let max_bottom_band =
+        bands.values().filter_map(|b| if let Band::Bottom(k) = b { Some(*k + 1) } else { None }).max().unwrap_or(0);
+    let max_top_band =
+        bands.values().filter_map(|b| if let Band::Top(k) = b { Some(*k + 1) } else { None }).max().unwrap_or(0);
+    let bar_h = r.poly_width.max(r.contact_size + 2 * r.poly_over_contact);
+    let pad = r.contact_size + 2 * r.poly_over_contact;
+    let band_pitch = bar_h + r.poly_space;
+    let has_dummies = spec.fingers.iter().any(|f| f.device.is_none());
+    // Dummy-tie zone sits *between* the gate end caps and the first top
+    // poly band: a dummy's gate never has to climb past a foreign bar,
+    // which keeps the band-crossing analysis sound.
+    let tie_zone_y0 = wf + r.gate_extension + r.poly_space;
+    // Base y of the top poly bands (above the tie zone when present).
+    let top_base =
+        wf + r.gate_extension + if has_dummies { 2 * r.poly_space + pad } else { 0 };
+    // y where poly geometry ends below/above the active.
+    let poly_bottom = -r.gate_extension - (max_bottom_band as Nm) * band_pitch;
+    let poly_top = top_base + (max_top_band as Nm) * band_pitch;
+
+    struct Rail {
+        net: String,
+        y0: Nm,
+        h: Nm,
+        top: bool,
+    }
+    let mut rails: Vec<Rail> = Vec::new();
+    let mut next_top_y = poly_top + r.metal1_space;
+    let mut next_bottom_y = poly_bottom - r.metal1_space;
+    for (k, net) in rail_order.iter().enumerate() {
+        let current = spec.net_currents.get(net).copied().unwrap_or(0.0);
+        let h = rail_width(tech, 1, current);
+        let top = k % 2 == 0;
+        if top {
+            rails.push(Rail { net: net.clone(), y0: next_top_y, h, top });
+            next_top_y += h + r.metal1_space;
+        } else {
+            next_bottom_y -= h;
+            rails.push(Rail { net: net.clone(), y0: next_bottom_y, h, top });
+            next_bottom_y -= r.metal1_space;
+        }
+    }
+    for rail in &rails {
+        let rect = Rect::from_size(0, rail.y0, total_w, rail.h);
+        cell.draw_net(Layer::Metal1, rect, &rail.net);
+        cell.port(&rail.net, &rail.net, Layer::Metal1, rect);
+    }
+    let rail_of = |net: &str| rails.iter().find(|rl| rl.net == net).expect("rail exists");
+
+    // ---- contacts + straps + risers per strip -----------------------------
+    // Contact-column / strap centre x of a strip.
+    let strip_cx = |i: usize| -> Nm {
+        let (sx0, sx1) = strip_range(i);
+        if i == 0 {
+            r.active_over_contact + r.contact_size / 2
+        } else if i == nf {
+            sx1 - r.active_over_contact - r.contact_size / 2
+        } else {
+            (sx0 + sx1) / 2
+        }
+    };
+    let mut contacts: HashMap<String, usize> = HashMap::new();
+    for i in 0..=nf {
+        let net = &spec.strip_nets[i];
+        let cur = strip_current(net);
+        // Contact column.
+        let n_required = tech.reliability.min_contacts(cur);
+        let pitch = r.contact_size + r.contact_space;
+        let n_fit = (((wf - 2 * r.active_over_contact + r.contact_space) / pitch) as usize).max(1);
+        let n_cuts = n_required.min(n_fit);
+        if n_cuts < n_required {
+            em_clean = false;
+        }
+        // Centre the column horizontally in the strip (end strips centre
+        // over their contact area) and vertically in the channel width.
+        let cx = strip_cx(i);
+        let col_h = (n_cuts as Nm) * r.contact_size + ((n_cuts - 1) as Nm) * r.contact_space;
+        let mut cy = (wf - col_h) / 2;
+        cy = tech.snap(cy.max(r.active_over_contact));
+        for k in 0..n_cuts {
+            let y = cy + (k as Nm) * pitch;
+            cell.draw_net(
+                Layer::Contact,
+                Rect::from_size(
+                    tech.snap(cx - r.contact_size / 2),
+                    y,
+                    r.contact_size,
+                    r.contact_size,
+                ),
+                net,
+            );
+        }
+        *contacts.entry(net.clone()).or_insert(0) += n_cuts;
+
+        // Metal-1 strap over the contacts, spanning the channel height.
+        // Width follows the EM requirement but is capped so neighbouring
+        // straps keep their spacing; an unmet requirement clears em_clean.
+        let strap_req = r
+            .metal1_width
+            .max(r.contact_size + 2 * r.metal1_over_contact)
+            .max(tech.snap_up(tech.reliability.min_metal_width(1, cur)));
+        let strap_max = (l + c2 - r.metal1_space).max(r.metal1_width);
+        let strap_w = strap_req.min(tech.snap_down(strap_max));
+        em_clean &= strap_w >= strap_req;
+        let strap = Rect::new(
+            tech.snap(cx - strap_w / 2),
+            -r.metal1_over_contact.min(0),
+            tech.snap(cx + strap_w - strap_w / 2),
+            wf,
+        );
+        cell.draw_net(Layer::Metal1, strap, net);
+
+        // Riser to this net's rail: metal-2 with vias at both ends so it
+        // may cross other metal-1 rails. The riser width must leave
+        // metal-2 spacing to the neighbouring strips' risers, so EM
+        // demands beyond that are reported instead of drawn.
+        let rail = rail_of(net);
+        let via_pitch = r.via_size + r.via_space;
+        let max_riser = (l + c2 - r.metal2_space).max(r.metal2_width);
+        let riser_req = r
+            .metal2_width
+            .max(r.via_size + 2 * r.metal_over_via)
+            .max(tech.snap_up(tech.reliability.min_metal_width(2, cur)));
+        let riser_w = riser_req.min(tech.snap_down(max_riser));
+        em_clean &= riser_w >= riser_req;
+        // The riser must cover the whole strap-side via column (the EM
+        // via count stacks vertically).
+        let n_vias_est = tech.reliability.min_vias(cur);
+        let _ = &n_vias_est;
+        let stack_span = 2 * r.metal_over_via
+            + r.via_size
+            + ((n_vias_est.max(1) - 1) as Nm) * (r.via_size + r.via_space);
+        let (ry0, ry1) = if rail.top {
+            (wf - stack_span, rail.y0 + rail.h)
+        } else {
+            (rail.y0, stack_span)
+        };
+        cell.draw_net(
+            Layer::Metal2,
+            Rect::new(tech.snap(cx - riser_w / 2), ry0, tech.snap(cx + riser_w / 2), ry1),
+            net,
+        );
+        // Strap-side vias: stacked *vertically* inside the strap/riser
+        // overlap (the strap spans the whole channel height) so the EM
+        // count never widens the riser.
+        let n_vias = n_vias_est;
+        let vx = tech.snap(cx - r.via_size / 2);
+        let strap_fit =
+            ((((wf - 2 * r.metal_over_via) + r.via_space) / via_pitch) as usize).max(1);
+        let n_strap = n_vias.min(strap_fit);
+        em_clean &= strap_fit >= n_vias;
+        for k in 0..n_strap {
+            let vy = if rail.top {
+                wf - r.metal_over_via - r.via_size - (k as Nm) * via_pitch
+            } else {
+                r.metal_over_via + (k as Nm) * via_pitch
+            };
+            cell.draw_net(Layer::Via1, Rect::from_size(vx, vy, r.via_size, r.via_size), net);
+        }
+        // Rail-side vias: a horizontal row along the rail, covered by a
+        // metal-2 landing pad (the rail is long; the pad may be wider
+        // than the riser as long as it respects spacing to the
+        // neighbouring strip's riser, one pitch away).
+        let pad_budget = tech.snap_down((l + c2 - r.metal2_space).max(riser_w));
+        let land_fit =
+            (((pad_budget - 2 * r.metal_over_via + r.via_space) / via_pitch) as usize).max(1);
+        let n_land = n_vias.min(land_fit);
+        em_clean &= land_fit >= n_vias;
+        let pad_w = (2 * r.metal_over_via
+            + (n_land as Nm) * r.via_size
+            + ((n_land - 1) as Nm) * r.via_space)
+            .max(riser_w)
+            .min(tech.snap_down(total_w));
+        // Keep the pad (and its vias) inside the rail extent: edge strips
+        // would otherwise overhang the row end.
+        let pad_x0 = tech.snap((cx - pad_w / 2).clamp(0, total_w - pad_w));
+        let pad = Rect::new(pad_x0, rail.y0, pad_x0 + pad_w, rail.y0 + rail.h);
+        cell.draw_net(Layer::Metal2, pad, net);
+        let vy = tech.snap(rail.y0 + (rail.h - r.via_size) / 2);
+        for k in 0..n_land {
+            let vx_k = tech.snap(pad_x0 + r.metal_over_via + (k as Nm) * via_pitch);
+            cell.draw_net(Layer::Via1, Rect::from_size(vx_k, vy, r.via_size, r.via_size), net);
+        }
+    }
+
+    // ---- poly fingers and bars -------------------------------------------
+    // Bar x-range per gate net (device fingers only; dummies tie locally).
+    let mut bar_range: HashMap<String, (Nm, Nm)> = HashMap::new();
+    for (i, f) in spec.fingers.iter().enumerate() {
+        if f.device.is_none() {
+            continue;
+        }
+        let x0 = gate_x(i);
+        let ent = bar_range.entry(f.gate_net.clone()).or_insert((x0, x0 + l));
+        ent.0 = ent.0.min(x0);
+        ent.1 = ent.1.max(x0 + l);
+    }
+    // Draw bars, bridges and contact pads. Every band hosts exactly one
+    // net; pads sit to the left of the row, staggered per band so their
+    // metal-1 landing squares respect spacing among themselves and to the
+    // in-row straps (which all live at x ≥ 0).
+    let pad_m1 = r.contact_size + 2 * r.metal1_over_contact;
+    let mut band_list: Vec<(&String, Band)> = bands.iter().map(|(n, b)| (n, *b)).collect();
+    band_list.sort_by_key(|(n, _)| n.as_str().to_owned());
+    for (bi, (net, band)) in band_list.iter().enumerate() {
+        let (bx0, bx1) = bar_range[*net];
+        let (y0, _) = band_y(*band, r.gate_extension, top_base, band_pitch, bar_h);
+        // Pad x slot: staggered left of the row.
+        let pad_x1 = -r.metal1_space - (bi as Nm) * (pad_m1.max(pad) + r.metal1_space);
+        let pad_rect = Rect::from_size(pad_x1 - pad, y0 + (bar_h - pad) / 2, pad, pad);
+        // Bar extended into a bridge reaching the pad.
+        let bar = Rect::new(pad_rect.x0, y0, bx1.max(bx0 + bar_h), y0 + bar_h);
+        cell.draw_net(Layer::Poly, bar, net);
+        cell.draw_net(Layer::Poly, pad_rect, net);
+        let cut = Rect::from_size(
+            pad_rect.x0 + r.poly_over_contact,
+            pad_rect.y0 + r.poly_over_contact,
+            r.contact_size,
+            r.contact_size,
+        );
+        cell.draw_net(Layer::Contact, cut, net);
+        let m1 = cut.expanded(r.metal1_over_contact);
+        cell.draw_net(Layer::Metal1, m1, net);
+        cell.port(net, net, Layer::Metal1, m1);
+    }
+    // Fingers. Device fingers reach their gate net's bar; dummy fingers
+    // grow a local tie: a contacted poly pad in the tie zone above the
+    // row, strapped by metal-1 to the adjacent (left) diffusion strip so
+    // the dummy is biased off — the usual dummy discipline.
+    for (i, f) in spec.fingers.iter().enumerate() {
+        let x0 = gate_x(i);
+        match &f.device {
+            Some(_) => {
+                let band = bands[&f.gate_net];
+                let (band_y0, _) = band_y(band, r.gate_extension, top_base, band_pitch, bar_h);
+                let (fy0, fy1) = match band {
+                    Band::Bottom(_) => (band_y0, wf + r.gate_extension),
+                    Band::Top(_) => (-r.gate_extension, band_y0 + bar_h),
+                };
+                cell.draw_net(Layer::Poly, Rect::new(x0, fy0, x0 + l, fy1), &f.gate_net);
+            }
+            None => {
+                // Dummy: gate tied to the adjacent (left) diffusion strip,
+                // which biases the device at VGS = 0 — off — whatever the
+                // strip's potential. A contacted poly pad sits directly
+                // over the gate in the tie zone; a metal-1 jog (metal may
+                // cross poly freely) reaches the strip's strap.
+                let tie_net = spec.strip_nets[i].clone();
+                let gx = x0 + l / 2;
+                cell.draw_net(
+                    Layer::Poly,
+                    Rect::new(x0, -r.gate_extension, x0 + l, tie_zone_y0),
+                    &tie_net,
+                );
+                let pad_rect = Rect::from_size(tech.snap(gx - pad / 2), tie_zone_y0, pad, pad);
+                cell.draw_net(Layer::Poly, pad_rect, &tie_net);
+                let cut = Rect::from_size(
+                    pad_rect.x0 + r.poly_over_contact,
+                    pad_rect.y0 + r.poly_over_contact,
+                    r.contact_size,
+                    r.contact_size,
+                );
+                cell.draw_net(Layer::Contact, cut, &tie_net);
+                let m1_pad = cut.expanded(r.metal1_over_contact);
+                cell.draw_net(Layer::Metal1, m1_pad, &tie_net);
+                let scx = strip_cx(i);
+                let jog = Rect::new(
+                    scx.min(m1_pad.x0),
+                    m1_pad.y0,
+                    scx.max(m1_pad.x1),
+                    m1_pad.y1,
+                );
+                cell.draw_net(Layer::Metal1, jog, &tie_net);
+                let ext_w = r.metal1_width.max(r.contact_size + 2 * r.metal1_over_contact);
+                cell.draw_net(
+                    Layer::Metal1,
+                    Rect::new(
+                        tech.snap(scx - ext_w / 2),
+                        wf,
+                        tech.snap(scx + ext_w / 2),
+                        m1_pad.y1,
+                    ),
+                    &tie_net,
+                );
+            }
+        }
+    }
+
+    // ---- diffusion bookkeeping --------------------------------------------
+    let mut diff_area: HashMap<String, f64> = HashMap::new();
+    let mut diff_perimeter: HashMap<String, f64> = HashMap::new();
+    for i in 0..=nf {
+        let (sx0, sx1) = strip_range(i);
+        let w_m = (sx1 - sx0) as f64 * 1e-9;
+        let h_m = wf as f64 * 1e-9;
+        *diff_area.entry(spec.strip_nets[i].clone()).or_insert(0.0) += w_m * h_m;
+        // Sidewall: two channel-parallel edges always; the outer edge of an
+        // end strip too. Gate-side edges are excluded by convention.
+        let mut p = 2.0 * w_m;
+        if i == 0 || i == nf {
+            p += h_m;
+        }
+        *diff_perimeter.entry(spec.strip_nets[i].clone()).or_insert(0.0) += p;
+    }
+
+    Ok(Row { cell, diff_area, diff_perimeter, well, contacts, em_clean })
+}
+
+/// Poly-bar band: below or above the active, at depth `k` (0 = nearest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Band {
+    Bottom(usize),
+    Top(usize),
+}
+
+fn band_y(band: Band, gate_ext: Nm, top_base: Nm, band_pitch: Nm, bar_h: Nm) -> (Nm, bool) {
+    match band {
+        Band::Bottom(k) => (-gate_ext - ((k + 1) as Nm) * band_pitch + (band_pitch - bar_h), false),
+        Band::Top(k) => (top_base + (k as Nm) * band_pitch, true),
+    }
+}
+
+/// Assign each distinct *device* gate net to a poly band such that no
+/// finger has to cross a foreign bar. Each band hosts exactly one net
+/// (the bar bridges all the way to its pad at the left of the row, so
+/// bands cannot be shared). Dummy fingers do not participate — they tie
+/// locally to their neighbouring strip.
+fn assign_gate_bands(spec: &RowSpec) -> Result<HashMap<String, Band>, RowError> {
+    // Distinct device gate nets in first-appearance order, with their
+    // finger index ranges and positions.
+    let mut order: Vec<String> = Vec::new();
+    let mut range: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut positions: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, f) in spec.fingers.iter().enumerate() {
+        if f.device.is_none() {
+            continue;
+        }
+        if !order.contains(&f.gate_net) {
+            order.push(f.gate_net.clone());
+        }
+        let e = range.entry(f.gate_net.clone()).or_insert((i, i));
+        e.0 = e.0.min(i);
+        e.1 = e.1.max(i);
+        positions.entry(f.gate_net.clone()).or_default().push(i);
+    }
+    if order.len() > 4 {
+        return Err(RowError::new(format!(
+            "{} distinct gate nets in one row exceed the 4 available poly bands",
+            order.len()
+        )));
+    }
+    // Busiest nets first: they get the near bands.
+    order.sort_by_key(|net| std::cmp::Reverse(positions[net].len()));
+
+    let slots = [Band::Bottom(0), Band::Top(0), Band::Bottom(1), Band::Top(1)];
+    let mut assigned: HashMap<String, Band> = HashMap::new();
+    for net in &order {
+        let mut chosen = None;
+        'slot: for s in slots {
+            for (other, b) in &assigned {
+                // One net per band.
+                if *b == s {
+                    continue 'slot;
+                }
+                // Deeper band on the same side: our fingers must pass
+                // beside the nearer bar *and its left bridge*, i.e. lie
+                // strictly right of that bar's right end.
+                let ov = range[other];
+                let crosses_nearer = match (s, *b) {
+                    (Band::Bottom(1), Band::Bottom(0)) | (Band::Top(1), Band::Top(0)) => {
+                        positions[net].iter().any(|&p| p <= ov.1)
+                    }
+                    _ => false,
+                };
+                if crosses_nearer {
+                    continue 'slot;
+                }
+            }
+            chosen = Some(s);
+            break;
+        }
+        let Some(band) = chosen else {
+            return Err(RowError::new("cannot place poly bars without crossings"));
+        };
+        assigned.insert(net.clone(), band);
+    }
+    Ok(assigned)
+}
+
+/// Rail width on metal `level` for `current` amperes (nm, grid-snapped,
+/// at least the minimum width rule).
+fn rail_width(tech: &Technology, level: u8, current: f64) -> Nm {
+    let r = &tech.rules;
+    let min = r.metal_width(level).max(r.via_size + 2 * r.metal_over_via);
+    let em = tech.reliability.min_metal_width(level, current);
+    tech.snap_up(min.max(em))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losac_tech::units::um;
+
+    fn tech() -> Technology {
+        Technology::cmos06()
+    }
+
+    /// A simple 4-finger NMOS with internal drains: S d S d S.
+    fn simple_spec() -> RowSpec {
+        let mut net_currents = HashMap::new();
+        net_currents.insert("d".to_owned(), 100e-6);
+        net_currents.insert("s".to_owned(), 100e-6);
+        RowSpec {
+            name: "m1".into(),
+            polarity: Polarity::Nmos,
+            finger_w: um(5.0),
+            gate_l: um(1.0),
+            strip_nets: ["s", "d", "s", "d", "s"].iter().map(|s| s.to_string()).collect(),
+            fingers: (0..4)
+                .map(|i| Finger {
+                    gate_net: "g".into(),
+                    device: Some("m1".into()),
+                    flipped: i % 2 == 1,
+                })
+                .collect(),
+            bulk_net: "gnd".into(),
+            net_currents,
+        }
+    }
+
+    #[test]
+    fn simple_row_builds() {
+        let row = build_row(&tech(), &simple_spec()).unwrap();
+        assert!(row.em_clean);
+        assert!(row.well.is_none(), "NMOS has no well");
+        // Ports: d, s rails + g pad.
+        for p in ["d", "s", "g"] {
+            assert!(row.cell.find_port(p).is_some(), "missing port {p}");
+        }
+    }
+
+    #[test]
+    fn diffusion_matches_folding_formula() {
+        // 4 fingers, drain internal → F(drain) = 1/2, F(source) = 6/8.
+        let t = tech();
+        let row = build_row(&t, &simple_spec()).unwrap();
+        let wf_m = 5e-6;
+        let c2_m = t.rules.contacted_diffusion() as f64 * 1e-9;
+        let e_m = t.rules.end_diffusion() as f64 * 1e-9;
+        let expect_d = 2.0 * wf_m * c2_m; // 2 internal strips
+        let expect_s = wf_m * (c2_m + 2.0 * e_m); // 1 internal + 2 ends
+        assert!((row.diff_area["d"] - expect_d).abs() < 1e-18, "drain area {}", row.diff_area["d"]);
+        assert!((row.diff_area["s"] - expect_s).abs() < 1e-18);
+        // Perimeters: drain strips are internal (no outer edge).
+        let p_d = 2.0 * (2.0 * c2_m);
+        assert!((row.diff_perimeter["d"] - p_d).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmos_gets_a_well() {
+        let mut spec = simple_spec();
+        spec.polarity = Polarity::Pmos;
+        spec.bulk_net = "vdd".into();
+        let row = build_row(&tech(), &spec).unwrap();
+        let well = row.well.expect("PMOS needs an N-well");
+        // Well encloses active by the rule.
+        assert_eq!(well.height(), um(5.0) + 2 * tech().rules.nwell_over_pactive);
+    }
+
+    #[test]
+    fn contact_count_follows_current() {
+        let t = tech();
+        let mut spec = simple_spec();
+        // 2 mA through the drain net over 2 strips → 1 mA per strip →
+        // ceil(1 mA / 0.4 mA) = 3 contacts each, 6 total.
+        spec.net_currents.insert("d".into(), 2e-3);
+        let row = build_row(&t, &spec).unwrap();
+        assert_eq!(row.contacts["d"], 6);
+        assert!(row.em_clean);
+    }
+
+    #[test]
+    fn em_violation_detected_when_too_narrow() {
+        let t = tech();
+        let mut spec = simple_spec();
+        spec.finger_w = min_finger_width(&t); // fits exactly 1 contact
+        spec.net_currents.insert("d".into(), 10e-3); // needs many cuts
+        let row = build_row(&t, &spec).unwrap();
+        assert!(!row.em_clean, "EM requirement cannot be met in one contact");
+    }
+
+    #[test]
+    fn two_gate_nets_get_two_bands() {
+        let mut spec = simple_spec();
+        // Interdigitated pair: gates alternate a, b.
+        for (i, f) in spec.fingers.iter_mut().enumerate() {
+            f.gate_net = if i % 2 == 0 { "a".into() } else { "b".into() };
+        }
+        let row = build_row(&tech(), &spec).unwrap();
+        assert!(row.cell.find_port("a").is_some());
+        assert!(row.cell.find_port("b").is_some());
+        // Poly bars must not overlap each other.
+        let bars: Vec<_> = row
+            .cell
+            .shapes_on(Layer::Poly)
+            .filter(|s| s.rect.width() > spec.gate_l * 2)
+            .collect();
+        assert_eq!(bars.len(), 2, "one bar per gate net");
+        assert!(!bars[0].rect.overlaps(&bars[1].rect));
+    }
+
+    #[test]
+    fn too_many_gate_nets_rejected() {
+        let mut spec = simple_spec();
+        spec.strip_nets = (0..6).map(|i| format!("n{i}")).collect();
+        spec.fingers = (0..5)
+            .map(|i| Finger {
+                gate_net: format!("g{i}"),
+                device: Some(format!("m{i}")),
+                flipped: false,
+            })
+            .collect();
+        let err = build_row(&tech(), &spec).unwrap_err();
+        assert!(err.to_string().contains("poly bands"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_strip_count_rejected() {
+        let mut spec = simple_spec();
+        spec.strip_nets.pop();
+        assert!(build_row(&tech(), &spec).is_err());
+    }
+
+    #[test]
+    fn narrow_finger_rejected() {
+        let mut spec = simple_spec();
+        spec.finger_w = 100;
+        let err = build_row(&tech(), &spec).unwrap_err();
+        assert!(err.to_string().contains("contactable"), "{err}");
+    }
+
+    #[test]
+    fn no_same_layer_shorts_between_nets() {
+        // No two shapes on the same conducting layer with different nets
+        // may overlap.
+        let row = build_row(&tech(), &simple_spec()).unwrap();
+        let shapes = &row.cell.shapes;
+        for (i, a) in shapes.iter().enumerate() {
+            for b in shapes.iter().skip(i + 1) {
+                if a.layer != b.layer || !a.layer.is_routing() {
+                    continue;
+                }
+                if let (Some(na), Some(nb)) = (&a.net, &b.net) {
+                    if na != nb {
+                        assert!(
+                            !a.rect.overlaps(&b.rect),
+                            "short between {na} and {nb} on {:?}: {} vs {}",
+                            a.layer,
+                            a.rect,
+                            b.rect
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_in_both_technologies() {
+        for t in [Technology::cmos06(), Technology::cmos035()] {
+            let mut spec = simple_spec();
+            spec.finger_w = t.snap_up(spec.finger_w);
+            spec.gate_l = t.rules.poly_width;
+            let row = build_row(&t, &spec).unwrap();
+            assert!(row.cell.bbox().is_some(), "row built in {}", t.name());
+        }
+    }
+}

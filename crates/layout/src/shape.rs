@@ -1,0 +1,200 @@
+//! Shape functions: the sets of alternative (width, height) realisations
+//! a module can take.
+//!
+//! A folded transistor can be drawn with 2, 4, 6, … fingers, each giving a
+//! different bounding box; the slicing-tree area optimiser picks one
+//! variant per module to satisfy the global shape constraint with minimum
+//! area (the Conway/Schrooten shape-function method the paper's layout
+//! language uses).
+
+use losac_tech::units::Nm;
+use std::fmt;
+
+/// One realisable bounding box of a module. `tag` is generator-defined
+/// (for transistor modules it is the fold count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    /// Bounding-box width (nm).
+    pub w: Nm,
+    /// Bounding-box height (nm).
+    pub h: Nm,
+    /// Generator-specific choice id (e.g. the fold count).
+    pub tag: u32,
+}
+
+impl Variant {
+    /// Area in nm².
+    pub fn area(&self) -> i128 {
+        self.w as i128 * self.h as i128
+    }
+
+    /// Aspect ratio w/h.
+    pub fn aspect(&self) -> f64 {
+        self.w as f64 / self.h as f64
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}#{}", self.w, self.h, self.tag)
+    }
+}
+
+/// A pruned list of non-dominated variants, sorted by increasing width
+/// (hence strictly decreasing height).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeFunction {
+    variants: Vec<Variant>,
+}
+
+impl ShapeFunction {
+    /// Build a shape function, pruning dominated variants (a variant is
+    /// dominated if another is no wider **and** no taller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty or contains non-positive dimensions.
+    pub fn new(mut variants: Vec<Variant>) -> Self {
+        assert!(!variants.is_empty(), "a shape function needs at least one variant");
+        for v in &variants {
+            assert!(v.w > 0 && v.h > 0, "non-positive variant {v}");
+        }
+        variants.sort_by_key(|v| (v.w, v.h));
+        let mut pruned: Vec<Variant> = Vec::new();
+        for v in variants {
+            // Skip if dominated by the last kept (same or smaller w means
+            // last kept has w ≤ v.w; dominated if its h ≤ v.h).
+            if let Some(last) = pruned.last() {
+                if last.h <= v.h {
+                    continue; // dominated
+                }
+                if last.w == v.w {
+                    // Same width, v is shorter: replace.
+                    pruned.pop();
+                }
+            }
+            pruned.push(v);
+        }
+        Self { variants: pruned }
+    }
+
+    /// A fixed-shape module (a single variant).
+    pub fn fixed(w: Nm, h: Nm, tag: u32) -> Self {
+        Self::new(vec![Variant { w, h, tag }])
+    }
+
+    /// The surviving variants, sorted by increasing width.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// The minimum-area variant.
+    pub fn min_area(&self) -> &Variant {
+        self.variants.iter().min_by_key(|v| v.area()).expect("nonempty")
+    }
+
+    /// The minimum-area variant with height ≤ `hmax`, if any.
+    pub fn best_under_height(&self, hmax: Nm) -> Option<&Variant> {
+        self.variants.iter().filter(|v| v.h <= hmax).min_by_key(|v| v.area())
+    }
+
+    /// The minimum-area variant with width ≤ `wmax`, if any.
+    pub fn best_under_width(&self, wmax: Nm) -> Option<&Variant> {
+        self.variants.iter().filter(|v| v.w <= wmax).min_by_key(|v| v.area())
+    }
+
+    /// The variant whose aspect ratio is closest to `ratio` in log space
+    /// (ties broken by area).
+    pub fn best_for_aspect(&self, ratio: f64) -> &Variant {
+        assert!(ratio > 0.0, "aspect ratio must be positive");
+        self.variants
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.aspect().ln() - ratio.ln()).abs();
+                let db = (b.aspect().ln() - ratio.ln()).abs();
+                da.partial_cmp(&db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.area().cmp(&b.area()))
+            })
+            .expect("nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_removes_dominated() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 },
+            Variant { w: 20, h: 50, tag: 2 },
+            Variant { w: 25, h: 60, tag: 3 },  // dominated by #2? no: wider AND taller than 2 → dominated
+            Variant { w: 40, h: 30, tag: 4 },
+        ]);
+        let tags: Vec<u32> = sf.variants().iter().map(|v| v.tag).collect();
+        assert_eq!(tags, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn heights_strictly_decrease() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 },
+            Variant { w: 10, h: 80, tag: 2 }, // same width, shorter wins
+            Variant { w: 30, h: 80, tag: 3 }, // dominated (taller-or-equal, wider)
+            Variant { w: 30, h: 40, tag: 4 },
+        ]);
+        let hs: Vec<Nm> = sf.variants().iter().map(|v| v.h).collect();
+        assert!(hs.windows(2).all(|w| w[1] < w[0]), "heights {hs:?}");
+        assert_eq!(sf.variants()[0].tag, 2);
+    }
+
+    #[test]
+    fn best_under_height() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 },
+            Variant { w: 20, h: 60, tag: 2 },
+            Variant { w: 50, h: 30, tag: 3 },
+        ]);
+        assert_eq!(sf.best_under_height(70).unwrap().tag, 2);
+        assert_eq!(sf.best_under_height(30).unwrap().tag, 3);
+        assert!(sf.best_under_height(20).is_none());
+    }
+
+    #[test]
+    fn best_under_width() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 },
+            Variant { w: 20, h: 60, tag: 2 },
+        ]);
+        assert_eq!(sf.best_under_width(15).unwrap().tag, 1);
+        assert!(sf.best_under_width(5).is_none());
+    }
+
+    #[test]
+    fn aspect_selection() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 }, // 0.1
+            Variant { w: 30, h: 30, tag: 2 },  // 1.0
+            Variant { w: 100, h: 10, tag: 3 }, // 10
+        ]);
+        assert_eq!(sf.best_for_aspect(1.0).tag, 2);
+        assert_eq!(sf.best_for_aspect(8.0).tag, 3);
+        assert_eq!(sf.best_for_aspect(0.15).tag, 1);
+    }
+
+    #[test]
+    fn min_area() {
+        let sf = ShapeFunction::new(vec![
+            Variant { w: 10, h: 100, tag: 1 }, // 1000
+            Variant { w: 20, h: 45, tag: 2 },  // 900
+        ]);
+        assert_eq!(sf.min_area().tag, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variant")]
+    fn empty_rejected() {
+        let _ = ShapeFunction::new(vec![]);
+    }
+}

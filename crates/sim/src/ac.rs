@@ -1,0 +1,249 @@
+//! AC small-signal frequency sweep.
+//!
+//! Linearises the circuit at its DC operating point and solves
+//! `(G + jωC)·x = b` over a logarithmic frequency grid.
+
+use crate::dc::DcSolution;
+use crate::linear::Linearized;
+use crate::netlist::Circuit;
+use crate::num::{Complex, SingularMatrix};
+use std::fmt;
+
+/// AC sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcOptions {
+    /// First frequency (Hz).
+    pub fstart: f64,
+    /// Last frequency (Hz).
+    pub fstop: f64,
+    /// Points per decade of the logarithmic grid.
+    pub points_per_decade: usize,
+}
+
+impl Default for AcOptions {
+    fn default() -> Self {
+        Self { fstart: 1.0, fstop: 1e9, points_per_decade: 20 }
+    }
+}
+
+impl AcOptions {
+    /// The frequency grid this configuration produces.
+    pub fn frequencies(&self) -> Vec<f64> {
+        log_grid(self.fstart, self.fstop, self.points_per_decade)
+    }
+}
+
+/// Logarithmic frequency grid from `fstart` to `fstop` inclusive.
+pub fn log_grid(fstart: f64, fstop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(fstart > 0.0 && fstop > fstart, "bad frequency range [{fstart}, {fstop}]");
+    assert!(points_per_decade >= 1, "need at least one point per decade");
+    let decades = (fstop / fstart).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize;
+    let mut freqs: Vec<f64> = (0..=n)
+        .map(|k| fstart * 10f64.powf(k as f64 / points_per_decade as f64))
+        .take_while(|&f| f < fstop * 0.999_999)
+        .collect();
+    freqs.push(fstop);
+    freqs
+}
+
+/// Result of an AC sweep: node voltages (phasors) per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    /// Swept frequencies (Hz).
+    pub freqs: Vec<f64>,
+    /// `v[freq_index][node_id]` — complex node voltages, ground included.
+    pub v: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// Phasor of a named node across the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn node(&self, circuit: &Circuit, name: &str) -> Vec<Complex> {
+        let id = circuit
+            .find_node(name)
+            .unwrap_or_else(|| panic!("no node named `{name}` in circuit"));
+        self.v.iter().map(|row| row[id]).collect()
+    }
+
+    /// Magnitude response of a named node (linear).
+    pub fn magnitude(&self, circuit: &Circuit, name: &str) -> Vec<f64> {
+        self.node(circuit, name).iter().map(|z| z.abs()).collect()
+    }
+
+    /// Phase response of a named node (degrees, unwrapped).
+    pub fn phase_degrees(&self, circuit: &Circuit, name: &str) -> Vec<f64> {
+        let raw: Vec<f64> = self.node(circuit, name).iter().map(|z| z.arg_degrees()).collect();
+        unwrap_degrees(&raw)
+    }
+}
+
+/// Unwrap a phase sequence so successive points never jump by more than
+/// 180°.
+pub fn unwrap_degrees(phase: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phase.len());
+    let mut offset = 0.0;
+    for (k, &p) in phase.iter().enumerate() {
+        if k > 0 {
+            let prev = out[k - 1];
+            let mut candidate = p + offset;
+            while candidate - prev > 180.0 {
+                offset -= 360.0;
+                candidate = p + offset;
+            }
+            while candidate - prev < -180.0 {
+                offset += 360.0;
+                candidate = p + offset;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+/// AC analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcError {
+    /// Frequency at which the factorisation failed (Hz).
+    pub frequency: f64,
+    /// Underlying singularity.
+    pub cause: SingularMatrix,
+}
+
+impl fmt::Display for AcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ac analysis failed at {} Hz: {}", self.frequency, self.cause)
+    }
+}
+
+impl std::error::Error for AcError {}
+
+/// Run an AC sweep of `circuit`, linearised at `dc`.
+///
+/// # Errors
+///
+/// Returns [`AcError`] if the linear system is singular at some frequency.
+pub fn ac_sweep(circuit: &Circuit, dc: &DcSolution, opts: &AcOptions) -> Result<AcResult, AcError> {
+    let lin = Linearized::build(circuit, dc);
+    let freqs = opts.frequencies();
+    let mut v = Vec::with_capacity(freqs.len());
+    for &f in &freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let lu = lin.factor(omega).map_err(|cause| AcError { frequency: f, cause })?;
+        let x = lu.solve(&lin.b_ac);
+        let mut row = vec![Complex::ZERO; circuit.num_nodes()];
+        for id in 1..circuit.num_nodes() {
+            row[id] = lin.voltage(&x, id);
+        }
+        v.push(row);
+    }
+    Ok(AcResult { freqs, v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use losac_device::Mosfet;
+    use losac_tech::Technology;
+
+    #[test]
+    fn log_grid_endpoints() {
+        let g = log_grid(1.0, 1e3, 10);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g.last().unwrap() - 1e3).abs() < 1e-9);
+        assert_eq!(g.len(), 31);
+        assert!(g.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad frequency range")]
+    fn log_grid_rejects_reversed_range() {
+        let _ = log_grid(1e3, 1.0, 10);
+    }
+
+    #[test]
+    fn rc_lowpass_bode() {
+        let mut c = Circuit::new();
+        c.vsource_ac("vin", "in", "0", 0.0, 1.0);
+        c.resistor("r1", "in", "out", 1e3);
+        c.capacitor("c1", "out", "0", 159.154_943e-9); // pole at 1 kHz
+        let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let res =
+            ac_sweep(&c, &dc, &AcOptions { fstart: 1.0, fstop: 1e6, points_per_decade: 30 })
+                .unwrap();
+        let mag = res.magnitude(&c, "out");
+        // Passband gain 1, −20 dB/dec past the pole.
+        assert!((mag[0] - 1.0).abs() < 1e-3);
+        let at_100k = mag[res.freqs.iter().position(|&f| f >= 1e5).unwrap()];
+        assert!((at_100k - 0.01).abs() < 2e-3, "|H(100 kHz)| = {at_100k}");
+        // Phase → −90°.
+        let ph = res.phase_degrees(&c, "out");
+        assert!((ph.last().unwrap() + 90.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn common_source_gain_and_pole() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource_ac("vin", "g", "0", 1.05, 1.0);
+        c.resistor("rl", "vdd", "out", 50e3);
+        c.capacitor("cl", "out", "0", 1e-12);
+        c.mos(
+            "m1",
+            "out",
+            "g",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 20e-6, 1e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let op = dc.mos_op("m1").unwrap();
+        let res =
+            ac_sweep(&c, &dc, &AcOptions { fstart: 10.0, fstop: 1e9, points_per_decade: 20 })
+                .unwrap();
+        let mag = res.magnitude(&c, "out");
+        // Low-frequency gain ≈ gm·(RL ∥ ro).
+        let ro = 1.0 / op.gds;
+        let expected = op.gm * (50e3 * ro) / (50e3 + ro);
+        assert!(
+            (mag[0] - expected).abs() < 0.05 * expected,
+            "gain {} vs expected {expected}",
+            mag[0]
+        );
+        // Gain must roll off at high frequency.
+        assert!(*mag.last().unwrap() < 0.2 * mag[0]);
+    }
+
+    #[test]
+    fn phase_unwrap() {
+        let wrapped = vec![170.0, -175.0, -160.0];
+        let un = unwrap_degrees(&wrapped);
+        assert!((un[1] - 185.0).abs() < 1e-9);
+        assert!((un[2] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitive_divider_flat_response() {
+        // Two series caps: frequency-independent division (with gmin leak
+        // at very low f, so start at 1 kHz).
+        let mut c = Circuit::new();
+        c.vsource_ac("vin", "in", "0", 0.0, 1.0);
+        c.capacitor("c1", "in", "out", 2e-12);
+        c.capacitor("c2", "out", "0", 2e-12);
+        let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        let res =
+            ac_sweep(&c, &dc, &AcOptions { fstart: 1e3, fstop: 1e8, points_per_decade: 10 })
+                .unwrap();
+        for (k, m) in res.magnitude(&c, "out").iter().enumerate() {
+            assert!((m - 0.5).abs() < 1e-2, "point {k}: |H| = {m}");
+        }
+    }
+}

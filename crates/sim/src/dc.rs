@@ -1,0 +1,885 @@
+//! Nonlinear DC operating-point analysis (and the shared nonlinear
+//! assembler used by the transient analysis).
+//!
+//! Standard modified nodal analysis: unknowns are the non-ground node
+//! voltages plus one branch current per voltage source. The nonlinear
+//! system is solved by damped Newton–Raphson; when plain Newton fails the
+//! solver falls back to gmin stepping and then source stepping, the same
+//! continuation ladder real SPICE engines use.
+
+use crate::netlist::{Circuit, Element, GROUND};
+use crate::num::{Matrix, SingularMatrix};
+use losac_device::caps::intrinsic_caps;
+use losac_device::ekv::{evaluate, MosOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options for the DC solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcOptions {
+    /// Conductance from every node to ground (S); keeps the matrix
+    /// well-conditioned with ideal current sources and off transistors.
+    pub gmin: f64,
+    /// Maximum Newton iterations per continuation step.
+    pub max_iter: usize,
+    /// Convergence tolerance on voltage updates (V) and KCL residuals (A).
+    pub tol: f64,
+    /// Maximum node-voltage change per Newton iteration (V).
+    pub damping: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        Self { gmin: 1e-12, max_iter: 200, tol: 1e-9, damping: 0.3 }
+    }
+}
+
+/// A solved DC operating point.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// Node voltages indexed by [`crate::netlist::NodeId`] (ground included
+    /// as entry 0, always 0 V).
+    pub v: Vec<f64>,
+    /// Branch currents of the voltage sources, in netlist order. The
+    /// current flows *into* the positive terminal through the source.
+    pub branch_currents: Vec<f64>,
+    /// Operating point of every MOS instance, by name.
+    pub mos_ops: HashMap<String, MosOp>,
+    /// Newton iterations spent (summed over continuation steps).
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a named node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist in `circuit`.
+    pub fn voltage(&self, circuit: &Circuit, node: &str) -> f64 {
+        let id = circuit
+            .find_node(node)
+            .unwrap_or_else(|| panic!("no node named `{node}` in circuit"));
+        self.v[id]
+    }
+
+    /// Operating point of a named MOS instance, if present.
+    pub fn mos_op(&self, name: &str) -> Option<&MosOp> {
+        self.mos_ops.get(name)
+    }
+
+    /// Render an operating-point report: one row per MOS instance with
+    /// its current, region, transconductance, output conductance and
+    /// gm/ID — the table a designer inspects after every DC solve.
+    pub fn report(&self, circuit: &Circuit) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>10} {:>10} {:>8}",
+            "device", "region", "id (uA)", "gm (uS)", "gds (uS)", "gm/id"
+        );
+        let mut names: Vec<&String> = self.mos_ops.keys().collect();
+        names.sort();
+        for name in names {
+            let op = &self.mos_ops[name];
+            let _ = writeln!(
+                out,
+                "{name:<10} {:>10} {:>12.2} {:>10.1} {:>10.2} {:>8.1}",
+                format!("{:?}", op.region),
+                op.id * 1e6,
+                op.gm * 1e6,
+                op.gds * 1e6,
+                op.gm_over_id()
+            );
+        }
+        let mut k = 0;
+        for e in circuit.elements() {
+            if let Element::Vsource(v) = e {
+                let _ = writeln!(
+                    out,
+                    "V({}) = {:.4} V, I = {:.2} uA",
+                    v.name,
+                    v.dc,
+                    -self.branch_currents[k] * 1e6
+                );
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Total current drawn from a named voltage source (A, positive =
+    /// the source delivers current from its + terminal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not exist.
+    pub fn supply_current(&self, circuit: &Circuit, source: &str) -> f64 {
+        let mut idx = 0;
+        for e in circuit.elements() {
+            if let Element::Vsource(v) = e {
+                if v.name == source {
+                    return -self.branch_currents[idx];
+                }
+                idx += 1;
+            }
+        }
+        panic!("no voltage source named `{source}`");
+    }
+}
+
+/// DC analysis failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcError {
+    /// The Newton iteration did not converge even with continuation.
+    NoConvergence {
+        /// Residual norm at the best point reached.
+        residual: f64,
+    },
+    /// The MNA matrix is singular (floating node, source loop, …).
+    Singular(SingularMatrix),
+    /// The netlist failed validation.
+    BadNetlist(String),
+}
+
+impl fmt::Display for DcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcError::NoConvergence { residual } => {
+                write!(f, "dc analysis did not converge (residual {residual:e})")
+            }
+            DcError::Singular(s) => write!(f, "dc analysis failed: {s}"),
+            DcError::BadNetlist(m) => write!(f, "dc analysis rejected netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// Index helpers shared by the analyses.
+#[derive(Debug)]
+pub(crate) struct Unknowns {
+    /// Number of non-ground nodes.
+    pub n_nodes: usize,
+    /// Unknown-vector offset of the first voltage-source branch current.
+    pub nv_offset: usize,
+    /// Total unknown count.
+    pub total: usize,
+}
+
+impl Unknowns {
+    pub fn of(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.num_nodes() - 1;
+        let nv = circuit.num_vsources();
+        Self { n_nodes, nv_offset: n_nodes, total: n_nodes + nv }
+    }
+
+    /// Row/column index of a node, or `None` for ground.
+    pub fn node(&self, id: usize) -> Option<usize> {
+        if id == GROUND {
+            None
+        } else {
+            Some(id - 1)
+        }
+    }
+}
+
+/// Voltage of node `id` in the unknown vector (ground = 0).
+fn v_of(x: &[f64], u: &Unknowns, id: usize) -> f64 {
+    match u.node(id) {
+        None => 0.0,
+        Some(i) => x[i],
+    }
+}
+
+/// What the assembler is building.
+pub(crate) enum AssembleMode<'a> {
+    /// DC: capacitors open, sources scaled by `src_scale`.
+    Dc {
+        /// Source-stepping continuation scale in [0, 1].
+        src_scale: f64,
+    },
+    /// One backward-Euler transient step of size `h` ending at `time`,
+    /// starting from the converged unknown vector `x_prev`.
+    Tran {
+        /// Step size (s).
+        h: f64,
+        /// Previous unknown vector.
+        x_prev: &'a [f64],
+        /// Absolute time at the end of the step (s).
+        time: f64,
+    },
+}
+
+/// Assemble the Jacobian and residual at point `x`.
+pub(crate) fn assemble(
+    circuit: &Circuit,
+    u: &Unknowns,
+    x: &[f64],
+    gmin: f64,
+    mode: &AssembleMode<'_>,
+) -> (Matrix<f64>, Vec<f64>) {
+    let mut j = Matrix::zeros(u.total);
+    let mut f = vec![0.0; u.total];
+    let mut vsrc_idx = 0usize;
+
+    // gmin to ground on every node.
+    for i in 0..u.n_nodes {
+        j.add(i, i, gmin);
+        f[i] += gmin * x[i];
+    }
+
+    // Backward-Euler companion for a capacitor `farads` between nodes a, b.
+    let stamp_cap = |j: &mut Matrix<f64>,
+                         f: &mut Vec<f64>,
+                         a: usize,
+                         b: usize,
+                         farads: f64| {
+        let AssembleMode::Tran { h, x_prev, .. } = mode else {
+            return; // open at DC
+        };
+        if farads <= 0.0 {
+            return;
+        }
+        let geq = farads / h;
+        let v_now = v_of(x, u, a) - v_of(x, u, b);
+        let v_old = v_of(x_prev, u, a) - v_of(x_prev, u, b);
+        let i_c = geq * (v_now - v_old);
+        let (ia, ib) = (u.node(a), u.node(b));
+        if let Some(ia) = ia {
+            f[ia] += i_c;
+            j.add(ia, ia, geq);
+            if let Some(ib) = ib {
+                j.add(ia, ib, -geq);
+            }
+        }
+        if let Some(ib) = ib {
+            f[ib] -= i_c;
+            j.add(ib, ib, geq);
+            if let Some(ia) = ia {
+                j.add(ib, ia, -geq);
+            }
+        }
+    };
+
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                let g = 1.0 / ohms;
+                let (ia, ib) = (u.node(*a), u.node(*b));
+                let i = g * (v_of(x, u, *a) - v_of(x, u, *b));
+                if let Some(ia) = ia {
+                    f[ia] += i;
+                    j.add(ia, ia, g);
+                    if let Some(ib) = ib {
+                        j.add(ia, ib, -g);
+                    }
+                }
+                if let Some(ib) = ib {
+                    f[ib] -= i;
+                    j.add(ib, ib, g);
+                    if let Some(ia) = ia {
+                        j.add(ib, ia, -g);
+                    }
+                }
+            }
+            Element::Capacitor { a, b, farads, .. } => {
+                stamp_cap(&mut j, &mut f, *a, *b, *farads);
+            }
+            Element::Vsource(vs) => {
+                let row = u.nv_offset + vsrc_idx;
+                vsrc_idx += 1;
+                let value = match mode {
+                    AssembleMode::Dc { src_scale } => vs.dc * src_scale,
+                    AssembleMode::Tran { time, .. } => vs.waveform.value(vs.dc, *time),
+                };
+                let (ip, in_) = (u.node(vs.pos), u.node(vs.neg));
+                // Branch equation: v_pos − v_neg − V = 0.
+                f[row] = v_of(x, u, vs.pos) - v_of(x, u, vs.neg) - value;
+                if let Some(ip) = ip {
+                    j.add(row, ip, 1.0);
+                    // KCL: the branch current flows into the + terminal.
+                    f[ip] += x[row];
+                    j.add(ip, row, 1.0);
+                }
+                if let Some(in_) = in_ {
+                    j.add(row, in_, -1.0);
+                    f[in_] -= x[row];
+                    j.add(in_, row, -1.0);
+                }
+            }
+            Element::Isource(is) => {
+                let scale = match mode {
+                    AssembleMode::Dc { src_scale } => *src_scale,
+                    AssembleMode::Tran { .. } => 1.0,
+                };
+                let i = is.dc * scale;
+                if let Some(ifrom) = u.node(is.from) {
+                    f[ifrom] += i;
+                }
+                if let Some(ito) = u.node(is.to) {
+                    f[ito] -= i;
+                }
+            }
+            Element::Mos(m) => {
+                let vg = v_of(x, u, m.g);
+                let vs = v_of(x, u, m.s);
+                let vd = v_of(x, u, m.d);
+                let vb = v_of(x, u, m.b);
+                let op = evaluate(&m.dev, vg - vs, vd - vs, vb - vs);
+                let sign = m.dev.params.polarity.sign();
+                let i_d = sign * op.id; // current into the drain terminal
+                let (gm, gds, gmb) = (op.gm, op.gds, op.gmb);
+                let g_s = -(gm + gds + gmb);
+                let (nd, ng, ns, nb) = (u.node(m.d), u.node(m.g), u.node(m.s), u.node(m.b));
+                if let Some(r) = nd {
+                    f[r] += i_d;
+                    if let Some(c) = ng {
+                        j.add(r, c, gm);
+                    }
+                    if let Some(c) = nd {
+                        j.add(r, c, gds);
+                    }
+                    if let Some(c) = nb {
+                        j.add(r, c, gmb);
+                    }
+                    if let Some(c) = ns {
+                        j.add(r, c, g_s);
+                    }
+                }
+                if let Some(r) = ns {
+                    f[r] -= i_d;
+                    if let Some(c) = ng {
+                        j.add(r, c, -gm);
+                    }
+                    if let Some(c) = nd {
+                        j.add(r, c, -gds);
+                    }
+                    if let Some(c) = nb {
+                        j.add(r, c, -gmb);
+                    }
+                    if let Some(c) = ns {
+                        j.add(r, c, -g_s);
+                    }
+                }
+                // In transient mode the device capacitances integrate too.
+                if matches!(mode, AssembleMode::Tran { .. }) {
+                    let ic = intrinsic_caps(&m.dev, &op);
+                    let vr_d = sign * (vd - vb);
+                    let vr_s = sign * (vs - vb);
+                    let cdb =
+                        m.junction.capacitance(m.drain_geom.area, m.drain_geom.perimeter, vr_d);
+                    let csb =
+                        m.junction.capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
+                    stamp_cap(&mut j, &mut f, m.g, m.s, ic.cgs);
+                    stamp_cap(&mut j, &mut f, m.g, m.d, ic.cgd);
+                    stamp_cap(&mut j, &mut f, m.g, m.b, ic.cgb);
+                    stamp_cap(&mut j, &mut f, m.d, m.b, cdb);
+                    stamp_cap(&mut j, &mut f, m.s, m.b, csb);
+                }
+            }
+        }
+    }
+    (j, f)
+}
+
+/// One damped Newton solve.
+///
+/// Returns the solution vector and the iterations used.
+pub(crate) fn newton(
+    circuit: &Circuit,
+    u: &Unknowns,
+    x0: &[f64],
+    gmin: f64,
+    mode: &AssembleMode<'_>,
+    opts: &DcOptions,
+) -> Result<(Vec<f64>, usize), DcError> {
+    let mut x = x0.to_vec();
+    let mut last_residual = f64::INFINITY;
+    for iter in 0..opts.max_iter {
+        let (j, f) = assemble(circuit, u, &x, gmin, mode);
+        last_residual = f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let lu = j.lu().map_err(DcError::Singular)?;
+        let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
+        let dx = lu.solve(&rhs);
+        // Damping on the node-voltage part.
+        let max_dv =
+            dx[..u.n_nodes].iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(f64::MIN_POSITIVE);
+        let scale = (opts.damping / max_dv).min(1.0);
+        for (xi, di) in x.iter_mut().zip(dx.iter()) {
+            *xi += di * scale;
+        }
+        let conv_dv = dx[..u.n_nodes].iter().all(|&d| d.abs() < opts.tol);
+        let conv_f = last_residual < opts.tol.max(1e-12);
+        if conv_dv && conv_f && scale == 1.0 {
+            return Ok((x, iter + 1));
+        }
+    }
+    Err(DcError::NoConvergence { residual: last_residual })
+}
+
+/// Solve the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`DcError`] when the netlist is invalid, the matrix is
+/// structurally singular, or no continuation strategy converges.
+pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, DcError> {
+    circuit.validate().map_err(|e| DcError::BadNetlist(e.to_string()))?;
+    let u = Unknowns::of(circuit);
+    let x0 = vec![0.0; u.total];
+
+    // Ladder: plain Newton → gmin stepping → source stepping.
+    let mut total_iter = 0usize;
+    let attempt = newton(circuit, &u, &x0, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts);
+    let x = match attempt {
+        Ok((x, it)) => {
+            total_iter += it;
+            x
+        }
+        Err(DcError::Singular(s)) => return Err(DcError::Singular(s)),
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)?,
+    };
+
+    Ok(package(circuit, &u, x, total_iter))
+}
+
+/// Re-solve starting from a previous solution (used by sweeps: much faster
+/// and keeps the solver on the same branch for bistable circuits).
+///
+/// # Errors
+///
+/// Same failure modes as [`dc_operating_point`].
+pub fn dc_from_previous(
+    circuit: &Circuit,
+    previous: &DcSolution,
+    opts: &DcOptions,
+) -> Result<DcSolution, DcError> {
+    let u = Unknowns::of(circuit);
+    let mut x0 = vec![0.0; u.total];
+    for id in 1..circuit.num_nodes() {
+        x0[id - 1] = previous.v[id];
+    }
+    for (k, i) in previous.branch_currents.iter().enumerate() {
+        x0[u.nv_offset + k] = *i;
+    }
+    let mut total_iter = 0usize;
+    let x = match newton(circuit, &u, &x0, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts) {
+        Ok((x, it)) => {
+            total_iter += it;
+            x
+        }
+        Err(DcError::Singular(s)) => return Err(DcError::Singular(s)),
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)?,
+    };
+    Ok(package(circuit, &u, x, total_iter))
+}
+
+/// Sweep the DC value of a named voltage source, re-solving with warm
+/// starts (the classic `.dc` analysis). The source is restored to its
+/// original value afterwards.
+///
+/// # Errors
+///
+/// Returns the first solve failure, or a netlist error when the source
+/// does not exist.
+pub fn dc_sweep(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &DcOptions,
+) -> Result<Vec<DcSolution>, DcError> {
+    let original = circuit
+        .elements()
+        .iter()
+        .find_map(|e| match e {
+            Element::Vsource(v) if v.name == source => Some(v.dc),
+            _ => None,
+        })
+        .ok_or_else(|| DcError::BadNetlist(format!("no voltage source named `{source}`")))?;
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev: Option<DcSolution> = None;
+    for &v in values {
+        circuit
+            .set_vsource_dc(source, v)
+            .map_err(|e| DcError::BadNetlist(e.to_string()))?;
+        let sol = match &prev {
+            Some(p) => dc_from_previous(circuit, p, opts)?,
+            None => dc_operating_point(circuit, opts)?,
+        };
+        prev = Some(sol.clone());
+        out.push(sol);
+    }
+    circuit
+        .set_vsource_dc(source, original)
+        .map_err(|e| DcError::BadNetlist(e.to_string()))?;
+    Ok(out)
+}
+
+fn gmin_then_source_stepping(
+    circuit: &Circuit,
+    u: &Unknowns,
+    x0: &[f64],
+    opts: &DcOptions,
+    total_iter: &mut usize,
+) -> Result<Vec<f64>, DcError> {
+    // gmin stepping.
+    let mut x = x0.to_vec();
+    let mut ok = true;
+    for exp in 3..=12 {
+        let gmin = 10f64.powi(-exp);
+        match newton(circuit, u, &x, gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts) {
+            Ok((xn, it)) => {
+                *total_iter += it;
+                x = xn;
+            }
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(x);
+    }
+    // Source stepping.
+    let mut x = x0.to_vec();
+    let steps = 20;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        let (xn, it) = newton(
+            circuit,
+            u,
+            &x,
+            opts.gmin.max(1e-9),
+            &AssembleMode::Dc { src_scale: scale },
+            opts,
+        )?;
+        *total_iter += it;
+        x = xn;
+    }
+    // Final polish at nominal gmin.
+    let (xn, it) = newton(circuit, u, &x, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts)?;
+    *total_iter += it;
+    Ok(xn)
+}
+
+fn package(circuit: &Circuit, u: &Unknowns, x: Vec<f64>, iterations: usize) -> DcSolution {
+    let mut v = vec![0.0; circuit.num_nodes()];
+    for id in 1..circuit.num_nodes() {
+        v[id] = x[id - 1];
+    }
+    let mut branch_currents = Vec::new();
+    let mut mos_ops = HashMap::new();
+    let mut vsrc_idx = 0;
+    for e in circuit.elements() {
+        match e {
+            Element::Vsource(_) => {
+                branch_currents.push(x[u.nv_offset + vsrc_idx]);
+                vsrc_idx += 1;
+            }
+            Element::Mos(m) => {
+                let op = evaluate(&m.dev, v[m.g] - v[m.s], v[m.d] - v[m.s], v[m.b] - v[m.s]);
+                mos_ops.insert(m.name.clone(), op);
+            }
+            _ => {}
+        }
+    }
+    DcSolution { v, branch_currents, mos_ops, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losac_device::Mosfet;
+    use losac_tech::Technology;
+
+    fn solve(c: &Circuit) -> DcSolution {
+        dc_operating_point(c, &DcOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        c.vsource("v1", "in", "0", 2.0);
+        c.resistor("r1", "in", "mid", 1e3);
+        c.resistor("r2", "mid", "0", 1e3);
+        let s = solve(&c);
+        assert!((s.voltage(&c, "mid") - 1.0).abs() < 1e-9);
+        // Branch current flows into the + terminal: −1 mA here, so the
+        // supply delivers +1 mA.
+        assert!((s.branch_currents[0] + 1e-3).abs() < 1e-9);
+        assert!((s.supply_current(&c, "v1") - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        c.isource("i1", "0", "out", 1e-3);
+        c.resistor("r1", "out", "0", 1e3);
+        let s = solve(&c);
+        assert!((s.voltage(&c, "out") - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_held_by_gmin() {
+        let mut c = Circuit::new();
+        c.vsource("v1", "a", "0", 1.0);
+        c.resistor("r1", "a", "b", 1e3);
+        c.capacitor("c1", "b", "c", 1e-12);
+        c.resistor("r2", "b", "0", 1e3);
+        let s = solve(&c);
+        assert!(s.voltage(&c, "c").abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.resistor("r1", "vdd", "d", 33e3); // ~70 µA available
+        c.mos(
+            "m1",
+            "d",
+            "d",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 20e-6, 1e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let s = solve(&c);
+        let vd = s.voltage(&c, "d");
+        assert!(vd > 0.8 && vd < 1.4, "v(d) = {vd}");
+        let op = s.mos_op("m1").unwrap();
+        let ir = (3.3 - vd) / 33e3;
+        assert!((op.id - ir).abs() < 1e-8, "id = {:e}, ir = {ir:e}", op.id);
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_bias() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vg", "g", "0", 1.0);
+        c.resistor("rl", "vdd", "out", 20e3);
+        c.mos(
+            "m1",
+            "out",
+            "g",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 10e-6, 1e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let s = solve(&c);
+        let vout = s.voltage(&c, "out");
+        assert!(vout > 0.2 && vout < 3.2, "vout = {vout}");
+        let op = s.mos_op("m1").unwrap();
+        assert!((op.id - (3.3 - vout) / 20e3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pmos_source_follower() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vg", "g", "0", 1.5);
+        c.mos(
+            "m1",
+            "0",
+            "g",
+            "out",
+            "vdd",
+            Mosfet::new(t.pmos, 30e-6, 1e-6),
+            t.caps.pdiff,
+            Default::default(),
+            Default::default(),
+        );
+        c.resistor("rbias", "vdd", "out", 50e3);
+        let s = solve(&c);
+        let vout = s.voltage(&c, "out");
+        assert!(vout > 2.0 && vout < 3.3, "vout = {vout}");
+        let op = s.mos_op("m1").unwrap();
+        assert!(op.id > 0.0, "PMOS conducts, id = {:e}", op.id);
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_endpoints() {
+        let t = Technology::cmos06();
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            c.vsource("vdd", "vdd", "0", 3.3);
+            c.vsource("vin", "in", "0", vin);
+            c.mos(
+                "mn",
+                "out",
+                "in",
+                "0",
+                "0",
+                Mosfet::new(t.nmos, 4e-6, 0.6e-6),
+                t.caps.ndiff,
+                Default::default(),
+                Default::default(),
+            );
+            c.mos(
+                "mp",
+                "out",
+                "in",
+                "vdd",
+                "vdd",
+                Mosfet::new(t.pmos, 8e-6, 0.6e-6),
+                t.caps.pdiff,
+                Default::default(),
+                Default::default(),
+            );
+            c
+        };
+        let lo = build(0.0);
+        let hi = build(3.3);
+        assert!(solve(&lo).voltage(&lo, "out") > 3.2);
+        assert!(solve(&hi).voltage(&hi, "out") < 0.1);
+    }
+
+    #[test]
+    fn singular_loop_of_vsources_detected() {
+        let mut c = Circuit::new();
+        c.vsource("v1", "a", "0", 1.0);
+        c.vsource("v2", "a", "0", 2.0);
+        let err = dc_operating_point(&c, &DcOptions::default()).unwrap_err();
+        assert!(matches!(err, DcError::Singular(_)), "got {err}");
+    }
+
+    #[test]
+    fn invalid_netlist_rejected() {
+        let c = Circuit::new();
+        let err = dc_operating_point(&c, &DcOptions::default()).unwrap_err();
+        assert!(matches!(err, DcError::BadNetlist(_)));
+    }
+
+    #[test]
+    fn warm_restart_is_fast() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vg", "g", "0", 1.0);
+        c.resistor("rl", "vdd", "out", 20e3);
+        c.mos(
+            "m1",
+            "out",
+            "g",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 10e-6, 1e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let s1 = solve(&c);
+        c.set_vsource_dc("vg", 1.01).unwrap();
+        let s2 = dc_from_previous(&c, &s1, &DcOptions::default()).unwrap();
+        assert!(s2.iterations <= s1.iterations, "{} > {}", s2.iterations, s1.iterations);
+    }
+
+    #[test]
+    fn report_lists_devices_and_sources() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vg", "g", "0", 1.0);
+        c.resistor("rl", "vdd", "out", 20e3);
+        c.mos(
+            "m1",
+            "out",
+            "g",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 10e-6, 1e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let s = solve(&c);
+        let rep = s.report(&c);
+        assert!(rep.contains("m1"));
+        assert!(rep.contains("Saturation") || rep.contains("Triode"));
+        assert!(rep.contains("V(vdd) = 3.3"));
+    }
+
+    #[test]
+    fn dc_sweep_inverter_vtc() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vin", "in", "0", 0.0);
+        c.mos(
+            "mn",
+            "out",
+            "in",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 4e-6, 0.6e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        c.mos(
+            "mp",
+            "out",
+            "in",
+            "vdd",
+            "vdd",
+            Mosfet::new(t.pmos, 8e-6, 0.6e-6),
+            t.caps.pdiff,
+            Default::default(),
+            Default::default(),
+        );
+        let values: Vec<f64> = (0..=33).map(|k| k as f64 * 0.1).collect();
+        let sols = dc_sweep(&mut c, "vin", &values, &DcOptions::default()).unwrap();
+        let vtc: Vec<f64> = sols.iter().map(|s| s.voltage(&c, "out")).collect();
+        // Monotone non-increasing transfer curve from rail to rail.
+        assert!(vtc[0] > 3.2 && *vtc.last().unwrap() < 0.1);
+        assert!(vtc.windows(2).all(|w| w[1] <= w[0] + 1e-6), "{vtc:?}");
+        // The source was restored.
+        match &c.elements()[1] {
+            Element::Vsource(v) => assert_eq!(v.dc, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kcl_residual_property() {
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vb", "b", "0", 1.1);
+        c.resistor("r1", "vdd", "x", 10e3);
+        c.mos(
+            "m1",
+            "x",
+            "b",
+            "0",
+            "0",
+            Mosfet::new(t.nmos, 25e-6, 2e-6),
+            t.caps.ndiff,
+            Default::default(),
+            Default::default(),
+        );
+        let s = solve(&c);
+        let u = Unknowns::of(&c);
+        let mut x = vec![0.0; u.total];
+        for id in 1..c.num_nodes() {
+            x[id - 1] = s.v[id];
+        }
+        for (k, i) in s.branch_currents.iter().enumerate() {
+            x[u.nv_offset + k] = *i;
+        }
+        let (_, f) = assemble(&c, &u, &x, 1e-12, &AssembleMode::Dc { src_scale: 1.0 });
+        for (row, r) in f.iter().enumerate() {
+            assert!(r.abs() < 1e-8, "row {row} residual {r:e}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # losac-sim — a SPICE-class circuit simulator
+//!
+//! The verification engine of the layout-oriented synthesis flow. The
+//! paper sizes circuits with the *same transistor model* its simulator
+//! uses, and verifies every synthesis result by simulating the extracted
+//! netlist; this crate provides that simulator:
+//!
+//! * [`netlist`] — circuit representation (R, C, V/I sources, MOS);
+//! * [`dc`] — nonlinear operating point (damped Newton with gmin and
+//!   source stepping);
+//! * [`ac`] — complex small-signal frequency sweeps;
+//! * [`noise`] — output/input-referred noise analysis with per-element
+//!   contributions;
+//! * [`tran`] — backward-Euler transient (slew-rate measurements);
+//! * [`meas`] — Bode summaries: DC gain, GBW, phase margin, margins;
+//! * [`num`] — the dense real/complex LU kernel behind all of it;
+//! * [`spice`] — SPICE-deck export of any netlist.
+//!
+//! The MOS devices evaluate `losac-device`'s EKV model, so the sizing
+//! tool (`losac-sizing`) and this simulator can never disagree about an
+//! operating point — the property the paper credits for its accuracy.
+//!
+//! ```
+//! use losac_sim::netlist::Circuit;
+//! use losac_sim::dc::{dc_operating_point, DcOptions};
+//!
+//! let mut c = Circuit::new();
+//! c.vsource("v1", "in", "0", 2.0);
+//! c.resistor("r1", "in", "out", 1e3);
+//! c.resistor("r2", "out", "0", 1e3);
+//! let sol = dc_operating_point(&c, &DcOptions::default())?;
+//! assert!((sol.voltage(&c, "out") - 1.0).abs() < 1e-9);
+//! # Ok::<(), losac_sim::dc::DcError>(())
+//! ```
+
+pub mod ac;
+pub mod dc;
+pub mod linear;
+pub mod meas;
+pub mod netlist;
+pub mod noise;
+pub mod num;
+pub mod spice;
+pub mod tran;
+
+pub use ac::{ac_sweep, AcOptions, AcResult};
+pub use dc::{dc_operating_point, DcOptions, DcSolution};
+pub use meas::{bode_summary, BodeSummary};
+pub use netlist::Circuit;
+pub use noise::{noise_analysis, NoiseResult};
+pub use num::Complex;
+pub use spice::to_spice;
+pub use tran::{transient, TranOptions, TranResult};

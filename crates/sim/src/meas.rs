@@ -1,0 +1,253 @@
+//! Measurement post-processing for analysis results.
+//!
+//! These helpers turn raw sweeps into the numbers a datasheet (or the
+//! paper's Table 1) reports: DC gain, unity-gain frequency, phase margin,
+//! and friends. All interpolation is log-frequency / log-magnitude, the
+//! convention Bode plots imply.
+
+use crate::num::Complex;
+
+/// Convert a linear magnitude to decibels.
+pub fn db(x: f64) -> f64 {
+    20.0 * x.log10()
+}
+
+/// Convert decibels to a linear magnitude.
+pub fn from_db(x: f64) -> f64 {
+    10f64.powf(x / 20.0)
+}
+
+/// Log-log interpolate `mag` onto frequency `f`.
+///
+/// # Panics
+///
+/// Panics if the grids are empty or mismatched.
+pub fn value_at(freqs: &[f64], vals: &[f64], f: f64) -> f64 {
+    assert!(!freqs.is_empty() && freqs.len() == vals.len(), "bad interpolation grids");
+    if f <= freqs[0] {
+        return vals[0];
+    }
+    if f >= *freqs.last().unwrap() {
+        return *vals.last().unwrap();
+    }
+    let k = freqs.partition_point(|&x| x < f).max(1);
+    let (f0, f1) = (freqs[k - 1], freqs[k]);
+    let (v0, v1) = (vals[k - 1], vals[k]);
+    let t = (f.ln() - f0.ln()) / (f1.ln() - f0.ln());
+    if v0 > 0.0 && v1 > 0.0 {
+        (v0.ln() + t * (v1.ln() - v0.ln())).exp()
+    } else {
+        v0 + t * (v1 - v0)
+    }
+}
+
+/// Linear-in-log-f interpolate a phase (or any signed quantity) onto `f`.
+pub fn linear_at(freqs: &[f64], vals: &[f64], f: f64) -> f64 {
+    assert!(!freqs.is_empty() && freqs.len() == vals.len(), "bad interpolation grids");
+    if f <= freqs[0] {
+        return vals[0];
+    }
+    if f >= *freqs.last().unwrap() {
+        return *vals.last().unwrap();
+    }
+    let k = freqs.partition_point(|&x| x < f).max(1);
+    let (f0, f1) = (freqs[k - 1], freqs[k]);
+    let (v0, v1) = (vals[k - 1], vals[k]);
+    let t = (f.ln() - f0.ln()) / (f1.ln() - f0.ln());
+    v0 + t * (v1 - v0)
+}
+
+/// The frequency at which `mag` first crosses 1.0 downwards (the
+/// unity-gain / gain-bandwidth frequency), log-interpolated. `None` when
+/// the response never reaches unity from above.
+pub fn unity_gain_frequency(freqs: &[f64], mag: &[f64]) -> Option<f64> {
+    assert_eq!(freqs.len(), mag.len());
+    for k in 1..mag.len() {
+        if mag[k - 1] >= 1.0 && mag[k] < 1.0 {
+            let (f0, f1) = (freqs[k - 1], freqs[k]);
+            let (m0, m1) = (mag[k - 1].max(1e-30), mag[k].max(1e-30));
+            let t = (0.0 - m0.ln()) / (m1.ln() - m0.ln()); // ln(1) = 0
+            return Some((f0.ln() + t * (f1.ln() - f0.ln())).exp());
+        }
+    }
+    None
+}
+
+/// A Bode summary of an open-loop gain response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodeSummary {
+    /// DC (lowest-frequency) gain, linear.
+    pub dc_gain: f64,
+    /// DC gain in dB.
+    pub dc_gain_db: f64,
+    /// Unity-gain frequency (Hz); `None` when gain < 1 everywhere.
+    pub unity_freq: Option<f64>,
+    /// Phase margin (degrees); `None` without a unity crossing.
+    pub phase_margin: Option<f64>,
+    /// Gain margin (dB) at the −180° crossing; `None` when the phase
+    /// never reaches −180° in band.
+    pub gain_margin_db: Option<f64>,
+}
+
+/// Summarise an open-loop transfer function `h` over `freqs`.
+///
+/// The phase is referenced to its low-frequency value, so it does not
+/// matter whether the measured output is inverting: phase margin is
+/// `180° − |Δphase(f_unity)|`.
+///
+/// # Panics
+///
+/// Panics if the grids are empty or mismatched.
+pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
+    assert!(!freqs.is_empty() && freqs.len() == h.len(), "bad response grids");
+    let mag: Vec<f64> = h.iter().map(|z| z.abs()).collect();
+    let raw_phase: Vec<f64> = h.iter().map(|z| z.arg_degrees()).collect();
+    let unwrapped = crate::ac::unwrap_degrees(&raw_phase);
+    let p0 = unwrapped[0];
+    let rel: Vec<f64> = unwrapped.iter().map(|p| p - p0).collect();
+
+    let dc_gain = mag[0];
+    let unity = unity_gain_frequency(freqs, &mag);
+    let phase_margin = unity.map(|fu| {
+        let dp = linear_at(freqs, &rel, fu);
+        180.0 - dp.abs()
+    });
+
+    // Gain margin: first crossing of relative phase through −180°.
+    let mut gain_margin_db = None;
+    for k in 1..rel.len() {
+        if (rel[k - 1] > -180.0 && rel[k] <= -180.0) || (rel[k - 1] < 180.0 && rel[k] >= 180.0) {
+            let t = (180.0 - rel[k - 1].abs()) / (rel[k].abs() - rel[k - 1].abs());
+            let f180 = (freqs[k - 1].ln() + t * (freqs[k].ln() - freqs[k - 1].ln())).exp();
+            let m = value_at(freqs, &mag, f180);
+            gain_margin_db = Some(-db(m));
+            break;
+        }
+    }
+
+    BodeSummary { dc_gain, dc_gain_db: db(dc_gain), unity_freq: unity, phase_margin, gain_margin_db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-pole response: H = A / (1 + jf/fp).
+    fn single_pole(freqs: &[f64], a: f64, fp: f64) -> Vec<Complex> {
+        freqs
+            .iter()
+            .map(|&f| Complex::real(a) / Complex::new(1.0, f / fp))
+            .collect()
+    }
+
+    /// Two-pole response.
+    fn two_pole(freqs: &[f64], a: f64, fp1: f64, fp2: f64) -> Vec<Complex> {
+        freqs
+            .iter()
+            .map(|&f| {
+                Complex::real(a) / (Complex::new(1.0, f / fp1) * Complex::new(1.0, f / fp2))
+            })
+            .collect()
+    }
+
+    fn grid() -> Vec<f64> {
+        crate::ac::log_grid(1.0, 1e10, 40)
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        assert!((db(10.0) - 20.0).abs() < 1e-12);
+        assert!((from_db(40.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unity_crossing_of_single_pole() {
+        // A = 1000, fp = 1 kHz → GBW ≈ 1 MHz.
+        let f = grid();
+        let h = single_pole(&f, 1000.0, 1e3);
+        let mag: Vec<f64> = h.iter().map(|z| z.abs()).collect();
+        let fu = unity_gain_frequency(&f, &mag).unwrap();
+        assert!((fu - 1e6).abs() < 0.02e6, "fu = {fu:e}");
+    }
+
+    #[test]
+    fn no_unity_crossing_when_gain_below_one() {
+        let f = grid();
+        let h = single_pole(&f, 0.5, 1e3);
+        let mag: Vec<f64> = h.iter().map(|z| z.abs()).collect();
+        assert!(unity_gain_frequency(&f, &mag).is_none());
+    }
+
+    #[test]
+    fn single_pole_phase_margin_is_90() {
+        let f = grid();
+        let h = single_pole(&f, 1000.0, 1e3);
+        let s = bode_summary(&f, &h);
+        assert!((s.dc_gain_db - 60.0).abs() < 0.01);
+        let pm = s.phase_margin.unwrap();
+        assert!((pm - 90.0).abs() < 1.0, "pm = {pm}");
+        assert!(s.gain_margin_db.is_none(), "one pole never reaches −180°");
+    }
+
+    #[test]
+    fn two_pole_phase_margin() {
+        // A = 1000, fp1 = 1 kHz → fu ≈ 1 MHz; fp2 at 1 MHz gives PM ≈ 45°
+        // (fu shifts slightly below 1 MHz from the second pole).
+        let f = grid();
+        let h = two_pole(&f, 1000.0, 1e3, 1e6);
+        let s = bode_summary(&f, &h);
+        let pm = s.phase_margin.unwrap();
+        assert!(pm > 40.0 && pm < 55.0, "pm = {pm}");
+        // Two poles only asymptote to −180°: no gain margin in band.
+        assert!(s.gain_margin_db.is_none());
+    }
+
+    #[test]
+    fn three_pole_gain_margin() {
+        let f = grid();
+        let h: Vec<Complex> = f
+            .iter()
+            .map(|&fr| {
+                Complex::real(1000.0)
+                    / (Complex::new(1.0, fr / 1e3)
+                        * Complex::new(1.0, fr / 1e6)
+                        * Complex::new(1.0, fr / 1e7))
+            })
+            .collect();
+        let s = bode_summary(&f, &h);
+        let gm = s.gain_margin_db.expect("three poles cross −180°");
+        assert!(gm > 0.0, "stable loop has positive gain margin, got {gm}");
+    }
+
+    #[test]
+    fn inverting_response_same_margin() {
+        // Multiply by −1: phase starts at 180°, margins must not change.
+        let f = grid();
+        let h: Vec<Complex> =
+            two_pole(&f, 1000.0, 1e3, 1e6).into_iter().map(|z| -z).collect();
+        let s = bode_summary(&f, &h);
+        let pm = s.phase_margin.unwrap();
+        assert!(pm > 40.0 && pm < 55.0, "pm = {pm}");
+    }
+
+    #[test]
+    fn interpolation_behaviour() {
+        let f = vec![1.0, 10.0, 100.0];
+        let v = vec![1.0, 10.0, 100.0];
+        // Log-log interpolation of f itself is exact.
+        assert!((value_at(&f, &v, 3.0) - 3.0).abs() < 1e-9);
+        // Clamping beyond the grid.
+        assert_eq!(value_at(&f, &v, 0.1), 1.0);
+        assert_eq!(value_at(&f, &v, 1e4), 100.0);
+        // Linear variant interpolates signed data.
+        let p = vec![0.0, -45.0, -90.0];
+        let mid = linear_at(&f, &p, (10f64 * 100f64).sqrt());
+        assert!((mid + 67.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interpolation grids")]
+    fn empty_grid_panics() {
+        let _ = value_at(&[], &[], 1.0);
+    }
+}

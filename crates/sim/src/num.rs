@@ -1,0 +1,472 @@
+//! Numeric kernel: complex arithmetic and dense LU factorisation.
+//!
+//! The circuits this workspace simulates have a few dozen nodes, so a
+//! dense solver with partial pivoting is both simple and fast. The solver
+//! is generic over [`Scalar`] and instantiated at `f64` (DC, transient)
+//! and [`Complex`] (AC, noise).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A complex number (cartesian form).
+///
+/// A tiny self-contained implementation — the workspace deliberately avoids
+/// external numeric dependencies (see `DESIGN.md` §6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Magnitude |z|, overflow-safe.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude |z|².
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in (−π, π].
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Reciprocal 1/z.
+    ///
+    /// Division by exact zero yields infinities, mirroring `f64` semantics.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Phase in degrees.
+    pub fn arg_degrees(self) -> f64 {
+        self.arg().to_degrees()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+/// Field-like scalar usable by the LU solver.
+pub trait Scalar:
+    Copy
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + PartialEq
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude, used for pivot selection.
+    fn magnitude(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn one() -> Self {
+        Complex::ONE
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// Dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![T::zero(); n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read entry (i, j).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Set entry (i, j).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Add `v` to entry (i, j) — the canonical MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![T::zero(); self.n];
+        for i in 0..self.n {
+            let mut acc = T::zero();
+            for j in 0..self.n {
+                acc += self.data[i * self.n + j] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// LU-factorise in place with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when no usable pivot exists (the system
+    /// has no unique solution — e.g. a floating circuit node).
+    pub fn lu(mut self) -> Result<Lu<T>, SingularMatrix> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot: largest magnitude in column k at/below the diagonal.
+            let mut p = k;
+            let mut best = self.get(k, k).magnitude();
+            for i in (k + 1)..n {
+                let m = self.get(i, k).magnitude();
+                if m > best {
+                    best = m;
+                    p = i;
+                }
+            }
+            if !(best > 0.0) || !best.is_finite() {
+                return Err(SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                for j in 0..n {
+                    let a = self.get(k, j);
+                    let b = self.get(p, j);
+                    self.set(k, j, b);
+                    self.set(p, j, a);
+                }
+            }
+            let pivot = self.get(k, k);
+            for i in (k + 1)..n {
+                let factor = self.get(i, k) / pivot;
+                self.set(i, k, factor);
+                if factor != T::zero() {
+                    for j in (k + 1)..n {
+                        let v = self.get(i, j) - factor * self.get(k, j);
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(Lu { mat: self, perm })
+    }
+}
+
+/// Error: the matrix has no usable pivot in some column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column at which elimination broke down (often maps to a floating
+    /// node or a loop of ideal voltage sources).
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "singular matrix at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// An LU factorisation; solves many right-hand sides cheaply.
+#[derive(Debug, Clone)]
+pub struct Lu<T> {
+    mat: Matrix<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Solve `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.mat.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.mat.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.mat.get(i, j) * x[j];
+            }
+            x[i] = acc / self.mat.get(i, i);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.abs() - 5.0_f64.sqrt()).abs() < 1e-15);
+        assert!((Complex::I.arg_degrees() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_display() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn lu_solves_known_real_system() {
+        // [[2, 1], [1, 3]] x = [5, 10] → x = [1, 3]
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let lu = m.lu().unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 0.0);
+        let lu = m.lu().unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(m.lu().is_err());
+    }
+
+    #[test]
+    fn lu_complex_system() {
+        // (1 + j)·x = 2 → x = 1 − j
+        let mut m = Matrix::<Complex>::zeros(1);
+        m.set(0, 0, Complex::new(1.0, 1.0));
+        let lu = m.lu().unwrap();
+        let x = lu.solve(&[Complex::real(2.0)]);
+        assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_random_roundtrip() {
+        // Deterministic pseudo-random matrix; check A·x = b round trip.
+        let n = 12;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut m = Matrix::<f64>::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, rnd());
+            }
+            m.add(i, i, 3.0); // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let x = m.clone().lu().unwrap().solve(&b);
+        let back = m.mul_vec(&x);
+        for i in 0..n {
+            assert!((back[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matrix_mul_vec() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 3.0);
+        m.set(1, 1, 4.0);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_bounds_checked() {
+        let m = Matrix::<f64>::zeros(2);
+        let _ = m.get(2, 0);
+    }
+}

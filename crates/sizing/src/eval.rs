@@ -1,0 +1,410 @@
+//! Performance evaluation by simulation.
+//!
+//! COMDIAC evaluates performance "using predefined equations", but its
+//! accuracy relies on sharing the transistor model with the verifying
+//! simulator. This crate closes that loop completely: the evaluation
+//! builds the amplifier netlist (with whatever parasitics the
+//! [`ParasiticMode`] prescribes) and measures every Table-1 quantity on
+//! the same simulator used for final verification — DC gain, GBW, phase
+//! margin, slew rate, CMRR, offset, output resistance, noise and power.
+
+use crate::feedback::ParasiticMode;
+use crate::specs::OtaSpecs;
+use losac_sim::ac::{ac_sweep, AcOptions};
+use losac_sim::dc::{dc_from_previous, dc_operating_point, DcError, DcOptions, DcSolution};
+use losac_sim::meas::{bode_summary, db};
+use losac_sim::netlist::Circuit;
+use losac_sim::noise::{integrate_psd, noise_analysis};
+use losac_sim::tran::{transient, TranOptions};
+use losac_tech::Technology;
+use std::fmt;
+
+/// Input drive of a generated amplifier netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputDrive {
+    /// Both inputs at the CM bias, offset by ±dv/2, as sources named
+    /// `vinp` / `vinn`.
+    Differential {
+        /// Differential input voltage (V).
+        dv: f64,
+    },
+    /// Unity-gain buffer: the inverting input wired to the output, a step
+    /// waveform on `vinp`.
+    UnityBuffer {
+        /// Initial level (V).
+        step_from: f64,
+        /// Final level (V).
+        step_to: f64,
+        /// Step time (s).
+        at: f64,
+        /// Rise time (s).
+        rise: f64,
+    },
+}
+
+/// An amplifier that the measurement pipeline can characterise.
+///
+/// Both provided topologies implement this; new topologies get the whole
+/// Table-1 measurement suite by implementing these three methods.
+pub trait Amplifier {
+    /// The specification the amplifier was sized for.
+    fn specs(&self) -> &OtaSpecs;
+    /// Build the amplifier netlist in the requested testbench, with
+    /// parasitics per `mode`. Sources must be named `vinp`/`vinn`, the
+    /// supply `vdd`, and the output node `out`.
+    fn netlist(&self, tech: &Technology, mode: &ParasiticMode, drive: InputDrive) -> Circuit;
+    /// Rough slew-rate estimate (V/s), used only to choose the transient
+    /// time scale.
+    fn slew_estimate(&self) -> f64;
+}
+
+/// Everything the paper's Table 1 reports for one sizing case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Performance {
+    /// DC (low-frequency) differential gain (dB).
+    pub dc_gain_db: f64,
+    /// Gain–bandwidth product / unity-gain frequency (Hz).
+    pub gbw: f64,
+    /// Phase margin (degrees).
+    pub phase_margin: f64,
+    /// Slew rate (V/s).
+    pub slew_rate: f64,
+    /// Common-mode rejection ratio (dB) at low frequency.
+    pub cmrr_db: f64,
+    /// Input-referred offset voltage (V) that centres the output.
+    pub offset: f64,
+    /// Output resistance (Ω).
+    pub output_resistance: f64,
+    /// Input-referred integrated noise voltage, 1 Hz to GBW (V rms).
+    pub input_noise_rms: f64,
+    /// Input-referred thermal (white) noise density (V/√Hz), sampled in
+    /// the flat band.
+    pub thermal_noise_density: f64,
+    /// Input-referred noise density at 1 Hz (V/√Hz) — flicker dominated.
+    pub flicker_noise_density: f64,
+    /// Quiescent power drawn from the supply (W).
+    pub power: f64,
+}
+
+impl fmt::Display for Performance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DC gain            {:8.1} dB", self.dc_gain_db)?;
+        writeln!(f, "GBW                {:8.1} MHz", self.gbw / 1e6)?;
+        writeln!(f, "Phase margin       {:8.1} deg", self.phase_margin)?;
+        writeln!(f, "Slew rate          {:8.1} V/us", self.slew_rate / 1e6)?;
+        writeln!(f, "CMRR               {:8.1} dB", self.cmrr_db)?;
+        writeln!(f, "Offset             {:8.2} mV", self.offset * 1e3)?;
+        writeln!(f, "Output resistance  {:8.2} MOhm", self.output_resistance / 1e6)?;
+        writeln!(f, "Input noise        {:8.1} uV", self.input_noise_rms * 1e6)?;
+        writeln!(f, "Thermal density    {:8.1} nV/rtHz", self.thermal_noise_density * 1e9)?;
+        writeln!(f, "Flicker @1Hz       {:8.2} uV/rtHz", self.flicker_noise_density * 1e6)?;
+        write!(f, "Power              {:8.2} mW", self.power * 1e3)
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    message: String,
+}
+
+impl EvalError {
+    fn new(m: impl Into<String>) -> Self {
+        Self { message: m.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<DcError> for EvalError {
+    fn from(e: DcError) -> Self {
+        EvalError::new(e.to_string())
+    }
+}
+
+/// Find the differential input voltage that centres the output at the
+/// spec's output mid-point, returning it together with the balanced
+/// circuit and DC solution.
+///
+/// # Errors
+///
+/// Fails when DC analysis fails or the output cannot be centred within
+/// ±50 mV of differential input (broken amplifier).
+pub fn balance(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+) -> Result<(f64, Circuit, DcSolution), EvalError> {
+    let target = ota.specs().output_mid();
+    let mut c = ota.netlist(tech, mode, InputDrive::Differential { dv: 0.0 });
+    let cm = ota.specs().input_cm_bias();
+    let opts = DcOptions::default();
+
+    let set_dv = |c: &mut Circuit, dv: f64| {
+        c.set_vsource_dc("vinp", cm + dv / 2.0).expect("vinp exists");
+        c.set_vsource_dc("vinn", cm - dv / 2.0).expect("vinn exists");
+    };
+
+    let vout_at = |c: &Circuit, prev: Option<&DcSolution>| -> Result<DcSolution, EvalError> {
+        let sol = match prev {
+            Some(p) => dc_from_previous(c, p, &opts)?,
+            None => dc_operating_point(c, &opts)?,
+        };
+        Ok(sol)
+    };
+
+    let (mut lo, mut hi) = (-50e-3, 50e-3);
+    set_dv(&mut c, lo);
+    let mut sol = vout_at(&c, None)?;
+    let v_lo = sol.voltage(&c, "out");
+    set_dv(&mut c, hi);
+    sol = vout_at(&c, Some(&sol))?;
+    let v_hi = sol.voltage(&c, "out");
+    if (v_lo - target).signum() == (v_hi - target).signum() {
+        return Err(EvalError::new(format!(
+            "output cannot be centred: v(out) spans [{v_lo:.3}, {v_hi:.3}] V around ±50 mV input"
+        )));
+    }
+    let rising = v_hi > v_lo;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        set_dv(&mut c, mid);
+        sol = vout_at(&c, Some(&sol))?;
+        let v = sol.voltage(&c, "out");
+        if (v > target) == rising {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let dv = 0.5 * (lo + hi);
+    set_dv(&mut c, dv);
+    sol = vout_at(&c, Some(&sol))?;
+    Ok((dv, c, sol))
+}
+
+/// Measure the full Table-1 performance of a sized OTA under the given
+/// parasitic mode.
+///
+/// # Errors
+///
+/// Propagates any analysis failure with context.
+pub fn evaluate(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+) -> Result<Performance, EvalError> {
+    // --- balanced operating point (also yields the offset) ----------------
+    let (dv, mut c, dc) = balance(ota, tech, mode)?;
+    let offset = dv;
+    let power = dc.supply_current(&c, "vdd") * ota.specs().vdd;
+
+    // --- differential AC: gain, GBW, phase margin --------------------------
+    c.set_source_ac("vinp", 0.5).expect("vinp");
+    c.set_source_ac("vinn", -0.5).expect("vinn");
+    let ac_opts = AcOptions { fstart: 10.0, fstop: 20e9, points_per_decade: 24 };
+    let ac = ac_sweep(&c, &dc, &ac_opts).map_err(|e| EvalError::new(e.to_string()))?;
+    let h = ac.node(&c, "out");
+    let summary = bode_summary(&ac.freqs, &h);
+    let gbw = summary
+        .unity_freq
+        .ok_or_else(|| EvalError::new("gain never crosses unity — no GBW"))?;
+    let phase_margin = summary
+        .phase_margin
+        .ok_or_else(|| EvalError::new("no phase margin without a unity crossing"))?;
+    let adm0 = summary.dc_gain;
+
+    // --- common-mode AC: CMRR ----------------------------------------------
+    c.set_source_ac("vinp", 1.0).expect("vinp");
+    c.set_source_ac("vinn", 1.0).expect("vinn");
+    let ac_cm = ac_sweep(
+        &c,
+        &dc,
+        &AcOptions { fstart: 10.0, fstop: 1e3, points_per_decade: 4 },
+    )
+    .map_err(|e| EvalError::new(e.to_string()))?;
+    let acm0 = ac_cm.magnitude(&c, "out")[0].max(1e-12);
+    let cmrr_db = db(adm0 / acm0);
+
+    // --- output resistance ---------------------------------------------------
+    let mut c_rout = ota.netlist(tech, mode, InputDrive::Differential { dv });
+    c_rout.isource_ac("itest", "0", "out", 0.0, 1.0);
+    let dc_rout = dc_operating_point(&c_rout, &DcOptions::default())?;
+    let ac_rout = ac_sweep(
+        &c_rout,
+        &dc_rout,
+        &AcOptions { fstart: 1.0, fstop: 10.0, points_per_decade: 2 },
+    )
+    .map_err(|e| EvalError::new(e.to_string()))?;
+    let output_resistance = ac_rout.magnitude(&c_rout, "out")[0];
+
+    // --- noise ----------------------------------------------------------------
+    c.set_source_ac("vinp", 0.5).expect("vinp");
+    c.set_source_ac("vinn", -0.5).expect("vinn");
+    let freqs = losac_sim::ac::log_grid(1.0, gbw.max(1e6), 12);
+    let noise =
+        noise_analysis(&c, &dc, &freqs, "out").map_err(|e| EvalError::new(e.to_string()))?;
+    let input_noise_rms = integrate_psd(&noise.freqs, &noise.input_psd).sqrt();
+    let thermal_noise_density = noise.input_density_at(gbw / 50.0);
+    let flicker_noise_density = noise.input_density_at(1.0);
+
+    // --- slew rate --------------------------------------------------------------
+    let slew_rate = measure_slew_rate(ota, tech, mode)?;
+
+    Ok(Performance {
+        dc_gain_db: db(adm0),
+        gbw,
+        phase_margin,
+        slew_rate,
+        cmrr_db,
+        offset,
+        output_resistance,
+        input_noise_rms,
+        thermal_noise_density,
+        flicker_noise_density,
+        power,
+    })
+}
+
+/// Power-supply rejection ratio at low frequency (dB): the differential
+/// gain divided by the supply-to-output gain, both measured at the
+/// balanced operating point.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn measure_psrr(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+) -> Result<f64, EvalError> {
+    let (_dv, mut c, dc) = balance(ota, tech, mode)?;
+    let opts = AcOptions { fstart: 10.0, fstop: 1e3, points_per_decade: 4 };
+    // Differential gain.
+    c.set_source_ac("vinp", 0.5).expect("vinp");
+    c.set_source_ac("vinn", -0.5).expect("vinn");
+    let adm = ac_sweep(&c, &dc, &opts)
+        .map_err(|e| EvalError::new(e.to_string()))?
+        .magnitude(&c, "out")[0];
+    // Supply gain.
+    c.set_source_ac("vinp", 0.0).expect("vinp");
+    c.set_source_ac("vinn", 0.0).expect("vinn");
+    c.set_source_ac("vdd", 1.0).expect("vdd");
+    let avdd = ac_sweep(&c, &dc, &opts)
+        .map_err(|e| EvalError::new(e.to_string()))?
+        .magnitude(&c, "out")[0]
+        .max(1e-12);
+    Ok(db(adm / avdd))
+}
+
+/// Slew rate from a unity-gain buffer step (V/s).
+fn measure_slew_rate(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+) -> Result<f64, EvalError> {
+    let mid = ota.specs().output_mid();
+    let step = 0.4;
+    // Time scale from the expected slew.
+    let sr_est = ota.slew_estimate().max(1e3);
+    let t_slew = (2.0 * step) / sr_est;
+    let at = 2.0 * t_slew;
+    let tstop = at + 8.0 * t_slew;
+    let c = ota.netlist(
+        tech,
+        mode,
+        InputDrive::UnityBuffer { step_from: mid - step, step_to: mid + step, at, rise: t_slew / 100.0 },
+    );
+    let dc = dc_operating_point(&c, &DcOptions::default())?;
+    let res = transient(
+        &c,
+        &dc,
+        &TranOptions { tstop, dt: tstop / 1500.0, newton: DcOptions::default() },
+    )
+    .map_err(|e| EvalError::new(e.to_string()))?;
+    let final_v = res.final_value(&c, "out");
+    if (final_v - (mid + step)).abs() > 0.2 {
+        return Err(EvalError::new(format!(
+            "buffer failed to settle: final {final_v:.3} V vs target {:.3} V",
+            mid + step
+        )));
+    }
+    // 10 %–90 % convention: immune to the capacitive feed-through spike at
+    // the input edge.
+    let v10 = mid - step + 0.2 * step;
+    let v90 = mid + step - 0.2 * step;
+    res.slope_between(&c, "out", v10, v90)
+        .ok_or_else(|| EvalError::new("output never crossed the slew measurement levels"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ota::folded_cascode::{FoldedCascodeOta, FoldedCascodePlan};
+
+    fn setup() -> (Technology, FoldedCascodeOta) {
+        let tech = Technology::cmos06();
+        let ota = FoldedCascodePlan::default()
+            .size(&tech, &OtaSpecs::paper_example(), &ParasiticMode::None)
+            .unwrap();
+        (tech, ota)
+    }
+
+    #[test]
+    fn balance_centres_output() {
+        let (tech, ota) = setup();
+        let (dv, c, sol) = balance(&ota, &tech, &ParasiticMode::None).unwrap();
+        let vout = sol.voltage(&c, "out");
+        assert!((vout - ota.specs.output_mid()).abs() < 5e-3, "vout = {vout:.3}");
+        assert!(dv.abs() < 10e-3, "offset {dv:.4} V should be small");
+    }
+
+    #[test]
+    fn full_evaluation_meets_specs_shape() {
+        let (tech, ota) = setup();
+        let p = evaluate(&ota, &tech, &ParasiticMode::None).unwrap();
+        // Shape checks, not absolute numbers (the flow tests Table 1).
+        assert!(p.dc_gain_db > 50.0 && p.dc_gain_db < 90.0, "gain {:.1} dB", p.dc_gain_db);
+        assert!(p.gbw > 30e6 && p.gbw < 200e6, "gbw {:.1} MHz", p.gbw / 1e6);
+        assert!(p.phase_margin > 45.0 && p.phase_margin < 90.0, "pm {:.1}", p.phase_margin);
+        assert!(p.slew_rate > 20e6, "sr {:.1} V/µs", p.slew_rate / 1e6);
+        assert!(p.cmrr_db > 60.0, "cmrr {:.1} dB", p.cmrr_db);
+        assert!(p.offset.abs() < 5e-3, "offset {:.2} mV", p.offset * 1e3);
+        assert!(
+            p.output_resistance > 1e5 && p.output_resistance < 1e8,
+            "rout {:.2} MΩ",
+            p.output_resistance / 1e6
+        );
+        assert!(
+            p.input_noise_rms > 5e-6 && p.input_noise_rms < 1e-3,
+            "noise {:.1} µV",
+            p.input_noise_rms * 1e6
+        );
+        assert!(p.thermal_noise_density < 100e-9);
+        assert!(p.flicker_noise_density > p.thermal_noise_density);
+        assert!(p.power > 0.2e-3 && p.power < 20e-3, "power {:.2} mW", p.power * 1e3);
+    }
+
+    #[test]
+    fn psrr_is_substantial() {
+        let (tech, ota) = setup();
+        let psrr = measure_psrr(&ota, &tech, &ParasiticMode::None).unwrap();
+        assert!(psrr > 30.0, "PSRR = {psrr:.1} dB");
+    }
+
+    #[test]
+    fn display_formats_all_rows() {
+        let (tech, ota) = setup();
+        let p = evaluate(&ota, &tech, &ParasiticMode::None).unwrap();
+        let text = p.to_string();
+        for key in ["DC gain", "GBW", "Phase margin", "Slew rate", "CMRR", "Power"] {
+            assert!(text.contains(key), "missing row {key}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Amplifier topologies and their design plans.
+//!
+//! COMDIAC selects circuit topologies "from among fixed alternatives,
+//! each with associated detailed design knowledge"; the hierarchy makes
+//! adding topologies simple. Two are provided:
+//!
+//! * [`folded_cascode`] — the paper's Fig. 4 example;
+//! * [`two_stage`] — a Miller-compensated two-stage OTA;
+//! * [`telescopic`] — a telescopic-cascode OTA composed from the
+//!   building-block routines of [`crate::blocks`], demonstrating the
+//!   extensibility the paper claims.
+
+pub mod folded_cascode;
+pub mod telescopic;
+pub mod two_stage;
+
+pub use folded_cascode::{FoldedCascodeOta, FoldedCascodePlan};
+pub use telescopic::{TelescopicOta, TelescopicPlan};
+pub use two_stage::{TwoStageOta, TwoStagePlan};

@@ -1,0 +1,204 @@
+//! Statistical (mismatch) analysis — the paper's "verification interface
+//! … also permits to undergo statistical analysis to check the
+//! reliability of the synthesized circuit".
+//!
+//! Random device mismatch is modelled with the Pelgrom sigmas of the
+//! technology; each Monte-Carlo sample perturbs the threshold voltage and
+//! current factor of every matched pair and accumulates the input-referred
+//! offset analytically through the signal path. The layout's matching
+//! style enters through the *systematic* term: a common-centroid pair
+//! cancels the on-die gradient, a plain side-by-side pair does not — this
+//! is the quantitative argument behind the paper's Fig. 3 and the dummy
+//! devices in Fig. 5.
+
+use crate::ota::folded_cascode::FoldedCascodeOta;
+use losac_device::ekv::evaluate;
+use losac_device::mismatch::{systematic_vt_offset, PairMismatch};
+use losac_device::Mosfet;
+use losac_tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One matched pair's contribution setup.
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    /// σ(ΔVT) of the pair (V).
+    sigma_vt: f64,
+    /// σ(Δβ/β) of the pair.
+    sigma_beta: f64,
+    /// Id/gm of the devices (V) — converts β mismatch to a gate voltage.
+    id_over_gm: f64,
+    /// gm of this pair over gm of the input pair — refers the pair's gate
+    /// error to the amplifier input.
+    gm_ratio: f64,
+    /// Centroid separation along the die gradient (m); zero for a
+    /// common-centroid layout.
+    centroid_distance: f64,
+}
+
+/// Result of a Monte-Carlo offset analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetStatistics {
+    /// Mean input-referred offset (V) — the systematic part.
+    pub mean: f64,
+    /// Standard deviation of the input-referred offset (V).
+    pub sigma: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Matching-style assumption for the statistical model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingStyle {
+    /// Common-centroid stacks with dummies: gradients cancel.
+    CommonCentroid,
+    /// Plain side-by-side placement: the pair centroids sit one module
+    /// width apart along the gradient.
+    SideBySide,
+}
+
+/// Monte-Carlo input-referred offset of the folded-cascode OTA.
+///
+/// `gradient` is the threshold drift across the die (V/m, ~10 V/m
+/// typical); `style` selects whether the layout cancels it. The analysis
+/// covers the three mismatch-critical pairs: the input pair, the bottom
+/// sinks, and the mirror.
+pub fn offset_monte_carlo(
+    ota: &FoldedCascodeOta,
+    tech: &Technology,
+    style: MatchingStyle,
+    gradient: f64,
+    samples: usize,
+    seed: u64,
+) -> OffsetStatistics {
+    let slot = |name: &str, bias_i: f64, input_gm: f64, distance: f64| -> PairSlot {
+        let d = &ota.devices[name];
+        let m = Mosfet::new(*tech.mos(d.polarity), d.w, d.l);
+        let mm = PairMismatch::of(&m);
+        let sgn = d.polarity.sign();
+        let vgs = losac_device::solve::vgs_for_current(&m, sgn * 1.0, 0.0, bias_i, ota.specs.vdd)
+            .unwrap_or(sgn * 1.0);
+        let op = evaluate(&m, vgs, sgn * 1.0, 0.0);
+        PairSlot {
+            sigma_vt: mm.sigma_vt,
+            sigma_beta: mm.sigma_beta,
+            id_over_gm: if op.gm > 0.0 { op.id / op.gm } else { 0.0 },
+            gm_ratio: if input_gm > 0.0 { op.gm / input_gm } else { 1.0 },
+            centroid_distance: distance,
+        }
+    };
+
+    // Input-pair gm as the reference.
+    let din = &ota.devices["mp1"];
+    let m_in = Mosfet::new(*tech.mos(din.polarity), din.w, din.l);
+    let vgs_in = losac_device::solve::vgs_for_current(
+        &m_in,
+        -1.0,
+        0.0,
+        ota.currents.i_in,
+        ota.specs.vdd,
+    )
+    .unwrap_or(-1.0);
+    let gm_in = evaluate(&m_in, vgs_in, -1.0, 0.0).gm;
+
+    // Centroid distances: a side-by-side pair sits roughly one device
+    // width apart; common centroid cancels.
+    let distance_of = |name: &str| -> f64 {
+        match style {
+            MatchingStyle::CommonCentroid => 0.0,
+            MatchingStyle::SideBySide => ota.devices[name].w,
+        }
+    };
+
+    let slots = [
+        slot("mp1", ota.currents.i_in, gm_in, distance_of("mp1")),
+        slot("mn5", ota.currents.i_sink, gm_in, distance_of("mn5")),
+        slot("mp3", ota.currents.i_casc, gm_in, distance_of("mp3")),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut sum2 = 0.0;
+    for _ in 0..samples {
+        let mut offset = 0.0;
+        for s in &slots {
+            let dvt = gauss(&mut rng) * s.sigma_vt + systematic_vt_offset(gradient, s.centroid_distance);
+            let dbeta = gauss(&mut rng) * s.sigma_beta;
+            offset += s.gm_ratio * (dvt + s.id_over_gm * dbeta);
+        }
+        sum += offset;
+        sum2 += offset * offset;
+    }
+    let n = samples.max(1) as f64;
+    let mean = sum / n;
+    let var = (sum2 / n - mean * mean).max(0.0);
+    OffsetStatistics { mean, sigma: var.sqrt(), samples }
+}
+
+/// Box–Muller standard normal sample.
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::ParasiticMode;
+    use crate::ota::folded_cascode::FoldedCascodePlan;
+    use crate::specs::OtaSpecs;
+
+    fn setup() -> (Technology, FoldedCascodeOta) {
+        let tech = Technology::cmos06();
+        let ota = FoldedCascodePlan::default()
+            .size(&tech, &OtaSpecs::paper_example(), &ParasiticMode::None)
+            .unwrap();
+        (tech, ota)
+    }
+
+    #[test]
+    fn sigma_in_the_millivolt_range() {
+        let (tech, ota) = setup();
+        let st = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 10.0, 2000, 7);
+        assert!(st.sigma > 0.1e-3 && st.sigma < 20e-3, "σ = {:.2} mV", st.sigma * 1e3);
+        // Common centroid: no systematic part.
+        assert!(st.mean.abs() < 0.3 * st.sigma, "mean {:.3} mV", st.mean * 1e3);
+    }
+
+    #[test]
+    fn side_by_side_shows_systematic_offset() {
+        let (tech, ota) = setup();
+        let gradient = 50.0; // a deliberately harsh 50 V/m drift
+        let cc = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, gradient, 2000, 7);
+        let sbs = offset_monte_carlo(&ota, &tech, MatchingStyle::SideBySide, gradient, 2000, 7);
+        assert!(
+            sbs.mean.abs() > 3.0 * cc.mean.abs().max(1e-6),
+            "side-by-side {:.3} mV vs common-centroid {:.3} mV",
+            sbs.mean * 1e3,
+            cc.mean * 1e3
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (tech, ota) = setup();
+        let a = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 10.0, 500, 42);
+        let b = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 10.0, 500, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sigma_shrinks_with_bigger_devices() {
+        let (tech, mut ota) = setup();
+        let base = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 0.0, 4000, 1);
+        // Quadruple the input-pair area (double W and L).
+        let d = ota.devices.get_mut("mp1").unwrap();
+        d.w *= 2.0;
+        d.l *= 2.0;
+        let d2 = *d;
+        ota.devices.insert("mp2".into(), d2);
+        let big = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 0.0, 4000, 1);
+        assert!(big.sigma < base.sigma, "{} !< {}", big.sigma, base.sigma);
+    }
+}

@@ -1,0 +1,165 @@
+//! Technology evaluation — the paper's "technology evaluation interface
+//! allows to easily characterize different technologies and helps to
+//! choose the most suitable technology".
+//!
+//! Characterises a process with the figures a designer compares first:
+//! gm/ID versus inversion coefficient, transit frequency versus channel
+//! length, and intrinsic gain versus channel length.
+
+use losac_device::caps::intrinsic_caps;
+use losac_device::ekv::{evaluate, threshold};
+use losac_device::Mosfet;
+use losac_tech::{Polarity, Technology};
+
+/// One row of a characterisation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharPoint {
+    /// Swept variable (meaning depends on the sweep).
+    pub x: f64,
+    /// Characterised value.
+    pub y: f64,
+}
+
+/// gm/ID (1/V) versus effective gate voltage (V) for a polarity, at
+/// fixed L.
+pub fn gm_over_id_vs_veff(
+    tech: &Technology,
+    polarity: Polarity,
+    l: f64,
+    veffs: &[f64],
+) -> Vec<CharPoint> {
+    let p = tech.mos(polarity);
+    let m = Mosfet::new(*p, 10e-6, l);
+    let sgn = polarity.sign();
+    veffs
+        .iter()
+        .map(|&veff| {
+            let op = evaluate(&m, sgn * (threshold(p, 0.0) + veff), sgn * 1.0, 0.0);
+            CharPoint { x: veff, y: op.gm_over_id() }
+        })
+        .collect()
+}
+
+/// Transit frequency fT = gm / (2π·(Cgs + Cgd)) (Hz) versus channel
+/// length (m) at a fixed effective gate voltage.
+pub fn ft_vs_length(
+    tech: &Technology,
+    polarity: Polarity,
+    veff: f64,
+    lengths: &[f64],
+) -> Vec<CharPoint> {
+    let p = tech.mos(polarity);
+    let sgn = polarity.sign();
+    lengths
+        .iter()
+        .map(|&l| {
+            let m = Mosfet::new(*p, 10e-6, l);
+            let op = evaluate(&m, sgn * (threshold(p, 0.0) + veff), sgn * 1.0, 0.0);
+            let c = intrinsic_caps(&m, &op);
+            let ft = op.gm / (2.0 * std::f64::consts::PI * (c.cgs + c.cgd).max(1e-18));
+            CharPoint { x: l, y: ft }
+        })
+        .collect()
+}
+
+/// Intrinsic gain gm/gds versus channel length (m) at a fixed effective
+/// gate voltage.
+pub fn intrinsic_gain_vs_length(
+    tech: &Technology,
+    polarity: Polarity,
+    veff: f64,
+    lengths: &[f64],
+) -> Vec<CharPoint> {
+    let p = tech.mos(polarity);
+    let sgn = polarity.sign();
+    lengths
+        .iter()
+        .map(|&l| {
+            let m = Mosfet::new(*p, 10e-6, l);
+            let op = evaluate(&m, sgn * (threshold(p, 0.0) + veff), sgn * 1.0, 0.0);
+            CharPoint { x: l, y: op.intrinsic_gain() }
+        })
+        .collect()
+}
+
+/// A compact one-page technology summary a designer would skim when
+/// choosing a process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechSummary {
+    /// Process name.
+    pub name: String,
+    /// NMOS/PMOS threshold voltages (V).
+    pub vt: (f64, f64),
+    /// NMOS/PMOS transit frequency at L = 2×Lmin, Veff = 0.2 V (Hz).
+    pub ft: (f64, f64),
+    /// NMOS/PMOS intrinsic gain at L = 2×Lmin, Veff = 0.2 V.
+    pub gain: (f64, f64),
+    /// Minimum gate length (m).
+    pub l_min: f64,
+}
+
+/// Summarise a technology.
+pub fn summarize(tech: &Technology) -> TechSummary {
+    let l_min = tech.rules.poly_width as f64 * 1e-9;
+    let l = 2.0 * l_min;
+    let ft_n = ft_vs_length(tech, Polarity::Nmos, 0.2, &[l])[0].y;
+    let ft_p = ft_vs_length(tech, Polarity::Pmos, 0.2, &[l])[0].y;
+    let g_n = intrinsic_gain_vs_length(tech, Polarity::Nmos, 0.2, &[l])[0].y;
+    let g_p = intrinsic_gain_vs_length(tech, Polarity::Pmos, 0.2, &[l])[0].y;
+    TechSummary {
+        name: tech.name().to_owned(),
+        vt: (tech.nmos.vt0, tech.pmos.vt0),
+        ft: (ft_n, ft_p),
+        gain: (g_n, g_p),
+        l_min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_over_id_decreases_with_veff() {
+        let t = Technology::cmos06();
+        let pts = gm_over_id_vs_veff(&t, Polarity::Nmos, 1e-6, &[0.05, 0.1, 0.2, 0.4]);
+        assert!(pts.windows(2).all(|w| w[1].y < w[0].y), "{pts:?}");
+        // Weak-inversion end approaches 1/(n·Ut) ≈ 28/V; strong end well
+        // below 15/V.
+        assert!(pts[0].y > 15.0);
+        assert!(pts[3].y < 10.0);
+    }
+
+    #[test]
+    fn ft_improves_with_shorter_channels() {
+        let t = Technology::cmos06();
+        let pts =
+            ft_vs_length(&t, Polarity::Nmos, 0.2, &[0.6e-6, 1.2e-6, 2.4e-6]);
+        assert!(pts.windows(2).all(|w| w[1].y < w[0].y), "{pts:?}");
+        // 0.6 µm NMOS: fT of a few GHz.
+        assert!(pts[0].y > 0.5e9 && pts[0].y < 30e9, "fT = {:.2e}", pts[0].y);
+    }
+
+    #[test]
+    fn gain_improves_with_longer_channels() {
+        let t = Technology::cmos06();
+        let pts = intrinsic_gain_vs_length(&t, Polarity::Nmos, 0.2, &[0.6e-6, 2.4e-6]);
+        assert!(pts[1].y > pts[0].y);
+        assert!(pts[0].y > 10.0, "even short channels exceed 20 dB of gain");
+    }
+
+    #[test]
+    fn newer_technology_is_faster() {
+        let a = summarize(&Technology::cmos06());
+        let b = summarize(&Technology::cmos035());
+        assert!(b.ft.0 > a.ft.0, "0.35 µm NMOS beats 0.6 µm in fT");
+        assert!(b.l_min < a.l_min);
+        assert_eq!(a.name, "cmos06");
+    }
+
+    #[test]
+    fn pmos_slower_than_nmos() {
+        let s = summarize(&Technology::cmos06());
+        assert!(s.ft.0 > s.ft.1, "electron mobility wins: {:?}", s.ft);
+    }
+}

@@ -1,0 +1,161 @@
+//! MOS model cards.
+//!
+//! The parameters here feed the analytic EKV-style model implemented in
+//! `losac-device`. One card per polarity; both the sizing tool and the
+//! circuit simulator evaluate **exactly the same card through the same
+//! equations** — the paper credits much of its accuracy to this
+//! model-consistency between synthesis and verification.
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device in the substrate.
+    Nmos,
+    /// P-channel device in an N-well.
+    Pmos,
+}
+
+impl Polarity {
+    /// Sign convention helper: +1 for NMOS, −1 for PMOS. Multiplying
+    /// terminal voltages by this maps PMOS equations onto the NMOS form.
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Nmos => 1.0,
+            Polarity::Pmos => -1.0,
+        }
+    }
+
+    /// The opposite polarity.
+    pub fn complement(self) -> Polarity {
+        match self {
+            Polarity::Nmos => Polarity::Pmos,
+            Polarity::Pmos => Polarity::Nmos,
+        }
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => f.write_str("nmos"),
+            Polarity::Pmos => f.write_str("pmos"),
+        }
+    }
+}
+
+/// Analytic MOS model card.
+///
+/// All voltages/parameters are expressed for the *equivalent NMOS* (i.e.
+/// magnitudes); the device model applies [`Polarity::sign`] to terminal
+/// voltages before evaluating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Zero-bias threshold voltage magnitude (V).
+    pub vt0: f64,
+    /// Transconductance factor µ₀·Cox (A/V²).
+    pub kp: f64,
+    /// Body-effect coefficient (√V).
+    pub gamma: f64,
+    /// Surface potential 2φF (V).
+    pub phi: f64,
+    /// Subthreshold slope factor n (dimensionless, 1.2–1.6 typical).
+    pub slope_n: f64,
+    /// Vertical-field mobility degradation θ (1/V):
+    /// µ = µ₀ / (1 + θ·Veff).
+    pub theta: f64,
+    /// Velocity-saturation critical field (V/m): lateral-field mobility
+    /// reduction 1 / (1 + Veff/(Ecrit·L)).
+    pub ecrit: f64,
+    /// Early voltage per unit channel length (V/m): VA = va_per_l · L_eff.
+    pub va_per_l: f64,
+    /// Lateral diffusion (m): L_eff = L_drawn − 2·ld.
+    pub ld: f64,
+    /// Gate-oxide capacitance (F/m²) — duplicated from the capacitance
+    /// rules so the device model is self-contained.
+    pub cox: f64,
+    /// Gate–drain overlap capacitance per gate width (F/m) — duplicated
+    /// from the capacitance rules for the same reason.
+    pub cgdo: f64,
+    /// Gate–source overlap capacitance per gate width (F/m).
+    pub cgso: f64,
+    /// Flicker-noise coefficient KF (V²·F): Svg(f) = kf / (Cox·W·L·f^af).
+    pub kf: f64,
+    /// Flicker-noise exponent (≈1).
+    pub af: f64,
+    /// Pelgrom threshold-mismatch coefficient AVT (V·m):
+    /// σ(ΔVT) = avt / √(W·L).
+    pub avt: f64,
+    /// Pelgrom current-factor mismatch coefficient Aβ (m):
+    /// σ(Δβ/β) = abeta / √(W·L).
+    pub abeta: f64,
+}
+
+impl MosParams {
+    /// Check that the card is physically plausible.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v, lo, hi) in [
+            ("vt0", self.vt0, 0.1, 2.0),
+            ("kp", self.kp, 1e-6, 1e-2),
+            ("gamma", self.gamma, 0.0, 2.0),
+            ("phi", self.phi, 0.3, 1.2),
+            ("slope_n", self.slope_n, 1.0, 2.0),
+            ("theta", self.theta, 0.0, 1.0),
+            ("ecrit", self.ecrit, 1e5, 1e8),
+            ("va_per_l", self.va_per_l, 1e5, 1e8),
+            ("ld", self.ld, 0.0, 0.5e-6),
+            ("cox", self.cox, 1e-4, 1e-1),
+            ("cgdo", self.cgdo, 0.0, 1e-8),
+            ("cgso", self.cgso, 0.0, 1e-8),
+            ("kf", self.kf, 0.0, 1e-20),
+            ("af", self.af, 0.5, 2.0),
+            ("avt", self.avt, 0.0, 1e-6),
+            ("abeta", self.abeta, 0.0, 1e-4),
+        ] {
+            if !v.is_finite() || v < lo || v > hi {
+                return Err(format!("{name} = {v} out of plausible range [{lo}, {hi}]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(Polarity::Nmos.sign(), 1.0);
+        assert_eq!(Polarity::Pmos.sign(), -1.0);
+        assert_eq!(Polarity::Nmos.complement(), Polarity::Pmos);
+        assert_eq!(Polarity::Pmos.complement(), Polarity::Nmos);
+        assert_eq!(Polarity::Nmos.to_string(), "nmos");
+    }
+
+    #[test]
+    fn builtin_cards_valid() {
+        Technology::cmos06().nmos.validate().unwrap();
+        Technology::cmos06().pmos.validate().unwrap();
+        Technology::cmos035().nmos.validate().unwrap();
+        Technology::cmos035().pmos.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut card = Technology::cmos06().nmos;
+        card.vt0 = 5.0;
+        assert!(card.validate().is_err());
+        let mut card = Technology::cmos06().nmos;
+        card.kp = f64::NAN;
+        assert!(card.validate().is_err());
+    }
+
+    #[test]
+    fn nmos_stronger_than_pmos() {
+        let t = Technology::cmos06();
+        assert!(t.nmos.kp > t.pmos.kp, "electron mobility exceeds hole mobility");
+    }
+}

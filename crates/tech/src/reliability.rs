@@ -1,0 +1,134 @@
+//! Electromigration (reliability) design rules.
+//!
+//! Long-term wire reliability requires bounding the current density in every
+//! wire and cut. The layout generators use these rules to widen wires and
+//! multiply contacts wherever the DC current demands it (§3 of the paper,
+//! "Reliability constraints").
+
+use crate::units::Nm;
+
+/// Maximum sustained DC current limits of the process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityRules {
+    /// Metal-1 current capacity per micrometre of width (mA/µm).
+    pub metal1_ma_per_um: f64,
+    /// Metal-2 current capacity per micrometre of width (mA/µm).
+    pub metal2_ma_per_um: f64,
+    /// Maximum current through one contact cut (mA).
+    pub contact_ma: f64,
+    /// Maximum current through one via cut (mA).
+    pub via_ma: f64,
+}
+
+impl ReliabilityRules {
+    /// Minimum metal wire width (nm, *not yet grid-snapped*) to carry
+    /// `current` amperes on the given metal level (1 or 2).
+    ///
+    /// Returns 0 for non-positive currents; callers clamp to the minimum
+    /// width rule afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not 1 or 2.
+    pub fn min_metal_width(&self, level: u8, current: f64) -> Nm {
+        let cap = match level {
+            1 => self.metal1_ma_per_um,
+            2 => self.metal2_ma_per_um,
+            _ => panic!("no metal level {level} in this process"),
+        };
+        if current <= 0.0 {
+            return 0;
+        }
+        // current [A] / (cap [mA/µm]) = width [µm] * 1e-3 → nm
+        let width_um = current * 1.0e3 / cap;
+        (width_um * 1.0e3).ceil() as Nm
+    }
+
+    /// Minimum number of contact cuts to carry `current` amperes.
+    ///
+    /// Always at least 1, so every terminal stays connected.
+    pub fn min_contacts(&self, current: f64) -> usize {
+        if current <= 0.0 {
+            return 1;
+        }
+        let n = (current * 1.0e3 / self.contact_ma).ceil() as usize;
+        n.max(1)
+    }
+
+    /// Minimum number of via cuts to carry `current` amperes.
+    ///
+    /// Always at least 1.
+    pub fn min_vias(&self, current: f64) -> usize {
+        if current <= 0.0 {
+            return 1;
+        }
+        let n = (current * 1.0e3 / self.via_ma).ceil() as usize;
+        n.max(1)
+    }
+
+    /// Does a wire of `width` (nm) on metal `level` safely carry `current`
+    /// amperes?
+    pub fn wire_ok(&self, level: u8, width: Nm, current: f64) -> bool {
+        width >= self.min_metal_width(level, current)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("metal1_ma_per_um", self.metal1_ma_per_um),
+            ("metal2_ma_per_um", self.metal2_ma_per_um),
+            ("contact_ma", self.contact_ma),
+            ("via_ma", self.via_ma),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    fn rel() -> ReliabilityRules {
+        Technology::cmos06().reliability
+    }
+
+    #[test]
+    fn width_scales_with_current() {
+        let r = rel();
+        // 1 mA at 1 mA/µm → 1 µm = 1000 nm.
+        assert_eq!(r.min_metal_width(1, 1.0e-3), 1000);
+        assert_eq!(r.min_metal_width(1, 2.0e-3), 2000);
+        assert_eq!(r.min_metal_width(1, 0.0), 0);
+        assert_eq!(r.min_metal_width(1, -1.0), 0);
+    }
+
+    #[test]
+    fn contact_count_scales_with_current() {
+        let r = rel();
+        // 0.4 mA per contact: 1 mA needs 3 cuts.
+        assert_eq!(r.min_contacts(1.0e-3), 3);
+        assert_eq!(r.min_contacts(0.4e-3), 1);
+        assert_eq!(r.min_contacts(0.0), 1);
+        assert_eq!(r.min_vias(1.2e-3), 2);
+        assert_eq!(r.min_vias(0.0), 1);
+    }
+
+    #[test]
+    fn wire_ok_consistent_with_min_width() {
+        let r = rel();
+        let w = r.min_metal_width(2, 3.3e-3);
+        assert!(r.wire_ok(2, w, 3.3e-3));
+        assert!(!r.wire_ok(2, w - 1, 3.3e-3));
+    }
+
+    #[test]
+    fn invalid_rules_rejected() {
+        let mut r = rel();
+        r.contact_ma = 0.0;
+        assert!(r.validate().is_err());
+    }
+}

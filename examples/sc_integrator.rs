@@ -1,0 +1,143 @@
+//! Switched-capacitor integrator — the paper's stated future work
+//! ("synthesis of larger systems as switched capacitor filters and A/D
+//! converters using the same methodology").
+//!
+//! A parasitic-insensitive (non-inverting) SC integrator built around
+//! the synthesized folded-cascode OTA: two non-overlapping clock phases,
+//! four NMOS switches, a 0.5 pF sampling capacitor and a 2 pF
+//! integration capacitor. A DC input then produces a staircase at the
+//! output, stepping +(Cs/Ci)·(Vin − Vcm) every clock cycle (less the
+//! charge-injection and finite-gain losses a real circuit shows).
+//!
+//! ```sh
+//! cargo run --release --example sc_integrator
+//! ```
+
+use losac::device::Mosfet;
+use losac::sim::dc::{dc_operating_point, DcOptions};
+use losac::sim::netlist::{Circuit, DiffGeom, Waveform};
+use losac::sim::tran::{transient, TranOptions};
+use losac::sizing::{FoldedCascodePlan, OtaSpecs, ParasiticMode};
+use losac::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos06();
+    let specs = OtaSpecs::paper_example();
+    let ota = FoldedCascodePlan::default().size(&tech, &specs, &ParasiticMode::None)?;
+
+    let vcm = specs.output_mid();
+    let vin = vcm + 0.2; // 200 mV above the reference
+    let cs = 0.5e-12;
+    let ci = 2.0e-12;
+    let period = 1.0e-6;
+
+    // The integrator netlist instantiates the sized OTA devices directly
+    // so the inverting input (node "vg", the virtual ground) stays free
+    // for the switched-capacitor network.
+    let mut c = Circuit::new();
+    build_integrator(&mut c, &tech, &ota, vcm, vin, cs, ci, period);
+
+    let dc = dc_operating_point(&c, &DcOptions::default())?;
+    println!("quiescent output: {:.3} V (reference {:.3} V)", dc.voltage(&c, "out"), vcm);
+
+    let cycles = 8.0;
+    let tstop = cycles as f64 * period + 0.25 * period;
+    let res = transient(
+        &c,
+        &dc,
+        &TranOptions { tstop, dt: period / 400.0, newton: DcOptions::default() },
+    )?;
+
+    // Sample the output at the end of each φ2 (integrate) phase.
+    println!("\ncycle  v(out)    step");
+    let sample_at = |t: f64| -> f64 {
+        let k = res.t.iter().position(|&x| x >= t).unwrap_or(res.t.len() - 1);
+        res.node(&c, "out")[k]
+    };
+    let expected_step = cs / ci * (vin - vcm);
+    let mut prev = sample_at(0.45 * period);
+    for k in 1..=cycles as usize {
+        let v = sample_at((k as f64 + 0.45) * period);
+        println!("{k:>5}  {v:7.3} V  {:+7.1} mV", (v - prev) * 1e3);
+        prev = v;
+    }
+    println!("\nexpected ideal step: {:+.1} mV per cycle (+Cs/Ci*dVin)", expected_step * 1e3);
+    Ok(())
+}
+
+/// Build the parasitic-insensitive non-inverting SC integrator around
+/// the sized OTA.
+#[allow(clippy::too_many_arguments)]
+fn build_integrator(
+    c: &mut Circuit,
+    tech: &Technology,
+    ota: &losac::sizing::FoldedCascodeOta,
+    vcm: f64,
+    vin: f64,
+    cs: f64,
+    ci: f64,
+    period: f64,
+) {
+    // Supplies and references.
+    c.vsource("vdd", "vdd", "0", ota.specs.vdd);
+    c.vsource("vbp1", "vp1", "0", ota.bias.vp1);
+    c.vsource("vbn0", "vbn", "0", ota.bias.vbn);
+    c.vsource("vbc1", "vc1", "0", ota.bias.vc1);
+    c.vsource("vbc3", "vc3", "0", ota.bias.vc3);
+    c.vsource("vcm", "vinp", "0", vcm); // non-inverting input at the reference
+    c.vsource("vsig", "vin", "0", vin);
+
+    // Non-overlapping clocks (gate drive 0 → VDD).
+    let clk = |delay: f64| Waveform::Pulse {
+        level: 3.3,
+        delay,
+        width: 0.38 * period,
+        period,
+        edge: 0.01 * period,
+    };
+    c.vsource_tran("ph1", "ph1", "0", 0.0, clk(0.02 * period));
+    c.vsource_tran("ph2", "ph2", "0", 0.0, clk(0.52 * period));
+
+    // The OTA core (inverting input = node "vg").
+    let mos = |c: &mut Circuit, name: &str, d: &str, g: &str, s: &str, b: &str| {
+        let dev = &ota.devices[name];
+        let m = Mosfet::new(*tech.mos(dev.polarity), dev.w, dev.l);
+        let junction = match dev.polarity {
+            losac::tech::Polarity::Nmos => tech.caps.ndiff,
+            losac::tech::Polarity::Pmos => tech.caps.pdiff,
+        };
+        c.mos(name, d, g, s, b, m, junction, DiffGeom::default(), DiffGeom::default());
+    };
+    mos(c, "mptail", "tail", "vp1", "vdd", "vdd");
+    mos(c, "mp1", "f1", "vinp", "tail", "vdd");
+    mos(c, "mp2", "f2", "vg", "tail", "vdd");
+    mos(c, "mn5", "f1", "vbn", "0", "0");
+    mos(c, "mn6", "f2", "vbn", "0", "0");
+    mos(c, "mn1c", "m", "vc1", "f1", "0");
+    mos(c, "mn2c", "out", "vc1", "f2", "0");
+    mos(c, "mp3", "a", "m", "vdd", "vdd");
+    mos(c, "mp3c", "m", "vc3", "a", "vdd");
+    mos(c, "mp4", "b", "m", "vdd", "vdd");
+    mos(c, "mp4c", "out", "vc3", "b", "vdd");
+    c.capacitor("cload", "out", "0", 1.0e-12);
+
+    // Integration capacitor with a weak DC-defining leak.
+    c.capacitor("cint", "vg", "out", ci);
+    c.resistor("rleak", "vg", "out", 500e6);
+
+    // Switches: NMOS, W/L = 4/0.6.
+    let t = tech;
+    let sw = |c: &mut Circuit, name: &str, a: &str, gate: &str, b_node: &str| {
+        let m = Mosfet::new(t.nmos, 4e-6, 0.6e-6);
+        c.mos(name, a, gate, b_node, "0", m, t.caps.ndiff, DiffGeom::default(), DiffGeom::default());
+    };
+    // φ1: sample vin onto Cs (top plate n1, bottom plate n2).
+    sw(c, "s1", "n1", "ph1", "vin");
+    sw(c, "s2", "n2", "ph1", "vref2");
+    c.vsource("vref2", "vref2", "0", vcm);
+    // φ2: dump the charge into the virtual ground.
+    sw(c, "s3", "n1", "ph2", "vref3");
+    c.vsource("vref3", "vref3", "0", vcm);
+    sw(c, "s4", "n2", "ph2", "vg");
+    c.capacitor("cs", "n1", "n2", cs);
+}

@@ -1,0 +1,51 @@
+//! # losac — Layout-Oriented Synthesis of Analog Circuits
+//!
+//! A Rust reproduction of *"Layout-Oriented Synthesis of High Performance
+//! Analog Circuits"* (M. Dessouky, M.-M. Louërat, J. Porte — DATE 2000):
+//! a circuit-sizing tool and a procedural layout generator coupled in a
+//! loop, so layout parasitics are estimated and compensated *during*
+//! sizing instead of after it.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tech`] | process description: layers, rules, parasitic coefficients, EM limits, MOS cards |
+//! | [`device`] | the shared EKV-style MOS model, folding factors, noise, mismatch |
+//! | [`layout`] | CAIRO-style procedural layout: rows, stacks, slicing, routing, extraction, DRC |
+//! | [`sim`] | SPICE-class simulator: DC, AC, noise, transient, measurements |
+//! | [`sizing`] | COMDIAC-style design plans, evaluation by simulation, statistics |
+//! | [`flow`] | the layout-oriented synthesis loop, the Table-1 cases, the traditional baseline |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
+//! use losac::sizing::{FoldedCascodePlan, OtaSpecs};
+//! use losac::tech::Technology;
+//!
+//! let tech = Technology::cmos06();
+//! let result = layout_oriented_synthesis(
+//!     &tech,
+//!     &OtaSpecs::paper_example(),
+//!     &FoldedCascodePlan::default(),
+//!     &FlowOptions::default(),
+//! )?;
+//! println!(
+//!     "converged after {} layout calls; layout area {:.0} µm²",
+//!     result.layout_calls,
+//!     result.layout.area_m2() * 1e12
+//! );
+//! # Ok::<(), losac::flow::flow::FlowError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `EXPERIMENTS.md` for the paper-versus-measured record of every table
+//! and figure.
+
+pub use losac_core as flow;
+pub use losac_device as device;
+pub use losac_layout as layout;
+pub use losac_sim as sim;
+pub use losac_sizing as sizing;
+pub use losac_tech as tech;

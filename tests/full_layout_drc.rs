@@ -1,0 +1,60 @@
+//! Integration test: the flow's final generated layout is legal — no
+//! shorts between nets, no design-rule violations — in both built-in
+//! technologies.
+
+use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
+use losac::layout::drc;
+use losac::sizing::{FoldedCascodePlan, OtaSpecs};
+use losac::tech::Technology;
+
+fn check_tech(tech: &Technology) {
+    let r = layout_oriented_synthesis(
+        tech,
+        &OtaSpecs::paper_example(),
+        &FoldedCascodePlan::default(),
+        &FlowOptions::default(),
+    )
+    .expect("flow runs");
+    assert!(r.layout.em_clean, "electromigration rules respected in {}", tech.name());
+    let violations = drc::check(tech, &r.layout.cell);
+    assert!(
+        violations.is_empty(),
+        "{}: {} violations, first: {}",
+        tech.name(),
+        violations.len(),
+        violations.first().map(|v| v.to_string()).unwrap_or_default()
+    );
+}
+
+#[test]
+fn ota_layout_is_drc_clean_in_cmos06() {
+    check_tech(&Technology::cmos06());
+}
+
+#[test]
+fn ota_layout_is_drc_clean_in_cmos035() {
+    check_tech(&Technology::cmos035());
+}
+
+#[test]
+fn layout_reports_every_transistor_and_net() {
+    let tech = Technology::cmos06();
+    let r = layout_oriented_synthesis(
+        &tech,
+        &OtaSpecs::paper_example(),
+        &FoldedCascodePlan::default(),
+        &FlowOptions::default(),
+    )
+    .expect("flow runs");
+    assert_eq!(r.layout.devices.len(), 11, "all Fig. 4 transistors present");
+    for net in ["out", "f1", "f2", "m", "tail"] {
+        assert!(
+            r.report.net_cap.contains_key(net),
+            "net {net} missing from the parasitic report"
+        );
+    }
+    // The folding discipline: every signal-path device has even folds.
+    for name in ["mn1c", "mn2c", "mp3c", "mp4c"] {
+        assert_eq!(r.layout.devices[name].folds % 2, 0, "{name}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based tests over the core invariants of the workspace
+//! (proptest): device-model monotonicity and totality, folding-factor
+//! identities, shape-function pruning, slicing-area bounds, stack
+//! conservation, junction-capacitance physics, and linear-solver
+//! round-trips.
+
+use losac::device::ekv::evaluate;
+use losac::device::folding::{factor, DiffusionGeometry, DrainPosition, FoldSpec};
+use losac::device::Mosfet;
+use losac::layout::shape::{ShapeFunction, Variant};
+use losac::layout::slicing::{optimize, ShapeConstraint, SlicingTree};
+use losac::layout::stack::{plan_stack, StackDevice, StackSpec, StackStyle};
+use losac::sim::num::Matrix;
+use losac::tech::units::nm_to_m;
+use losac::tech::{Polarity, Technology};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ekv_total_and_monotone_in_vgs(
+        w_um in 1.0f64..200.0,
+        l_um in 0.6f64..5.0,
+        vgs in 0.0f64..3.3,
+        vds in 0.05f64..3.3,
+        vbs in -2.0f64..0.0,
+    ) {
+        let tech = Technology::cmos06();
+        let m = Mosfet::new(tech.nmos, w_um * 1e-6, l_um * 1e-6);
+        let op = evaluate(&m, vgs, vds, vbs);
+        prop_assert!(op.id.is_finite() && op.gm.is_finite() && op.gds.is_finite());
+        prop_assert!(op.id >= -1e-15, "forward bias never reverses current");
+        // Monotone in vgs.
+        let op2 = evaluate(&m, vgs + 0.05, vds, vbs);
+        prop_assert!(op2.id >= op.id);
+        // gm is the derivative of a monotone function.
+        prop_assert!(op.gm >= -1e-15);
+    }
+
+    #[test]
+    fn ekv_current_scales_linearly_with_width(
+        w_um in 1.0f64..100.0,
+        scale in 1.1f64..8.0,
+        vgs in 0.8f64..2.0,
+    ) {
+        let tech = Technology::cmos06();
+        let a = evaluate(&Mosfet::new(tech.nmos, w_um * 1e-6, 1e-6), vgs, 1.5, 0.0).id;
+        let b = evaluate(&Mosfet::new(tech.nmos, w_um * scale * 1e-6, 1e-6), vgs, 1.5, 0.0).id;
+        prop_assert!((b / a / scale - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn folding_factor_identities(nf in 1u32..40) {
+        // F bounds and the paper's closed forms.
+        for pos in [DrainPosition::Internal, DrainPosition::External] {
+            let f = factor(nf, pos);
+            prop_assert!((0.5..=1.0).contains(&f));
+        }
+        if nf >= 2 && nf % 2 == 0 {
+            prop_assert_eq!(factor(nf, DrainPosition::Internal), 0.5);
+            let nf_f = nf as f64;
+            prop_assert!((factor(nf, DrainPosition::External) - (nf_f + 2.0) / (2.0 * nf_f)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn folding_geometry_matches_formula(nf in 1u32..16, w_um in 2.0f64..100.0) {
+        let tech = Technology::cmos06();
+        let w_nm = (w_um * 1000.0) as i64;
+        let pos = if nf % 2 == 0 { DrainPosition::Internal } else { DrainPosition::External };
+        let spec = FoldSpec::new(nf, pos);
+        let g = DiffusionGeometry::drain(w_nm, spec, &tech.rules);
+        let f_geom = g.effective_width(w_nm, spec) / nm_to_m(w_nm);
+        prop_assert!((f_geom - spec.drain_factor()).abs() < 1e-9);
+        prop_assert!(g.area > 0.0 && g.perimeter > 0.0);
+    }
+
+    #[test]
+    fn junction_cap_decreases_with_reverse_bias(
+        area_um2 in 1.0f64..1000.0,
+        perim_um in 1.0f64..500.0,
+        v1 in 0.0f64..2.0,
+        dv in 0.1f64..2.0,
+    ) {
+        let j = Technology::cmos06().caps.ndiff;
+        let a = j.capacitance(area_um2 * 1e-12, perim_um * 1e-6, v1);
+        let b = j.capacitance(area_um2 * 1e-12, perim_um * 1e-6, v1 + dv);
+        prop_assert!(b < a);
+        prop_assert!(b > 0.0);
+    }
+
+    #[test]
+    fn shape_function_pruning_invariants(
+        dims in proptest::collection::vec((1i64..100_000, 1i64..100_000), 1..20)
+    ) {
+        let variants: Vec<Variant> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| Variant { w, h, tag: i as u32 })
+            .collect();
+        let sf = ShapeFunction::new(variants.clone());
+        // Sorted by width, strictly decreasing height.
+        let v = sf.variants();
+        prop_assert!(v.windows(2).all(|p| p[0].w < p[1].w && p[0].h > p[1].h));
+        // Every input is dominated-or-kept: for each input there is a kept
+        // variant no wider and no taller.
+        for inp in &variants {
+            prop_assert!(
+                v.iter().any(|k| k.w <= inp.w && k.h <= inp.h),
+                "input {}x{} has no dominating survivor",
+                inp.w,
+                inp.h
+            );
+        }
+    }
+
+    #[test]
+    fn slicing_area_bounds(
+        sizes in proptest::collection::vec((1_000i64..50_000, 1_000i64..50_000), 2..6)
+    ) {
+        let shapes: Vec<ShapeFunction> = sizes
+            .iter()
+            .map(|&(w, h)| ShapeFunction::fixed(w, h, 0))
+            .collect();
+        let ids: Vec<usize> = (0..shapes.len()).collect();
+        let tree = SlicingTree::row_of(&ids);
+        let r = optimize(&tree, &shapes, 0, ShapeConstraint::MinArea).unwrap();
+        let sum_area: i128 = sizes.iter().map(|&(w, h)| w as i128 * h as i128).sum();
+        prop_assert!(r.area() >= sum_area, "area {} < parts {}", r.area(), sum_area);
+        // Width of a row equals the sum of widths; height is the max.
+        let w_sum: i64 = sizes.iter().map(|s| s.0).sum();
+        let h_max: i64 = sizes.iter().map(|s| s.1).max().unwrap();
+        prop_assert_eq!(r.w, w_sum);
+        prop_assert_eq!(r.h, h_max);
+    }
+
+    #[test]
+    fn stack_conserves_fingers_and_isolates_drains(
+        fingers in proptest::collection::vec(1u32..9, 1..4),
+        dummies in proptest::bool::ANY,
+    ) {
+        let devices: Vec<StackDevice> = fingers
+            .iter()
+            .enumerate()
+            .map(|(i, &nf)| StackDevice {
+                name: format!("m{i}"),
+                fingers: nf,
+                drain_net: format!("d{i}"),
+                gate_net: "g".into(),
+            })
+            .collect();
+        let spec = StackSpec {
+            name: "s".into(),
+            polarity: Polarity::Nmos,
+            finger_w: 5_000,
+            gate_l: 1_000,
+            devices,
+            source_net: "s".into(),
+            bulk_net: "gnd".into(),
+            end_dummies: dummies,
+            style: StackStyle::CommonCentroid,
+            net_currents: HashMap::new(),
+        };
+        let plan = plan_stack(&spec).unwrap();
+        // Conservation.
+        let device_fingers: u32 = fingers.iter().sum();
+        let placed = plan.fingers.iter().filter(|f| f.device.is_some()).count() as u32;
+        prop_assert_eq!(placed, device_fingers);
+        prop_assert_eq!(plan.strip_nets.len(), plan.fingers.len() + 1);
+        // Drain strips only touch their own device.
+        for (i, net) in plan.strip_nets.iter().enumerate() {
+            if let Some(suffix) = net.strip_prefix('d') {
+                let owner = format!("m{suffix}");
+                for fi in [i.checked_sub(1), (i < plan.fingers.len()).then_some(i)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(dev) = &plan.fingers[fi].device {
+                        prop_assert_eq!(dev, &owner);
+                    }
+                }
+            }
+        }
+        // Direction imbalance is at most one finger per device.
+        for imb in plan.direction_imbalance.values() {
+            prop_assert!(*imb <= 1);
+        }
+    }
+
+    #[test]
+    fn lu_roundtrip_on_diagonally_dominant_systems(
+        seed in proptest::collection::vec(-1.0f64..1.0, 16),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let n = 4;
+        let mut m = Matrix::<f64>::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, seed[i * n + j]);
+            }
+            m.add(i, i, 4.0);
+        }
+        let x = m.clone().lu().unwrap().solve(&rhs);
+        let back = m.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((back[i] - rhs[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_folded_rows_are_drc_clean(
+        nf in 1usize..10,
+        w_um in 3.0f64..30.0,
+        l_um in 0.6f64..3.0,
+        pmos in proptest::bool::ANY,
+        current_ma in 0.0f64..1.5,
+    ) {
+        use losac::layout::row::{build_row, Finger, RowSpec};
+        use losac::layout::drc;
+        let tech = Technology::cmos06();
+        let polarity = if pmos { Polarity::Pmos } else { Polarity::Nmos };
+        let finger_w = tech.snap_up((w_um * 1000.0) as i64);
+        let gate_l = tech.snap_up((l_um * 1000.0) as i64).max(tech.rules.poly_width);
+        let mut net_currents = HashMap::new();
+        net_currents.insert("d".to_owned(), current_ma * 1e-3);
+        let spec = RowSpec {
+            name: "m".into(),
+            polarity,
+            finger_w,
+            gate_l,
+            strip_nets: (0..=nf)
+                .map(|i| if i % 2 == 0 { "s".to_owned() } else { "d".to_owned() })
+                .collect(),
+            fingers: (0..nf)
+                .map(|i| Finger {
+                    gate_net: "g".into(),
+                    device: Some("m".into()),
+                    flipped: i % 2 == 1,
+                })
+                .collect(),
+            bulk_net: if pmos { "vdd".into() } else { "gnd".into() },
+            net_currents,
+        };
+        let row = build_row(&tech, &spec).unwrap();
+        let violations = drc::check(&tech, &row.cell);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn dc_solution_bounded_by_sources(
+        r1 in 100.0f64..100_000.0,
+        r2 in 100.0f64..100_000.0,
+        r3 in 100.0f64..100_000.0,
+        v in 0.1f64..10.0,
+    ) {
+        use losac::sim::dc::{dc_operating_point, DcOptions};
+        use losac::sim::netlist::Circuit;
+        let mut c = Circuit::new();
+        c.vsource("v1", "a", "0", v);
+        c.resistor("r1", "a", "b", r1);
+        c.resistor("r2", "b", "c", r2);
+        c.resistor("r3", "c", "0", r3);
+        let sol = dc_operating_point(&c, &DcOptions::default()).unwrap();
+        // A resistive network driven by one source: every node between
+        // 0 and v, and monotone along the ladder.
+        let (va, vb, vc) = (sol.voltage(&c, "a"), sol.voltage(&c, "b"), sol.voltage(&c, "c"));
+        prop_assert!((va - v).abs() < 1e-9);
+        prop_assert!(vb <= va + 1e-9 && vc <= vb + 1e-9 && vc >= -1e-9);
+    }
+}

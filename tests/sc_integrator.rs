@@ -1,0 +1,119 @@
+//! Integration test for the paper's future-work direction: a
+//! switched-capacitor integrator around the synthesized OTA behaves as
+//! the charge-transfer equation predicts.
+//!
+//! This drives the whole stack at once: sizing (OTA), the shared device
+//! model (switches and amplifier), the transient engine with clocked
+//! waveforms, and the charge-conservation of the capacitor companion
+//! models.
+
+use losac::device::Mosfet;
+use losac::sim::dc::{dc_operating_point, DcOptions};
+use losac::sim::netlist::{Circuit, DiffGeom, Waveform};
+use losac::sim::tran::{transient, TranOptions};
+use losac::sizing::{FoldedCascodePlan, OtaSpecs, ParasiticMode};
+use losac::tech::{Polarity, Technology};
+
+#[test]
+fn sc_integrator_steps_by_cs_over_ci() {
+    let tech = Technology::cmos06();
+    let specs = OtaSpecs::paper_example();
+    let ota = FoldedCascodePlan::default()
+        .size(&tech, &specs, &ParasiticMode::None)
+        .expect("sizes");
+
+    let vcm = specs.output_mid();
+    let dv_in = 0.2;
+    let cs = 0.5e-12;
+    let ci = 2.0e-12;
+    let period = 1.0e-6;
+
+    let mut c = Circuit::new();
+    c.vsource("vdd", "vdd", "0", specs.vdd);
+    c.vsource("vbp1", "vp1", "0", ota.bias.vp1);
+    c.vsource("vbn0", "vbn", "0", ota.bias.vbn);
+    c.vsource("vbc1", "vc1", "0", ota.bias.vc1);
+    c.vsource("vbc3", "vc3", "0", ota.bias.vc3);
+    c.vsource("vcm", "vinp", "0", vcm);
+    c.vsource("vsig", "vin", "0", vcm + dv_in);
+
+    let clk = |delay: f64| Waveform::Pulse {
+        level: 3.3,
+        delay,
+        width: 0.38 * period,
+        period,
+        edge: 0.01 * period,
+    };
+    c.vsource_tran("ph1", "ph1", "0", 0.0, clk(0.02 * period));
+    c.vsource_tran("ph2", "ph2", "0", 0.0, clk(0.52 * period));
+
+    let mos = |c: &mut Circuit, name: &str, d: &str, g: &str, s: &str, b: &str| {
+        let dev = &ota.devices[name];
+        let m = Mosfet::new(*tech.mos(dev.polarity), dev.w, dev.l);
+        let junction = match dev.polarity {
+            Polarity::Nmos => tech.caps.ndiff,
+            Polarity::Pmos => tech.caps.pdiff,
+        };
+        c.mos(name, d, g, s, b, m, junction, DiffGeom::default(), DiffGeom::default());
+    };
+    mos(&mut c, "mptail", "tail", "vp1", "vdd", "vdd");
+    mos(&mut c, "mp1", "f1", "vinp", "tail", "vdd");
+    mos(&mut c, "mp2", "f2", "vg", "tail", "vdd");
+    mos(&mut c, "mn5", "f1", "vbn", "0", "0");
+    mos(&mut c, "mn6", "f2", "vbn", "0", "0");
+    mos(&mut c, "mn1c", "m", "vc1", "f1", "0");
+    mos(&mut c, "mn2c", "out", "vc1", "f2", "0");
+    mos(&mut c, "mp3", "a", "m", "vdd", "vdd");
+    mos(&mut c, "mp3c", "m", "vc3", "a", "vdd");
+    mos(&mut c, "mp4", "b", "m", "vdd", "vdd");
+    mos(&mut c, "mp4c", "out", "vc3", "b", "vdd");
+    c.capacitor("cload", "out", "0", 1.0e-12);
+    c.capacitor("cint", "vg", "out", ci);
+    c.resistor("rleak", "vg", "out", 500e6);
+
+    let sw = |c: &mut Circuit, name: &str, a: &str, gate: &str, b_node: &str| {
+        let m = Mosfet::new(tech.nmos, 4e-6, 0.6e-6);
+        c.mos(name, a, gate, b_node, "0", m, tech.caps.ndiff, DiffGeom::default(), DiffGeom::default());
+    };
+    sw(&mut c, "s1", "n1", "ph1", "vin");
+    sw(&mut c, "s2", "n2", "ph1", "vref2");
+    c.vsource("vref2", "vref2", "0", vcm);
+    sw(&mut c, "s3", "n1", "ph2", "vref3");
+    c.vsource("vref3", "vref3", "0", vcm);
+    sw(&mut c, "s4", "n2", "ph2", "vg");
+    c.capacitor("cs", "n1", "n2", cs);
+
+    let dc = dc_operating_point(&c, &DcOptions::default()).expect("dc solves");
+    assert!(
+        (dc.voltage(&c, "out") - vcm).abs() < 0.1,
+        "quiescent output near the reference"
+    );
+
+    let cycles = 4usize;
+    let tstop = cycles as f64 * period + 0.25 * period;
+    let res = transient(
+        &c,
+        &dc,
+        &TranOptions { tstop, dt: period / 250.0, newton: DcOptions::default() },
+    )
+    .expect("transient runs");
+
+    let out = res.node(&c, "out");
+    let sample_at = |t: f64| -> f64 {
+        let k = res.t.iter().position(|&x| x >= t).unwrap_or(res.t.len() - 1);
+        out[k]
+    };
+    let ideal = cs / ci * dv_in;
+    let mut prev = sample_at(0.45 * period);
+    for k in 1..=cycles {
+        let v = sample_at((k as f64 + 0.45) * period);
+        let step = v - prev;
+        assert!(
+            (step - ideal).abs() < 0.2 * ideal,
+            "cycle {k}: step {:.1} mV vs ideal {:.1} mV",
+            step * 1e3,
+            ideal * 1e3
+        );
+        prev = v;
+    }
+}

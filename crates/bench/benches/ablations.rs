@@ -27,7 +27,10 @@ fn ablation_folding(c: &mut Criterion) {
     let unfolded = DiffusionGeometry::drain(w, FoldSpec::UNFOLDED, &tech.rules);
     let folded = DiffusionGeometry::drain(w, FoldSpec::even_internal(6), &tech.rules);
     let ratio = folded.area / unfolded.area;
-    assert!(ratio < 0.6, "even/internal folding must at least halve the drain area");
+    assert!(
+        ratio < 0.6,
+        "even/internal folding must at least halve the drain area"
+    );
     println!("[ablation] drain area folded/unfolded = {ratio:.3}");
 
     c.bench_function("ablation_folding_geometry", |b| {
@@ -71,7 +74,9 @@ fn ablation_matching(c: &mut Criterion) {
     let cc = mk("cc", StackStyle::CommonCentroid);
     let inter = mk("inter", StackStyle::Interdigitated);
     let worst = |p: &losac_layout::stack::StackPlan| {
-        p.centroid_offset.values().fold(0.0f64, |m, o| m.max(o.abs()))
+        p.centroid_offset
+            .values()
+            .fold(0.0f64, |m, o| m.max(o.abs()))
     };
     assert!(
         worst(&cc) <= worst(&inter) + 1e-9,
@@ -86,7 +91,12 @@ fn ablation_matching(c: &mut Criterion) {
     );
 
     c.bench_function("ablation_matching_stack_planning", |b| {
-        b.iter(|| (mk("cc", StackStyle::CommonCentroid), mk("i", StackStyle::Interdigitated)))
+        b.iter(|| {
+            (
+                mk("cc", StackStyle::CommonCentroid),
+                mk("i", StackStyle::Interdigitated),
+            )
+        })
     });
 }
 
@@ -96,7 +106,10 @@ fn ablation_reliability(c: &mut Criterion) {
     let current = 5e-3;
     let em_width = tech.reliability.min_metal_width(1, current);
     let min_width = tech.rules.metal1_width;
-    assert!(em_width > min_width, "5 mA must demand more than the minimum width");
+    assert!(
+        em_width > min_width,
+        "5 mA must demand more than the minimum width"
+    );
     assert!(!tech.reliability.wire_ok(1, min_width, current));
     assert!(tech.reliability.wire_ok(1, em_width, current));
     println!(

@@ -11,11 +11,25 @@ fn bench_device(c: &mut Criterion) {
     let m = Mosfet::new(tech.nmos, 20e-6, 1e-6);
 
     c.bench_function("ekv_evaluate_full", |b| {
-        b.iter(|| evaluate(black_box(&m), black_box(1.2), black_box(1.5), black_box(-0.2)))
+        b.iter(|| {
+            evaluate(
+                black_box(&m),
+                black_box(1.2),
+                black_box(1.5),
+                black_box(-0.2),
+            )
+        })
     });
 
     c.bench_function("ekv_current_only", |b| {
-        b.iter(|| drain_current_only(black_box(&m), black_box(1.2), black_box(1.5), black_box(-0.2)))
+        b.iter(|| {
+            drain_current_only(
+                black_box(&m),
+                black_box(1.2),
+                black_box(1.5),
+                black_box(-0.2),
+            )
+        })
     });
 
     c.bench_function("ekv_bias_sweep_100", |b| {

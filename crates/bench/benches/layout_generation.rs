@@ -23,14 +23,22 @@ fn bench_layout(c: &mut Criterion) {
         polarity: Polarity::Nmos,
         finger_w: um(6.0),
         gate_l: um(1.0),
-        strip_nets: (0..9).map(|i| if i % 2 == 0 { "s".into() } else { "d".into() }).collect(),
+        strip_nets: (0..9)
+            .map(|i| if i % 2 == 0 { "s".into() } else { "d".into() })
+            .collect(),
         fingers: (0..8)
-            .map(|i| Finger { gate_net: "g".into(), device: Some("m".into()), flipped: i % 2 == 1 })
+            .map(|i| Finger {
+                gate_net: "g".into(),
+                device: Some("m".into()),
+                flipped: i % 2 == 1,
+            })
             .collect(),
         bulk_net: "gnd".into(),
         net_currents: HashMap::new(),
     };
-    c.bench_function("row_build_8_fingers", |b| b.iter(|| build_row(&tech, &spec).unwrap()));
+    c.bench_function("row_build_8_fingers", |b| {
+        b.iter(|| build_row(&tech, &spec).unwrap())
+    });
 
     let specs = OtaSpecs::paper_example();
     let ota = FoldedCascodePlan::default()
@@ -39,7 +47,10 @@ fn bench_layout(c: &mut Criterion) {
     let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
 
     c.bench_function("ota_parasitic_calculation_mode", |b| {
-        b.iter(|| plan.calculate_parasitics(&tech, ShapeConstraint::MinArea).unwrap())
+        b.iter(|| {
+            plan.calculate_parasitics(&tech, ShapeConstraint::MinArea)
+                .unwrap()
+        })
     });
 
     c.bench_function("ota_generation_mode", |b| {

@@ -14,7 +14,11 @@ fn bench_simulator(c: &mut Criterion) {
     let ota = FoldedCascodePlan::default()
         .size(&tech, &specs, &ParasiticMode::None)
         .expect("sizes");
-    let circuit = ota.netlist(&tech, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+    let circuit = ota.netlist(
+        &tech,
+        &ParasiticMode::None,
+        InputDrive::Differential { dv: 0.0 },
+    );
     let dc = dc_operating_point(&circuit, &DcOptions::default()).expect("dc");
 
     c.bench_function("dc_operating_point_ota", |b| {
@@ -26,7 +30,11 @@ fn bench_simulator(c: &mut Criterion) {
             ac_sweep(
                 &circuit,
                 &dc,
-                &AcOptions { fstart: 1e2, fstop: 1e10, points_per_decade: 12 },
+                &AcOptions {
+                    fstart: 1e2,
+                    fstop: 1e10,
+                    points_per_decade: 12,
+                },
             )
             .unwrap()
         })

@@ -20,7 +20,11 @@ fn bench_sizing(c: &mut Criterion) {
     });
 
     c.bench_function("size_two_stage_calibrated", |b| {
-        b.iter(|| TwoStagePlan::default().size(&tech, &specs, &ParasiticMode::None).unwrap())
+        b.iter(|| {
+            TwoStagePlan::default()
+                .size(&tech, &specs, &ParasiticMode::None)
+                .unwrap()
+        })
     });
 }
 

@@ -9,25 +9,75 @@
 //! traditional flow needs repeated full layout + extraction + simulation
 //! rounds to compensate blind sizing.
 
+use losac_bench::{counters_json, json_mode};
 use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
 use losac_core::traditional::traditional_flow;
+use losac_obs::json::{array, number, Object};
 use losac_sizing::{FoldedCascodePlan, OtaSpecs};
 use losac_tech::Technology;
 
 fn main() {
+    let json = json_mode();
     let tech = Technology::cmos06();
     let specs = OtaSpecs::paper_example();
+    if json {
+        let trad = traditional_flow(&tech, &specs, 8).expect("traditional flow");
+        let flow = layout_oriented_synthesis(
+            &tech,
+            &specs,
+            &FoldedCascodePlan::default(),
+            &FlowOptions::default(),
+        )
+        .expect("layout-oriented flow");
+        let record = Object::new()
+            .str("experiment", "fig1_flow_comparison")
+            .raw(
+                "traditional",
+                Object::new()
+                    .u64("iterations", trad.iterations as u64)
+                    .bool("met_specs", trad.met_specs)
+                    .raw(
+                        "gbw_history_hz",
+                        array(trad.gbw_history.iter().map(|&g| number(g))),
+                    )
+                    .f64("elapsed_s", trad.elapsed.as_secs_f64())
+                    .build(),
+            )
+            .raw(
+                "layout_oriented",
+                Object::new()
+                    .u64("layout_calls", flow.layout_calls as u64)
+                    .bool("converged", flow.converged)
+                    .raw(
+                        "parasitic_change",
+                        array(flow.history.iter().map(|&c| number(c))),
+                    )
+                    .f64("elapsed_s", flow.elapsed.as_secs_f64())
+                    .raw("telemetry", flow.telemetry.to_json())
+                    .build(),
+            )
+            .raw("counters", counters_json())
+            .build();
+        println!("{record}");
+        return;
+    }
     println!("Fig. 1 — traditional vs layout-oriented flow");
     println!("specification: {specs}");
     println!();
 
     let trad = traditional_flow(&tech, &specs, 8).expect("traditional flow");
     println!("traditional flow (Fig. 1a):");
-    println!("  iterations (full layout+extract+simulate rounds): {}", trad.iterations);
+    println!(
+        "  iterations (full layout+extract+simulate rounds): {}",
+        trad.iterations
+    );
     println!("  met specs: {}", trad.met_specs);
     println!(
         "  extracted GBW per round: {:?} MHz",
-        trad.gbw_history.iter().map(|g| (g / 1e5).round() / 10.0).collect::<Vec<_>>()
+        trad.gbw_history
+            .iter()
+            .map(|g| (g / 1e5).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     println!("  wall time: {:.2?}", trad.elapsed);
     println!();
@@ -40,11 +90,17 @@ fn main() {
     )
     .expect("layout-oriented flow");
     println!("layout-oriented flow (Fig. 1b):");
-    println!("  layout-tool calls (parasitic-calculation mode): {}", flow.layout_calls);
+    println!(
+        "  layout-tool calls (parasitic-calculation mode): {}",
+        flow.layout_calls
+    );
     println!("  converged: {}", flow.converged);
     println!(
         "  parasitic change per call: {:?}",
-        flow.history.iter().map(|c| format!("{:.1}%", c * 100.0)).collect::<Vec<_>>()
+        flow.history
+            .iter()
+            .map(|c| format!("{:.1}%", c * 100.0))
+            .collect::<Vec<_>>()
     );
     println!("  wall time: {:.2?}", flow.elapsed);
     println!();

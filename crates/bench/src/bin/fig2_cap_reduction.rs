@@ -17,9 +17,16 @@ fn main() {
     let w_nm = 40_000; // 40 µm device
 
     println!("Fig. 2 — capacitance reduction factor F(N_f)");
-    println!("device width {} um, technology {}", w_nm / 1000, tech.name());
+    println!(
+        "device width {} um, technology {}",
+        w_nm / 1000,
+        tech.name()
+    );
     println!();
-    println!("{:>4} {:>18} {:>18} {:>14}", "N_f", "F (even/internal)", "F (even/external)", "F (odd)");
+    println!(
+        "{:>4} {:>18} {:>18} {:>14}",
+        "N_f", "F (even/internal)", "F (even/external)", "F (odd)"
+    );
 
     for nf in 1..=12u32 {
         let internal = if nf % 2 == 0 || nf == 1 {

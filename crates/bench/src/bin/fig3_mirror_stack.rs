@@ -6,10 +6,10 @@
 //! Prints the finger pattern, the matching metrics, the EM report, and
 //! writes the layout to `target/fig3_mirror.svg`.
 
+use losac_layout::drc;
 use losac_layout::export::to_svg;
 use losac_layout::row::build_row;
 use losac_layout::stack::{plan_stack, stack_row_spec, StackDevice, StackSpec, StackStyle};
-use losac_layout::drc;
 use losac_tech::units::um;
 use losac_tech::{Polarity, Technology};
 use std::collections::HashMap;
@@ -52,7 +52,10 @@ fn main() {
     println!("finger pattern ('-' = dummy):");
     println!("  {}", plan.pattern());
     println!();
-    println!("{:>6} {:>18} {:>22}", "device", "centroid offset", "direction imbalance");
+    println!(
+        "{:>6} {:>18} {:>22}",
+        "device", "centroid offset", "direction imbalance"
+    );
     for name in ["m1", "m2", "m3"] {
         println!(
             "{name:>6} {:>14.2} gp {:>18}",

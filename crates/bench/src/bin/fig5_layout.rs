@@ -45,7 +45,11 @@ fn main() {
     names.sort();
     for name in names {
         let d = &g.devices[name];
-        println!("{name:<8} {:>6} {:>12.2}", d.folds, d.drawn_w as f64 / 1000.0);
+        println!(
+            "{name:<8} {:>6} {:>12.2}",
+            d.folds,
+            d.drawn_w as f64 / 1000.0
+        );
     }
     println!();
 

@@ -33,7 +33,10 @@ fn main() {
     let total: f64 = noise.contributions.iter().map(|(_, _, v)| v).sum();
     let mut rows: Vec<_> = noise.contributions.iter().collect();
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
-    println!("{:<10} {:<9} {:>12} {:>7}", "element", "source", "uVrms(out)", "share");
+    println!(
+        "{:<10} {:<9} {:>12} {:>7}",
+        "element", "source", "uVrms(out)", "share"
+    );
     for (element, mechanism, v) in rows.iter().take(12) {
         println!(
             "{element:<10} {mechanism:<9} {:>12.2} {:>6.1}%",

@@ -31,7 +31,10 @@ fn main() {
             &tech,
             &specs,
             &FoldedCascodePlan::default(),
-            &FlowOptions { shape, ..Default::default() },
+            &FlowOptions {
+                shape,
+                ..Default::default()
+            },
         ) {
             Ok(r) => r,
             Err(e) => {

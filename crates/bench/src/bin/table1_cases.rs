@@ -11,31 +11,40 @@
 //! * case 4 — everything matches and the specs are met; the parasitic
 //!   loop converges in a few layout calls.
 
+use losac_bench::{counters_json, json_mode, perf_json};
 use losac_core::cases::{run_case, Case};
 use losac_core::report::table1;
+use losac_obs::json::{array, Object};
 use losac_sizing::OtaSpecs;
 use losac_tech::Technology;
 use std::time::Instant;
 
 fn main() {
+    let json = json_mode();
     let tech = Technology::cmos06();
     let specs = OtaSpecs::paper_example();
-    println!("Table 1 — sizing, layout and simulation results");
-    println!("input specification: {specs}");
-    println!();
+    if !json {
+        println!("Table 1 — sizing, layout and simulation results");
+        println!("input specification: {specs}");
+        println!();
+    }
 
     let mut results = Vec::new();
+    let mut elapsed = Vec::new();
     for case in Case::ALL {
         let start = Instant::now();
         match run_case(&tech, &specs, case) {
             Ok(r) => {
-                println!(
-                    "{}: sized and verified in {:.1?} ({} layout call{})",
-                    case.label(),
-                    start.elapsed(),
-                    r.layout_calls,
-                    if r.layout_calls == 1 { "" } else { "s" }
-                );
+                if !json {
+                    println!(
+                        "{}: sized and verified in {:.1?} ({} layout call{})",
+                        case.label(),
+                        start.elapsed(),
+                        r.layout_calls,
+                        if r.layout_calls == 1 { "" } else { "s" }
+                    );
+                }
+                elapsed.push(start.elapsed());
                 results.push(r);
             }
             Err(e) => {
@@ -43,6 +52,25 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if json {
+        let cases = results.iter().zip(&elapsed).map(|(r, dt)| {
+            Object::new()
+                .str("case", r.case.label())
+                .u64("layout_calls", r.layout_calls as u64)
+                .f64("elapsed_s", dt.as_secs_f64())
+                .raw("synthesized", perf_json(&r.synthesized))
+                .raw("extracted", perf_json(&r.extracted))
+                .build()
+        });
+        let record = Object::new()
+            .str("experiment", "table1_cases")
+            .raw("cases", array(cases))
+            .raw("counters", counters_json())
+            .build();
+        println!("{record}");
+        return;
     }
 
     println!();

@@ -14,6 +14,7 @@
 //! fast enough to sit inside the sizing loop; the whole flow finishes in
 //! seconds) and the ablation studies listed in `DESIGN.md` §5.
 
+use losac_obs::json::Object;
 use losac_sizing::Performance;
 
 /// Format one paper-style table cell: synthesized value with the
@@ -40,6 +41,36 @@ pub fn synth_vs_extracted(synth: &Performance, extracted: &Performance) -> f64 {
     .fold(0.0, f64::max)
 }
 
+/// Whether the binary was invoked with `--json` (machine-readable
+/// run-record mode).
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Serialise a performance row as a JSON object.
+pub fn perf_json(p: &Performance) -> String {
+    Object::new()
+        .f64("dc_gain_db", p.dc_gain_db)
+        .f64("gbw_hz", p.gbw)
+        .f64("phase_margin_deg", p.phase_margin)
+        .f64("slew_rate_v_per_s", p.slew_rate)
+        .f64("cmrr_db", p.cmrr_db)
+        .f64("offset_v", p.offset)
+        .f64("output_resistance_ohm", p.output_resistance)
+        .f64("input_noise_rms_v", p.input_noise_rms)
+        .f64("power_w", p.power)
+        .build()
+}
+
+/// Serialise the current `losac-obs` counter totals as a JSON object.
+pub fn counters_json() -> String {
+    losac_obs::metrics::snapshot()
+        .counters
+        .iter()
+        .fold(Object::new(), |o, (name, v)| o.u64(name, *v))
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +78,26 @@ mod tests {
     #[test]
     fn cell_format() {
         assert_eq!(cell(70.06, 70.12), "70.1(70.1)");
+    }
+
+    #[test]
+    fn perf_json_is_an_object() {
+        let p = Performance {
+            dc_gain_db: 70.0,
+            gbw: 42e6,
+            phase_margin: 60.0,
+            slew_rate: 50e6,
+            cmrr_db: 90.0,
+            offset: 1e-3,
+            output_resistance: 1e6,
+            input_noise_rms: 100e-6,
+            thermal_noise_density: 10e-9,
+            flicker_noise_density: 1e-6,
+            power: 1e-3,
+        };
+        let j = perf_json(&p);
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"gbw_hz\":42000000.0"), "{j}");
     }
 
     #[test]

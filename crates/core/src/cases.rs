@@ -11,9 +11,7 @@ use crate::flow::{layout_oriented_synthesis, FlowError, FlowOptions};
 use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
 use losac_sizing::eval::{evaluate, EvalError};
-use losac_sizing::{
-    FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance,
-};
+use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
 use losac_tech::Technology;
 use std::fmt;
 
@@ -35,8 +33,12 @@ pub enum Case {
 
 impl Case {
     /// All four cases in Table-1 order.
-    pub const ALL: [Case; 4] =
-        [Case::NoParasitics, Case::UnfoldedDiffusion, Case::ExactDiffusion, Case::AllParasitics];
+    pub const ALL: [Case; 4] = [
+        Case::NoParasitics,
+        Case::UnfoldedDiffusion,
+        Case::ExactDiffusion,
+        Case::AllParasitics,
+    ];
 
     /// Table label.
     pub fn label(&self) -> &'static str {
@@ -140,7 +142,10 @@ pub fn run_case(tech: &Technology, specs: &OtaSpecs, case: Case) -> Result<CaseR
                 tech,
                 specs,
                 &plan,
-                &FlowOptions { diffusion_only: true, ..Default::default() },
+                &FlowOptions {
+                    diffusion_only: true,
+                    ..Default::default()
+                },
             )?;
             let calls = r.layout_calls;
             (r.ota, r.mode, calls)
@@ -175,7 +180,13 @@ pub fn run_case(tech: &Technology, specs: &OtaSpecs, case: Case) -> Result<CaseR
     let full = ParasiticMode::Full(to_feedback(&report, false));
     let extracted = evaluate(&ota, tech, &full)?;
 
-    Ok(CaseResult { case, ota, synthesized, extracted, layout_calls })
+    Ok(CaseResult {
+        case,
+        ota,
+        synthesized,
+        extracted,
+        layout_calls,
+    })
 }
 
 #[cfg(test)]

@@ -22,8 +22,10 @@
 //! the paper needed three calls on the example OTA.
 
 use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use crate::telemetry::FlowTelemetry;
 use losac_layout::plan::{GeneratedLayout, ParasiticReport};
 use losac_layout::slicing::ShapeConstraint;
+use losac_obs::f;
 use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError};
 use losac_tech::Technology;
 use std::fmt;
@@ -58,6 +60,29 @@ impl Default for FlowOptions {
     }
 }
 
+impl FlowOptions {
+    /// Check that the options describe a runnable flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidOptions`] when the tolerance is not a
+    /// positive finite number or the call budget is zero.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(FlowError::InvalidOptions(format!(
+                "tolerance must be a positive finite number, got {}",
+                self.tolerance
+            )));
+        }
+        if self.max_layout_calls < 1 {
+            return Err(FlowError::InvalidOptions(
+                "max_layout_calls must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The result of a layout-oriented synthesis run.
 #[derive(Debug)]
 pub struct FlowResult {
@@ -77,11 +102,23 @@ pub struct FlowResult {
     pub history: Vec<f64>,
     /// Wall-clock time of the whole run.
     pub elapsed: std::time::Duration,
+    /// Runtime telemetry: per-phase timings and solver-activity counters.
+    pub telemetry: FlowTelemetry,
+}
+
+impl FlowResult {
+    /// Last observed parasitic change — `None` when the budget allowed a
+    /// single layout call, which leaves nothing to compare.
+    pub fn final_change(&self) -> Option<f64> {
+        self.history.last().copied()
+    }
 }
 
 /// Flow failure.
 #[derive(Debug)]
 pub enum FlowError {
+    /// The options were rejected before the flow started.
+    InvalidOptions(String),
     /// The sizing plan failed.
     Sizing(SizingError),
     /// The layout tool failed.
@@ -91,6 +128,7 @@ pub enum FlowError {
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FlowError::InvalidOptions(e) => write!(f, "invalid flow options: {e}"),
             FlowError::Sizing(e) => write!(f, "flow failed in sizing: {e}"),
             FlowError::Layout(e) => write!(f, "flow failed in layout: {e}"),
         }
@@ -112,14 +150,22 @@ impl From<losac_layout::plan::PlanError> for FlowError {
 }
 
 /// Largest relative change of any device's drain/source diffusion area
-/// between two reports.
+/// between two reports. A device present in only one report counts as a
+/// full-scale change — checked in both directions, so the measure is
+/// symmetric in its arguments.
 fn diffusion_change(a: &ParasiticReport, b: &ParasiticReport) -> f64 {
+    if b.devices.keys().any(|name| !a.devices.contains_key(name)) {
+        return 1.0;
+    }
     let mut worst: f64 = 0.0;
     for (name, da) in &a.devices {
         let Some(db) = b.devices.get(name) else {
             return 1.0;
         };
-        for (x, y) in [(da.drain.area, db.drain.area), (da.source.area, db.source.area)] {
+        for (x, y) in [
+            (da.drain.area, db.drain.area),
+            (da.source.area, db.source.area),
+        ] {
             let denom = x.abs().max(y.abs()).max(1e-18);
             worst = worst.max((x - y).abs() / denom);
         }
@@ -140,7 +186,18 @@ pub fn layout_oriented_synthesis(
     plan: &FoldedCascodePlan,
     opts: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
+    opts.validate()?;
     let start = Instant::now();
+    let _flow_span = losac_obs::span_with(
+        "flow",
+        vec![
+            f("tolerance", opts.tolerance),
+            f("max_layout_calls", opts.max_layout_calls),
+            f("diffusion_only", opts.diffusion_only),
+        ],
+    );
+    let metrics_before = losac_obs::metrics::snapshot();
+    let mut telemetry = FlowTelemetry::default();
 
     // First sizing: one fold per transistor, diffusion capacitance only.
     let mut mode = ParasiticMode::UnfoldedDiffusion;
@@ -148,14 +205,33 @@ pub fn layout_oriented_synthesis(
     let mut prev_report: Option<ParasiticReport> = None;
     let mut layout_calls = 0;
     let mut converged = false;
+    let sizing_start = Instant::now();
     let mut ota = plan.size(tech, specs, &mode)?;
+    telemetry.sizing_durations.push(sizing_start.elapsed());
 
     let mut layout_opts = opts.layout.clone();
     while layout_calls < opts.max_layout_calls {
         // Call the layout tool in parasitic-calculation mode.
+        let call_span = losac_obs::span_with("flow.layout_call", vec![f("call", layout_calls + 1)]);
+        let call_start = Instant::now();
         let lplan = ota_layout_plan(tech, &ota, &layout_opts);
         let report = lplan.calculate_parasitics(tech, opts.shape)?;
+        telemetry.layout_call_durations.push(call_start.elapsed());
+        drop(call_span);
         layout_calls += 1;
+        let total_folds: u32 = report.devices.values().map(|d| d.folds).sum();
+        let total_net_cap: f64 = report.net_cap.values().sum();
+        losac_obs::event(
+            "flow.folds",
+            &[
+                f("call", layout_calls),
+                f("total_folds", u64::from(total_folds)),
+            ],
+        );
+        losac_obs::event(
+            "flow.net_cap",
+            &[f("call", layout_calls), f("total_f", total_net_cap)],
+        );
         // Freeze the discrete folding decisions after the first call so
         // the loop converges on the continuous quantities (the paper's
         // tool behaves the same way: the layout style is an input option,
@@ -176,6 +252,10 @@ pub fn layout_oriented_synthesis(
                 report.max_relative_change(prev)
             };
             history.push(change);
+            losac_obs::event(
+                "flow.parasitic_change",
+                &[f("call", layout_calls), f("change", change)],
+            );
             if change < opts.tolerance {
                 prev_report = Some(report);
                 converged = true;
@@ -219,15 +299,31 @@ pub fn layout_oriented_synthesis(
         } else {
             ParasiticMode::Full(fb)
         };
+        let sizing_start = Instant::now();
         ota = plan.size(tech, specs, &mode)?;
+        telemetry.sizing_durations.push(sizing_start.elapsed());
         prev_report = Some(report);
     }
 
     // Generation mode: produce the physical layout of the final sizing,
     // with the same frozen folding decisions the loop converged on.
+    let generation_start = Instant::now();
     let lplan = ota_layout_plan(tech, &ota, &layout_opts);
     let layout = lplan.generate(tech, opts.shape)?;
-    let report = prev_report.expect("at least one layout call");
+    telemetry.generation_duration = generation_start.elapsed();
+    let report = prev_report.expect("validate() guarantees at least one layout call");
+
+    let elapsed = start.elapsed();
+    telemetry.total_duration = elapsed;
+    telemetry.set_counters(&metrics_before, &losac_obs::metrics::snapshot());
+    losac_obs::event(
+        "flow.done",
+        &[
+            f("layout_calls", layout_calls),
+            f("converged", converged),
+            f("elapsed_ms", elapsed.as_secs_f64() * 1e3),
+        ],
+    );
 
     Ok(FlowResult {
         ota,
@@ -237,7 +333,8 @@ pub fn layout_oriented_synthesis(
         layout_calls,
         converged,
         history,
-        elapsed: start.elapsed(),
+        elapsed,
+        telemetry,
     })
 }
 
@@ -268,7 +365,87 @@ mod tests {
             r.history
         );
         // Convergence history must be decreasing-ish and end small.
-        assert!(*r.history.last().unwrap() < 0.02);
+        assert!(r.final_change().expect("at least two layout calls") < 0.02);
+    }
+
+    #[test]
+    fn single_layout_call_budget_is_not_an_error() {
+        let tech = Technology::cmos06();
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions {
+                max_layout_calls: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // One call leaves nothing to compare: no history, no convergence
+        // claim, and crucially no panic.
+        assert_eq!(r.layout_calls, 1);
+        assert!(!r.converged);
+        assert!(r.history.is_empty());
+        assert_eq!(r.final_change(), None);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let tech = Technology::cmos06();
+        let run = |o: FlowOptions| {
+            layout_oriented_synthesis(
+                &tech,
+                &OtaSpecs::paper_example(),
+                &FoldedCascodePlan::default(),
+                &o,
+            )
+        };
+        for bad in [
+            FlowOptions {
+                tolerance: 0.0,
+                ..Default::default()
+            },
+            FlowOptions {
+                tolerance: -0.5,
+                ..Default::default()
+            },
+            FlowOptions {
+                tolerance: f64::NAN,
+                ..Default::default()
+            },
+            FlowOptions {
+                max_layout_calls: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(run(bad), Err(FlowError::InvalidOptions(_))));
+        }
+    }
+
+    #[test]
+    fn telemetry_matches_run_shape() {
+        let r = run();
+        let t = &r.telemetry;
+        assert_eq!(t.layout_call_durations.len(), r.layout_calls);
+        // One initial sizing plus one re-sizing per fed-back report (the
+        // converging call feeds nothing back).
+        assert_eq!(t.sizing_durations.len(), r.layout_calls);
+        assert!(t.generation_duration.as_nanos() > 0);
+        assert!(t.total_duration >= t.generation_duration);
+        // The run must have exercised the device and matrix solvers.
+        assert!(
+            t.counter("device.vgs_bisect.calls") > 0,
+            "counters: {:?}",
+            t.counters
+        );
+        assert!(
+            t.counter("sim.matrix.factorizations") > 0,
+            "counters: {:?}",
+            t.counters
+        );
+        assert!(t.counter("layout.generate.calls") >= r.layout_calls as u64 + 1);
+        let json = t.to_json();
+        assert!(json.contains("\"total_s\""), "{json}");
     }
 
     #[test]
@@ -299,7 +476,10 @@ mod tests {
             &tech,
             &OtaSpecs::paper_example(),
             &FoldedCascodePlan::default(),
-            &FlowOptions { diffusion_only: true, ..Default::default() },
+            &FlowOptions {
+                diffusion_only: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(r.converged);

@@ -57,7 +57,11 @@ pub fn ota_layout_plan(
 
     // Even finger count per stacked device near the target finger width,
     // unless a fold hint pins it.
-    let target = if opts.finger_target > 0 { opts.finger_target } else { 12_000 };
+    let target = if opts.finger_target > 0 {
+        opts.finger_target
+    } else {
+        12_000
+    };
     let fingers_of = |name: &str| -> u32 {
         if let Some(&nf) = opts.fold_hints.get(name) {
             return nf.max(2);
@@ -191,14 +195,14 @@ pub fn ota_layout_plan(
     };
 
     let modules = vec![
-        Module::Stack(input_pair),                                        // 0
-        dev("mptail", "tail", "vp1", "vdd", "vdd", Polarity::Pmos),       // 1
-        Module::Stack(sinks),                                             // 2
-        dev("mn1c", "m", "vc1", "f1", "gnd", Polarity::Nmos),             // 3
-        dev("mn2c", "out", "vc1", "f2", "gnd", Polarity::Nmos),           // 4
-        Module::Stack(mirror),                                            // 5
-        dev("mp3c", "m", "vc3", "a", "vdd", Polarity::Pmos),              // 6
-        dev("mp4c", "out", "vc3", "b", "vdd", Polarity::Pmos),            // 7
+        Module::Stack(input_pair),                                  // 0
+        dev("mptail", "tail", "vp1", "vdd", "vdd", Polarity::Pmos), // 1
+        Module::Stack(sinks),                                       // 2
+        dev("mn1c", "m", "vc1", "f1", "gnd", Polarity::Nmos),       // 3
+        dev("mn2c", "out", "vc1", "f2", "gnd", Polarity::Nmos),     // 4
+        Module::Stack(mirror),                                      // 5
+        dev("mp3c", "m", "vc3", "a", "vdd", Polarity::Pmos),        // 6
+        dev("mp4c", "out", "vc3", "b", "vdd", Polarity::Pmos),      // 7
     ];
 
     // Placement: NMOS rows at the bottom, PMOS rows (shared well region)
@@ -230,8 +234,14 @@ pub fn to_feedback(report: &ParasiticReport, lump_coupling_to_ground: bool) -> L
             DeviceFeedback {
                 folds: d.folds,
                 drawn_w: d.drawn_w,
-                drain: DiffGeom { area: d.drain.area, perimeter: d.drain.perimeter },
-                source: DiffGeom { area: d.source.area, perimeter: d.source.perimeter },
+                drain: DiffGeom {
+                    area: d.drain.area,
+                    perimeter: d.drain.perimeter,
+                },
+                source: DiffGeom {
+                    area: d.source.area,
+                    perimeter: d.source.perimeter,
+                },
             },
         );
     }
@@ -285,7 +295,9 @@ mod tests {
     fn parasitic_report_roundtrip() {
         let (tech, ota) = sized();
         let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
-        let rep = plan.calculate_parasitics(&tech, ShapeConstraint::MinArea).unwrap();
+        let rep = plan
+            .calculate_parasitics(&tech, ShapeConstraint::MinArea)
+            .unwrap();
         let fb = to_feedback(&rep, true);
         assert_eq!(fb.devices.len(), 11);
         assert!(fb.lump_coupling_to_ground);
@@ -306,7 +318,9 @@ mod tests {
     fn em_clean_with_plan_currents() {
         let (tech, ota) = sized();
         let plan = ota_layout_plan(&tech, &ota, &LayoutOptions::default());
-        let rep = plan.calculate_parasitics(&tech, ShapeConstraint::MinArea).unwrap();
+        let rep = plan
+            .calculate_parasitics(&tech, ShapeConstraint::MinArea)
+            .unwrap();
         assert!(rep.em_clean, "reliability rules satisfied");
     }
 }

@@ -14,7 +14,10 @@
 //! * [`cases`] — the four parasitic-awareness strategies of Table 1;
 //! * [`layout_gen`] — OTA-specific layout-plan construction and the
 //!   report→feedback conversion;
-//! * [`report`] — Table-1-style formatting.
+//! * [`report`] — Table-1-style formatting;
+//! * [`telemetry`] — per-run timing and solver-activity summary
+//!   (`losac-obs` counter deltas), attached to every
+//!   [`flow::FlowResult`].
 //!
 //! [Fig. 1(b)]: flow::layout_oriented_synthesis
 //! [Fig. 1(a)]: traditional::traditional_flow
@@ -39,9 +42,11 @@ pub mod cases;
 pub mod flow;
 pub mod layout_gen;
 pub mod report;
+pub mod telemetry;
 pub mod traditional;
 
 pub use cases::{run_case, Case, CaseResult};
-pub use flow::{layout_oriented_synthesis, FlowOptions, FlowResult};
+pub use flow::{layout_oriented_synthesis, FlowError, FlowOptions, FlowResult};
 pub use layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+pub use telemetry::FlowTelemetry;
 pub use traditional::{traditional_flow, TraditionalResult};

@@ -1,0 +1,94 @@
+//! Flow telemetry: a compact, serialisable summary of what one
+//! layout-oriented synthesis run cost.
+//!
+//! [`FlowTelemetry`] is assembled by [`crate::flow::layout_oriented_synthesis`]
+//! from two sources: wall-clock timings the flow measures itself, and the
+//! delta of the process-global `losac-obs` counters between the start and
+//! the end of the run (device bisections, Newton iterations, matrix
+//! factorisations, layout generations, …). In a process running several
+//! flows concurrently the counter deltas attribute all threads' activity
+//! — they are an activity summary, not a precise per-run attribution.
+
+use losac_obs::json::{array, number, Object};
+use losac_obs::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Summary of the runtime behaviour of one flow run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowTelemetry {
+    /// Wall-clock time of each layout-tool call (parasitic mode), in the
+    /// order they happened.
+    pub layout_call_durations: Vec<Duration>,
+    /// Wall-clock time of each sizing-plan evaluation (the initial sizing
+    /// plus one re-sizing per fed-back report).
+    pub sizing_durations: Vec<Duration>,
+    /// Wall-clock time of the final generation-mode layout call.
+    pub generation_duration: Duration,
+    /// Whole-run wall-clock time (same value as `FlowResult::elapsed`).
+    pub total_duration: Duration,
+    /// `losac-obs` counter deltas over the run (zero deltas omitted):
+    /// `device.vgs_bisect.iters`, `sim.matrix.factorizations`,
+    /// `layout.generate.calls`, and friends.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl FlowTelemetry {
+    /// Counter delta by name (0 when the counter never moved).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Difference of two metric snapshots, as taken around the run.
+    pub(crate) fn set_counters(&mut self, before: &MetricsSnapshot, after: &MetricsSnapshot) {
+        self.counters = after.counters_since(before);
+    }
+
+    /// Render as a JSON object (used by the bench binaries' `--json`
+    /// run-record mode).
+    pub fn to_json(&self) -> String {
+        let secs = |d: &Duration| number(d.as_secs_f64());
+        let counters = self
+            .counters
+            .iter()
+            .fold(Object::new(), |o, (name, v)| o.u64(name, *v))
+            .build();
+        Object::new()
+            .raw(
+                "layout_call_s",
+                array(self.layout_call_durations.iter().map(secs)),
+            )
+            .raw("sizing_s", array(self.sizing_durations.iter().map(secs)))
+            .raw("generation_s", secs(&self.generation_duration))
+            .raw("total_s", secs(&self.total_duration))
+            .raw("counters", counters)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let mut t = FlowTelemetry {
+            layout_call_durations: vec![Duration::from_millis(40), Duration::from_millis(35)],
+            sizing_durations: vec![Duration::from_millis(5)],
+            generation_duration: Duration::from_millis(50),
+            total_duration: Duration::from_millis(130),
+            counters: BTreeMap::new(),
+        };
+        t.counters.insert("sim.dc.solves", 12);
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"layout_call_s\":[0.04,0.035]"), "{j}");
+        assert!(j.contains("\"counters\":{\"sim.dc.solves\":12}"), "{j}");
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let t = FlowTelemetry::default();
+        assert_eq!(t.counter("sim.dc.solves"), 0);
+    }
+}

@@ -67,7 +67,11 @@ pub fn traditional_flow(
             net_cap: generated.extraction.net_cap.clone(),
             coupling: generated.extraction.coupling.clone(),
             well_cap: generated.extraction.well_cap.clone(),
-            bbox: generated.cell.bbox().map(|b| (b.width(), b.height())).unwrap_or((0, 0)),
+            bbox: generated
+                .cell
+                .bbox()
+                .map(|b| (b.width(), b.height()))
+                .unwrap_or((0, 0)),
             em_clean: generated.em_clean,
         };
         let full = ParasiticMode::Full(to_feedback(&report, false));

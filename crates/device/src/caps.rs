@@ -49,7 +49,9 @@ pub fn intrinsic_caps(m: &Mosfet, op: &MosOp) -> IntrinsicCaps {
     //   cgs = 2/3 · (1 − (x/(1+x))²) · C
     //   cgd = 2/3 · (1 − (1/(1+x))²) · C
     // which meet at ½·C when x = 1 and give (⅔, 0) at x = 0.
-    let x = (op.reverse / op.inversion.max(1e-30)).clamp(0.0, 1.0).sqrt();
+    let x = (op.reverse / op.inversion.max(1e-30))
+        .clamp(0.0, 1.0)
+        .sqrt();
     let a = x / (1.0 + x);
     let b = 1.0 / (1.0 + x);
     let cgs_strong = 2.0 / 3.0 * cox_total * (1.0 - a * a);
@@ -67,7 +69,11 @@ pub fn intrinsic_caps(m: &Mosfet, op: &MosOp) -> IntrinsicCaps {
     let cgd_i = s * cgd_strong;
     let cgb_i = (1.0 - s) * cgb_weak;
 
-    IntrinsicCaps { cgs: cgs_i + cov_s, cgd: cgd_i + cov_d, cgb: cgb_i }
+    IntrinsicCaps {
+        cgs: cgs_i + cov_s,
+        cgd: cgd_i + cov_d,
+        cgb: cgb_i,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +94,11 @@ mod tests {
         let cox = m.c_gate_total();
         let cov = m.params.cgdo * m.w;
         // cgs = 2/3 Cox + overlap, cgd = overlap only.
-        assert!((c.cgs - (2.0 / 3.0 * cox + cov)).abs() < 0.02 * cox, "cgs = {:e}", c.cgs);
+        assert!(
+            (c.cgs - (2.0 / 3.0 * cox + cov)).abs() < 0.02 * cox,
+            "cgs = {:e}",
+            c.cgs
+        );
         assert!((c.cgd - cov).abs() < 0.02 * cox, "cgd = {:e}", c.cgd);
         // Strong inversion: the weak-inversion bulk term has blended away.
         assert!(c.cgb < 0.01 * cox, "cgb = {:e}", c.cgb);
@@ -101,7 +111,11 @@ mod tests {
         let c = intrinsic_caps(&m, &op);
         let cov = m.params.cgdo * m.w;
         // Channel contribution vanishes (smoothly) in cutoff.
-        assert!((c.cgs - cov).abs() < 0.01 * m.c_gate_total(), "cgs = {:e}", c.cgs);
+        assert!(
+            (c.cgs - cov).abs() < 0.01 * m.c_gate_total(),
+            "cgs = {:e}",
+            c.cgs
+        );
         assert!((c.cgd - cov).abs() < 0.01 * m.c_gate_total());
         assert!(c.cgb > 0.0);
     }
@@ -150,6 +164,9 @@ mod tests {
         let cov = m.params.cgdo * m.w;
         let cgs_i = c.cgs - cov;
         let cgd_i = c.cgd - cov;
-        assert!((cgs_i - cgd_i).abs() < 0.15 * cgs_i, "cgs_i={cgs_i:e} cgd_i={cgd_i:e}");
+        assert!(
+            (cgs_i - cgd_i).abs() < 0.15 * cgs_i,
+            "cgs_i={cgs_i:e} cgd_i={cgd_i:e}"
+        );
     }
 }

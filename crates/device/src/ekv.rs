@@ -233,7 +233,19 @@ pub fn evaluate_at(m: &Mosfet, vgs: f64, vds: f64, vbs: f64, temp_k: f64) -> Mos
         Region::Saturation
     };
 
-    MosOp { id, gm, gds, gmb, inversion: i_f, reverse: i_r, vdsat, veff, vp, slope_n: n, region }
+    MosOp {
+        id,
+        gm,
+        gds,
+        gmb,
+        inversion: i_f,
+        reverse: i_r,
+        vdsat,
+        veff,
+        vp,
+        slope_n: n,
+        region,
+    }
 }
 
 /// Evaluate only the drain current (A, polarity-normalised). Cheaper than
@@ -294,7 +306,11 @@ mod tests {
         let op = evaluate(&m, 1.3, 2.5, 0.0);
         let ideal = 0.5 * 100e-6 * (10.0 / 0.9) * 0.55f64.powi(2);
         // Degradation pulls it below ideal; CLM pushes up a little.
-        assert!(op.id > 0.4 * ideal && op.id < 1.1 * ideal, "id = {:e}, ideal = {ideal:e}", op.id);
+        assert!(
+            op.id > 0.4 * ideal && op.id < 1.1 * ideal,
+            "id = {:e}, ideal = {ideal:e}",
+            op.id
+        );
         assert_eq!(op.region, Region::Saturation);
     }
 
@@ -316,7 +332,10 @@ mod tests {
     fn strong_inversion_gm_over_id_low() {
         let m = nmos(10e-6, 1e-6);
         let op = evaluate(&m, 1.6, 2.5, 0.0);
-        assert!(op.gm_over_id() < 5.0, "strong inversion should have low gm/Id");
+        assert!(
+            op.gm_over_id() < 5.0,
+            "strong inversion should have low gm/Id"
+        );
     }
 
     #[test]
@@ -324,7 +343,11 @@ mod tests {
         // A PMOS biased with mirrored voltages must match its own NMOS-form.
         let mp = pmos(30e-6, 1e-6);
         let op = evaluate(&mp, -1.3, -1.5, 0.0);
-        assert!(op.id > 0.0, "conducting PMOS reports positive id, got {}", op.id);
+        assert!(
+            op.id > 0.0,
+            "conducting PMOS reports positive id, got {}",
+            op.id
+        );
         assert!(op.gm > 0.0);
         assert_eq!(op.region, Region::Saturation);
     }
@@ -339,8 +362,14 @@ mod tests {
         let m = nmos(10e-6, 1e-6);
         let fwd = evaluate(&m, 1.2, 0.1, 0.0).id;
         let rev = evaluate(&m, 1.1, -0.1, -0.1).id;
-        assert!(rev < 0.0, "reverse conduction must be negative, got {rev:e}");
-        assert!((fwd + rev).abs() < 1e-9 * fwd.abs(), "fwd {fwd:e} rev {rev:e}");
+        assert!(
+            rev < 0.0,
+            "reverse conduction must be negative, got {rev:e}"
+        );
+        assert!(
+            (fwd + rev).abs() < 1e-9 * fwd.abs(),
+            "fwd {fwd:e} rev {rev:e}"
+        );
     }
 
     #[test]
@@ -356,7 +385,12 @@ mod tests {
         let m = nmos(10e-6, 1e-6);
         let op = evaluate(&m, 1.3, 2.5, -0.5);
         assert!(op.gmb > 0.0);
-        assert!(op.gmb < op.gm, "gmb = {} should be below gm = {}", op.gmb, op.gm);
+        assert!(
+            op.gmb < op.gm,
+            "gmb = {} should be below gm = {}",
+            op.gmb,
+            op.gm
+        );
     }
 
     #[test]
@@ -377,7 +411,10 @@ mod tests {
         let long = evaluate(&nmos(10e-6, 3e-6), 1.3, 2.0, 0.0);
         let r_short = short.id / short.gds;
         let r_long = long.id / long.gds;
-        assert!(r_long > 2.0 * r_short, "VA grows with L: {r_short} vs {r_long}");
+        assert!(
+            r_long > 2.0 * r_short,
+            "VA grows with L: {r_short} vs {r_long}"
+        );
     }
 
     #[test]
@@ -425,7 +462,10 @@ mod tests {
         // hot.
         let strong_cold = evaluate_at(&m, 1.8, 2.0, 0.0, 250.0).id;
         let strong_hot = evaluate_at(&m, 1.8, 2.0, 0.0, 400.0).id;
-        assert!(strong_hot < strong_cold, "{strong_hot:e} !< {strong_cold:e}");
+        assert!(
+            strong_hot < strong_cold,
+            "{strong_hot:e} !< {strong_cold:e}"
+        );
         // Weak inversion: the threshold drop dominates — current rises.
         let weak_cold = evaluate_at(&m, 0.65, 1.0, 0.0, 250.0).id;
         let weak_hot = evaluate_at(&m, 0.65, 1.0, 0.0, 400.0).id;

@@ -47,7 +47,10 @@ pub struct FoldSpec {
 
 impl FoldSpec {
     /// Unfolded transistor (one finger; drain on one end by construction).
-    pub const UNFOLDED: FoldSpec = FoldSpec { nf: 1, drain_position: DrainPosition::External };
+    pub const UNFOLDED: FoldSpec = FoldSpec {
+        nf: 1,
+        drain_position: DrainPosition::External,
+    };
 
     /// Create a fold spec.
     ///
@@ -69,7 +72,10 @@ impl FoldSpec {
         } else {
             requested + 1
         };
-        Self { nf, drain_position: DrainPosition::Internal }
+        Self {
+            nf,
+            drain_position: DrainPosition::Internal,
+        }
     }
 
     /// Number of diffusion strips the **drain** occupies.
@@ -181,7 +187,7 @@ impl DiffusionGeometry {
 
         // How many of this terminal's strips are at the row ends?
         let ends = match (spec.nf % 2 == 0, spec.drain_position, is_drain) {
-            (true, DrainPosition::Internal, true) => 0,  // all drains internal
+            (true, DrainPosition::Internal, true) => 0, // all drains internal
             (true, DrainPosition::Internal, false) => 2, // sources own both ends
             (true, DrainPosition::External, true) => 2,
             (true, DrainPosition::External, false) => 0,
@@ -196,10 +202,13 @@ impl DiffusionGeometry {
         // plus — for end strips only — one outer edge of length wf.
         // Gate-side edges are excluded per extraction convention; internal
         // strips have gates on both sides, end strips on one side.
-        let perimeter = internals as f64 * (2.0 * l_int)
-            + ends as f64 * (2.0 * l_end + wf);
+        let perimeter = internals as f64 * (2.0 * l_int) + ends as f64 * (2.0 * l_end + wf);
 
-        Self { area, perimeter, strips }
+        Self {
+            area,
+            perimeter,
+            strips,
+        }
     }
 
     /// The effective diffusion *width* W_eff = strips · W/nf implied by
@@ -288,7 +297,10 @@ mod tests {
         // (contacted_diffusion / end_diffusion = 1800/1600 in cmos06).
         let expected = 0.5 * 1800.0 / 1600.0;
         let ratio = folded.area / unfolded.area;
-        assert!((ratio - expected).abs() < 1e-9, "ratio {ratio} vs expected {expected}");
+        assert!(
+            (ratio - expected).abs() < 1e-9,
+            "ratio {ratio} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -297,7 +309,10 @@ mod tests {
         assert_eq!(FoldSpec::even_internal(4).nf, 4);
         assert_eq!(FoldSpec::even_internal(5).nf, 6);
         assert_eq!(FoldSpec::even_internal(0).nf, 2);
-        assert_eq!(FoldSpec::even_internal(7).drain_position, DrainPosition::Internal);
+        assert_eq!(
+            FoldSpec::even_internal(7).drain_position,
+            DrainPosition::Internal
+        );
     }
 
     #[test]

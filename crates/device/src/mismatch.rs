@@ -44,7 +44,11 @@ impl PairMismatch {
     pub fn sigma_offset(&self, op: &MosOp, gm_ratio: f64) -> f64 {
         // ΔVT refers directly; Δβ/β contributes (Id/gm)·σβ at the device's
         // own gate, both scaled to the input by gm_ratio.
-        let id_gm = if op.gm > 0.0 { op.id.abs() / op.gm } else { 0.0 };
+        let id_gm = if op.gm > 0.0 {
+            op.id.abs() / op.gm
+        } else {
+            0.0
+        };
         gm_ratio * (self.sigma_vt.powi(2) + (id_gm * self.sigma_beta).powi(2)).sqrt()
     }
 }

@@ -104,7 +104,10 @@ mod tests {
         // → equivalent input noise √(Sid)/gm ≈ 3.3 nV/√Hz.
         let (m, op) = biased();
         let vn = (gate_referred_psd(&m, &op, 1e6)).sqrt();
-        assert!(vn > 1e-9 && vn < 50e-9, "input noise at 1 MHz = {vn:e} V/√Hz");
+        assert!(
+            vn > 1e-9 && vn < 50e-9,
+            "input noise at 1 MHz = {vn:e} V/√Hz"
+        );
     }
 
     #[test]

@@ -10,8 +10,20 @@
 
 use crate::ekv::{drain_current_only, evaluate, MosOp};
 use crate::Mosfet;
+use losac_obs::Counter;
 use losac_tech::MosParams;
 use std::fmt;
+
+/// Bisection calls made by [`vgs_for_current`].
+static VGS_BISECT_CALLS: Counter = Counter::new("device.vgs_bisect.calls");
+/// Bisection iterations spent inside [`vgs_for_current`].
+static VGS_BISECT_ITERS: Counter = Counter::new("device.vgs_bisect.iters");
+/// Bisection calls made by [`width_for_gm_at_current`].
+static GM_BISECT_CALLS: Counter = Counter::new("device.gm_bisect.calls");
+/// Bisection iterations spent inside [`width_for_gm_at_current`].
+static GM_BISECT_ITERS: Counter = Counter::new("device.gm_bisect.iters");
+/// Inverse problems that came back without a solution.
+static SOLVE_FAILURES: Counter = Counter::new("device.solve.failures");
 
 /// Error returned when an inverse problem has no solution in the allowed
 /// geometry range.
@@ -22,6 +34,9 @@ pub struct SolveError {
 
 impl SolveError {
     fn new(what: impl Into<String>) -> Self {
+        // Every solver failure funnels through here, so this is the one
+        // place the convergence-failure counter needs to live.
+        SOLVE_FAILURES.incr();
         Self { what: what.into() }
     }
 }
@@ -46,7 +61,10 @@ pub struct WidthBounds {
 impl Default for WidthBounds {
     fn default() -> Self {
         // 0.8 µm (min active) to 10 mm (absurd but finite upper bound).
-        Self { min: 0.8e-6, max: 10e-3 }
+        Self {
+            min: 0.8e-6,
+            max: 10e-3,
+        }
     }
 }
 
@@ -69,7 +87,9 @@ pub fn width_for_current(
     bounds: WidthBounds,
 ) -> Result<f64, SolveError> {
     if !(id_target > 0.0 && id_target.is_finite()) {
-        return Err(SolveError::new(format!("target current {id_target} must be positive")));
+        return Err(SolveError::new(format!(
+            "target current {id_target} must be positive"
+        )));
     }
     let w_ref = 10e-6;
     let m = Mosfet::new(*params, w_ref, l);
@@ -105,8 +125,11 @@ pub fn vgs_for_current(
     vgs_max: f64,
 ) -> Result<f64, SolveError> {
     if !(id_target > 0.0 && id_target.is_finite()) {
-        return Err(SolveError::new(format!("target current {id_target} must be positive")));
+        return Err(SolveError::new(format!(
+            "target current {id_target} must be positive"
+        )));
     }
+    VGS_BISECT_CALLS.incr();
     let sign = m.params.polarity.sign();
     // Work in NMOS-normalised vgs magnitude.
     let f = |vgs_mag: f64| drain_current_only(m, sign * vgs_mag, vds, vbs) - id_target;
@@ -124,6 +147,7 @@ pub fn vgs_for_current(
             hi = mid;
         }
     }
+    VGS_BISECT_ITERS.add(100);
     Ok(sign * 0.5 * (lo + hi))
 }
 
@@ -147,6 +171,7 @@ pub fn width_for_gm_at_current(
     if !(gm_target > 0.0 && id > 0.0) {
         return Err(SolveError::new("targets must be positive"));
     }
+    GM_BISECT_CALLS.incr();
     let gm_at = |w: f64| -> Result<f64, SolveError> {
         let m = Mosfet::new(*params, w, l);
         let vgs = vgs_for_current(&m, vds, vbs, id, 5.0)?;
@@ -173,6 +198,7 @@ pub fn width_for_gm_at_current(
             hi = mid;
         }
     }
+    GM_BISECT_ITERS.add(80);
     Ok((lo * hi).sqrt())
 }
 
@@ -251,12 +277,15 @@ mod tests {
         let p = nparams();
         let id = 50e-6;
         let gm_target = 600e-6; // gm/Id = 12 → moderate inversion
-        let w =
-            width_for_gm_at_current(&p, 1e-6, 1.5, 0.0, id, gm_target, WidthBounds::default())
-                .unwrap();
+        let w = width_for_gm_at_current(&p, 1e-6, 1.5, 0.0, id, gm_target, WidthBounds::default())
+            .unwrap();
         let m = Mosfet::new(p, w, 1e-6);
         let (_, op) = op_at_current(&m, 1.5, 0.0, id).unwrap();
-        assert!((op.gm - gm_target).abs() < 0.01 * gm_target, "gm = {:e}", op.gm);
+        assert!(
+            (op.gm - gm_target).abs() < 0.01 * gm_target,
+            "gm = {:e}",
+            op.gm
+        );
     }
 
     #[test]

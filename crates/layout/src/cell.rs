@@ -52,17 +52,29 @@ pub struct Cell {
 impl Cell {
     /// An empty cell.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), shapes: Vec::new(), ports: Vec::new() }
+        Self {
+            name: name.into(),
+            shapes: Vec::new(),
+            ports: Vec::new(),
+        }
     }
 
     /// Add a passive shape (no net).
     pub fn draw(&mut self, layer: Layer, rect: Rect) {
-        self.shapes.push(Shape { layer, rect, net: None });
+        self.shapes.push(Shape {
+            layer,
+            rect,
+            net: None,
+        });
     }
 
     /// Add a conducting shape bound to `net`.
     pub fn draw_net(&mut self, layer: Layer, rect: Rect, net: &str) {
-        self.shapes.push(Shape { layer, rect, net: Some(net.to_owned()) });
+        self.shapes.push(Shape {
+            layer,
+            rect,
+            net: Some(net.to_owned()),
+        });
     }
 
     /// Declare a port.
@@ -104,8 +116,11 @@ impl Cell {
             });
         }
         for p in &child.ports {
-            let name =
-                if prefix.is_empty() { p.name.clone() } else { format!("{prefix}.{}", p.name) };
+            let name = if prefix.is_empty() {
+                p.name.clone()
+            } else {
+                format!("{prefix}.{}", p.name)
+            };
             self.ports.push(Port {
                 name,
                 net: p.net.clone(),

@@ -7,8 +7,14 @@
 
 use crate::cell::Cell;
 use crate::geom::Rect;
+use losac_obs::Counter;
 use losac_tech::{Layer, Technology};
 use std::fmt;
+
+/// DRC runs performed.
+static DRC_CHECKS: Counter = Counter::new("layout.drc.checks");
+/// Total violations reported across all runs.
+static DRC_VIOLATIONS: Counter = Counter::new("layout.drc.violations");
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,13 +31,19 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} at {}: {}", self.layer, self.rule, self.rect, self.detail)
+        write!(
+            f,
+            "[{}] {} at {}: {}",
+            self.layer, self.rule, self.rect, self.detail
+        )
     }
 }
 
 /// Run the checks on a flattened cell. Returns all violations found
 /// (empty = clean).
 pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
+    let _span = losac_obs::span("layout.drc.check");
+    DRC_CHECKS.incr();
     let r = &tech.rules;
     let mut out = Vec::new();
 
@@ -105,7 +117,9 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
             if a.layer != b.layer {
                 continue;
             }
-            let Some(space) = min_space(a.layer) else { continue };
+            let Some(space) = min_space(a.layer) else {
+                continue;
+            };
             let same_net = match (&a.net, &b.net) {
                 (Some(x), Some(y)) => x == y,
                 _ => a.layer == Layer::Nwell || a.layer == Layer::Active,
@@ -124,10 +138,7 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
                     rule: "short".into(),
                     layer: a.layer,
                     rect: a.rect,
-                    detail: format!(
-                        "nets {:?}/{:?} overlap at {}",
-                        a.net, b.net, b.rect
-                    ),
+                    detail: format!("nets {:?}/{:?} overlap at {}", a.net, b.net, b.rect),
                 });
                 continue;
             }
@@ -158,9 +169,10 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
                         || ((o.layer == Layer::Active || o.layer == Layer::Poly)
                             && o.rect.contains(&s.rect))
                 });
-                let m1_ok = cell.shapes.iter().any(|o| {
-                    o.layer == Layer::Metal1 && o.rect.contains(&s.rect)
-                });
+                let m1_ok = cell
+                    .shapes
+                    .iter()
+                    .any(|o| o.layer == Layer::Metal1 && o.rect.contains(&s.rect));
                 if !lower_ok {
                     out.push(Violation {
                         rule: "contact-uncovered".into(),
@@ -179,7 +191,10 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
                 }
             }
             Layer::Via1 => {
-                for (cover, rule) in [(Layer::Metal1, "via-no-metal1"), (Layer::Metal2, "via-no-metal2")] {
+                for (cover, rule) in [
+                    (Layer::Metal1, "via-no-metal1"),
+                    (Layer::Metal2, "via-no-metal2"),
+                ] {
                     let ok = cell
                         .shapes
                         .iter()
@@ -201,7 +216,9 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
     // Well enclosure of P+ active.
     let wells: Vec<Rect> = cell.shapes_on(Layer::Nwell).map(|s| s.rect).collect();
     for s in cell.shapes_on(Layer::Pplus) {
-        let ok = wells.iter().any(|w| w.contains(&s.rect.expanded(-0_i64.max(0))))
+        let ok = wells
+            .iter()
+            .any(|w| w.contains(&s.rect.expanded(-0_i64.max(0))))
             && wells.iter().any(|w| {
                 w.x0 <= s.rect.x0 && w.y0 <= s.rect.y0 && w.x1 >= s.rect.x1 && w.y1 >= s.rect.y1
             });
@@ -215,6 +232,7 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
         }
     }
 
+    DRC_VIOLATIONS.add(out.len() as u64);
     out
 }
 
@@ -234,9 +252,17 @@ mod tests {
             gate_l: tech.rules.poly_width,
             strip_nets: ["s", "d", "s"].iter().map(|s| s.to_string()).collect(),
             fingers: (0..2)
-                .map(|i| Finger { gate_net: "g".into(), device: Some("m".into()), flipped: i == 1 })
+                .map(|i| Finger {
+                    gate_net: "g".into(),
+                    device: Some("m".into()),
+                    flipped: i == 1,
+                })
                 .collect(),
-            bulk_net: if polarity == Polarity::Pmos { "vdd".into() } else { "gnd".into() },
+            bulk_net: if polarity == Polarity::Pmos {
+                "vdd".into()
+            } else {
+                "gnd".into()
+            },
             net_currents: HashMap::new(),
         };
         build_row(tech, &spec).unwrap().cell
@@ -282,7 +308,11 @@ mod tests {
         let t = Technology::cmos06();
         let mut c = Cell::new("bad");
         c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(10.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, um(1.0) + 400, um(10.0), um(1.0)), "b");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, um(1.0) + 400, um(10.0), um(1.0)),
+            "b",
+        );
         let v = check(&t, &c);
         assert!(v.iter().any(|v| v.rule == "min-space"), "{v:?}");
     }
@@ -292,7 +322,11 @@ mod tests {
         let t = Technology::cmos06();
         let mut c = Cell::new("bad");
         c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(10.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal1, Rect::from_size(um(5.0), 0, um(10.0), um(1.0)), "b");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(um(5.0), 0, um(10.0), um(1.0)),
+            "b",
+        );
         let v = check(&t, &c);
         assert!(v.iter().any(|v| v.rule == "short"), "{v:?}");
     }

@@ -43,7 +43,10 @@ pub fn to_svg(cell: &Cell) -> String {
         w as f64 * scale,
         h as f64 * scale
     );
-    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>");
+    let _ = writeln!(
+        svg,
+        "<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>"
+    );
     // Draw in process order so upper layers appear on top.
     for layer in Layer::ALL {
         for s in cell.shapes_on(layer) {
@@ -102,7 +105,12 @@ mod tests {
         let mut c = Cell::new("t");
         c.draw(Layer::Active, Rect::from_size(0, 0, 2000, 1000));
         c.draw_net(Layer::Metal1, Rect::from_size(0, 1500, 2000, 800), "out");
-        c.port("o", "out", Layer::Metal1, Rect::from_size(0, 1500, 800, 800));
+        c.port(
+            "o",
+            "out",
+            Layer::Metal1,
+            Rect::from_size(0, 1500, 800, 800),
+        );
         c
     }
 

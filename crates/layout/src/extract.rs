@@ -84,7 +84,9 @@ pub fn extract(tech: &Technology, cell: &Cell, coupling_window: f64) -> Extracti
     // --- plate + fringe to substrate --------------------------------------
     for s in &cell.shapes {
         let Some(net) = &s.net else { continue };
-        let Some(level) = wire_level(s.layer) else { continue };
+        let Some(level) = wire_level(s.layer) else {
+            continue;
+        };
         let caps = tech.caps.wire(level);
         let w = s.rect.width().min(s.rect.height()) as f64 * 1e-9;
         let l = s.rect.width().max(s.rect.height()) as f64 * 1e-9;
@@ -147,7 +149,10 @@ pub fn extract(tech: &Technology, cell: &Cell, coupling_window: f64) -> Extracti
         // that the well's net is recorded by the generator as a shape on
         // Nwell with a net tag when known.
         let net = s.net.clone().unwrap_or_else(|| "substrate".to_owned());
-        let c = tech.caps.nwell.capacitance_zero_bias(s.rect.area_m2(), s.rect.perimeter_m());
+        let c = tech
+            .caps
+            .nwell
+            .capacitance_zero_bias(s.rect.area_m2(), s.rect.perimeter_m());
         *out.well_cap.entry(net).or_insert(0.0) += c;
     }
 
@@ -175,7 +180,11 @@ mod tests {
         // plate 0.03 fF/µm² × 100 µm² = 3 fF; fringe 0.08 fF/µm × 200 µm
         // = 16 fF. Total 19 fF.
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "n");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(100.0), um(1.0)),
+            "n",
+        );
         let x = extract_default(&tech(), &c);
         let cap = x.net_cap["n"];
         assert!((cap - 19.0e-15).abs() < 0.5e-15, "cap = {cap:e}");
@@ -199,10 +208,18 @@ mod tests {
         let mut c = Cell::new("t");
         c.draw(Layer::Active, Rect::from_size(0, 0, um(10.0), um(10.0)));
         // Poly wire completely over active: only fringe remains.
-        c.draw_net(Layer::Poly, Rect::from_size(0, um(4.0), um(10.0), um(1.0)), "g");
+        c.draw_net(
+            Layer::Poly,
+            Rect::from_size(0, um(4.0), um(10.0), um(1.0)),
+            "g",
+        );
         let x = extract_default(&t, &c);
         let fringe_only = 2.0 * t.caps.poly_field.fringe * 10e-6;
-        assert!((x.net_cap["g"] - fringe_only).abs() < 1e-18, "cap {:e}", x.net_cap["g"]);
+        assert!(
+            (x.net_cap["g"] - fringe_only).abs() < 1e-18,
+            "cap {:e}",
+            x.net_cap["g"]
+        );
     }
 
     #[test]
@@ -210,14 +227,25 @@ mod tests {
         let t = tech();
         let build = |gap_nm: Nm| {
             let mut c = Cell::new("t");
-            c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "a");
-            c.draw_net(Layer::Metal1, Rect::from_size(0, um(1.0) + gap_nm, um(100.0), um(1.0)), "b");
+            c.draw_net(
+                Layer::Metal1,
+                Rect::from_size(0, 0, um(100.0), um(1.0)),
+                "a",
+            );
+            c.draw_net(
+                Layer::Metal1,
+                Rect::from_size(0, um(1.0) + gap_nm, um(100.0), um(1.0)),
+                "b",
+            );
             extract_default(&t, &c).coupling_between("a", "b")
         };
         let near = build(t.rules.metal1_space);
         let far = build(2 * t.rules.metal1_space);
         assert!(near > 0.0);
-        assert!((near / far - 2.0).abs() < 1e-9, "1/d scaling: {near:e} vs {far:e}");
+        assert!(
+            (near / far - 2.0).abs() < 1e-9,
+            "1/d scaling: {near:e} vs {far:e}"
+        );
         // At minimum spacing: 0.1 fF/µm × 100 µm = 10 fF.
         assert!((near - 10.0e-15).abs() < 0.5e-15, "near = {near:e}");
     }
@@ -226,8 +254,16 @@ mod tests {
     fn distant_wires_do_not_couple() {
         let t = tech();
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, um(50.0), um(100.0), um(1.0)), "b");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(100.0), um(1.0)),
+            "a",
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, um(50.0), um(100.0), um(1.0)),
+            "b",
+        );
         let x = extract_default(&t, &c);
         assert_eq!(x.coupling_between("a", "b"), 0.0);
     }
@@ -236,8 +272,16 @@ mod tests {
     fn same_net_does_not_couple_to_itself() {
         let t = tech();
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, um(2.0), um(100.0), um(1.0)), "a");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(100.0), um(1.0)),
+            "a",
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, um(2.0), um(100.0), um(1.0)),
+            "a",
+        );
         let x = extract_default(&t, &c);
         assert!(x.coupling.is_empty());
     }
@@ -246,8 +290,16 @@ mod tests {
     fn different_layers_do_not_couple() {
         let t = tech();
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal2, Rect::from_size(0, um(2.0), um(100.0), um(1.0)), "b");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(100.0), um(1.0)),
+            "a",
+        );
+        c.draw_net(
+            Layer::Metal2,
+            Rect::from_size(0, um(2.0), um(100.0), um(1.0)),
+            "b",
+        );
         let x = extract_default(&t, &c);
         assert_eq!(x.coupling_between("a", "b"), 0.0);
     }
@@ -256,7 +308,11 @@ mod tests {
     fn well_capacitance_reported() {
         let t = tech();
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Nwell, Rect::from_size(0, 0, um(20.0), um(10.0)), "vdd");
+        c.draw_net(
+            Layer::Nwell,
+            Rect::from_size(0, 0, um(20.0), um(10.0)),
+            "vdd",
+        );
         let x = extract_default(&t, &c);
         let expected = t.caps.nwell.capacitance_zero_bias(200e-12, 60e-6);
         assert!((x.well_cap["vdd"] - expected).abs() < 1e-18);
@@ -266,8 +322,16 @@ mod tests {
     fn total_on_lumps_coupling() {
         let t = tech();
         let mut c = Cell::new("t");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(100.0), um(1.0)), "a");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, um(1.8), um(100.0), um(1.0)), "b");
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(100.0), um(1.0)),
+            "a",
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, um(1.8), um(100.0), um(1.0)),
+            "b",
+        );
         let x = extract_default(&t, &c);
         let total = x.total_on("a");
         assert!(total > x.net_cap["a"], "coupling adds to the lumped total");

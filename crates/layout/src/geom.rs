@@ -24,7 +24,10 @@ impl Point {
 
     /// Translate by (dx, dy).
     pub fn translated(self, dx: Nm, dy: Nm) -> Self {
-        Self { x: self.x + dx, y: self.y + dy }
+        Self {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl Rect {
     pub fn new(xa: Nm, ya: Nm, xb: Nm, yb: Nm) -> Self {
         let (x0, x1) = if xa <= xb { (xa, xb) } else { (xb, xa) };
         let (y0, y1) = if ya <= yb { (ya, yb) } else { (yb, ya) };
-        assert!(x0 < x1 && y0 < y1, "degenerate rectangle ({xa},{ya})-({xb},{yb})");
+        assert!(
+            x0 < x1 && y0 < y1,
+            "degenerate rectangle ({xa},{ya})-({xb},{yb})"
+        );
         Self { x0, y0, x1, y1 }
     }
 
@@ -67,8 +73,16 @@ impl Rect {
     ///
     /// Panics if `w` or `h` is not strictly positive.
     pub fn from_size(x0: Nm, y0: Nm, w: Nm, h: Nm) -> Self {
-        assert!(w > 0 && h > 0, "rectangle size must be positive, got {w}×{h}");
-        Self { x0, y0, x1: x0 + w, y1: y0 + h }
+        assert!(
+            w > 0 && h > 0,
+            "rectangle size must be positive, got {w}×{h}"
+        );
+        Self {
+            x0,
+            y0,
+            x1: x0 + w,
+            y1: y0 + h,
+        }
     }
 
     /// Width (nm).
@@ -108,7 +122,12 @@ impl Rect {
 
     /// Translated copy.
     pub fn translated(&self, dx: Nm, dy: Nm) -> Self {
-        Self { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
+        Self {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
     }
 
     /// Copy expanded by `margin` on every side (negative shrinks).
@@ -117,7 +136,12 @@ impl Rect {
     ///
     /// Panics if shrinking would make it degenerate.
     pub fn expanded(&self, margin: Nm) -> Self {
-        Self::new(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+        Self::new(
+            self.x0 - margin,
+            self.y0 - margin,
+            self.x1 + margin,
+            self.y1 + margin,
+        )
     }
 
     /// Do the interiors overlap (touching edges do not count)?
@@ -182,7 +206,14 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{},{} {}x{}]", self.x0, self.y0, self.width(), self.height())
+        write!(
+            f,
+            "[{},{} {}x{}]",
+            self.x0,
+            self.y0,
+            self.width(),
+            self.height()
+        )
     }
 }
 

@@ -84,9 +84,19 @@ pub fn guard_ring(
         let mut p = from + r.active_over_contact;
         while p + r.contact_size + r.active_over_contact <= to {
             let rect = if horizontal {
-                Rect::from_size(p, fixed - r.contact_size / 2, r.contact_size, r.contact_size)
+                Rect::from_size(
+                    p,
+                    fixed - r.contact_size / 2,
+                    r.contact_size,
+                    r.contact_size,
+                )
             } else {
-                Rect::from_size(fixed - r.contact_size / 2, p, r.contact_size, r.contact_size)
+                Rect::from_size(
+                    fixed - r.contact_size / 2,
+                    p,
+                    r.contact_size,
+                    r.contact_size,
+                )
             };
             cell.draw_net(Layer::Contact, rect, net);
             contacts += 1;
@@ -104,7 +114,12 @@ pub fn guard_ring(
 
     cell.port(net, net, Layer::Metal1, bars[0]);
 
-    GuardRing { cell, outer, inner, contacts }
+    GuardRing {
+        cell,
+        outer,
+        inner,
+        contacts,
+    }
 }
 
 /// Does every point of `region` lie within the latch-up distance of the
@@ -188,7 +203,10 @@ mod tests {
         // A huge region would put its centre too far from any tap.
         let huge = Rect::from_size(0, 0, um(30.0), um(30.0));
         let g2 = guard_ring(&t, huge, um(1.2), GuardKind::SubstrateTap, "gnd");
-        assert!(!latchup_ok(&t, &g2, &huge), "15 µm exceeds the 5 µm tap rule");
+        assert!(
+            !latchup_ok(&t, &g2, &huge),
+            "15 µm exceeds the 5 µm tap rule"
+        );
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub mod stack;
 
 pub use cell::{Cell, Port, Shape};
 pub use extract::Extraction;
-pub use guard::{guard_ring, GuardKind, GuardRing};
 pub use geom::{Point, Rect};
+pub use guard::{guard_ring, GuardKind, GuardRing};
 pub use plan::{DeviceDef, FoldPolicy, GeneratedLayout, LayoutPlan, Module, ParasiticReport};
 pub use row::{build_row, Finger, Row, RowSpec};
 pub use slicing::{ShapeConstraint, SlicingTree};

@@ -21,13 +21,17 @@ use crate::cell::Cell;
 use crate::extract::{extract_default, Extraction};
 use crate::route::{channel_demand, route_rows, RouteOptions, RouteReport};
 use crate::row::{build_row, min_finger_width, Finger, Row, RowSpec};
-use crate::slicing::{optimize_xy, Realization, ShapeConstraint, SlicingTree};
 use crate::shape::{ShapeFunction, Variant};
+use crate::slicing::{optimize_xy, Realization, ShapeConstraint, SlicingTree};
 use crate::stack::{plan_stack, stack_row_spec, StackPlan, StackSpec};
+use losac_obs::Counter;
 use losac_tech::units::Nm;
 use losac_tech::{Polarity, Technology};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Full layout-generation pipeline runs (both modes).
+static GENERATE_CALLS: Counter = Counter::new("layout.generate.calls");
 
 /// Fold-count policy for a single transistor module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,8 +240,11 @@ impl LayoutPlan {
         let ids: Vec<usize> = (0..modules.len()).collect();
         // An empty plan gets a placeholder tree; `generate` rejects it
         // before the tree is ever used.
-        let tree =
-            if ids.is_empty() { SlicingTree::Leaf(0) } else { SlicingTree::row_of(&ids) };
+        let tree = if ids.is_empty() {
+            SlicingTree::Leaf(0)
+        } else {
+            SlicingTree::row_of(&ids)
+        };
         Self {
             name: name.into(),
             modules,
@@ -258,12 +265,18 @@ impl LayoutPlan {
         tech: &Technology,
         constraint: ShapeConstraint,
     ) -> Result<GeneratedLayout, PlanError> {
+        let _span = losac_obs::span_with(
+            "layout.generate",
+            vec![losac_obs::f("modules", self.modules.len())],
+        );
+        GENERATE_CALLS.incr();
         if self.modules.is_empty() {
             return Err(PlanError::new("a plan needs at least one module"));
         }
         // 1. Shape functions per module. For devices: one variant per
         //    admissible fold count; the row builder gives exact bounding
         //    boxes. For stacks: one fixed variant.
+        let shape_span = losac_obs::span("layout.shapes");
         let mut shapes: Vec<ShapeFunction> = Vec::with_capacity(self.modules.len());
         let mut stack_plans: HashMap<String, StackPlan> = HashMap::new();
         for m in &self.modules {
@@ -300,11 +313,19 @@ impl LayoutPlan {
             }
         }
 
+        drop(shape_span);
+
         // 2 + 3. Place and build at the plan's spacing, measure the
         //    routing demand of the channels between the module rows, and
         //    re-place with the vertical spacing the channels need.
-        type Built =
-            (Realization, Cell, HashMap<String, DeviceLayout>, bool, Vec<(Nm, Nm)>);
+        let place_span = losac_obs::span("layout.place");
+        type Built = (
+            Realization,
+            Cell,
+            HashMap<String, DeviceLayout>,
+            bool,
+            Vec<(Nm, Nm)>,
+        );
         let place_and_build = |spacing_y: Nm| -> Result<Built, PlanError> {
             let realization =
                 optimize_xy(&self.tree, &shapes, (self.spacing, spacing_y), constraint)
@@ -364,14 +385,26 @@ impl LayoutPlan {
         let spacing_y = self.spacing.max(tech.snap_up(interior_need));
 
         let (realization, mut top, devices, em_clean, rows) = place_and_build(spacing_y)?;
+        drop(place_span);
 
         // 4. Channel routing between the rows.
-        let route =
-            route_rows(tech, &mut top, &self.net_currents, &rows, &RouteOptions::default())
-                .map_err(|e| PlanError::new(e.to_string()))?;
+        let route = {
+            let _route_span = losac_obs::span("layout.route");
+            route_rows(
+                tech,
+                &mut top,
+                &self.net_currents,
+                &rows,
+                &RouteOptions::default(),
+            )
+            .map_err(|e| PlanError::new(e.to_string()))?
+        };
 
         // 5. Extraction.
-        let extraction = extract_default(tech, &top);
+        let extraction = {
+            let _extract_span = losac_obs::span("layout.extract");
+            extract_default(tech, &top)
+        };
 
         Ok(GeneratedLayout {
             cell: top,
@@ -452,7 +485,11 @@ impl LayoutPlan {
         let strip_nets: Vec<String> = (0..=n)
             .map(|i| {
                 let drain = if n % 2 == 0 { i % 2 == 1 } else { i % 2 == 0 };
-                if drain { def.d.clone() } else { def.s.clone() }
+                if drain {
+                    def.d.clone()
+                } else {
+                    def.s.clone()
+                }
             })
             .collect();
         let fingers: Vec<Finger> = (0..n)
@@ -532,7 +569,13 @@ fn stack_device_layouts(
     }
     let mut acc: HashMap<String, Acc> = HashMap::new();
     for d in &spec.devices {
-        acc.insert(d.name.clone(), Acc { fingers: d.fingers, ..Default::default() });
+        acc.insert(
+            d.name.clone(),
+            Acc {
+                fingers: d.fingers,
+                ..Default::default()
+            },
+        );
     }
 
     for (i, net) in plan.strip_nets.iter().enumerate() {
@@ -544,13 +587,18 @@ fn stack_device_layouts(
             perim += wf_m;
         }
         // Adjacent fingers.
-        let left = i.checked_sub(1).and_then(|k| plan.fingers[k].device.clone());
+        let left = i
+            .checked_sub(1)
+            .and_then(|k| plan.fingers[k].device.clone());
         let right = plan.fingers.get(i).and_then(|f| f.device.clone());
         let is_drain = spec.devices.iter().any(|d| &d.drain_net == net);
         if is_drain {
             // Drain strips touch only their own device (by construction).
-            if let Some(owner) =
-                spec.devices.iter().find(|d| &d.drain_net == net).map(|d| d.name.clone())
+            if let Some(owner) = spec
+                .devices
+                .iter()
+                .find(|d| &d.drain_net == net)
+                .map(|d| d.name.clone())
             {
                 let a = acc.get_mut(&owner).expect("known device");
                 a.drain.area += area;
@@ -637,7 +685,9 @@ mod tests {
 
     #[test]
     fn generate_places_and_routes() {
-        let g = two_device_plan().generate(&tech(), ShapeConstraint::MinArea).unwrap();
+        let g = two_device_plan()
+            .generate(&tech(), ShapeConstraint::MinArea)
+            .unwrap();
         assert!(g.em_clean);
         assert_eq!(g.devices.len(), 2);
         // Both devices got even fold counts with internal drains.
@@ -654,7 +704,9 @@ mod tests {
     fn parasitic_report_consistent_with_generation() {
         let plan = two_device_plan();
         let t = tech();
-        let rep = plan.calculate_parasitics(&t, ShapeConstraint::MinArea).unwrap();
+        let rep = plan
+            .calculate_parasitics(&t, ShapeConstraint::MinArea)
+            .unwrap();
         let gen = plan.generate(&t, ShapeConstraint::MinArea).unwrap();
         // Same folding decisions in both modes.
         for (name, d) in &rep.devices {
@@ -668,8 +720,13 @@ mod tests {
     #[test]
     fn height_constraint_respected() {
         let plan = two_device_plan();
-        let g = plan.generate(&tech(), ShapeConstraint::MaxHeight(um(30.0))).unwrap();
-        assert!(g.cell.bbox().unwrap().height() <= um(40.0), "module area plus channel");
+        let g = plan
+            .generate(&tech(), ShapeConstraint::MaxHeight(um(30.0)))
+            .unwrap();
+        assert!(
+            g.cell.bbox().unwrap().height() <= um(40.0),
+            "module area plus channel"
+        );
         // The realisation itself (modules only) respects the cap.
         assert!(g.realization.h <= um(30.0));
     }
@@ -677,8 +734,12 @@ mod tests {
     #[test]
     fn folding_responds_to_shape() {
         let plan = two_device_plan();
-        let tall = plan.generate(&tech(), ShapeConstraint::MaxHeight(um(50.0))).unwrap();
-        let flat = plan.generate(&tech(), ShapeConstraint::MaxHeight(um(12.0))).unwrap();
+        let tall = plan
+            .generate(&tech(), ShapeConstraint::MaxHeight(um(50.0)))
+            .unwrap();
+        let flat = plan
+            .generate(&tech(), ShapeConstraint::MaxHeight(um(12.0)))
+            .unwrap();
         // A tighter height cap forces more folds on the big device.
         assert!(
             flat.devices["m1"].folds >= tall.devices["m1"].folds,
@@ -717,7 +778,10 @@ mod tests {
         let m2 = &g.devices["m2"];
         let a1 = m1.drain.area / (m1.drawn_w as f64 * 1e-9);
         let a2 = m2.drain.area / (m2.drawn_w as f64 * 1e-9);
-        assert!(a1 > 1.5 * a2, "folding must shrink specific drain area: {a1:e} vs {a2:e}");
+        assert!(
+            a1 > 1.5 * a2,
+            "folding must shrink specific drain area: {a1:e} vs {a2:e}"
+        );
     }
 
     #[test]
@@ -743,7 +807,10 @@ mod tests {
         };
         let plan = LayoutPlan::new(
             "withstack",
-            vec![Module::Stack(stack), Module::Device(nmos_dev("m1", 20.0, "d_ma"))],
+            vec![
+                Module::Stack(stack),
+                Module::Device(nmos_dev("m1", 20.0, "d_ma")),
+            ],
         );
         let g = plan.generate(&t, ShapeConstraint::MinArea).unwrap();
         // Stack devices reported with their fixed finger counts.
@@ -758,7 +825,9 @@ mod tests {
 
     #[test]
     fn no_cross_net_shorts_in_generated_layout() {
-        let g = two_device_plan().generate(&tech(), ShapeConstraint::MinArea).unwrap();
+        let g = two_device_plan()
+            .generate(&tech(), ShapeConstraint::MinArea)
+            .unwrap();
         let shorts: Vec<_> = drc::check(&tech(), &g.cell)
             .into_iter()
             .filter(|v| v.rule == "short")
@@ -775,7 +844,9 @@ mod tests {
     #[test]
     fn impossible_constraint_reported() {
         let plan = two_device_plan();
-        let err = plan.generate(&tech(), ShapeConstraint::MaxHeight(1_000)).unwrap_err();
+        let err = plan
+            .generate(&tech(), ShapeConstraint::MaxHeight(1_000))
+            .unwrap_err();
         assert!(err.to_string().contains("slicing"), "{err}");
     }
 

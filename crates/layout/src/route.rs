@@ -35,7 +35,9 @@ pub struct RouteOptions {
 
 impl Default for RouteOptions {
     fn default() -> Self {
-        Self { channel_margin: 2_000 }
+        Self {
+            channel_margin: 2_000,
+        }
     }
 }
 
@@ -156,7 +158,9 @@ pub fn route_rows(
     }
     for w in rows.windows(2) {
         if w[0].1 > w[1].0 {
-            return Err(RouteError::new("rows must be sorted bottom-up and disjoint"));
+            return Err(RouteError::new(
+                "rows must be sorted bottom-up and disjoint",
+            ));
         }
     }
 
@@ -165,8 +169,10 @@ pub fn route_rows(
     for p in &cell.ports {
         net_ports.entry(p.net.clone()).or_default().push(p.rect);
     }
-    let routable: Vec<(String, Vec<Rect>)> =
-        net_ports.into_iter().filter(|(_, ports)| ports.len() >= 2).collect();
+    let routable: Vec<(String, Vec<Rect>)> = net_ports
+        .into_iter()
+        .filter(|(_, ports)| ports.len() >= 2)
+        .collect();
 
     // Channel geometry: ceiling y per channel (tracks stack downward from
     // it) and the floor that must not be crossed (None = open below;
@@ -205,13 +211,20 @@ pub fn route_rows(
     // All derived coordinates (port centres are half-grid after integer
     // halving) are snapped before anything is drawn.
     let snap_rect = |rc: Rect| {
-        Rect::new(tech.snap(rc.x0), tech.snap(rc.y0), tech.snap(rc.x1), tech.snap(rc.y1))
+        Rect::new(
+            tech.snap(rc.x0),
+            tech.snap(rc.y0),
+            tech.snap(rc.x1),
+            tech.snap(rc.y1),
+        )
     };
 
     for (net, ports) in routable {
         let current = net_currents.get(&net).copied().unwrap_or(0.0);
-        let track_w =
-            tech.snap_up(r.metal1_width.max(tech.reliability.min_metal_width(1, current)));
+        let track_w = tech.snap_up(
+            r.metal1_width
+                .max(tech.reliability.min_metal_width(1, current)),
+        );
         let riser_w = tech.snap_up(
             r.metal2_width
                 .max(r.via_size + 2 * r.metal_over_via)
@@ -221,7 +234,10 @@ pub fn route_rows(
         // Group this net's ports per channel.
         let mut per_channel: BTreeMap<usize, Vec<Rect>> = BTreeMap::new();
         for p in &ports {
-            per_channel.entry(nearest_channel(rows, p)).or_default().push(*p);
+            per_channel
+                .entry(nearest_channel(rows, p))
+                .or_default()
+                .push(*p);
         }
 
         let mut track_rects: Vec<Rect> = Vec::new();
@@ -264,7 +280,10 @@ pub fn route_rows(
             let mut x_max = Nm::MIN;
             for port in ch_ports {
                 let (ry0, ry1) = if port.center().y <= ty0 {
-                    (port.center().y - r.metal_over_via - r.via_size / 2, ty0 + track_w)
+                    (
+                        port.center().y - r.metal_over_via - r.via_size / 2,
+                        ty0 + track_w,
+                    )
                 } else {
                     (ty0, port.center().y + r.metal_over_via + r.via_size / 2)
                 };
@@ -295,8 +314,7 @@ pub fn route_rows(
                         x += riser_pitch;
                     }
                 }
-                let riser =
-                    snap_rect(Rect::new(x - riser_w / 2, ry0, x + riser_w / 2, ry1));
+                let riser = snap_rect(Rect::new(x - riser_w / 2, ry0, x + riser_w / 2, ry1));
                 cell.draw_net(Layer::Metal2, riser, &net);
                 riser_slots.push((riser, net.clone()));
                 length_m += riser.height() as f64 * 1e-9;
@@ -314,10 +332,13 @@ pub fn route_rows(
                 }
 
                 // Vias at both ends of the riser.
-                let n_vias = tech.reliability.min_vias(current / ports.len() as f64).max(1);
-                let via_pitch = r.via_size + r.via_space;
-                let fit = (((riser_w - 2 * r.metal_over_via + r.via_space) / via_pitch) as usize)
+                let n_vias = tech
+                    .reliability
+                    .min_vias(current / ports.len() as f64)
                     .max(1);
+                let via_pitch = r.via_size + r.via_space;
+                let fit =
+                    (((riser_w - 2 * r.metal_over_via + r.via_space) / via_pitch) as usize).max(1);
                 for k in 0..n_vias.min(fit) {
                     let vx = tech.snap(x - riser_w / 2 + r.metal_over_via + (k as Nm) * via_pitch);
                     let vy_port = tech.snap(port.y0 + (port.height() - r.via_size) / 2);
@@ -341,8 +362,12 @@ pub fn route_rows(
             if let Some(tx) = trunk_x {
                 x_min = x_min.min(tx - riser_w / 2);
             }
-            let track =
-                snap_rect(Rect::new(x_min, ty0, x_max.max(x_min + track_w), ty0 + track_w));
+            let track = snap_rect(Rect::new(
+                x_min,
+                ty0,
+                x_max.max(x_min + track_w),
+                ty0 + track_w,
+            ));
             cell.draw_net(Layer::Metal1, track, &net);
             length_m += track.width() as f64 * 1e-9;
             track_rects.push(track);
@@ -350,8 +375,16 @@ pub fn route_rows(
 
         // The trunk joins the net's tracks.
         if let Some(tx) = trunk_x {
-            let y_lo = track_rects.iter().map(|t| t.y0).min().expect("tracks exist");
-            let y_hi = track_rects.iter().map(|t| t.y1).max().expect("tracks exist");
+            let y_lo = track_rects
+                .iter()
+                .map(|t| t.y0)
+                .min()
+                .expect("tracks exist");
+            let y_hi = track_rects
+                .iter()
+                .map(|t| t.y1)
+                .max()
+                .expect("tracks exist");
             let trunk = snap_rect(Rect::new(tx - riser_w / 2, y_lo, tx + riser_w / 2, y_hi));
             cell.draw_net(Layer::Metal2, trunk, &net);
             riser_slots.push((trunk, net.clone()));
@@ -387,7 +420,9 @@ pub fn route_channel(
     net_currents: &HashMap<String, f64>,
     opts: &RouteOptions,
 ) -> Result<RouteReport, RouteError> {
-    let bbox = cell.bbox().ok_or_else(|| RouteError::new("cannot route an empty cell"))?;
+    let bbox = cell
+        .bbox()
+        .ok_or_else(|| RouteError::new("cannot route an empty cell"))?;
     route_rows(tech, cell, net_currents, &[(bbox.y0, bbox.y1)], opts)
 }
 
@@ -399,14 +434,50 @@ mod tests {
     /// A toy cell with two modules exposing ports on shared nets.
     fn two_module_cell() -> Cell {
         let mut c = Cell::new("top");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(20.0), um(1.0)), "n1");
-        c.port("a.x", "n1", Layer::Metal1, Rect::from_size(0, 0, um(20.0), um(1.0)));
-        c.draw_net(Layer::Metal1, Rect::from_size(0, um(3.0), um(20.0), um(1.0)), "n2");
-        c.port("a.y", "n2", Layer::Metal1, Rect::from_size(0, um(3.0), um(20.0), um(1.0)));
-        c.draw_net(Layer::Metal1, Rect::from_size(um(30.0), 0, um(20.0), um(1.0)), "n1");
-        c.port("b.x", "n1", Layer::Metal1, Rect::from_size(um(30.0), 0, um(20.0), um(1.0)));
-        c.draw_net(Layer::Metal1, Rect::from_size(um(30.0), um(3.0), um(20.0), um(1.0)), "n2");
-        c.port("b.y", "n2", Layer::Metal1, Rect::from_size(um(30.0), um(3.0), um(20.0), um(1.0)));
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(20.0), um(1.0)),
+            "n1",
+        );
+        c.port(
+            "a.x",
+            "n1",
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(20.0), um(1.0)),
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, um(3.0), um(20.0), um(1.0)),
+            "n2",
+        );
+        c.port(
+            "a.y",
+            "n2",
+            Layer::Metal1,
+            Rect::from_size(0, um(3.0), um(20.0), um(1.0)),
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(um(30.0), 0, um(20.0), um(1.0)),
+            "n1",
+        );
+        c.port(
+            "b.x",
+            "n1",
+            Layer::Metal1,
+            Rect::from_size(um(30.0), 0, um(20.0), um(1.0)),
+        );
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(um(30.0), um(3.0), um(20.0), um(1.0)),
+            "n2",
+        );
+        c.port(
+            "b.y",
+            "n2",
+            Layer::Metal1,
+            Rect::from_size(um(30.0), um(3.0), um(20.0), um(1.0)),
+        );
         c
     }
 
@@ -505,14 +576,24 @@ mod tests {
         c.port("lo1", "lo", Layer::Metal1, lo2);
 
         let rows = [(0, um(4.0)), (um(30.0), um(34.0))];
-        let report =
-            route_rows(&tech, &mut c, &HashMap::new(), &rows, &RouteOptions::default()).unwrap();
+        let report = route_rows(
+            &tech,
+            &mut c,
+            &HashMap::new(),
+            &rows,
+            &RouteOptions::default(),
+        )
+        .unwrap();
         assert_eq!(report.track_count("x"), 2, "one track per channel");
         assert_eq!(report.trunked, vec!["x".to_owned()]);
         assert_eq!(report.track_count("lo"), 1);
         no_cross_net_violations(&tech, &c);
         // The trunk lives left of all modules.
-        let trunk = c.shapes_on(Layer::Metal2).map(|s| s.rect).min_by_key(|r| r.x0).unwrap();
+        let trunk = c
+            .shapes_on(Layer::Metal2)
+            .map(|s| s.rect)
+            .min_by_key(|r| r.x0)
+            .unwrap();
         assert!(trunk.x1 < 0, "trunk left of the modules: {trunk}");
     }
 
@@ -554,7 +635,13 @@ mod tests {
             c.port(&format!("b{n}"), &format!("n{n}"), Layer::Metal1, rail2);
         }
         let rows = [(0, um(4.0)), (um(8.0), um(12.0))];
-        let err = route_rows(&tech, &mut c, &HashMap::new(), &rows, &RouteOptions::default());
+        let err = route_rows(
+            &tech,
+            &mut c,
+            &HashMap::new(),
+            &rows,
+            &RouteOptions::default(),
+        );
         assert!(err.is_err(), "middle channel must overflow");
         assert!(err.unwrap_err().to_string().contains("overflow"));
     }
@@ -563,8 +650,17 @@ mod tests {
     fn single_port_nets_left_alone() {
         let tech = Technology::cmos06();
         let mut c = Cell::new("top");
-        c.draw_net(Layer::Metal1, Rect::from_size(0, 0, um(5.0), um(1.0)), "pin");
-        c.port("p", "pin", Layer::Metal1, Rect::from_size(0, 0, um(5.0), um(1.0)));
+        c.draw_net(
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(5.0), um(1.0)),
+            "pin",
+        );
+        c.port(
+            "p",
+            "pin",
+            Layer::Metal1,
+            Rect::from_size(0, 0, um(5.0), um(1.0)),
+        );
         let report =
             route_channel(&tech, &mut c, &HashMap::new(), &RouteOptions::default()).unwrap();
         assert!(report.order.is_empty());
@@ -591,7 +687,11 @@ mod tests {
                 Rect::from_size(0, y, um(10.0), um(1.0)),
             );
             let y2 = um(2.0 * k as f64 + 1.0);
-            c.draw_net(Layer::Metal1, Rect::from_size(0, y2, um(10.0), um(1.0)), net);
+            c.draw_net(
+                Layer::Metal1,
+                Rect::from_size(0, y2, um(10.0), um(1.0)),
+                net,
+            );
             c.port(
                 &format!("{net}1"),
                 net,

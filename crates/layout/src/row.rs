@@ -208,10 +208,28 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
     // bottom rails can clear the poly bands. Only *device* fingers use
     // shared bars; dummy fingers tie locally to their neighbouring strip.
     let bands = assign_gate_bands(spec)?;
-    let max_bottom_band =
-        bands.values().filter_map(|b| if let Band::Bottom(k) = b { Some(*k + 1) } else { None }).max().unwrap_or(0);
-    let max_top_band =
-        bands.values().filter_map(|b| if let Band::Top(k) = b { Some(*k + 1) } else { None }).max().unwrap_or(0);
+    let max_bottom_band = bands
+        .values()
+        .filter_map(|b| {
+            if let Band::Bottom(k) = b {
+                Some(*k + 1)
+            } else {
+                None
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    let max_top_band = bands
+        .values()
+        .filter_map(|b| {
+            if let Band::Top(k) = b {
+                Some(*k + 1)
+            } else {
+                None
+            }
+        })
+        .max()
+        .unwrap_or(0);
     let bar_h = r.poly_width.max(r.contact_size + 2 * r.poly_over_contact);
     let pad = r.contact_size + 2 * r.poly_over_contact;
     let band_pitch = bar_h + r.poly_space;
@@ -221,8 +239,13 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
     // which keeps the band-crossing analysis sound.
     let tie_zone_y0 = wf + r.gate_extension + r.poly_space;
     // Base y of the top poly bands (above the tie zone when present).
-    let top_base =
-        wf + r.gate_extension + if has_dummies { 2 * r.poly_space + pad } else { 0 };
+    let top_base = wf
+        + r.gate_extension
+        + if has_dummies {
+            2 * r.poly_space + pad
+        } else {
+            0
+        };
     // y where poly geometry ends below/above the active.
     let poly_bottom = -r.gate_extension - (max_bottom_band as Nm) * band_pitch;
     let poly_top = top_base + (max_top_band as Nm) * band_pitch;
@@ -241,11 +264,21 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
         let h = rail_width(tech, 1, current);
         let top = k % 2 == 0;
         if top {
-            rails.push(Rail { net: net.clone(), y0: next_top_y, h, top });
+            rails.push(Rail {
+                net: net.clone(),
+                y0: next_top_y,
+                h,
+                top,
+            });
             next_top_y += h + r.metal1_space;
         } else {
             next_bottom_y -= h;
-            rails.push(Rail { net: net.clone(), y0: next_bottom_y, h, top });
+            rails.push(Rail {
+                net: net.clone(),
+                y0: next_bottom_y,
+                h,
+                top,
+            });
             next_bottom_y -= r.metal1_space;
         }
     }
@@ -346,7 +379,12 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
         };
         cell.draw_net(
             Layer::Metal2,
-            Rect::new(tech.snap(cx - riser_w / 2), ry0, tech.snap(cx + riser_w / 2), ry1),
+            Rect::new(
+                tech.snap(cx - riser_w / 2),
+                ry0,
+                tech.snap(cx + riser_w / 2),
+                ry1,
+            ),
             net,
         );
         // Strap-side vias: stacked *vertically* inside the strap/riser
@@ -354,8 +392,7 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
         // count never widens the riser.
         let n_vias = n_vias_est;
         let vx = tech.snap(cx - r.via_size / 2);
-        let strap_fit =
-            ((((wf - 2 * r.metal_over_via) + r.via_space) / via_pitch) as usize).max(1);
+        let strap_fit = ((((wf - 2 * r.metal_over_via) + r.via_space) / via_pitch) as usize).max(1);
         let n_strap = n_vias.min(strap_fit);
         em_clean &= strap_fit >= n_vias;
         for k in 0..n_strap {
@@ -364,7 +401,11 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
             } else {
                 r.metal_over_via + (k as Nm) * via_pitch
             };
-            cell.draw_net(Layer::Via1, Rect::from_size(vx, vy, r.via_size, r.via_size), net);
+            cell.draw_net(
+                Layer::Via1,
+                Rect::from_size(vx, vy, r.via_size, r.via_size),
+                net,
+            );
         }
         // Rail-side vias: a horizontal row along the rail, covered by a
         // metal-2 landing pad (the rail is long; the pad may be wider
@@ -388,7 +429,11 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
         let vy = tech.snap(rail.y0 + (rail.h - r.via_size) / 2);
         for k in 0..n_land {
             let vx_k = tech.snap(pad_x0 + r.metal_over_via + (k as Nm) * via_pitch);
-            cell.draw_net(Layer::Via1, Rect::from_size(vx_k, vy, r.via_size, r.via_size), net);
+            cell.draw_net(
+                Layer::Via1,
+                Rect::from_size(vx_k, vy, r.via_size, r.via_size),
+                net,
+            );
         }
     }
 
@@ -473,14 +518,11 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
                 let m1_pad = cut.expanded(r.metal1_over_contact);
                 cell.draw_net(Layer::Metal1, m1_pad, &tie_net);
                 let scx = strip_cx(i);
-                let jog = Rect::new(
-                    scx.min(m1_pad.x0),
-                    m1_pad.y0,
-                    scx.max(m1_pad.x1),
-                    m1_pad.y1,
-                );
+                let jog = Rect::new(scx.min(m1_pad.x0), m1_pad.y0, scx.max(m1_pad.x1), m1_pad.y1);
                 cell.draw_net(Layer::Metal1, jog, &tie_net);
-                let ext_w = r.metal1_width.max(r.contact_size + 2 * r.metal1_over_contact);
+                let ext_w = r
+                    .metal1_width
+                    .max(r.contact_size + 2 * r.metal1_over_contact);
                 cell.draw_net(
                     Layer::Metal1,
                     Rect::new(
@@ -509,10 +551,19 @@ pub fn build_row(tech: &Technology, spec: &RowSpec) -> Result<Row, RowError> {
         if i == 0 || i == nf {
             p += h_m;
         }
-        *diff_perimeter.entry(spec.strip_nets[i].clone()).or_insert(0.0) += p;
+        *diff_perimeter
+            .entry(spec.strip_nets[i].clone())
+            .or_insert(0.0) += p;
     }
 
-    Ok(Row { cell, diff_area, diff_perimeter, well, contacts, em_clean })
+    Ok(Row {
+        cell,
+        diff_area,
+        diff_perimeter,
+        well,
+        contacts,
+        em_clean,
+    })
 }
 
 /// Poly-bar band: below or above the active, at depth `k` (0 = nearest).
@@ -524,7 +575,10 @@ enum Band {
 
 fn band_y(band: Band, gate_ext: Nm, top_base: Nm, band_pitch: Nm, bar_h: Nm) -> (Nm, bool) {
     match band {
-        Band::Bottom(k) => (-gate_ext - ((k + 1) as Nm) * band_pitch + (band_pitch - bar_h), false),
+        Band::Bottom(k) => (
+            -gate_ext - ((k + 1) as Nm) * band_pitch + (band_pitch - bar_h),
+            false,
+        ),
         Band::Top(k) => (top_base + (k as Nm) * band_pitch, true),
     }
 }
@@ -624,7 +678,10 @@ mod tests {
             polarity: Polarity::Nmos,
             finger_w: um(5.0),
             gate_l: um(1.0),
-            strip_nets: ["s", "d", "s", "d", "s"].iter().map(|s| s.to_string()).collect(),
+            strip_nets: ["s", "d", "s", "d", "s"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             fingers: (0..4)
                 .map(|i| Finger {
                     gate_net: "g".into(),
@@ -658,7 +715,11 @@ mod tests {
         let e_m = t.rules.end_diffusion() as f64 * 1e-9;
         let expect_d = 2.0 * wf_m * c2_m; // 2 internal strips
         let expect_s = wf_m * (c2_m + 2.0 * e_m); // 1 internal + 2 ends
-        assert!((row.diff_area["d"] - expect_d).abs() < 1e-18, "drain area {}", row.diff_area["d"]);
+        assert!(
+            (row.diff_area["d"] - expect_d).abs() < 1e-18,
+            "drain area {}",
+            row.diff_area["d"]
+        );
         assert!((row.diff_area["s"] - expect_s).abs() < 1e-18);
         // Perimeters: drain strips are internal (no outer edge).
         let p_d = 2.0 * (2.0 * c2_m);

@@ -55,7 +55,10 @@ impl ShapeFunction {
     ///
     /// Panics if `variants` is empty or contains non-positive dimensions.
     pub fn new(mut variants: Vec<Variant>) -> Self {
-        assert!(!variants.is_empty(), "a shape function needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "a shape function needs at least one variant"
+        );
         for v in &variants {
             assert!(v.w > 0 && v.h > 0, "non-positive variant {v}");
         }
@@ -90,17 +93,26 @@ impl ShapeFunction {
 
     /// The minimum-area variant.
     pub fn min_area(&self) -> &Variant {
-        self.variants.iter().min_by_key(|v| v.area()).expect("nonempty")
+        self.variants
+            .iter()
+            .min_by_key(|v| v.area())
+            .expect("nonempty")
     }
 
     /// The minimum-area variant with height ≤ `hmax`, if any.
     pub fn best_under_height(&self, hmax: Nm) -> Option<&Variant> {
-        self.variants.iter().filter(|v| v.h <= hmax).min_by_key(|v| v.area())
+        self.variants
+            .iter()
+            .filter(|v| v.h <= hmax)
+            .min_by_key(|v| v.area())
     }
 
     /// The minimum-area variant with width ≤ `wmax`, if any.
     pub fn best_under_width(&self, wmax: Nm) -> Option<&Variant> {
-        self.variants.iter().filter(|v| v.w <= wmax).min_by_key(|v| v.area())
+        self.variants
+            .iter()
+            .filter(|v| v.w <= wmax)
+            .min_by_key(|v| v.area())
     }
 
     /// The variant whose aspect ratio is closest to `ratio` in log space
@@ -127,10 +139,26 @@ mod tests {
     #[test]
     fn pruning_removes_dominated() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 },
-            Variant { w: 20, h: 50, tag: 2 },
-            Variant { w: 25, h: 60, tag: 3 },  // dominated by #2? no: wider AND taller than 2 → dominated
-            Variant { w: 40, h: 30, tag: 4 },
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            },
+            Variant {
+                w: 20,
+                h: 50,
+                tag: 2,
+            },
+            Variant {
+                w: 25,
+                h: 60,
+                tag: 3,
+            }, // dominated by #2? no: wider AND taller than 2 → dominated
+            Variant {
+                w: 40,
+                h: 30,
+                tag: 4,
+            },
         ]);
         let tags: Vec<u32> = sf.variants().iter().map(|v| v.tag).collect();
         assert_eq!(tags, vec![1, 2, 4]);
@@ -139,10 +167,26 @@ mod tests {
     #[test]
     fn heights_strictly_decrease() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 },
-            Variant { w: 10, h: 80, tag: 2 }, // same width, shorter wins
-            Variant { w: 30, h: 80, tag: 3 }, // dominated (taller-or-equal, wider)
-            Variant { w: 30, h: 40, tag: 4 },
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            },
+            Variant {
+                w: 10,
+                h: 80,
+                tag: 2,
+            }, // same width, shorter wins
+            Variant {
+                w: 30,
+                h: 80,
+                tag: 3,
+            }, // dominated (taller-or-equal, wider)
+            Variant {
+                w: 30,
+                h: 40,
+                tag: 4,
+            },
         ]);
         let hs: Vec<Nm> = sf.variants().iter().map(|v| v.h).collect();
         assert!(hs.windows(2).all(|w| w[1] < w[0]), "heights {hs:?}");
@@ -152,9 +196,21 @@ mod tests {
     #[test]
     fn best_under_height() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 },
-            Variant { w: 20, h: 60, tag: 2 },
-            Variant { w: 50, h: 30, tag: 3 },
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            },
+            Variant {
+                w: 20,
+                h: 60,
+                tag: 2,
+            },
+            Variant {
+                w: 50,
+                h: 30,
+                tag: 3,
+            },
         ]);
         assert_eq!(sf.best_under_height(70).unwrap().tag, 2);
         assert_eq!(sf.best_under_height(30).unwrap().tag, 3);
@@ -164,8 +220,16 @@ mod tests {
     #[test]
     fn best_under_width() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 },
-            Variant { w: 20, h: 60, tag: 2 },
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            },
+            Variant {
+                w: 20,
+                h: 60,
+                tag: 2,
+            },
         ]);
         assert_eq!(sf.best_under_width(15).unwrap().tag, 1);
         assert!(sf.best_under_width(5).is_none());
@@ -174,9 +238,21 @@ mod tests {
     #[test]
     fn aspect_selection() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 }, // 0.1
-            Variant { w: 30, h: 30, tag: 2 },  // 1.0
-            Variant { w: 100, h: 10, tag: 3 }, // 10
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            }, // 0.1
+            Variant {
+                w: 30,
+                h: 30,
+                tag: 2,
+            }, // 1.0
+            Variant {
+                w: 100,
+                h: 10,
+                tag: 3,
+            }, // 10
         ]);
         assert_eq!(sf.best_for_aspect(1.0).tag, 2);
         assert_eq!(sf.best_for_aspect(8.0).tag, 3);
@@ -186,8 +262,16 @@ mod tests {
     #[test]
     fn min_area() {
         let sf = ShapeFunction::new(vec![
-            Variant { w: 10, h: 100, tag: 1 }, // 1000
-            Variant { w: 20, h: 45, tag: 2 },  // 900
+            Variant {
+                w: 10,
+                h: 100,
+                tag: 1,
+            }, // 1000
+            Variant {
+                w: 20,
+                h: 45,
+                tag: 2,
+            }, // 900
         ]);
         assert_eq!(sf.min_area().tag, 2);
     }

@@ -122,7 +122,12 @@ struct Combo {
 
 enum Node<'a> {
     Leaf(usize, &'a ShapeFunction),
-    Inner { horizontal: bool, a: Box<Node<'a>>, b: Box<Node<'a>>, combos: Vec<Combo> },
+    Inner {
+        horizontal: bool,
+        a: Box<Node<'a>>,
+        b: Box<Node<'a>>,
+        combos: Vec<Combo>,
+    },
 }
 
 impl Node<'_> {
@@ -132,7 +137,11 @@ impl Node<'_> {
             Node::Inner { combos, .. } => combos
                 .iter()
                 .enumerate()
-                .map(|(i, c)| Variant { w: c.w, h: c.h, tag: i as u32 })
+                .map(|(i, c)| Variant {
+                    w: c.w,
+                    h: c.h,
+                    tag: i as u32,
+                })
                 .collect(),
         }
     }
@@ -146,7 +155,10 @@ fn build<'a>(
     match tree {
         SlicingTree::Leaf(id) => {
             let sf = shapes.get(*id).ok_or_else(|| SlicingError {
-                message: format!("leaf {id} has no shape function (only {} given)", shapes.len()),
+                message: format!(
+                    "leaf {id} has no shape function (only {} given)",
+                    shapes.len()
+                ),
             })?;
             Ok(Node::Leaf(*id, sf))
         }
@@ -181,7 +193,12 @@ fn build<'a>(
                 }
                 pruned.push(c);
             }
-            Ok(Node::Inner { horizontal, a: Box::new(na), b: Box::new(nb), combos: pruned })
+            Ok(Node::Inner {
+                horizontal,
+                a: Box::new(na),
+                b: Box::new(nb),
+                combos: pruned,
+            })
         }
     }
 }
@@ -200,7 +217,12 @@ fn extract(
             out.choices.insert(*id, v.tag);
             out.positions.insert(*id, (x, y));
         }
-        Node::Inner { horizontal, a, b, combos } => {
+        Node::Inner {
+            horizontal,
+            a,
+            b,
+            combos,
+        } => {
             let c = combos[variant_idx];
             extract(a, c.a, x, y, spacing, out);
             let (bx, by) = if *horizontal {
@@ -272,7 +294,9 @@ pub fn optimize_xy(
             .min_by_key(|(_, v)| v.area()),
         ShapeConstraint::Aspect(r) => {
             if !(r > 0.0) {
-                return Err(SlicingError { message: format!("bad aspect ratio {r}") });
+                return Err(SlicingError {
+                    message: format!("bad aspect ratio {r}"),
+                });
             }
             variants.iter().enumerate().min_by(|(_, a), (_, b)| {
                 let da = (a.aspect().ln() - r.ln()).abs();
@@ -284,10 +308,16 @@ pub fn optimize_xy(
         }
     };
     let Some((idx, v)) = best else {
-        return Err(SlicingError { message: format!("no realisation satisfies {constraint:?}") });
+        return Err(SlicingError {
+            message: format!("no realisation satisfies {constraint:?}"),
+        });
     };
-    let mut out =
-        Realization { w: v.w, h: v.h, choices: HashMap::new(), positions: HashMap::new() };
+    let mut out = Realization {
+        w: v.w,
+        h: v.h,
+        choices: HashMap::new(),
+        positions: HashMap::new(),
+    };
     extract(&node, idx, 0, 0, spacing, &mut out);
     Ok(out)
 }
@@ -382,8 +412,7 @@ mod tests {
         let shapes = vec![transistor_like(60_000), transistor_like(30_000)];
         let tree = SlicingTree::row_of(&[0, 1]);
         let r = optimize(&tree, &shapes, 0, ShapeConstraint::MinArea).unwrap();
-        let min_parts: i128 =
-            shapes.iter().map(|s| s.min_area().area()).sum();
+        let min_parts: i128 = shapes.iter().map(|s| s.min_area().area()).sum();
         assert!(r.area() >= min_parts, "{} < {min_parts}", r.area());
     }
 
@@ -396,8 +425,9 @@ mod tests {
 
     #[test]
     fn nested_tree_positions_disjoint() {
-        let shapes: Vec<ShapeFunction> =
-            (0..4).map(|i| transistor_like(20_000 + 10_000 * i)).collect();
+        let shapes: Vec<ShapeFunction> = (0..4)
+            .map(|i| transistor_like(20_000 + 10_000 * i))
+            .collect();
         let tree = SlicingTree::Column(
             Box::new(SlicingTree::row_of(&[0, 1])),
             Box::new(SlicingTree::row_of(&[2, 3])),

@@ -129,15 +129,21 @@ struct Unit {
 /// device with zero fingers.
 pub fn plan_stack(spec: &StackSpec) -> Result<StackPlan, StackError> {
     if spec.devices.is_empty() {
-        return Err(StackError { message: "a stack needs at least one device".into() });
+        return Err(StackError {
+            message: "a stack needs at least one device".into(),
+        });
     }
     let mut seen = std::collections::HashSet::new();
     for d in &spec.devices {
         if d.fingers == 0 {
-            return Err(StackError { message: format!("device {} has zero fingers", d.name) });
+            return Err(StackError {
+                message: format!("device {} has zero fingers", d.name),
+            });
         }
         if !seen.insert(&d.name) {
-            return Err(StackError { message: format!("duplicate device name {}", d.name) });
+            return Err(StackError {
+                message: format!("duplicate device name {}", d.name),
+            });
         }
     }
 
@@ -293,7 +299,13 @@ pub fn plan_stack(spec: &StackSpec) -> Result<StackPlan, StackError> {
     }
     let dummies = fingers.iter().filter(|f| f.device.is_none()).count();
 
-    Ok(StackPlan { strip_nets: strips, fingers, centroid_offset, direction_imbalance, dummies })
+    Ok(StackPlan {
+        strip_nets: strips,
+        fingers,
+        centroid_offset,
+        direction_imbalance,
+        dummies,
+    })
 }
 
 /// Turn a planned stack into a [`RowSpec`] ready for
@@ -440,7 +452,11 @@ mod tests {
         };
         let plan = plan_stack(&spec).unwrap();
         // Both centroids exactly centred, directions balanced.
-        assert!(plan.centroid_offset["a"].abs() < 1e-9, "{:?}", plan.centroid_offset);
+        assert!(
+            plan.centroid_offset["a"].abs() < 1e-9,
+            "{:?}",
+            plan.centroid_offset
+        );
         assert!(plan.centroid_offset["b"].abs() < 1e-9);
         assert_eq!(plan.direction_imbalance["a"], 0);
         assert_eq!(plan.direction_imbalance["b"], 0);

@@ -1,0 +1,149 @@
+//! Typed key/value fields attached to spans and events.
+
+use std::fmt;
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::I64(v) => Some(*v as f64),
+            FieldValue::U64(v) => Some(*v as f64),
+            FieldValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Render as a JSON value fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::F64(v) => crate::json::number(*v),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => crate::json::string(s),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6e}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One `key = value` pair on a record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub key: &'static str,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+/// Shorthand constructor: `f("call", 3)`.
+pub fn f(key: &'static str, value: impl Into<FieldValue>) -> Field {
+    Field {
+        key,
+        value: value.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f("a", 3u64).value, FieldValue::U64(3));
+        assert_eq!(f("b", -3i64).value, FieldValue::I64(-3));
+        assert_eq!(f("c", 1.5).value, FieldValue::F64(1.5));
+        assert_eq!(f("d", true).value, FieldValue::Bool(true));
+        assert_eq!(f("e", "x").value, FieldValue::Str("x".into()));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(FieldValue::I64(-2).as_f64(), Some(-2.0));
+        assert_eq!(FieldValue::U64(7).as_u64(), Some(7));
+        assert_eq!(FieldValue::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn json_rendering() {
+        assert_eq!(FieldValue::U64(3).to_json(), "3");
+        assert_eq!(FieldValue::Bool(false).to_json(), "false");
+        assert_eq!(FieldValue::Str("a\"b".into()).to_json(), "\"a\\\"b\"");
+        assert_eq!(FieldValue::F64(f64::NAN).to_json(), "null");
+    }
+}

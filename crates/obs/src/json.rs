@@ -1,0 +1,124 @@
+//! Minimal JSON emission helpers (std-only, no parser).
+//!
+//! Just enough to write the JSONL telemetry records and the `--json` run
+//! records of the bench binaries: string escaping, finite-number
+//! formatting, and a small object/array builder.
+
+use std::fmt::Write as _;
+
+/// JSON-escape and quote a string.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` prints integers without a dot; keep them valid but typed.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct Object {
+    parts: Vec<String>,
+}
+
+impl Object {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pre-rendered JSON value.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.parts.push(format!("{}:{}", string(key), value.into()));
+        self
+    }
+
+    /// Add a string value.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = string(value);
+        self.raw(key, v)
+    }
+
+    /// Add an unsigned integer value.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Add a float value.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.raw(key, number(value))
+    }
+
+    /// Add a boolean value.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Render as `{...}`.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Render an array from pre-rendered JSON values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let parts: Vec<String> = items.into_iter().collect();
+    format!("[{}]", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array() {
+        let o = Object::new()
+            .str("a", "x")
+            .u64("n", 3)
+            .f64("v", 0.5)
+            .bool("ok", true)
+            .build();
+        assert_eq!(o, "{\"a\":\"x\",\"n\":3,\"v\":0.5,\"ok\":true}");
+        assert_eq!(array(vec!["1".into(), "2".into()]), "[1,2]");
+    }
+}

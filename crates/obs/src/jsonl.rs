@@ -1,0 +1,95 @@
+//! JSONL file sink (`LOSAC_LOG=jsonl`).
+//!
+//! One record per line, schema documented on
+//! [`crate::Record::to_jsonl`]. Lines are flushed as they are written so
+//! the file is valid even if the process exits without unwinding (env-
+//! installed sinks are never dropped).
+
+use crate::record::Record;
+use crate::sink::Sink;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A sink writing one JSON record per line to any `Write` target.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<BufWriter<W>>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncate) a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, r: &Record) {
+        let line = r.to_jsonl();
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use std::sync::Arc;
+
+    /// Shared byte buffer usable as a writer.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_line_per_record() {
+        let buf = Buf::default();
+        let sink = JsonlSink::new(buf.clone());
+        for k in 0..3u64 {
+            sink.record(&Record {
+                t_us: k,
+                thread: 1,
+                kind: RecordKind::Event,
+                name: "e",
+                path: "e".into(),
+                fields: vec![],
+            });
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":\"event\""));
+        }
+    }
+}

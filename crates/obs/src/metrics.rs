@@ -1,0 +1,240 @@
+//! Monotonic counters and gauges.
+//!
+//! Metrics are process-global atomics, cheap enough for hot paths: a
+//! `Counter` caches its registry slot on first use, so `add` is one
+//! atomic RMW (plus a record dispatch only while a sink is installed).
+//! Declare them as statics next to the code they instrument:
+//!
+//! ```
+//! use losac_obs::Counter;
+//! static SOLVES: Counter = Counter::new("sim.dc.solves");
+//! SOLVES.add(1);
+//! assert!(SOLVES.get() >= 1);
+//! ```
+
+use crate::record::{now_us, Record, RecordKind};
+use crate::sink;
+use crate::span;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+enum Slot {
+    Counter(&'static AtomicU64),
+    Gauge(&'static AtomicU64), // f64 bits
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Slot>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Slot>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn slot(name: &'static str, gauge: bool) -> &'static AtomicU64 {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let entry = reg.entry(name).or_insert_with(|| {
+        // Metrics live for the process lifetime; one leaked atomic per
+        // distinct name is the price of lock-free updates.
+        let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+        if gauge {
+            Slot::Gauge(cell)
+        } else {
+            Slot::Counter(cell)
+        }
+    });
+    match entry {
+        Slot::Counter(c) | Slot::Gauge(c) => c,
+    }
+}
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// Declare a counter (const-friendly; registers lazily on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| slot(self.name, false))
+    }
+
+    /// Increment by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let total = self.cell().fetch_add(delta, Ordering::Relaxed) + delta;
+        if sink::active() {
+            sink::dispatch(&Record {
+                t_us: now_us(),
+                thread: span::thread_id(),
+                kind: RecordKind::Counter { total, delta },
+                name: self.name,
+                path: span::current_path(),
+                fields: Vec::new(),
+            });
+        }
+    }
+
+    /// Convenience for `add(1)`.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A named gauge (last-write-wins `f64`).
+pub struct Gauge {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Gauge {
+    /// Declare a gauge (const-friendly; registers lazily on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| slot(self.name, true))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.cell().store(value.to_bits(), Ordering::Relaxed);
+        if sink::active() {
+            sink::dispatch(&Record {
+                t_us: now_us(),
+                thread: span::thread_id(),
+                kind: RecordKind::Gauge { value },
+                name: self.name,
+                path: span::current_path(),
+                fields: Vec::new(),
+            });
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell().load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Counter deltas accumulated since `earlier` (counters only —
+    /// gauges are not additive). Names absent earlier count from zero;
+    /// zero deltas are omitted.
+    pub fn counters_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for (name, total) in &self.counters {
+            let before = earlier.counters.get(name).copied().unwrap_or(0);
+            let delta = total.saturating_sub(before);
+            if delta > 0 {
+                out.insert(*name, delta);
+            }
+        }
+        out
+    }
+}
+
+/// Snapshot every metric registered so far. Counters are process-global:
+/// in a process running several flows concurrently, deltas between two
+/// snapshots attribute all threads' activity.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    let mut s = MetricsSnapshot::default();
+    for (name, slot) in reg.iter() {
+        match slot {
+            Slot::Counter(c) => {
+                s.counters.insert(name, c.load(Ordering::Relaxed));
+            }
+            Slot::Gauge(g) => {
+                s.gauges
+                    .insert(name, f64::from_bits(g.load(Ordering::Relaxed)));
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_atomicity_across_threads() {
+        static C: Counter = Counter::new("obs.test.atomic");
+        let before = C.get();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        C.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(C.get() - before, 80_000);
+    }
+
+    #[test]
+    fn gauge_roundtrip() {
+        static G: Gauge = Gauge::new("obs.test.gauge");
+        G.set(-2.5);
+        assert_eq!(G.get(), -2.5);
+        G.set(7.0);
+        assert_eq!(G.get(), 7.0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        static C: Counter = Counter::new("obs.test.delta");
+        C.add(1); // ensure registered
+        let a = snapshot();
+        C.add(41);
+        let b = snapshot();
+        assert_eq!(b.counters_since(&a).get("obs.test.delta"), Some(&41));
+        // Unchanged counters are omitted from the delta map.
+        assert!(!b.counters_since(&b).contains_key("obs.test.delta"));
+    }
+
+    #[test]
+    fn same_name_same_cell() {
+        static A: Counter = Counter::new("obs.test.shared");
+        static B: Counter = Counter::new("obs.test.shared");
+        let base = A.get();
+        B.add(3);
+        assert_eq!(A.get(), base + 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Human-readable stderr sink (`LOSAC_LOG=pretty`).
+//!
+//! One line per record, indented by span depth:
+//!
+//! ```text
+//! [   1.204ms #1] ▶ flow tolerance=0.02
+//! [   1.310ms #1]   ▶ flow.layout_call call=1
+//! [  42.966ms #1]   ◀ flow.layout_call 41.7ms
+//! [  43.001ms #1]   • flow.parasitic_change call=2 change=1.3e-2
+//! [  43.120ms #1]   + sim.dc.solves +3 = 117
+//! ```
+
+use crate::record::{Record, RecordKind};
+use crate::sink::Sink;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// The stderr pretty-printer.
+#[derive(Debug, Default)]
+pub struct PrettySink;
+
+impl PrettySink {
+    /// Create the sink.
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn format(r: &Record) -> String {
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "[{:>10.3}ms #{}] ", r.t_us as f64 / 1e3, r.thread);
+        let depth = r.depth().saturating_sub(1);
+        for _ in 0..depth {
+            line.push_str("  ");
+        }
+        match &r.kind {
+            RecordKind::SpanStart => {
+                let _ = write!(line, "▶ {}", r.name);
+            }
+            RecordKind::SpanEnd { elapsed_ns } => {
+                let _ = write!(line, "◀ {} {}", r.name, human_ns(*elapsed_ns));
+            }
+            RecordKind::Event => {
+                let _ = write!(line, "• {}", r.name);
+            }
+            RecordKind::Counter { total, delta } => {
+                let _ = write!(line, "+ {} +{delta} = {total}", r.name);
+            }
+            RecordKind::Gauge { value } => {
+                let _ = write!(line, "= {} {value:.6e}", r.name);
+            }
+        }
+        for f in &r.fields {
+            let _ = write!(line, " {}={}", f.key, f.value);
+        }
+        line
+    }
+}
+
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl Sink for PrettySink {
+    fn record(&self, r: &Record) {
+        let mut line = Self::format(r);
+        line.push('\n');
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::f;
+
+    #[test]
+    fn formats_each_kind() {
+        let base = |kind: RecordKind| Record {
+            t_us: 1_204,
+            thread: 1,
+            kind,
+            name: "flow",
+            path: "flow".into(),
+            fields: vec![f("call", 2u64)],
+        };
+        assert_eq!(
+            PrettySink::format(&base(RecordKind::SpanStart)),
+            "[     1.204ms #1] ▶ flow call=2"
+        );
+        assert!(PrettySink::format(&base(RecordKind::SpanEnd {
+            elapsed_ns: 41_700_000
+        }))
+        .contains("◀ flow 41.7ms"));
+        assert!(PrettySink::format(&base(RecordKind::Counter {
+            total: 117,
+            delta: 3
+        }))
+        .contains("+ flow +3 = 117"));
+    }
+
+    #[test]
+    fn indentation_follows_depth() {
+        let r = Record {
+            t_us: 0,
+            thread: 1,
+            kind: RecordKind::Event,
+            name: "e",
+            path: "a>b>e".into(),
+            fields: vec![],
+        };
+        assert!(
+            PrettySink::format(&r).contains("     • e"),
+            "{}",
+            PrettySink::format(&r)
+        );
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_ns(900), "900ns");
+        assert_eq!(human_ns(1_500), "1.5µs");
+        assert_eq!(human_ns(2_500_000), "2.5ms");
+        assert_eq!(human_ns(3_000_000_000), "3.00s");
+    }
+}

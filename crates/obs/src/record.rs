@@ -1,0 +1,159 @@
+//! The record type every sink receives.
+
+use crate::field::Field;
+use crate::json::Object;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What kind of observation a [`Record`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// A span was entered.
+    SpanStart,
+    /// A span was exited.
+    SpanEnd {
+        /// Wall-clock time spent inside the span.
+        elapsed_ns: u64,
+    },
+    /// A point-in-time structured event.
+    Event,
+    /// A monotonic counter was incremented.
+    Counter {
+        /// Counter value after the increment.
+        total: u64,
+        /// Increment amount.
+        delta: u64,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// New gauge value.
+        value: f64,
+    },
+}
+
+impl RecordKind {
+    /// Stable lowercase tag used in the JSONL schema.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd { .. } => "span_end",
+            RecordKind::Event => "event",
+            RecordKind::Counter { .. } => "counter",
+            RecordKind::Gauge { .. } => "gauge",
+        }
+    }
+}
+
+/// One observation, dispatched to every installed sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the process first touched the obs layer.
+    pub t_us: u64,
+    /// Small dense id of the emitting thread (1, 2, …; not the OS tid).
+    pub thread: u64,
+    /// Record kind and kind-specific payload.
+    pub kind: RecordKind,
+    /// Span/event/metric name.
+    pub name: &'static str,
+    /// `>`-joined names of the enclosing spans on this thread, innermost
+    /// last, including `name` itself for span records.
+    pub path: String,
+    /// Typed fields.
+    pub fields: Vec<Field>,
+}
+
+impl Record {
+    /// Value of a named field, if present.
+    pub fn field(&self, key: &str) -> Option<&crate::field::FieldValue> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+
+    /// Span depth implied by the path (1 = top level).
+    pub fn depth(&self) -> usize {
+        if self.path.is_empty() {
+            0
+        } else {
+            self.path.split('>').count()
+        }
+    }
+
+    /// Render this record as one line of the JSONL schema (no trailing
+    /// newline). Schema: `{"t_us", "thread", "kind", "name", "path",
+    /// "elapsed_ns"?, "total"?, "delta"?, "value"?, "fields"?: {…}}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut o = Object::new()
+            .u64("t_us", self.t_us)
+            .u64("thread", self.thread)
+            .str("kind", self.kind.tag())
+            .str("name", self.name)
+            .str("path", &self.path);
+        match &self.kind {
+            RecordKind::SpanEnd { elapsed_ns } => o = o.u64("elapsed_ns", *elapsed_ns),
+            RecordKind::Counter { total, delta } => {
+                o = o.u64("total", *total).u64("delta", *delta);
+            }
+            RecordKind::Gauge { value } => o = o.f64("value", *value),
+            RecordKind::SpanStart | RecordKind::Event => {}
+        }
+        if !self.fields.is_empty() {
+            let mut inner = Object::new();
+            for f in &self.fields {
+                inner = inner.raw(f.key, f.value.to_json());
+            }
+            o = o.raw("fields", inner.build());
+        }
+        o.build()
+    }
+}
+
+/// Microseconds since the first call into the obs layer (monotonic).
+pub fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::f;
+
+    #[test]
+    fn jsonl_shapes() {
+        let r = Record {
+            t_us: 5,
+            thread: 1,
+            kind: RecordKind::SpanEnd { elapsed_ns: 42 },
+            name: "flow",
+            path: "flow".into(),
+            fields: vec![f("call", 2u64)],
+        };
+        let line = r.to_jsonl();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\":\"span_end\""));
+        assert!(line.contains("\"elapsed_ns\":42"));
+        assert!(line.contains("\"fields\":{\"call\":2}"));
+    }
+
+    #[test]
+    fn depth_from_path() {
+        let mut r = Record {
+            t_us: 0,
+            thread: 1,
+            kind: RecordKind::Event,
+            name: "e",
+            path: "a>b>e".into(),
+            fields: vec![],
+        };
+        assert_eq!(r.depth(), 3);
+        r.path.clear();
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

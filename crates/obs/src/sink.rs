@@ -1,0 +1,143 @@
+//! Pluggable sinks and the global dispatcher.
+//!
+//! The dispatcher is the only global state of the crate: a list of
+//! installed sinks behind an `RwLock`, plus an `AtomicBool` fast path so
+//! the instrumented code pays a single relaxed load when nothing is
+//! listening. Sinks can be installed programmatically ([`install`]) or
+//! from the environment (`LOSAC_LOG=pretty|jsonl`, read once on first
+//! use).
+
+use crate::jsonl::JsonlSink;
+use crate::pretty::PrettySink;
+use crate::record::Record;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once, OnceLock, RwLock};
+
+/// A destination for [`Record`]s. Implementations must be thread-safe:
+/// records arrive from whichever thread runs the instrumented code.
+pub trait Sink: Send + Sync {
+    /// Receive one record.
+    fn record(&self, r: &Record);
+    /// Flush buffered output (called on uninstall).
+    fn flush(&self) {}
+}
+
+struct Registry {
+    sinks: RwLock<Vec<(u64, Arc<dyn Sink>)>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        sinks: RwLock::new(Vec::new()),
+    })
+}
+
+/// Install sinks requested by the environment:
+///
+/// * `LOSAC_LOG=pretty` — human-readable tree on stderr;
+/// * `LOSAC_LOG=jsonl` — one JSON record per line, written to
+///   `LOSAC_LOG_FILE` (default `losac_run.jsonl`);
+/// * `LOSAC_LOG=off` / unset — nothing.
+///
+/// Runs at most once per process; called automatically on first use of
+/// the instrumentation, so programs need no explicit setup.
+pub fn init_from_env() {
+    ENV_INIT.call_once(|| match std::env::var("LOSAC_LOG").as_deref() {
+        Ok("pretty") => {
+            install_inner(Arc::new(PrettySink::new()));
+        }
+        Ok("jsonl") => {
+            let path =
+                std::env::var("LOSAC_LOG_FILE").unwrap_or_else(|_| "losac_run.jsonl".to_owned());
+            match JsonlSink::create(&path) {
+                Ok(sink) => {
+                    install_inner(Arc::new(sink));
+                }
+                Err(e) => eprintln!("losac-obs: cannot open {path}: {e}"),
+            }
+        }
+        Ok("off") | Ok("") | Err(_) => {}
+        Ok(other) => {
+            eprintln!("losac-obs: unknown LOSAC_LOG value `{other}` (off|pretty|jsonl)");
+        }
+    });
+}
+
+fn install_inner(sink: Arc<dyn Sink>) -> u64 {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let mut sinks = registry().sinks.write().expect("sink registry poisoned");
+    sinks.push((id, sink));
+    ACTIVE.store(true, Ordering::Release);
+    id
+}
+
+/// RAII handle for an installed sink: dropping it uninstalls (and
+/// flushes) the sink. Leak it (`std::mem::forget`) to keep a sink for
+/// the process lifetime.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub struct SinkGuard {
+    id: u64,
+}
+
+/// Install a sink; records start flowing immediately.
+pub fn install(sink: Arc<dyn Sink>) -> SinkGuard {
+    init_from_env();
+    SinkGuard {
+        id: install_inner(sink),
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let mut sinks = registry().sinks.write().expect("sink registry poisoned");
+        if let Some(pos) = sinks.iter().position(|(id, _)| *id == self.id) {
+            let (_, sink) = sinks.remove(pos);
+            sink.flush();
+        }
+        if sinks.is_empty() {
+            ACTIVE.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Is any sink installed? This is the fast path every instrumentation
+/// site checks first; when it returns `false` the site does no clock
+/// reads, no allocation and no locking.
+#[inline]
+pub fn active() -> bool {
+    init_from_env();
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Dispatch a record to every installed sink.
+pub(crate) fn dispatch(r: &Record) {
+    let sinks = registry().sinks.read().expect("sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        sink.record(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::record::RecordKind;
+
+    #[test]
+    fn install_uninstall_toggles_active() {
+        let c = Collector::new();
+        let guard = install(Arc::new(c.clone()));
+        assert!(active());
+        crate::event("sink_test_event", &[]);
+        drop(guard);
+        // Another test may hold its own sink concurrently, so only assert
+        // that *our* records arrived.
+        assert!(c.records().iter().any(|r| r.name == "sink_test_event"));
+        assert!(matches!(c.records()[0].kind, RecordKind::Event));
+    }
+}

@@ -7,7 +7,13 @@ use crate::dc::DcSolution;
 use crate::linear::Linearized;
 use crate::netlist::Circuit;
 use crate::num::{Complex, SingularMatrix};
+use losac_obs::Counter;
 use std::fmt;
+
+/// AC sweeps run.
+static AC_SWEEPS: Counter = Counter::new("sim.ac.sweeps");
+/// Frequency points solved across all sweeps.
+static AC_POINTS: Counter = Counter::new("sim.ac.points");
 
 /// AC sweep configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,7 +28,11 @@ pub struct AcOptions {
 
 impl Default for AcOptions {
     fn default() -> Self {
-        Self { fstart: 1.0, fstop: 1e9, points_per_decade: 20 }
+        Self {
+            fstart: 1.0,
+            fstop: 1e9,
+            points_per_decade: 20,
+        }
     }
 }
 
@@ -35,7 +45,10 @@ impl AcOptions {
 
 /// Logarithmic frequency grid from `fstart` to `fstop` inclusive.
 pub fn log_grid(fstart: f64, fstop: f64, points_per_decade: usize) -> Vec<f64> {
-    assert!(fstart > 0.0 && fstop > fstart, "bad frequency range [{fstart}, {fstop}]");
+    assert!(
+        fstart > 0.0 && fstop > fstart,
+        "bad frequency range [{fstart}, {fstop}]"
+    );
     assert!(points_per_decade >= 1, "need at least one point per decade");
     let decades = (fstop / fstart).log10();
     let n = (decades * points_per_decade as f64).ceil() as usize;
@@ -76,7 +89,11 @@ impl AcResult {
 
     /// Phase response of a named node (degrees, unwrapped).
     pub fn phase_degrees(&self, circuit: &Circuit, name: &str) -> Vec<f64> {
-        let raw: Vec<f64> = self.node(circuit, name).iter().map(|z| z.arg_degrees()).collect();
+        let raw: Vec<f64> = self
+            .node(circuit, name)
+            .iter()
+            .map(|z| z.arg_degrees())
+            .collect();
         unwrap_degrees(&raw)
     }
 }
@@ -115,7 +132,11 @@ pub struct AcError {
 
 impl fmt::Display for AcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ac analysis failed at {} Hz: {}", self.frequency, self.cause)
+        write!(
+            f,
+            "ac analysis failed at {} Hz: {}",
+            self.frequency, self.cause
+        )
     }
 }
 
@@ -127,12 +148,18 @@ impl std::error::Error for AcError {}
 ///
 /// Returns [`AcError`] if the linear system is singular at some frequency.
 pub fn ac_sweep(circuit: &Circuit, dc: &DcSolution, opts: &AcOptions) -> Result<AcResult, AcError> {
+    let _span = losac_obs::span("sim.ac.sweep");
+    AC_SWEEPS.incr();
     let lin = Linearized::build(circuit, dc);
     let freqs = opts.frequencies();
+    AC_POINTS.add(freqs.len() as u64);
     let mut v = Vec::with_capacity(freqs.len());
     for &f in &freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        let lu = lin.factor(omega).map_err(|cause| AcError { frequency: f, cause })?;
+        let lu = lin.factor(omega).map_err(|cause| AcError {
+            frequency: f,
+            cause,
+        })?;
         let x = lu.solve(&lin.b_ac);
         let mut row = vec![Complex::ZERO; circuit.num_nodes()];
         for id in 1..circuit.num_nodes() {
@@ -172,9 +199,16 @@ mod tests {
         c.resistor("r1", "in", "out", 1e3);
         c.capacitor("c1", "out", "0", 159.154_943e-9); // pole at 1 kHz
         let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
-        let res =
-            ac_sweep(&c, &dc, &AcOptions { fstart: 1.0, fstop: 1e6, points_per_decade: 30 })
-                .unwrap();
+        let res = ac_sweep(
+            &c,
+            &dc,
+            &AcOptions {
+                fstart: 1.0,
+                fstop: 1e6,
+                points_per_decade: 30,
+            },
+        )
+        .unwrap();
         let mag = res.magnitude(&c, "out");
         // Passband gain 1, −20 dB/dec past the pole.
         assert!((mag[0] - 1.0).abs() < 1e-3);
@@ -206,9 +240,16 @@ mod tests {
         );
         let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
         let op = dc.mos_op("m1").unwrap();
-        let res =
-            ac_sweep(&c, &dc, &AcOptions { fstart: 10.0, fstop: 1e9, points_per_decade: 20 })
-                .unwrap();
+        let res = ac_sweep(
+            &c,
+            &dc,
+            &AcOptions {
+                fstart: 10.0,
+                fstop: 1e9,
+                points_per_decade: 20,
+            },
+        )
+        .unwrap();
         let mag = res.magnitude(&c, "out");
         // Low-frequency gain ≈ gm·(RL ∥ ro).
         let ro = 1.0 / op.gds;
@@ -239,9 +280,16 @@ mod tests {
         c.capacitor("c1", "in", "out", 2e-12);
         c.capacitor("c2", "out", "0", 2e-12);
         let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
-        let res =
-            ac_sweep(&c, &dc, &AcOptions { fstart: 1e3, fstop: 1e8, points_per_decade: 10 })
-                .unwrap();
+        let res = ac_sweep(
+            &c,
+            &dc,
+            &AcOptions {
+                fstart: 1e3,
+                fstop: 1e8,
+                points_per_decade: 10,
+            },
+        )
+        .unwrap();
         for (k, m) in res.magnitude(&c, "out").iter().enumerate() {
             assert!((m - 0.5).abs() < 1e-2, "point {k}: |H| = {m}");
         }

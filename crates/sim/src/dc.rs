@@ -11,8 +11,16 @@ use crate::netlist::{Circuit, Element, GROUND};
 use crate::num::{Matrix, SingularMatrix};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::{evaluate, MosOp};
+use losac_obs::Counter;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Operating points solved (cold starts and warm restarts alike).
+static DC_SOLVES: Counter = Counter::new("sim.dc.solves");
+/// Newton iterations summed over all solves and continuation steps.
+static DC_NEWTON_ITERS: Counter = Counter::new("sim.dc.newton_iters");
+/// Solves that exhausted the whole continuation ladder.
+static DC_FAILURES: Counter = Counter::new("sim.dc.failures");
 
 /// Options for the DC solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +38,12 @@ pub struct DcOptions {
 
 impl Default for DcOptions {
     fn default() -> Self {
-        Self { gmin: 1e-12, max_iter: 200, tol: 1e-9, damping: 0.3 }
+        Self {
+            gmin: 1e-12,
+            max_iter: 200,
+            tol: 1e-9,
+            damping: 0.3,
+        }
     }
 }
 
@@ -171,7 +184,11 @@ impl Unknowns {
     pub fn of(circuit: &Circuit) -> Self {
         let n_nodes = circuit.num_nodes() - 1;
         let nv = circuit.num_vsources();
-        Self { n_nodes, nv_offset: n_nodes, total: n_nodes + nv }
+        Self {
+            n_nodes,
+            nv_offset: n_nodes,
+            total: n_nodes + nv,
+        }
     }
 
     /// Row/column index of a node, or `None` for ground.
@@ -230,11 +247,7 @@ pub(crate) fn assemble(
     }
 
     // Backward-Euler companion for a capacitor `farads` between nodes a, b.
-    let stamp_cap = |j: &mut Matrix<f64>,
-                         f: &mut Vec<f64>,
-                         a: usize,
-                         b: usize,
-                         farads: f64| {
+    let stamp_cap = |j: &mut Matrix<f64>, f: &mut Vec<f64>, a: usize, b: usize, farads: f64| {
         let AssembleMode::Tran { h, x_prev, .. } = mode else {
             return; // open at DC
         };
@@ -368,9 +381,11 @@ pub(crate) fn assemble(
                     let vr_d = sign * (vd - vb);
                     let vr_s = sign * (vs - vb);
                     let cdb =
-                        m.junction.capacitance(m.drain_geom.area, m.drain_geom.perimeter, vr_d);
+                        m.junction
+                            .capacitance(m.drain_geom.area, m.drain_geom.perimeter, vr_d);
                     let csb =
-                        m.junction.capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
+                        m.junction
+                            .capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
                     stamp_cap(&mut j, &mut f, m.g, m.s, ic.cgs);
                     stamp_cap(&mut j, &mut f, m.g, m.d, ic.cgd);
                     stamp_cap(&mut j, &mut f, m.g, m.b, ic.cgb);
@@ -403,8 +418,10 @@ pub(crate) fn newton(
         let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
         let dx = lu.solve(&rhs);
         // Damping on the node-voltage part.
-        let max_dv =
-            dx[..u.n_nodes].iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(f64::MIN_POSITIVE);
+        let max_dv = dx[..u.n_nodes]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()))
+            .max(f64::MIN_POSITIVE);
         let scale = (opts.damping / max_dv).min(1.0);
         for (xi, di) in x.iter_mut().zip(dx.iter()) {
             *xi += di * scale;
@@ -412,10 +429,14 @@ pub(crate) fn newton(
         let conv_dv = dx[..u.n_nodes].iter().all(|&d| d.abs() < opts.tol);
         let conv_f = last_residual < opts.tol.max(1e-12);
         if conv_dv && conv_f && scale == 1.0 {
+            DC_NEWTON_ITERS.add((iter + 1) as u64);
             return Ok((x, iter + 1));
         }
     }
-    Err(DcError::NoConvergence { residual: last_residual })
+    DC_NEWTON_ITERS.add(opts.max_iter as u64);
+    Err(DcError::NoConvergence {
+        residual: last_residual,
+    })
 }
 
 /// Solve the DC operating point of `circuit`.
@@ -425,20 +446,35 @@ pub(crate) fn newton(
 /// Returns [`DcError`] when the netlist is invalid, the matrix is
 /// structurally singular, or no continuation strategy converges.
 pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, DcError> {
-    circuit.validate().map_err(|e| DcError::BadNetlist(e.to_string()))?;
+    let _span = losac_obs::span("sim.dc.solve");
+    DC_SOLVES.incr();
+    circuit
+        .validate()
+        .map_err(|e| DcError::BadNetlist(e.to_string()))?;
     let u = Unknowns::of(circuit);
     let x0 = vec![0.0; u.total];
 
     // Ladder: plain Newton → gmin stepping → source stepping.
     let mut total_iter = 0usize;
-    let attempt = newton(circuit, &u, &x0, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts);
+    let attempt = newton(
+        circuit,
+        &u,
+        &x0,
+        opts.gmin,
+        &AssembleMode::Dc { src_scale: 1.0 },
+        opts,
+    );
     let x = match attempt {
         Ok((x, it)) => {
             total_iter += it;
             x
         }
-        Err(DcError::Singular(s)) => return Err(DcError::Singular(s)),
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)?,
+        Err(DcError::Singular(s)) => {
+            DC_FAILURES.incr();
+            return Err(DcError::Singular(s));
+        }
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)
+            .inspect_err(|_| DC_FAILURES.incr())?,
     };
 
     Ok(package(circuit, &u, x, total_iter))
@@ -455,6 +491,7 @@ pub fn dc_from_previous(
     previous: &DcSolution,
     opts: &DcOptions,
 ) -> Result<DcSolution, DcError> {
+    DC_SOLVES.incr();
     let u = Unknowns::of(circuit);
     let mut x0 = vec![0.0; u.total];
     for id in 1..circuit.num_nodes() {
@@ -464,13 +501,24 @@ pub fn dc_from_previous(
         x0[u.nv_offset + k] = *i;
     }
     let mut total_iter = 0usize;
-    let x = match newton(circuit, &u, &x0, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts) {
+    let x = match newton(
+        circuit,
+        &u,
+        &x0,
+        opts.gmin,
+        &AssembleMode::Dc { src_scale: 1.0 },
+        opts,
+    ) {
         Ok((x, it)) => {
             total_iter += it;
             x
         }
-        Err(DcError::Singular(s)) => return Err(DcError::Singular(s)),
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)?,
+        Err(DcError::Singular(s)) => {
+            DC_FAILURES.incr();
+            return Err(DcError::Singular(s));
+        }
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)
+            .inspect_err(|_| DC_FAILURES.incr())?,
     };
     Ok(package(circuit, &u, x, total_iter))
 }
@@ -528,7 +576,14 @@ fn gmin_then_source_stepping(
     let mut ok = true;
     for exp in 3..=12 {
         let gmin = 10f64.powi(-exp);
-        match newton(circuit, u, &x, gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts) {
+        match newton(
+            circuit,
+            u,
+            &x,
+            gmin,
+            &AssembleMode::Dc { src_scale: 1.0 },
+            opts,
+        ) {
             Ok((xn, it)) => {
                 *total_iter += it;
                 x = xn;
@@ -559,7 +614,14 @@ fn gmin_then_source_stepping(
         x = xn;
     }
     // Final polish at nominal gmin.
-    let (xn, it) = newton(circuit, u, &x, opts.gmin, &AssembleMode::Dc { src_scale: 1.0 }, opts)?;
+    let (xn, it) = newton(
+        circuit,
+        u,
+        &x,
+        opts.gmin,
+        &AssembleMode::Dc { src_scale: 1.0 },
+        opts,
+    )?;
     *total_iter += it;
     Ok(xn)
 }
@@ -585,7 +647,12 @@ fn package(circuit: &Circuit, u: &Unknowns, x: Vec<f64>, iterations: usize) -> D
             _ => {}
         }
     }
-    DcSolution { v, branch_currents, mos_ops, iterations }
+    DcSolution {
+        v,
+        branch_currents,
+        mos_ops,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -781,7 +848,12 @@ mod tests {
         let s1 = solve(&c);
         c.set_vsource_dc("vg", 1.01).unwrap();
         let s2 = dc_from_previous(&c, &s1, &DcOptions::default()).unwrap();
-        assert!(s2.iterations <= s1.iterations, "{} > {}", s2.iterations, s1.iterations);
+        assert!(
+            s2.iterations <= s1.iterations,
+            "{} > {}",
+            s2.iterations,
+            s1.iterations
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Linearized {
     /// Panics if `dc` does not belong to this circuit (node count
     /// mismatch).
     pub fn build(circuit: &Circuit, dc: &DcSolution) -> Self {
-        assert_eq!(dc.v.len(), circuit.num_nodes(), "solution does not match circuit");
+        assert_eq!(
+            dc.v.len(),
+            circuit.num_nodes(),
+            "solution does not match circuit"
+        );
         let u = Unknowns::of(circuit);
         let mut g = Matrix::zeros(u.total);
         let mut c = Matrix::zeros(u.total);
@@ -139,7 +143,13 @@ impl Linearized {
             }
         }
 
-        Self { u, g, c, b_ac, noise_sources }
+        Self {
+            u,
+            g,
+            c,
+            b_ac,
+            noise_sources,
+        }
     }
 
     /// Factorise `G + jωC` at angular frequency `omega`.
@@ -152,7 +162,11 @@ impl Linearized {
         let mut a = Matrix::<Complex>::zeros(n);
         for i in 0..n {
             for j in 0..n {
-                a.set(i, j, Complex::new(self.g.get(i, j), omega * self.c.get(i, j)));
+                a.set(
+                    i,
+                    j,
+                    Complex::new(self.g.get(i, j), omega * self.c.get(i, j)),
+                );
             }
         }
         a.lu()
@@ -234,8 +248,12 @@ fn stamp_mos(
     let sign = m.dev.params.polarity.sign();
     let vr_d = sign * (vd - vb);
     let vr_s = sign * (vs - vb);
-    let cdb = m.junction.capacitance(m.drain_geom.area, m.drain_geom.perimeter, vr_d);
-    let csb = m.junction.capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
+    let cdb = m
+        .junction
+        .capacitance(m.drain_geom.area, m.drain_geom.perimeter, vr_d);
+    let csb = m
+        .junction
+        .capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
 
     let mut stamp_c = |a: Option<usize>, b: Option<usize>, val: f64| {
         if val <= 0.0 {
@@ -300,8 +318,16 @@ mod tests {
         let lu = lin.factor(2.0 * std::f64::consts::PI * f0).unwrap();
         let x = lu.solve(&lin.b_ac);
         let out = lin.voltage(&x, c.find_node("out").unwrap());
-        assert!((out.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-3, "|H| = {}", out.abs());
-        assert!((out.arg_degrees() + 45.0).abs() < 0.1, "phase = {}", out.arg_degrees());
+        assert!(
+            (out.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-3,
+            "|H| = {}",
+            out.abs()
+        );
+        assert!(
+            (out.arg_degrees() + 45.0).abs() < 0.1,
+            "phase = {}",
+            out.arg_degrees()
+        );
     }
 
     #[test]

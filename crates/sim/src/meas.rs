@@ -23,7 +23,10 @@ pub fn from_db(x: f64) -> f64 {
 ///
 /// Panics if the grids are empty or mismatched.
 pub fn value_at(freqs: &[f64], vals: &[f64], f: f64) -> f64 {
-    assert!(!freqs.is_empty() && freqs.len() == vals.len(), "bad interpolation grids");
+    assert!(
+        !freqs.is_empty() && freqs.len() == vals.len(),
+        "bad interpolation grids"
+    );
     if f <= freqs[0] {
         return vals[0];
     }
@@ -43,7 +46,10 @@ pub fn value_at(freqs: &[f64], vals: &[f64], f: f64) -> f64 {
 
 /// Linear-in-log-f interpolate a phase (or any signed quantity) onto `f`.
 pub fn linear_at(freqs: &[f64], vals: &[f64], f: f64) -> f64 {
-    assert!(!freqs.is_empty() && freqs.len() == vals.len(), "bad interpolation grids");
+    assert!(
+        !freqs.is_empty() && freqs.len() == vals.len(),
+        "bad interpolation grids"
+    );
     if f <= freqs[0] {
         return vals[0];
     }
@@ -99,7 +105,10 @@ pub struct BodeSummary {
 ///
 /// Panics if the grids are empty or mismatched.
 pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
-    assert!(!freqs.is_empty() && freqs.len() == h.len(), "bad response grids");
+    assert!(
+        !freqs.is_empty() && freqs.len() == h.len(),
+        "bad response grids"
+    );
     let mag: Vec<f64> = h.iter().map(|z| z.abs()).collect();
     let raw_phase: Vec<f64> = h.iter().map(|z| z.arg_degrees()).collect();
     let unwrapped = crate::ac::unwrap_degrees(&raw_phase);
@@ -125,7 +134,13 @@ pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
         }
     }
 
-    BodeSummary { dc_gain, dc_gain_db: db(dc_gain), unity_freq: unity, phase_margin, gain_margin_db }
+    BodeSummary {
+        dc_gain,
+        dc_gain_db: db(dc_gain),
+        unity_freq: unity,
+        phase_margin,
+        gain_margin_db,
+    }
 }
 
 #[cfg(test)]
@@ -144,9 +159,7 @@ mod tests {
     fn two_pole(freqs: &[f64], a: f64, fp1: f64, fp2: f64) -> Vec<Complex> {
         freqs
             .iter()
-            .map(|&f| {
-                Complex::real(a) / (Complex::new(1.0, f / fp1) * Complex::new(1.0, f / fp2))
-            })
+            .map(|&f| Complex::real(a) / (Complex::new(1.0, f / fp1) * Complex::new(1.0, f / fp2)))
             .collect()
     }
 
@@ -223,8 +236,10 @@ mod tests {
     fn inverting_response_same_margin() {
         // Multiply by −1: phase starts at 180°, margins must not change.
         let f = grid();
-        let h: Vec<Complex> =
-            two_pole(&f, 1000.0, 1e3, 1e6).into_iter().map(|z| -z).collect();
+        let h: Vec<Complex> = two_pole(&f, 1000.0, 1e3, 1e6)
+            .into_iter()
+            .map(|z| -z)
+            .collect();
         let s = bode_summary(&f, &h);
         let pm = s.phase_margin.unwrap();
         assert!(pm > 40.0 && pm < 55.0, "pm = {pm}");

@@ -72,7 +72,13 @@ impl Waveform {
                     level
                 }
             }
-            Waveform::Pulse { level, delay, width, period, edge } => {
+            Waveform::Pulse {
+                level,
+                delay,
+                width,
+                period,
+                edge,
+            } => {
                 if t < delay || period <= 0.0 {
                     return dc;
                 }
@@ -197,8 +203,7 @@ impl Element {
     /// Instance name of any element.
     pub fn name(&self) -> &str {
         match self {
-            Element::Resistor { name, .. }
-            | Element::Capacitor { name, .. } => name,
+            Element::Resistor { name, .. } | Element::Capacitor { name, .. } => name,
             Element::Vsource(v) => &v.name,
             Element::Isource(i) => &i.name,
             Element::Mos(m) => &m.name,
@@ -217,7 +222,11 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit containing only the ground node.
     pub fn new() -> Self {
-        let mut c = Self { node_names: Vec::new(), node_ids: HashMap::new(), elements: Vec::new() };
+        let mut c = Self {
+            node_names: Vec::new(),
+            node_ids: HashMap::new(),
+            elements: Vec::new(),
+        };
         c.node_names.push("0".to_owned());
         c.node_ids.insert("0".to_owned(), GROUND);
         c.node_ids.insert("gnd".to_owned(), GROUND);
@@ -262,7 +271,10 @@ impl Circuit {
     /// Number of independent voltage sources (each adds one MNA branch
     /// unknown).
     pub fn num_vsources(&self) -> usize {
-        self.elements.iter().filter(|e| matches!(e, Element::Vsource(_))).count()
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Vsource(_)))
+            .count()
     }
 
     /// Add a resistor.
@@ -271,9 +283,17 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not strictly positive and finite.
     pub fn resistor(&mut self, name: &str, a: &str, b: &str, ohms: f64) -> &mut Self {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistor {name}: bad value {ohms}");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistor {name}: bad value {ohms}"
+        );
         let (a, b) = (self.node(a), self.node(b));
-        self.elements.push(Element::Resistor { name: name.to_owned(), a, b, ohms });
+        self.elements.push(Element::Resistor {
+            name: name.to_owned(),
+            a,
+            b,
+            ohms,
+        });
         self
     }
 
@@ -283,9 +303,17 @@ impl Circuit {
     ///
     /// Panics if `farads` is negative or not finite.
     pub fn capacitor(&mut self, name: &str, a: &str, b: &str, farads: f64) -> &mut Self {
-        assert!(farads.is_finite() && farads >= 0.0, "capacitor {name}: bad value {farads}");
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitor {name}: bad value {farads}"
+        );
         let (a, b) = (self.node(a), self.node(b));
-        self.elements.push(Element::Capacitor { name: name.to_owned(), a, b, farads });
+        self.elements.push(Element::Capacitor {
+            name: name.to_owned(),
+            a,
+            b,
+            farads,
+        });
         self
     }
 
@@ -355,7 +383,13 @@ impl Circuit {
     /// Add a current source with DC and AC values.
     pub fn isource_ac(&mut self, name: &str, from: &str, to: &str, dc: f64, ac: f64) -> &mut Self {
         let (from, to) = (self.node(from), self.node(to));
-        self.elements.push(Element::Isource(Isource { name: name.to_owned(), from, to, dc, ac }));
+        self.elements.push(Element::Isource(Isource {
+            name: name.to_owned(),
+            from,
+            to,
+            dc,
+            ac,
+        }));
         self
     }
 
@@ -403,7 +437,9 @@ impl Circuit {
                 }
             }
         }
-        Err(NetlistError::new(format!("no voltage source named `{name}`")))
+        Err(NetlistError::new(format!(
+            "no voltage source named `{name}`"
+        )))
     }
 
     /// Change the AC value of a named source (voltage or current).
@@ -438,7 +474,10 @@ impl Circuit {
         let mut seen = HashMap::new();
         for e in &self.elements {
             if let Some(_prev) = seen.insert(e.name().to_owned(), ()) {
-                return Err(NetlistError::new(format!("duplicate element name `{}`", e.name())));
+                return Err(NetlistError::new(format!(
+                    "duplicate element name `{}`",
+                    e.name()
+                )));
             }
         }
         if self.elements.is_empty() {
@@ -456,7 +495,9 @@ pub struct NetlistError {
 
 impl NetlistError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -536,7 +577,11 @@ mod tests {
 
     #[test]
     fn waveform_step() {
-        let w = Waveform::Step { level: 1.0, at: 1e-6, rise: 1e-7 };
+        let w = Waveform::Step {
+            level: 1.0,
+            at: 1e-6,
+            rise: 1e-7,
+        };
         assert_eq!(w.value(0.0, 0.0), 0.0);
         assert_eq!(w.value(0.0, 1e-6), 0.0);
         assert!((w.value(0.0, 1.05e-6) - 0.5).abs() < 1e-9);
@@ -545,7 +590,13 @@ mod tests {
 
     #[test]
     fn waveform_pulse() {
-        let w = Waveform::Pulse { level: 1.0, delay: 0.0, width: 4e-7, period: 1e-6, edge: 1e-8 };
+        let w = Waveform::Pulse {
+            level: 1.0,
+            delay: 0.0,
+            width: 4e-7,
+            period: 1e-6,
+            edge: 1e-8,
+        };
         assert!((w.value(0.0, 2e-7) - 1.0).abs() < 1e-12); // inside pulse
         assert!((w.value(0.0, 8e-7)).abs() < 1e-12); // after fall
         assert!((w.value(0.0, 1.2e-6) - 1.0).abs() < 1e-12); // second period

@@ -84,7 +84,11 @@ pub struct NoiseError {
 
 impl fmt::Display for NoiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "noise analysis failed at {} Hz: {}", self.frequency, self.cause)
+        write!(
+            f,
+            "noise analysis failed at {} Hz: {}",
+            self.frequency, self.cause
+        )
     }
 }
 
@@ -118,11 +122,15 @@ pub fn noise_analysis(
     let mut gain = Vec::with_capacity(freqs.len());
     let mut input_psd = Vec::with_capacity(freqs.len());
     // Per-source output PSD per frequency for the contribution integrals.
-    let mut per_source: Vec<Vec<f64>> = vec![Vec::with_capacity(freqs.len()); lin.noise_sources.len()];
+    let mut per_source: Vec<Vec<f64>> =
+        vec![Vec::with_capacity(freqs.len()); lin.noise_sources.len()];
 
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        let lu = lin.factor(omega).map_err(|cause| NoiseError { frequency: f, cause })?;
+        let lu = lin.factor(omega).map_err(|cause| NoiseError {
+            frequency: f,
+            cause,
+        })?;
 
         // Signal gain.
         let x_sig = lu.solve(&lin.b_ac);
@@ -140,17 +148,33 @@ pub fn noise_analysis(
             total += contrib;
         }
         output_psd.push(total);
-        input_psd.push(if av > 0.0 { total / (av * av) } else { f64::INFINITY });
+        input_psd.push(if av > 0.0 {
+            total / (av * av)
+        } else {
+            f64::INFINITY
+        });
     }
 
     let contributions = lin
         .noise_sources
         .iter()
         .zip(per_source.iter())
-        .map(|(src, psd)| (src.element.clone(), src.mechanism, integrate_psd(freqs, psd)))
+        .map(|(src, psd)| {
+            (
+                src.element.clone(),
+                src.mechanism,
+                integrate_psd(freqs, psd),
+            )
+        })
         .collect();
 
-    Ok(NoiseResult { freqs: freqs.to_vec(), output_psd, gain, input_psd, contributions })
+    Ok(NoiseResult {
+        freqs: freqs.to_vec(),
+        output_psd,
+        gain,
+        input_psd,
+        contributions,
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +204,10 @@ mod tests {
         let res = noise_analysis(&c, &dc, &freqs, "out").unwrap();
         let expected = 4.0 * KBOLTZMANN * T_NOMINAL * 5e3;
         for (k, &p) in res.output_psd.iter().enumerate() {
-            assert!((p - expected).abs() < 0.01 * expected, "point {k}: {p:e} vs {expected:e}");
+            assert!(
+                (p - expected).abs() < 0.01 * expected,
+                "point {k}: {p:e} vs {expected:e}"
+            );
         }
         // Gain is 1/2, so input-referred PSD is 4× output.
         assert!((res.gain[0] - 0.5).abs() < 1e-6);
@@ -201,7 +228,10 @@ mod tests {
         let res = noise_analysis(&c, &dc, &freqs, "out").unwrap();
         let total = res.output_total();
         let ktc = (KBOLTZMANN * T_NOMINAL / 1e-12).sqrt();
-        assert!((total - ktc).abs() < 0.05 * ktc, "total {total:e} vs kT/C {ktc:e}");
+        assert!(
+            (total - ktc).abs() < 0.05 * ktc,
+            "total {total:e} vs kT/C {ktc:e}"
+        );
     }
 
     #[test]

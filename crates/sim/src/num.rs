@@ -5,8 +5,14 @@
 //! is generic over [`Scalar`] and instantiated at `f64` (DC, transient)
 //! and [`Complex`] (AC, noise).
 
+use losac_obs::Counter;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// LU factorisations performed, real and complex alike — every DC Newton
+/// iteration, AC frequency point, noise point and transient step pays
+/// exactly one, so this counter is the simulator's work unit.
+static FACTORIZATIONS: Counter = Counter::new("sim.matrix.factorizations");
 
 /// A complex number (cartesian form).
 ///
@@ -55,7 +61,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Reciprocal 1/z.
@@ -63,7 +72,10 @@ impl Complex {
     /// Division by exact zero yields infinities, mirroring `f64` semantics.
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Phase in degrees.
@@ -99,7 +111,10 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
     }
 }
 
@@ -197,7 +212,10 @@ pub struct Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// An `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![T::zero(); n * n] }
+        Self {
+            n,
+            data: vec![T::zero(); n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -211,7 +229,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> T {
-        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n = {}",
+            self.n
+        );
         self.data[i * self.n + j]
     }
 
@@ -221,7 +243,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n = {}",
+            self.n
+        );
         self.data[i * self.n + j] = v;
     }
 
@@ -231,7 +257,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn add(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n = {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n = {}",
+            self.n
+        );
         self.data[i * self.n + j] += v;
     }
 
@@ -260,6 +290,7 @@ impl<T: Scalar> Matrix<T> {
     /// Returns [`SingularMatrix`] when no usable pivot exists (the system
     /// has no unique solution — e.g. a floating circuit node).
     pub fn lu(mut self) -> Result<Lu<T>, SingularMatrix> {
+        FACTORIZATIONS.incr();
         let n = self.n;
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {
@@ -435,7 +466,9 @@ mod tests {
         let n = 12;
         let mut seed = 42u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         let mut m = Matrix::<f64>::zeros(n);

@@ -65,7 +65,13 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                             level
                         );
                     }
-                    Waveform::Pulse { level, delay, width, period, edge } => {
+                    Waveform::Pulse {
+                        level,
+                        delay,
+                        width,
+                        period,
+                        edge,
+                    } => {
                         let _ = write!(
                             line,
                             " PULSE({:.6e} {:.6e} {:.6e} {:.6e} {:.6e} {:.6e} {:.6e})",
@@ -158,8 +164,14 @@ mod tests {
             "0",
             Mosfet::new(t.nmos, 20e-6, 1e-6),
             t.caps.ndiff,
-            crate::netlist::DiffGeom { area: 1e-12, perimeter: 5e-6 },
-            crate::netlist::DiffGeom { area: 2e-12, perimeter: 8e-6 },
+            crate::netlist::DiffGeom {
+                area: 1e-12,
+                perimeter: 5e-6,
+            },
+            crate::netlist::DiffGeom {
+                area: 2e-12,
+                perimeter: 8e-6,
+            },
         );
         c
     }
@@ -186,11 +198,18 @@ mod tests {
             "a",
             "0",
             0.5,
-            Waveform::Step { level: 1.5, at: 1e-6, rise: 1e-8 },
+            Waveform::Step {
+                level: 1.5,
+                at: 1e-6,
+                rise: 1e-8,
+            },
         );
         c.resistor("r", "a", "0", 1e3);
         let deck = to_spice(&c, "step");
-        assert!(deck.contains("PWL(0 5.000000e-1 1.000000e-6 5.000000e-1"), "{deck}");
+        assert!(
+            deck.contains("PWL(0 5.000000e-1 1.000000e-6 5.000000e-1"),
+            "{deck}"
+        );
     }
 
     #[test]

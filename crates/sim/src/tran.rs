@@ -24,7 +24,11 @@ pub struct TranOptions {
 impl TranOptions {
     /// A reasonable default: 2000 steps across `tstop`.
     pub fn with_tstop(tstop: f64) -> Self {
-        Self { tstop, dt: tstop / 2000.0, newton: DcOptions::default() }
+        Self {
+            tstop,
+            dt: tstop / 2000.0,
+            newton: DcOptions::default(),
+        }
     }
 }
 
@@ -65,7 +69,10 @@ impl TranResult {
 
     /// Final value of a named node (V).
     pub fn final_value(&self, circuit: &Circuit, name: &str) -> f64 {
-        *self.node(circuit, name).last().expect("transient produced no points")
+        *self
+            .node(circuit, name)
+            .last()
+            .expect("transient produced no points")
     }
 
     /// Average slope between the first crossings of `v_a` and `v_b`
@@ -106,7 +113,11 @@ pub struct TranError {
 
 impl fmt::Display for TranError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transient failed at t = {:.3e} s: {}", self.time, self.cause)
+        write!(
+            f,
+            "transient failed at t = {:.3e} s: {}",
+            self.time, self.cause
+        )
     }
 }
 
@@ -126,7 +137,10 @@ pub fn transient(
     dc: &DcSolution,
     opts: &TranOptions,
 ) -> Result<TranResult, TranError> {
-    assert!(opts.dt > 0.0 && opts.tstop > 0.0, "bad transient time range");
+    assert!(
+        opts.dt > 0.0 && opts.tstop > 0.0,
+        "bad transient time range"
+    );
     let u = Unknowns::of(circuit);
     let mut x = vec![0.0; u.total];
     for id in 1..circuit.num_nodes() {
@@ -149,9 +163,16 @@ pub fn transient(
         let h = opts.dt.min(remaining);
         let t_next = time + h;
         let x_prev = x.clone();
-        let mode = AssembleMode::Tran { h, x_prev: &x_prev, time: t_next };
-        let (xn, _) = newton(circuit, &u, &x, 1e-12, &mode, &opts.newton)
-            .map_err(|cause| TranError { time: t_next, cause })?;
+        let mode = AssembleMode::Tran {
+            h,
+            x_prev: &x_prev,
+            time: t_next,
+        };
+        let (xn, _) =
+            newton(circuit, &u, &x, 1e-12, &mode, &opts.newton).map_err(|cause| TranError {
+                time: t_next,
+                cause,
+            })?;
         x = xn;
         time = t_next;
         let mut row = vec![0.0; circuit.num_nodes()];
@@ -187,7 +208,11 @@ mod tests {
             "in",
             "0",
             0.0,
-            Waveform::Step { level: 1.0, at: 0.0, rise: 0.0 },
+            Waveform::Step {
+                level: 1.0,
+                at: 0.0,
+                rise: 0.0,
+            },
         );
         c.resistor("r1", "in", "out", 1e3);
         c.capacitor("c1", "out", "0", 1e-9); // τ = 1 µs
@@ -195,7 +220,11 @@ mod tests {
         let res = transient(
             &c,
             &dc,
-            &TranOptions { tstop: 5e-6, dt: 5e-9, newton: DcOptions::default() },
+            &TranOptions {
+                tstop: 5e-6,
+                dt: 5e-9,
+                newton: DcOptions::default(),
+            },
         )
         .unwrap();
         let out = res.node(&c, "out");
@@ -213,7 +242,11 @@ mod tests {
             "in",
             "0",
             0.0,
-            Waveform::Step { level: 1.0, at: 1e-7, rise: 1e-8 },
+            Waveform::Step {
+                level: 1.0,
+                at: 1e-7,
+                rise: 1e-8,
+            },
         );
         c.resistor("r1", "in", "out", 1e3);
         c.capacitor("c1", "out", "0", 1e-9);
@@ -221,7 +254,11 @@ mod tests {
         let res = transient(
             &c,
             &dc,
-            &TranOptions { tstop: 5e-6, dt: 2e-9, newton: DcOptions::default() },
+            &TranOptions {
+                tstop: 5e-6,
+                dt: 2e-9,
+                newton: DcOptions::default(),
+            },
         )
         .unwrap();
         // Initial slope ≈ V/τ = 1e6 V/s (backward Euler smears it a bit).
@@ -241,7 +278,11 @@ mod tests {
         let res = transient(
             &c,
             &dc,
-            &TranOptions { tstop: 1e-6, dt: 1e-8, newton: DcOptions::default() },
+            &TranOptions {
+                tstop: 1e-6,
+                dt: 1e-8,
+                newton: DcOptions::default(),
+            },
         )
         .unwrap();
         for w in res.node(&c, "b") {
@@ -259,7 +300,11 @@ mod tests {
         let _ = transient(
             &c,
             &dc,
-            &TranOptions { tstop: 1e-6, dt: 0.0, newton: DcOptions::default() },
+            &TranOptions {
+                tstop: 1e-6,
+                dt: 0.0,
+                newton: DcOptions::default(),
+            },
         );
     }
 
@@ -271,14 +316,24 @@ mod tests {
             "in",
             "0",
             0.0,
-            Waveform::Pulse { level: 1.0, delay: 1e-7, width: 4e-7, period: 1e-6, edge: 1e-8 },
+            Waveform::Pulse {
+                level: 1.0,
+                delay: 1e-7,
+                width: 4e-7,
+                period: 1e-6,
+                edge: 1e-8,
+            },
         );
         c.resistor("r1", "in", "0", 1e3);
         let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
         let res = transient(
             &c,
             &dc,
-            &TranOptions { tstop: 1e-6, dt: 1e-9, newton: DcOptions::default() },
+            &TranOptions {
+                tstop: 1e-6,
+                dt: 1e-9,
+                newton: DcOptions::default(),
+            },
         )
         .unwrap();
         let w = res.node(&c, "in");

@@ -58,10 +58,17 @@ pub fn size_diff_pair(
     let params = tech.mos(polarity);
     let sgn = polarity.sign();
     let m_ref = Mosfet::new(*params, 10e-6, l);
-    let gm_over_id = evaluate(&m_ref, sgn * (threshold(params, 0.0) + veff), sgn * 1.0, 0.0)
-        .gm_over_id();
+    let gm_over_id = evaluate(
+        &m_ref,
+        sgn * (threshold(params, 0.0) + veff),
+        sgn * 1.0,
+        0.0,
+    )
+    .gm_over_id();
     if gm_over_id <= 0.0 {
-        return Err(SizingError::new("pair device does not transconduct at this bias"));
+        return Err(SizingError::new(
+            "pair device does not transconduct at this bias",
+        ));
     }
     let i_side = gm_target / gm_over_id;
     let dev = size_device(tech, polarity, l, veff, i_side, 0.9)?;
@@ -86,14 +93,27 @@ pub fn size_mirror(
     ratios: &[f64],
 ) -> Result<Vec<SizedDevice>, SizingError> {
     let mut out = Vec::with_capacity(ratios.len() + 1);
-    let diode = size_device(tech, polarity, l, veff, i_ref, threshold(tech.mos(polarity), 0.0) + veff)?;
+    let diode = size_device(
+        tech,
+        polarity,
+        l,
+        veff,
+        i_ref,
+        threshold(tech.mos(polarity), 0.0) + veff,
+    )?;
     out.push(diode);
     for (k, &ratio) in ratios.iter().enumerate() {
         if !(ratio > 0.0 && ratio.is_finite()) {
-            return Err(SizingError::new(format!("mirror ratio #{k} = {ratio} must be positive")));
+            return Err(SizingError::new(format!(
+                "mirror ratio #{k} = {ratio} must be positive"
+            )));
         }
         // Same L and veff: width scales exactly with the ratio.
-        out.push(SizedDevice { polarity, w: diode.w * ratio, l });
+        out.push(SizedDevice {
+            polarity,
+            w: diode.w * ratio,
+            l,
+        });
     }
     Ok(out)
 }
@@ -114,8 +134,8 @@ pub fn gate_bias_for(
 ) -> Result<f64, SizingError> {
     let m = Mosfet::new(*tech.mos(dev.polarity), dev.w, dev.l);
     let sgn = dev.polarity.sign();
-    let vgs = vgs_for_current(&m, sgn * vds, 0.0, i, 5.0)
-        .map_err(|e| SizingError::new(e.to_string()))?;
+    let vgs =
+        vgs_for_current(&m, sgn * vds, 0.0, i, 5.0).map_err(|e| SizingError::new(e.to_string()))?;
     Ok(v_source + vgs)
 }
 
@@ -125,12 +145,7 @@ pub fn gate_bias_for(
 /// # Errors
 ///
 /// Fails when the current is unreachable.
-pub fn op_of(
-    tech: &Technology,
-    dev: &SizedDevice,
-    i: f64,
-    vds: f64,
-) -> Result<MosOp, SizingError> {
+pub fn op_of(tech: &Technology, dev: &SizedDevice, i: f64, vds: f64) -> Result<MosOp, SizingError> {
     let m = Mosfet::new(*tech.mos(dev.polarity), dev.w, dev.l);
     let sgn = dev.polarity.sign();
     let vgs =

@@ -94,10 +94,26 @@ impl fmt::Display for Performance {
         writeln!(f, "Slew rate          {:8.1} V/us", self.slew_rate / 1e6)?;
         writeln!(f, "CMRR               {:8.1} dB", self.cmrr_db)?;
         writeln!(f, "Offset             {:8.2} mV", self.offset * 1e3)?;
-        writeln!(f, "Output resistance  {:8.2} MOhm", self.output_resistance / 1e6)?;
-        writeln!(f, "Input noise        {:8.1} uV", self.input_noise_rms * 1e6)?;
-        writeln!(f, "Thermal density    {:8.1} nV/rtHz", self.thermal_noise_density * 1e9)?;
-        writeln!(f, "Flicker @1Hz       {:8.2} uV/rtHz", self.flicker_noise_density * 1e6)?;
+        writeln!(
+            f,
+            "Output resistance  {:8.2} MOhm",
+            self.output_resistance / 1e6
+        )?;
+        writeln!(
+            f,
+            "Input noise        {:8.1} uV",
+            self.input_noise_rms * 1e6
+        )?;
+        writeln!(
+            f,
+            "Thermal density    {:8.1} nV/rtHz",
+            self.thermal_noise_density * 1e9
+        )?;
+        writeln!(
+            f,
+            "Flicker @1Hz       {:8.2} uV/rtHz",
+            self.flicker_noise_density * 1e6
+        )?;
         write!(f, "Power              {:8.2} mW", self.power * 1e3)
     }
 }
@@ -147,8 +163,10 @@ pub fn balance(
     let opts = DcOptions::default();
 
     let set_dv = |c: &mut Circuit, dv: f64| {
-        c.set_vsource_dc("vinp", cm + dv / 2.0).expect("vinp exists");
-        c.set_vsource_dc("vinn", cm - dv / 2.0).expect("vinn exists");
+        c.set_vsource_dc("vinp", cm + dv / 2.0)
+            .expect("vinp exists");
+        c.set_vsource_dc("vinn", cm - dv / 2.0)
+            .expect("vinn exists");
     };
 
     let vout_at = |c: &Circuit, prev: Option<&DcSolution>| -> Result<DcSolution, EvalError> {
@@ -200,6 +218,7 @@ pub fn evaluate(
     tech: &Technology,
     mode: &ParasiticMode,
 ) -> Result<Performance, EvalError> {
+    let _span = losac_obs::span("sizing.evaluate");
     // --- balanced operating point (also yields the offset) ----------------
     let (dv, mut c, dc) = balance(ota, tech, mode)?;
     let offset = dv;
@@ -208,7 +227,11 @@ pub fn evaluate(
     // --- differential AC: gain, GBW, phase margin --------------------------
     c.set_source_ac("vinp", 0.5).expect("vinp");
     c.set_source_ac("vinn", -0.5).expect("vinn");
-    let ac_opts = AcOptions { fstart: 10.0, fstop: 20e9, points_per_decade: 24 };
+    let ac_opts = AcOptions {
+        fstart: 10.0,
+        fstop: 20e9,
+        points_per_decade: 24,
+    };
     let ac = ac_sweep(&c, &dc, &ac_opts).map_err(|e| EvalError::new(e.to_string()))?;
     let h = ac.node(&c, "out");
     let summary = bode_summary(&ac.freqs, &h);
@@ -226,7 +249,11 @@ pub fn evaluate(
     let ac_cm = ac_sweep(
         &c,
         &dc,
-        &AcOptions { fstart: 10.0, fstop: 1e3, points_per_decade: 4 },
+        &AcOptions {
+            fstart: 10.0,
+            fstop: 1e3,
+            points_per_decade: 4,
+        },
     )
     .map_err(|e| EvalError::new(e.to_string()))?;
     let acm0 = ac_cm.magnitude(&c, "out")[0].max(1e-12);
@@ -239,7 +266,11 @@ pub fn evaluate(
     let ac_rout = ac_sweep(
         &c_rout,
         &dc_rout,
-        &AcOptions { fstart: 1.0, fstop: 10.0, points_per_decade: 2 },
+        &AcOptions {
+            fstart: 1.0,
+            fstop: 10.0,
+            points_per_decade: 2,
+        },
     )
     .map_err(|e| EvalError::new(e.to_string()))?;
     let output_resistance = ac_rout.magnitude(&c_rout, "out")[0];
@@ -285,7 +316,11 @@ pub fn measure_psrr(
     mode: &ParasiticMode,
 ) -> Result<f64, EvalError> {
     let (_dv, mut c, dc) = balance(ota, tech, mode)?;
-    let opts = AcOptions { fstart: 10.0, fstop: 1e3, points_per_decade: 4 };
+    let opts = AcOptions {
+        fstart: 10.0,
+        fstop: 1e3,
+        points_per_decade: 4,
+    };
     // Differential gain.
     c.set_source_ac("vinp", 0.5).expect("vinp");
     c.set_source_ac("vinn", -0.5).expect("vinn");
@@ -319,13 +354,22 @@ fn measure_slew_rate(
     let c = ota.netlist(
         tech,
         mode,
-        InputDrive::UnityBuffer { step_from: mid - step, step_to: mid + step, at, rise: t_slew / 100.0 },
+        InputDrive::UnityBuffer {
+            step_from: mid - step,
+            step_to: mid + step,
+            at,
+            rise: t_slew / 100.0,
+        },
     );
     let dc = dc_operating_point(&c, &DcOptions::default())?;
     let res = transient(
         &c,
         &dc,
-        &TranOptions { tstop, dt: tstop / 1500.0, newton: DcOptions::default() },
+        &TranOptions {
+            tstop,
+            dt: tstop / 1500.0,
+            newton: DcOptions::default(),
+        },
     )
     .map_err(|e| EvalError::new(e.to_string()))?;
     let final_v = res.final_value(&c, "out");
@@ -361,7 +405,10 @@ mod tests {
         let (tech, ota) = setup();
         let (dv, c, sol) = balance(&ota, &tech, &ParasiticMode::None).unwrap();
         let vout = sol.voltage(&c, "out");
-        assert!((vout - ota.specs.output_mid()).abs() < 5e-3, "vout = {vout:.3}");
+        assert!(
+            (vout - ota.specs.output_mid()).abs() < 5e-3,
+            "vout = {vout:.3}"
+        );
         assert!(dv.abs() < 10e-3, "offset {dv:.4} V should be small");
     }
 
@@ -370,9 +417,17 @@ mod tests {
         let (tech, ota) = setup();
         let p = evaluate(&ota, &tech, &ParasiticMode::None).unwrap();
         // Shape checks, not absolute numbers (the flow tests Table 1).
-        assert!(p.dc_gain_db > 50.0 && p.dc_gain_db < 90.0, "gain {:.1} dB", p.dc_gain_db);
+        assert!(
+            p.dc_gain_db > 50.0 && p.dc_gain_db < 90.0,
+            "gain {:.1} dB",
+            p.dc_gain_db
+        );
         assert!(p.gbw > 30e6 && p.gbw < 200e6, "gbw {:.1} MHz", p.gbw / 1e6);
-        assert!(p.phase_margin > 45.0 && p.phase_margin < 90.0, "pm {:.1}", p.phase_margin);
+        assert!(
+            p.phase_margin > 45.0 && p.phase_margin < 90.0,
+            "pm {:.1}",
+            p.phase_margin
+        );
         assert!(p.slew_rate > 20e6, "sr {:.1} V/µs", p.slew_rate / 1e6);
         assert!(p.cmrr_db > 60.0, "cmrr {:.1} dB", p.cmrr_db);
         assert!(p.offset.abs() < 5e-3, "offset {:.2} mV", p.offset * 1e3);
@@ -388,7 +443,11 @@ mod tests {
         );
         assert!(p.thermal_noise_density < 100e-9);
         assert!(p.flicker_noise_density > p.thermal_noise_density);
-        assert!(p.power > 0.2e-3 && p.power < 20e-3, "power {:.2} mW", p.power * 1e3);
+        assert!(
+            p.power > 0.2e-3 && p.power < 20e-3,
+            "power {:.2} mW",
+            p.power * 1e3
+        );
     }
 
     #[test]
@@ -403,7 +462,14 @@ mod tests {
         let (tech, ota) = setup();
         let p = evaluate(&ota, &tech, &ParasiticMode::None).unwrap();
         let text = p.to_string();
-        for key in ["DC gain", "GBW", "Phase margin", "Slew rate", "CMRR", "Power"] {
+        for key in [
+            "DC gain",
+            "GBW",
+            "Phase margin",
+            "Slew rate",
+            "CMRR",
+            "Power",
+        ] {
             assert!(text.contains(key), "missing row {key}");
         }
     }

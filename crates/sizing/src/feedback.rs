@@ -113,7 +113,10 @@ mod tests {
         assert_eq!(ParasiticMode::None.case_label(), "case 1");
         assert_eq!(ParasiticMode::UnfoldedDiffusion.case_label(), "case 2");
         let fb = LayoutFeedback::default();
-        assert_eq!(ParasiticMode::DiffusionOnly(fb.clone()).case_label(), "case 3");
+        assert_eq!(
+            ParasiticMode::DiffusionOnly(fb.clone()).case_label(),
+            "case 3"
+        );
         let full = ParasiticMode::Full(fb);
         assert_eq!(full.case_label(), "case 4");
         assert!(full.includes_routing());
@@ -128,8 +131,14 @@ mod tests {
             DeviceFeedback {
                 folds: 4,
                 drawn_w: 40_000,
-                drain: DiffGeom { area: 1e-12, perimeter: 4e-6 },
-                source: DiffGeom { area: 2e-12, perimeter: 6e-6 },
+                drain: DiffGeom {
+                    area: 1e-12,
+                    perimeter: 4e-6,
+                },
+                source: DiffGeom {
+                    area: 2e-12,
+                    perimeter: 6e-6,
+                },
             },
         );
         assert_eq!(fb.device("mp1").unwrap().folds, 4);

@@ -33,6 +33,7 @@ pub mod blocks;
 pub mod eval;
 pub mod feedback;
 pub mod ota;
+pub mod rng;
 pub mod specs;
 pub mod statistical;
 pub mod techeval;

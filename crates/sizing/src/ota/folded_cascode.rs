@@ -32,9 +32,9 @@ use losac_device::ekv::{evaluate, threshold};
 use losac_device::folding::{DiffusionGeometry, FoldSpec};
 use losac_device::solve::{vgs_for_current, width_for_current, WidthBounds};
 use losac_device::Mosfet;
+use losac_sim::netlist::{Circuit, DiffGeom as SimDiffGeom, Waveform};
 use losac_tech::units::m_to_nm;
 use losac_tech::{Polarity, Technology};
-use losac_sim::netlist::{Circuit, DiffGeom as SimDiffGeom, Waveform};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -93,8 +93,9 @@ pub struct FoldedCascodeOta {
 }
 
 /// The device names of the topology, in a stable order.
-pub const DEVICE_NAMES: [&str; 11] =
-    ["mp1", "mp2", "mptail", "mn5", "mn6", "mn1c", "mn2c", "mp3", "mp4", "mp3c", "mp4c"];
+pub const DEVICE_NAMES: [&str; 11] = [
+    "mp1", "mp2", "mptail", "mn5", "mn6", "mn1c", "mn2c", "mp3", "mp4", "mp3c", "mp4c",
+];
 
 /// Circuit nets of the topology (excluding the input/bias sources).
 pub const SIGNAL_NETS: [&str; 8] = ["tail", "f1", "f2", "m", "a", "b", "out", "vdd"];
@@ -176,6 +177,10 @@ impl FoldedCascodePlan {
         specs: &OtaSpecs,
         mode: &ParasiticMode,
     ) -> Result<FoldedCascodeOta, SizingError> {
+        let _span = losac_obs::span_with(
+            "sizing.size",
+            vec![losac_obs::f("topology", "folded_cascode")],
+        );
         specs.validate().map_err(SizingError::new)?;
         let _ = &tech.nmos;
         let pp = &tech.pmos;
@@ -202,7 +207,9 @@ impl FoldedCascodePlan {
         let op_ref = evaluate(&m_ref, -(pp.vt0 + veff_in), -1.0, 0.0);
         let gm_over_id = op_ref.gm_over_id();
         if gm_over_id <= 0.0 {
-            return Err(SizingError::new("input device does not transconduct at this bias"));
+            return Err(SizingError::new(
+                "input device does not transconduct at this bias",
+            ));
         }
 
         // --- analytic sizing pass, parameterised by the calibration -------
@@ -213,85 +220,138 @@ impl FoldedCascodePlan {
         // calculated and the whole process is repeated").
         let analytic_pass = |gm_cal: f64,
                              k_casc_seed: f64|
-         -> Result<(HashMap<String, SizedDevice>, BranchCurrents, f64, usize), SizingError> {
-        let mut c_out_par = parasitic_on(mode, "out"); // routing and well
-        let mut k_casc = k_casc_seed;
-        let mut sizes: HashMap<String, SizedDevice> = HashMap::new();
-        let mut currents = BranchCurrents { i_tail: 0.0, i_in: 0.0, i_casc: 0.0, i_sink: 0.0 };
-        let mut iterations = 0;
-
-        for outer in 0..12 {
-            iterations = outer + 1;
-            let c_total = specs.c_load + c_out_par + self_loading(&sizes, tech, mode);
-            let gm1 = 2.0 * std::f64::consts::PI * specs.gbw * c_total * self.gm_margin * gm_cal;
-            let i_in = gm1 / gm_over_id;
-            let i_tail = 2.0 * i_in;
-            let i_casc = k_casc * i_in;
-            let i_sink = i_in + i_casc;
-            currents = BranchCurrents { i_tail, i_in, i_casc, i_sink };
-
-            // Widths at fixed Veff (monotonic numerical iteration inside
-            // the solver). Nominal VDS values put each device near its
-            // eventual operating point.
-            let bounds = WidthBounds::default();
-            let vf = veff_n + self.sat_margin; // fold-node voltage
-            let mut size = |name: &str,
-                            pol: Polarity,
-                            l: f64,
-                            veff: f64,
-                            i: f64,
-                            vds: f64|
-             -> Result<(), SizingError> {
-                let params = tech.mos(pol);
-                let sgn = pol.sign();
-                let vgs = sgn * (threshold(params, 0.0) + veff);
-                let w = width_for_current(params, l, vgs, sgn * vds, 0.0, i, bounds)
-                    .map_err(|e| SizingError::new(format!("{name}: {e}")))?;
-                sizes.insert(name.to_owned(), SizedDevice { polarity: pol, w, l });
-                Ok(())
+         -> Result<
+            (HashMap<String, SizedDevice>, BranchCurrents, f64, usize),
+            SizingError,
+        > {
+            let mut c_out_par = parasitic_on(mode, "out"); // routing and well
+            let mut k_casc = k_casc_seed;
+            let mut sizes: HashMap<String, SizedDevice> = HashMap::new();
+            let mut currents = BranchCurrents {
+                i_tail: 0.0,
+                i_in: 0.0,
+                i_casc: 0.0,
+                i_sink: 0.0,
             };
+            let mut iterations = 0;
 
-            // Matched pairs are sized once and instantiated twice —
-            // identical drawn geometry is what the matching constraints
-            // in the layout rely on.
-            size("mp1", Polarity::Pmos, self.l_in, veff_in, i_in, 0.9)?;
-            size("mptail", Polarity::Pmos, self.l_tail, veff_tail, i_tail, veff_tail + 0.2)?;
-            size("mn5", Polarity::Nmos, self.l_sink, veff_n, i_sink, vf)?;
-            size("mn1c", Polarity::Nmos, self.l_casc_n, veff_n, i_casc, veff_n + self.sat_margin)?;
-            size("mp3", Polarity::Pmos, self.l_mirror, veff_p, i_casc, veff_p + 0.1)?;
-            size("mp3c", Polarity::Pmos, self.l_casc_p, veff_p, i_casc, veff_p + self.sat_margin)?;
-            for (twin, of) in
-                [("mp2", "mp1"), ("mn6", "mn5"), ("mn2c", "mn1c"), ("mp4", "mp3"), ("mp4c", "mp3c")]
-            {
-                let d = sizes[of];
-                sizes.insert(twin.to_owned(), d);
-            }
+            for outer in 0..12 {
+                iterations = outer + 1;
+                let c_total = specs.c_load + c_out_par + self_loading(&sizes, tech, mode);
+                let gm1 =
+                    2.0 * std::f64::consts::PI * specs.gbw * c_total * self.gm_margin * gm_cal;
+                let i_in = gm1 / gm_over_id;
+                let i_tail = 2.0 * i_in;
+                let i_casc = k_casc * i_in;
+                let i_sink = i_in + i_casc;
+                currents = BranchCurrents {
+                    i_tail,
+                    i_in,
+                    i_casc,
+                    i_sink,
+                };
 
-            // --- phase-margin estimate over the non-dominant poles ---------
-            let pm = self.estimate_phase_margin(tech, specs, &sizes, &currents, mode);
-            let pm_target = specs.phase_margin + self.pm_headroom;
-            let c_out_new = parasitic_on(mode, "out");
-            let gm1_new = 2.0
-                * std::f64::consts::PI
-                * specs.gbw
-                * (specs.c_load + c_out_new + self_loading(&sizes, tech, mode))
-                * self.gm_margin
-                * gm_cal;
-            let gm_converged = (gm1_new - gm1).abs() < 0.01 * gm1;
-            if pm < pm_target - 0.25 && k_casc < 4.0 {
-                // Proportional update: continuous in the feedback, so the
-                // layout-sizing loop converges to a fixed point instead of
-                // ping-ponging between quantised cascode currents.
-                let deficit = pm_target - pm;
-                k_casc = (k_casc * (1.0 + (deficit / 40.0).min(0.5))).min(4.0);
-                continue;
+                // Widths at fixed Veff (monotonic numerical iteration inside
+                // the solver). Nominal VDS values put each device near its
+                // eventual operating point.
+                let bounds = WidthBounds::default();
+                let vf = veff_n + self.sat_margin; // fold-node voltage
+                let mut size = |name: &str,
+                                pol: Polarity,
+                                l: f64,
+                                veff: f64,
+                                i: f64,
+                                vds: f64|
+                 -> Result<(), SizingError> {
+                    let params = tech.mos(pol);
+                    let sgn = pol.sign();
+                    let vgs = sgn * (threshold(params, 0.0) + veff);
+                    let w = width_for_current(params, l, vgs, sgn * vds, 0.0, i, bounds)
+                        .map_err(|e| SizingError::new(format!("{name}: {e}")))?;
+                    sizes.insert(
+                        name.to_owned(),
+                        SizedDevice {
+                            polarity: pol,
+                            w,
+                            l,
+                        },
+                    );
+                    Ok(())
+                };
+
+                // Matched pairs are sized once and instantiated twice —
+                // identical drawn geometry is what the matching constraints
+                // in the layout rely on.
+                size("mp1", Polarity::Pmos, self.l_in, veff_in, i_in, 0.9)?;
+                size(
+                    "mptail",
+                    Polarity::Pmos,
+                    self.l_tail,
+                    veff_tail,
+                    i_tail,
+                    veff_tail + 0.2,
+                )?;
+                size("mn5", Polarity::Nmos, self.l_sink, veff_n, i_sink, vf)?;
+                size(
+                    "mn1c",
+                    Polarity::Nmos,
+                    self.l_casc_n,
+                    veff_n,
+                    i_casc,
+                    veff_n + self.sat_margin,
+                )?;
+                size(
+                    "mp3",
+                    Polarity::Pmos,
+                    self.l_mirror,
+                    veff_p,
+                    i_casc,
+                    veff_p + 0.1,
+                )?;
+                size(
+                    "mp3c",
+                    Polarity::Pmos,
+                    self.l_casc_p,
+                    veff_p,
+                    i_casc,
+                    veff_p + self.sat_margin,
+                )?;
+                for (twin, of) in [
+                    ("mp2", "mp1"),
+                    ("mn6", "mn5"),
+                    ("mn2c", "mn1c"),
+                    ("mp4", "mp3"),
+                    ("mp4c", "mp3c"),
+                ] {
+                    let d = sizes[of];
+                    sizes.insert(twin.to_owned(), d);
+                }
+
+                // --- phase-margin estimate over the non-dominant poles ---------
+                let pm = self.estimate_phase_margin(tech, specs, &sizes, &currents, mode);
+                let pm_target = specs.phase_margin + self.pm_headroom;
+                let c_out_new = parasitic_on(mode, "out");
+                let gm1_new = 2.0
+                    * std::f64::consts::PI
+                    * specs.gbw
+                    * (specs.c_load + c_out_new + self_loading(&sizes, tech, mode))
+                    * self.gm_margin
+                    * gm_cal;
+                let gm_converged = (gm1_new - gm1).abs() < 0.01 * gm1;
+                if pm < pm_target - 0.25 && k_casc < 4.0 {
+                    // Proportional update: continuous in the feedback, so the
+                    // layout-sizing loop converges to a fixed point instead of
+                    // ping-ponging between quantised cascode currents.
+                    let deficit = pm_target - pm;
+                    k_casc = (k_casc * (1.0 + (deficit / 40.0).min(0.5))).min(4.0);
+                    continue;
+                }
+                c_out_par = c_out_new;
+                if gm_converged {
+                    break;
+                }
             }
-            c_out_par = c_out_new;
-            if gm_converged {
-                break;
-            }
-        }
-        Ok((sizes, currents, k_casc, iterations))
+            Ok((sizes, currents, k_casc, iterations))
         };
 
         // --- calibration loop: measure, trim, repeat -----------------------
@@ -398,8 +458,7 @@ impl FoldedCascodePlan {
             + parasitic_on(mode, "m");
         let p_mirror = op_p3.gm / (2.0 * std::f64::consts::PI * c_m.max(1e-18));
 
-        90.0 - (specs.gbw / p_fold).atan().to_degrees()
-            - (specs.gbw / p_mirror).atan().to_degrees()
+        90.0 - (specs.gbw / p_fold).atan().to_degrees() - (specs.gbw / p_mirror).atan().to_degrees()
     }
 
     fn bias_voltages(
@@ -454,7 +513,11 @@ fn quick_ac(ota: &FoldedCascodeOta, tech: &Technology, mode: &ParasiticMode) -> 
     let ac = ac_sweep(
         &c,
         &dc,
-        &AcOptions { fstart: 100.0, fstop: 20e9, points_per_decade: 16 },
+        &AcOptions {
+            fstart: 100.0,
+            fstop: 20e9,
+            points_per_decade: 16,
+        },
     )
     .ok()?;
     let h = ac.node(&c, "out");
@@ -483,7 +546,9 @@ fn self_loading(
 
 /// Lumped routing/coupling/well capacitance the mode attributes to `net`.
 fn parasitic_on(mode: &ParasiticMode, net: &str) -> f64 {
-    let Some(fb) = mode.feedback() else { return 0.0 };
+    let Some(fb) = mode.feedback() else {
+        return 0.0;
+    };
     if !mode.includes_routing() {
         return 0.0;
     }
@@ -531,7 +596,10 @@ pub(crate) fn diffusion_geometry(
             } else {
                 DiffusionGeometry::source(w_nm, FoldSpec::UNFOLDED, &tech.rules)
             };
-            DiffGeom { area: g.area, perimeter: g.perimeter }
+            DiffGeom {
+                area: g.area,
+                perimeter: g.perimeter,
+            }
         }
         ParasiticMode::DiffusionOnly(fb) | ParasiticMode::Full(fb) => match fb.device(name) {
             Some(d) => {
@@ -593,13 +661,22 @@ impl FoldedCascodeOta {
                 c.vsource("vinn", "vinn", "0", cm - dv / 2.0);
                 "vinn"
             }
-            InputDrive::UnityBuffer { step_from, step_to, at, rise } => {
+            InputDrive::UnityBuffer {
+                step_from,
+                step_to,
+                at,
+                rise,
+            } => {
                 c.vsource_tran(
                     "vinp",
                     "vinp",
                     "0",
                     step_from,
-                    Waveform::Step { level: step_to, at, rise },
+                    Waveform::Step {
+                        level: step_to,
+                        at,
+                        rise,
+                    },
                 );
                 "out"
             }
@@ -624,8 +701,14 @@ impl FoldedCascodeOta {
                 b,
                 m,
                 junction,
-                SimDiffGeom { area: dg.area, perimeter: dg.perimeter },
-                SimDiffGeom { area: sg.area, perimeter: sg.perimeter },
+                SimDiffGeom {
+                    area: dg.area,
+                    perimeter: dg.perimeter,
+                },
+                SimDiffGeom {
+                    area: sg.area,
+                    perimeter: sg.perimeter,
+                },
             );
         };
 
@@ -728,7 +811,11 @@ mod tests {
         let ota = sized();
         for name in DEVICE_NAMES {
             let d = &ota.devices[name];
-            assert!(d.w > 0.8e-6 && d.w < 2e-3, "{name}: W = {:.1} µm", d.w * 1e6);
+            assert!(
+                d.w > 0.8e-6 && d.w < 2e-3,
+                "{name}: W = {:.1} µm",
+                d.w * 1e6
+            );
             assert!(d.l >= 0.6e-6, "{name}: L");
         }
     }
@@ -738,11 +825,18 @@ mod tests {
         let ota = sized();
         // gm1 = 2π·65 MHz·≥3 pF ≈ 1.2+ mA/V; tail currents land in the
         // hundreds of µA; total power of a few mW like the paper.
-        assert!(ota.currents.i_tail > 50e-6 && ota.currents.i_tail < 2e-3,
-            "i_tail = {:.1} µA", ota.currents.i_tail * 1e6);
+        assert!(
+            ota.currents.i_tail > 50e-6 && ota.currents.i_tail < 2e-3,
+            "i_tail = {:.1} µA",
+            ota.currents.i_tail * 1e6
+        );
         assert!((ota.currents.i_sink - ota.currents.i_in - ota.currents.i_casc).abs() < 1e-12);
         let power = ota.supply_current_estimate() * 3.3;
-        assert!(power > 0.5e-3 && power < 10e-3, "power = {:.2} mW", power * 1e3);
+        assert!(
+            power > 0.5e-3 && power < 10e-3,
+            "power = {:.2} mW",
+            power * 1e3
+        );
     }
 
     #[test]
@@ -774,7 +868,11 @@ mod tests {
     fn dc_operating_point_all_saturated() {
         let t = tech();
         let ota = sized();
-        let c = ota.netlist(&t, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+        let c = ota.netlist(
+            &t,
+            &ParasiticMode::None,
+            InputDrive::Differential { dv: 0.0 },
+        );
         let sol = dc_operating_point(&c, &DcOptions::default()).unwrap();
         // Every device must conduct a sensible current.
         for name in DEVICE_NAMES {
@@ -816,7 +914,11 @@ mod tests {
     fn netlist_has_load_and_supplies() {
         let t = tech();
         let ota = sized();
-        let c = ota.netlist(&t, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+        let c = ota.netlist(
+            &t,
+            &ParasiticMode::None,
+            InputDrive::Differential { dv: 0.0 },
+        );
         assert!(c.find_node("out").is_some());
         assert!(c.find_node("tail").is_some());
         assert_eq!(c.num_vsources(), 7); // vdd + 4 bias + 2 inputs
@@ -826,9 +928,13 @@ mod tests {
     fn sizing_scales_with_load() {
         let t = tech();
         let mut s = OtaSpecs::paper_example();
-        let small = FoldedCascodePlan::default().size(&t, &s, &ParasiticMode::None).unwrap();
+        let small = FoldedCascodePlan::default()
+            .size(&t, &s, &ParasiticMode::None)
+            .unwrap();
         s.c_load = 9e-12;
-        let big = FoldedCascodePlan::default().size(&t, &s, &ParasiticMode::None).unwrap();
+        let big = FoldedCascodePlan::default()
+            .size(&t, &s, &ParasiticMode::None)
+            .unwrap();
         assert!(
             big.currents.i_tail > 2.0 * small.currents.i_tail,
             "3× load needs ≈3× current: {:.0} µA vs {:.0} µA",

@@ -35,8 +35,9 @@ use losac_tech::{Polarity, Technology};
 use std::collections::HashMap;
 
 /// The device names of the telescopic topology.
-pub const DEVICE_NAMES: [&str; 9] =
-    ["mptail", "mp1", "mp2", "mp1c", "mp2c", "mn1c", "mn2c", "mn3", "mn4"];
+pub const DEVICE_NAMES: [&str; 9] = [
+    "mptail", "mp1", "mp2", "mp1c", "mp2c", "mn1c", "mn2c", "mn3", "mn4",
+];
 
 /// A sized telescopic-cascode OTA.
 #[derive(Debug, Clone)]
@@ -68,7 +69,11 @@ pub struct TelescopicPlan {
 
 impl Default for TelescopicPlan {
     fn default() -> Self {
-        Self { l_in: 1.0e-6, l_casc: 0.8e-6, sat_margin: 0.1 }
+        Self {
+            l_in: 1.0e-6,
+            l_casc: 0.8e-6,
+            sat_margin: 0.1,
+        }
     }
 }
 
@@ -86,6 +91,8 @@ impl TelescopicPlan {
         specs: &OtaSpecs,
         mode: &ParasiticMode,
     ) -> Result<TelescopicOta, SizingError> {
+        let _span =
+            losac_obs::span_with("sizing.size", vec![losac_obs::f("topology", "telescopic")]);
         specs.validate().map_err(SizingError::new)?;
         let _ = mode;
         let vdd = specs.vdd;
@@ -109,7 +116,9 @@ impl TelescopicPlan {
         }
         let headroom = vdd - pp.vt0 - specs.input_cm_range.1;
         if headroom < 0.15 {
-            return Err(SizingError::new("input CM range incompatible with a PMOS input pair"));
+            return Err(SizingError::new(
+                "input CM range incompatible with a PMOS input pair",
+            ));
         }
         let veff_in = (0.4 * headroom).clamp(0.10, 0.45);
         let veff_tail = (headroom - veff_in - 0.05).clamp(0.10, 0.8);
@@ -125,7 +134,14 @@ impl TelescopicPlan {
         devices.insert("mp2".to_owned(), input_dev);
         devices.insert(
             "mptail".to_owned(),
-            size_device(tech, Polarity::Pmos, self.l_in, veff_tail, i_tail, veff_tail + 0.2)?,
+            size_device(
+                tech,
+                Polarity::Pmos,
+                self.l_in,
+                veff_tail,
+                i_tail,
+                veff_tail + 0.2,
+            )?,
         );
         let pc = size_device(
             tech,
@@ -162,7 +178,14 @@ impl TelescopicPlan {
         let vx = specs.input_cm_bias() + pp.vt0 - self.sat_margin;
         let vcp = gate_bias_for(tech, &devices["mp1c"], i_in, vx, veff_p + self.sat_margin)?;
 
-        Ok(TelescopicOta { devices, vp1, vcp, vcn, i_tail, specs: *specs })
+        Ok(TelescopicOta {
+            devices,
+            vp1,
+            vcp,
+            vcn,
+            i_tail,
+            specs: *specs,
+        })
     }
 }
 
@@ -182,13 +205,22 @@ impl TelescopicOta {
                 c.vsource("vinn", "vinn", "0", cm - dv / 2.0);
                 "vinn"
             }
-            InputDrive::UnityBuffer { step_from, step_to, at, rise } => {
+            InputDrive::UnityBuffer {
+                step_from,
+                step_to,
+                at,
+                rise,
+            } => {
                 c.vsource_tran(
                     "vinp",
                     "vinp",
                     "0",
                     step_from,
-                    Waveform::Step { level: step_to, at, rise },
+                    Waveform::Step {
+                        level: step_to,
+                        at,
+                        rise,
+                    },
                 );
                 "out"
             }
@@ -212,8 +244,14 @@ impl TelescopicOta {
                 b,
                 m,
                 junction,
-                SimDiffGeom { area: dg.area, perimeter: dg.perimeter },
-                SimDiffGeom { area: sg.area, perimeter: sg.perimeter },
+                SimDiffGeom {
+                    area: dg.area,
+                    perimeter: dg.perimeter,
+                },
+                SimDiffGeom {
+                    area: sg.area,
+                    perimeter: sg.perimeter,
+                },
             );
         };
 
@@ -289,7 +327,9 @@ mod tests {
     fn telescopic_uses_half_the_folded_cascode_current() {
         let tech = Technology::cmos06();
         let specs = telescopic_example_specs();
-        let tele = TelescopicPlan::default().size(&tech, &specs, &ParasiticMode::None).unwrap();
+        let tele = TelescopicPlan::default()
+            .size(&tech, &specs, &ParasiticMode::None)
+            .unwrap();
         let fc = crate::ota::folded_cascode::FoldedCascodePlan::default()
             .size(&tech, &specs, &ParasiticMode::None)
             .unwrap();
@@ -312,7 +352,11 @@ mod tests {
         assert!(p.dc_gain_db > 55.0, "gain {:.1} dB", p.dc_gain_db);
         assert!(p.gbw > 40e6, "gbw {:.1} MHz", p.gbw / 1e6);
         assert!(p.phase_margin > 55.0, "pm {:.1}°", p.phase_margin);
-        assert!(p.power < 2e-3, "telescopic should be frugal: {:.2} mW", p.power * 1e3);
+        assert!(
+            p.power < 2e-3,
+            "telescopic should be frugal: {:.2} mW",
+            p.power * 1e3
+        );
     }
 
     #[test]
@@ -320,11 +364,8 @@ mod tests {
         let tech = Technology::cmos06();
         // The paper's folded-cascode output range is too wide for a
         // telescopic stack; the plan must say so rather than mis-size.
-        let err = TelescopicPlan::default().size(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &ParasiticMode::None,
-        );
+        let err =
+            TelescopicPlan::default().size(&tech, &OtaSpecs::paper_example(), &ParasiticMode::None);
         assert!(err.is_err());
         assert!(err.unwrap_err().to_string().contains("folded cascode"));
     }

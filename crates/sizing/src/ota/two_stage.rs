@@ -69,7 +69,12 @@ pub struct TwoStagePlan {
 
 impl Default for TwoStagePlan {
     fn default() -> Self {
-        Self { l_stage1: 1.0e-6, l_stage2: 0.8e-6, cc_over_cl: 0.35, gm6_over_gm1: 8.0 }
+        Self {
+            l_stage1: 1.0e-6,
+            l_stage2: 0.8e-6,
+            cc_over_cl: 0.35,
+            gm6_over_gm1: 8.0,
+        }
     }
 }
 
@@ -85,6 +90,8 @@ impl TwoStagePlan {
         specs: &OtaSpecs,
         _mode: &ParasiticMode,
     ) -> Result<TwoStageOta, SizingError> {
+        let _span =
+            losac_obs::span_with("sizing.size", vec![losac_obs::f("topology", "two_stage")]);
         specs.validate().map_err(SizingError::new)?;
         let pp = &tech.pmos;
         let np = &tech.nmos;
@@ -96,7 +103,9 @@ impl TwoStagePlan {
         // Input side headroom, as in the folded-cascode plan.
         let headroom = vdd - pp.vt0 - specs.input_cm_range.1;
         if headroom < 0.15 {
-            return Err(SizingError::new("input CM range incompatible with a PMOS input pair"));
+            return Err(SizingError::new(
+                "input CM range incompatible with a PMOS input pair",
+            ));
         }
         let veff_in = (0.4 * headroom).clamp(0.10, 0.45);
         let veff_tail = (headroom - veff_in - 0.05).clamp(0.10, 0.8);
@@ -143,17 +152,59 @@ impl TwoStagePlan {
             let vgs = sgn * (threshold(params, 0.0) + veff);
             let w = width_for_current(params, l, vgs, sgn * vds, 0.0, i, bounds)
                 .map_err(|e| SizingError::new(format!("{name}: {e}")))?;
-            devices.insert(name.to_owned(), SizedDevice { polarity: pol, w, l });
+            devices.insert(
+                name.to_owned(),
+                SizedDevice {
+                    polarity: pol,
+                    w,
+                    l,
+                },
+            );
             Ok(())
         };
 
         size("mp1", Polarity::Pmos, self.l_stage1, veff_in, i_in, 0.9)?;
         size("mp2", Polarity::Pmos, self.l_stage1, veff_in, i_in, 0.9)?;
-        size("mptail", Polarity::Pmos, self.l_stage1, veff_tail, i_tail, veff_tail + 0.2)?;
-        size("mn3", Polarity::Nmos, self.l_stage1, veff_n, i_in, np.vt0 + veff_n)?;
-        size("mn4", Polarity::Nmos, self.l_stage1, veff_n, i_in, np.vt0 + veff_n)?;
-        size("mn6", Polarity::Nmos, self.l_stage2, veff_2, i_stage2, specs.output_mid())?;
-        size("mp7", Polarity::Pmos, self.l_stage2, veff_p7, i_stage2, vdd - specs.output_mid())?;
+        size(
+            "mptail",
+            Polarity::Pmos,
+            self.l_stage1,
+            veff_tail,
+            i_tail,
+            veff_tail + 0.2,
+        )?;
+        size(
+            "mn3",
+            Polarity::Nmos,
+            self.l_stage1,
+            veff_n,
+            i_in,
+            np.vt0 + veff_n,
+        )?;
+        size(
+            "mn4",
+            Polarity::Nmos,
+            self.l_stage1,
+            veff_n,
+            i_in,
+            np.vt0 + veff_n,
+        )?;
+        size(
+            "mn6",
+            Polarity::Nmos,
+            self.l_stage2,
+            veff_2,
+            i_stage2,
+            specs.output_mid(),
+        )?;
+        size(
+            "mp7",
+            Polarity::Pmos,
+            self.l_stage2,
+            veff_p7,
+            i_stage2,
+            vdd - specs.output_mid(),
+        )?;
 
         // Bias voltages from the exact sized devices.
         let vgs_of = |name: &str, i: f64, vds_mag: f64| -> Result<f64, SizingError> {
@@ -193,13 +244,22 @@ impl TwoStageOta {
                 c.vsource("vinn", "vinn", "0", cm - dv / 2.0);
                 "vinn"
             }
-            InputDrive::UnityBuffer { step_from, step_to, at, rise } => {
+            InputDrive::UnityBuffer {
+                step_from,
+                step_to,
+                at,
+                rise,
+            } => {
                 c.vsource_tran(
                     "vinp",
                     "vinp",
                     "0",
                     step_from,
-                    Waveform::Step { level: step_to, at, rise },
+                    Waveform::Step {
+                        level: step_to,
+                        at,
+                        rise,
+                    },
                 );
                 "out"
             }
@@ -223,8 +283,14 @@ impl TwoStageOta {
                 b,
                 m,
                 junction,
-                SimDiffGeom { area: dg.area, perimeter: dg.perimeter },
-                SimDiffGeom { area: sg.area, perimeter: sg.perimeter },
+                SimDiffGeom {
+                    area: dg.area,
+                    perimeter: dg.perimeter,
+                },
+                SimDiffGeom {
+                    area: sg.area,
+                    perimeter: sg.perimeter,
+                },
             );
         };
 
@@ -268,7 +334,9 @@ mod tests {
     fn setup() -> (Technology, TwoStageOta) {
         let tech = Technology::cmos06();
         let specs = OtaSpecs::paper_example();
-        let ota = TwoStagePlan::default().size(&tech, &specs, &ParasiticMode::None).unwrap();
+        let ota = TwoStagePlan::default()
+            .size(&tech, &specs, &ParasiticMode::None)
+            .unwrap();
         (tech, ota)
     }
 
@@ -279,7 +347,10 @@ mod tests {
             assert!(ota.devices.contains_key(name), "missing {name}");
         }
         assert!(ota.cc > 0.0);
-        assert!(ota.i_stage2 > ota.i_tail / 2.0, "second stage carries the gm6 burden");
+        assert!(
+            ota.i_stage2 > ota.i_tail / 2.0,
+            "second stage carries the gm6 burden"
+        );
     }
 
     #[test]
@@ -292,13 +363,21 @@ mod tests {
         assert!(p.phase_margin > 45.0, "pm {:.1}°", p.phase_margin);
         // Miller-loaded output: much lower output resistance than the
         // cascode OTA.
-        assert!(p.output_resistance < 1e6, "rout {:.0} kΩ", p.output_resistance / 1e3);
+        assert!(
+            p.output_resistance < 1e6,
+            "rout {:.0} kΩ",
+            p.output_resistance / 1e3
+        );
     }
 
     #[test]
     fn netlist_is_solvable() {
         let (tech, ota) = setup();
-        let c = ota.netlist(&tech, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+        let c = ota.netlist(
+            &tech,
+            &ParasiticMode::None,
+            InputDrive::Differential { dv: 0.0 },
+        );
         let sol =
             losac_sim::dc::dc_operating_point(&c, &losac_sim::dc::DcOptions::default()).unwrap();
         for name in DEVICE_NAMES {

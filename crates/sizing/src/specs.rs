@@ -60,7 +60,10 @@ impl OtaSpecs {
             return Err(format!("gbw = {} Hz implausible", self.gbw));
         }
         if !(self.phase_margin > 20.0 && self.phase_margin < 90.0) {
-            return Err(format!("phase margin {}° out of the designable range", self.phase_margin));
+            return Err(format!(
+                "phase margin {}° out of the designable range",
+                self.phase_margin
+            ));
         }
         if !(self.c_load > 0.0 && self.c_load < 1e-6) {
             return Err(format!("load capacitance {} F implausible", self.c_load));

@@ -12,12 +12,11 @@
 //! devices in Fig. 5.
 
 use crate::ota::folded_cascode::FoldedCascodeOta;
+use crate::rng::Xorshift128Plus;
 use losac_device::ekv::evaluate;
 use losac_device::mismatch::{systematic_vt_offset, PairMismatch};
 use losac_device::Mosfet;
 use losac_tech::Technology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One matched pair's contribution setup.
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +82,11 @@ pub fn offset_monte_carlo(
             sigma_vt: mm.sigma_vt,
             sigma_beta: mm.sigma_beta,
             id_over_gm: if op.gm > 0.0 { op.id / op.gm } else { 0.0 },
-            gm_ratio: if input_gm > 0.0 { op.gm / input_gm } else { 1.0 },
+            gm_ratio: if input_gm > 0.0 {
+                op.gm / input_gm
+            } else {
+                1.0
+            },
             centroid_distance: distance,
         }
     };
@@ -91,14 +94,9 @@ pub fn offset_monte_carlo(
     // Input-pair gm as the reference.
     let din = &ota.devices["mp1"];
     let m_in = Mosfet::new(*tech.mos(din.polarity), din.w, din.l);
-    let vgs_in = losac_device::solve::vgs_for_current(
-        &m_in,
-        -1.0,
-        0.0,
-        ota.currents.i_in,
-        ota.specs.vdd,
-    )
-    .unwrap_or(-1.0);
+    let vgs_in =
+        losac_device::solve::vgs_for_current(&m_in, -1.0, 0.0, ota.currents.i_in, ota.specs.vdd)
+            .unwrap_or(-1.0);
     let gm_in = evaluate(&m_in, vgs_in, -1.0, 0.0).gm;
 
     // Centroid distances: a side-by-side pair sits roughly one device
@@ -116,14 +114,15 @@ pub fn offset_monte_carlo(
         slot("mp3", ota.currents.i_casc, gm_in, distance_of("mp3")),
     ];
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift128Plus::seed_from_u64(seed);
     let mut sum = 0.0;
     let mut sum2 = 0.0;
     for _ in 0..samples {
         let mut offset = 0.0;
         for s in &slots {
-            let dvt = gauss(&mut rng) * s.sigma_vt + systematic_vt_offset(gradient, s.centroid_distance);
-            let dbeta = gauss(&mut rng) * s.sigma_beta;
+            let dvt =
+                rng.next_gauss() * s.sigma_vt + systematic_vt_offset(gradient, s.centroid_distance);
+            let dbeta = rng.next_gauss() * s.sigma_beta;
             offset += s.gm_ratio * (dvt + s.id_over_gm * dbeta);
         }
         sum += offset;
@@ -132,14 +131,11 @@ pub fn offset_monte_carlo(
     let n = samples.max(1) as f64;
     let mean = sum / n;
     let var = (sum2 / n - mean * mean).max(0.0);
-    OffsetStatistics { mean, sigma: var.sqrt(), samples }
-}
-
-/// Box–Muller standard normal sample.
-fn gauss<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    OffsetStatistics {
+        mean,
+        sigma: var.sqrt(),
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -161,16 +157,31 @@ mod tests {
     fn sigma_in_the_millivolt_range() {
         let (tech, ota) = setup();
         let st = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, 10.0, 2000, 7);
-        assert!(st.sigma > 0.1e-3 && st.sigma < 20e-3, "σ = {:.2} mV", st.sigma * 1e3);
+        assert!(
+            st.sigma > 0.1e-3 && st.sigma < 20e-3,
+            "σ = {:.2} mV",
+            st.sigma * 1e3
+        );
         // Common centroid: no systematic part.
-        assert!(st.mean.abs() < 0.3 * st.sigma, "mean {:.3} mV", st.mean * 1e3);
+        assert!(
+            st.mean.abs() < 0.3 * st.sigma,
+            "mean {:.3} mV",
+            st.mean * 1e3
+        );
     }
 
     #[test]
     fn side_by_side_shows_systematic_offset() {
         let (tech, ota) = setup();
         let gradient = 50.0; // a deliberately harsh 50 V/m drift
-        let cc = offset_monte_carlo(&ota, &tech, MatchingStyle::CommonCentroid, gradient, 2000, 7);
+        let cc = offset_monte_carlo(
+            &ota,
+            &tech,
+            MatchingStyle::CommonCentroid,
+            gradient,
+            2000,
+            7,
+        );
         let sbs = offset_monte_carlo(&ota, &tech, MatchingStyle::SideBySide, gradient, 2000, 7);
         assert!(
             sbs.mean.abs() > 3.0 * cc.mean.abs().max(1e-6),

@@ -35,7 +35,10 @@ pub fn gm_over_id_vs_veff(
         .iter()
         .map(|&veff| {
             let op = evaluate(&m, sgn * (threshold(p, 0.0) + veff), sgn * 1.0, 0.0);
-            CharPoint { x: veff, y: op.gm_over_id() }
+            CharPoint {
+                x: veff,
+                y: op.gm_over_id(),
+            }
         })
         .collect()
 }
@@ -77,7 +80,10 @@ pub fn intrinsic_gain_vs_length(
         .map(|&l| {
             let m = Mosfet::new(*p, 10e-6, l);
             let op = evaluate(&m, sgn * (threshold(p, 0.0) + veff), sgn * 1.0, 0.0);
-            CharPoint { x: l, y: op.intrinsic_gain() }
+            CharPoint {
+                x: l,
+                y: op.intrinsic_gain(),
+            }
         })
         .collect()
 }
@@ -133,8 +139,7 @@ mod tests {
     #[test]
     fn ft_improves_with_shorter_channels() {
         let t = Technology::cmos06();
-        let pts =
-            ft_vs_length(&t, Polarity::Nmos, 0.2, &[0.6e-6, 1.2e-6, 2.4e-6]);
+        let pts = ft_vs_length(&t, Polarity::Nmos, 0.2, &[0.6e-6, 1.2e-6, 2.4e-6]);
         assert!(pts.windows(2).all(|w| w[1].y < w[0].y), "{pts:?}");
         // 0.6 µm NMOS: fT of a few GHz.
         assert!(pts[0].y > 0.5e9 && pts[0].y < 30e9, "fT = {:.2e}", pts[0].y);

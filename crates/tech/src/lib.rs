@@ -93,7 +93,17 @@ impl Technology {
         nmos: MosParams,
         pmos: MosParams,
     ) -> Self {
-        Self { name: name.into(), grid, vdd_nominal, rules, caps, res, reliability, nmos, pmos }
+        Self {
+            name: name.into(),
+            grid,
+            vdd_nominal,
+            rules,
+            caps,
+            res,
+            reliability,
+            nmos,
+            pmos,
+        }
     }
 
     /// The process name, e.g. `"cmos06"`.
@@ -203,14 +213,44 @@ impl Technology {
         };
         let caps = CapacitanceRules {
             cox_area: 2.3e-3, // 15 nm gate oxide -> 2.3 fF/um^2
-            ndiff: JunctionCaps { cj: 0.45e-3, cjsw: 0.35e-9, pb: 0.90, mj: 0.50, mjsw: 0.33 },
-            pdiff: JunctionCaps { cj: 0.65e-3, cjsw: 0.42e-9, pb: 0.95, mj: 0.48, mjsw: 0.32 },
-            nwell: JunctionCaps { cj: 0.10e-3, cjsw: 0.45e-9, pb: 0.80, mj: 0.45, mjsw: 0.30 },
+            ndiff: JunctionCaps {
+                cj: 0.45e-3,
+                cjsw: 0.35e-9,
+                pb: 0.90,
+                mj: 0.50,
+                mjsw: 0.33,
+            },
+            pdiff: JunctionCaps {
+                cj: 0.65e-3,
+                cjsw: 0.42e-9,
+                pb: 0.95,
+                mj: 0.48,
+                mjsw: 0.32,
+            },
+            nwell: JunctionCaps {
+                cj: 0.10e-3,
+                cjsw: 0.45e-9,
+                pb: 0.80,
+                mj: 0.45,
+                mjsw: 0.30,
+            },
             cgdo: 0.30e-9,
             cgso: 0.30e-9,
-            poly_field: WireCaps { area: 0.060e-3, fringe: 0.045e-9, coupling: 0.055e-9 },
-            metal1: WireCaps { area: 0.030e-3, fringe: 0.080e-9, coupling: 0.100e-9 },
-            metal2: WireCaps { area: 0.020e-3, fringe: 0.070e-9, coupling: 0.090e-9 },
+            poly_field: WireCaps {
+                area: 0.060e-3,
+                fringe: 0.045e-9,
+                coupling: 0.055e-9,
+            },
+            metal1: WireCaps {
+                area: 0.030e-3,
+                fringe: 0.080e-9,
+                coupling: 0.100e-9,
+            },
+            metal2: WireCaps {
+                area: 0.020e-3,
+                fringe: 0.070e-9,
+                coupling: 0.090e-9,
+            },
         };
         let res = ResistanceRules {
             poly_sheet: 25.0,
@@ -297,14 +337,44 @@ impl Technology {
         };
         let caps = CapacitanceRules {
             cox_area: 4.6e-3, // 7.5 nm gate oxide
-            ndiff: JunctionCaps { cj: 0.45e-3, cjsw: 0.30e-9, pb: 0.85, mj: 0.45, mjsw: 0.30 },
-            pdiff: JunctionCaps { cj: 0.70e-3, cjsw: 0.38e-9, pb: 0.90, mj: 0.45, mjsw: 0.30 },
-            nwell: JunctionCaps { cj: 0.12e-3, cjsw: 0.50e-9, pb: 0.75, mj: 0.42, mjsw: 0.28 },
+            ndiff: JunctionCaps {
+                cj: 0.45e-3,
+                cjsw: 0.30e-9,
+                pb: 0.85,
+                mj: 0.45,
+                mjsw: 0.30,
+            },
+            pdiff: JunctionCaps {
+                cj: 0.70e-3,
+                cjsw: 0.38e-9,
+                pb: 0.90,
+                mj: 0.45,
+                mjsw: 0.30,
+            },
+            nwell: JunctionCaps {
+                cj: 0.12e-3,
+                cjsw: 0.50e-9,
+                pb: 0.75,
+                mj: 0.42,
+                mjsw: 0.28,
+            },
             cgdo: 0.25e-9,
             cgso: 0.25e-9,
-            poly_field: WireCaps { area: 0.080e-3, fringe: 0.050e-9, coupling: 0.065e-9 },
-            metal1: WireCaps { area: 0.035e-3, fringe: 0.090e-9, coupling: 0.120e-9 },
-            metal2: WireCaps { area: 0.024e-3, fringe: 0.080e-9, coupling: 0.110e-9 },
+            poly_field: WireCaps {
+                area: 0.080e-3,
+                fringe: 0.050e-9,
+                coupling: 0.065e-9,
+            },
+            metal1: WireCaps {
+                area: 0.035e-3,
+                fringe: 0.090e-9,
+                coupling: 0.120e-9,
+            },
+            metal2: WireCaps {
+                area: 0.024e-3,
+                fringe: 0.080e-9,
+                coupling: 0.110e-9,
+            },
         };
         let res = ResistanceRules {
             poly_sheet: 8.0,
@@ -358,7 +428,17 @@ impl Technology {
             avt: 9.0e-9,
             abeta: 0.020e-6,
         };
-        Self::new("cmos035", 25, 3.3, rules, caps, res, reliability, nmos, pmos)
+        Self::new(
+            "cmos035",
+            25,
+            3.3,
+            rules,
+            caps,
+            res,
+            reliability,
+            nmos,
+            pmos,
+        )
     }
 }
 
@@ -406,7 +486,9 @@ pub struct TechnologyError {
 
 impl TechnologyError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 

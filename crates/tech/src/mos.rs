@@ -156,6 +156,9 @@ mod tests {
     #[test]
     fn nmos_stronger_than_pmos() {
         let t = Technology::cmos06();
-        assert!(t.nmos.kp > t.pmos.kp, "electron mobility exceeds hole mobility");
+        assert!(
+            t.nmos.kp > t.pmos.kp,
+            "electron mobility exceeds hole mobility"
+        );
     }
 }

@@ -83,8 +83,11 @@ impl WireCaps {
     }
 
     fn validate(&self, name: &str) -> Result<(), String> {
-        for (field, v) in [("area", self.area), ("fringe", self.fringe), ("coupling", self.coupling)]
-        {
+        for (field, v) in [
+            ("area", self.area),
+            ("fringe", self.fringe),
+            ("coupling", self.coupling),
+        ] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(format!("{name}.{field} must be positive"));
             }

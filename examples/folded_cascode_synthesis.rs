@@ -7,9 +7,9 @@
 //! ```
 
 use losac::flow::cases::{run_case, Case};
+use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
 use losac::flow::report::table1;
 use losac::layout::export::to_svg;
-use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
 use losac::sizing::{FoldedCascodePlan, OtaSpecs};
 use losac::tech::Technology;
 

@@ -38,20 +38,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     build_integrator(&mut c, &tech, &ota, vcm, vin, cs, ci, period);
 
     let dc = dc_operating_point(&c, &DcOptions::default())?;
-    println!("quiescent output: {:.3} V (reference {:.3} V)", dc.voltage(&c, "out"), vcm);
+    println!(
+        "quiescent output: {:.3} V (reference {:.3} V)",
+        dc.voltage(&c, "out"),
+        vcm
+    );
 
     let cycles = 8.0;
     let tstop = cycles as f64 * period + 0.25 * period;
     let res = transient(
         &c,
         &dc,
-        &TranOptions { tstop, dt: period / 400.0, newton: DcOptions::default() },
+        &TranOptions {
+            tstop,
+            dt: period / 400.0,
+            newton: DcOptions::default(),
+        },
     )?;
 
     // Sample the output at the end of each φ2 (integrate) phase.
     println!("\ncycle  v(out)    step");
     let sample_at = |t: f64| -> f64 {
-        let k = res.t.iter().position(|&x| x >= t).unwrap_or(res.t.len() - 1);
+        let k = res
+            .t
+            .iter()
+            .position(|&x| x >= t)
+            .unwrap_or(res.t.len() - 1);
         res.node(&c, "out")[k]
     };
     let expected_step = cs / ci * (vin - vcm);
@@ -61,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{k:>5}  {v:7.3} V  {:+7.1} mV", (v - prev) * 1e3);
         prev = v;
     }
-    println!("\nexpected ideal step: {:+.1} mV per cycle (+Cs/Ci*dVin)", expected_step * 1e3);
+    println!(
+        "\nexpected ideal step: {:+.1} mV per cycle (+Cs/Ci*dVin)",
+        expected_step * 1e3
+    );
     Ok(())
 }
 
@@ -106,7 +121,17 @@ fn build_integrator(
             losac::tech::Polarity::Nmos => tech.caps.ndiff,
             losac::tech::Polarity::Pmos => tech.caps.pdiff,
         };
-        c.mos(name, d, g, s, b, m, junction, DiffGeom::default(), DiffGeom::default());
+        c.mos(
+            name,
+            d,
+            g,
+            s,
+            b,
+            m,
+            junction,
+            DiffGeom::default(),
+            DiffGeom::default(),
+        );
     };
     mos(c, "mptail", "tail", "vp1", "vdd", "vdd");
     mos(c, "mp1", "f1", "vinp", "tail", "vdd");
@@ -129,7 +154,17 @@ fn build_integrator(
     let t = tech;
     let sw = |c: &mut Circuit, name: &str, a: &str, gate: &str, b_node: &str| {
         let m = Mosfet::new(t.nmos, 4e-6, 0.6e-6);
-        c.mos(name, a, gate, b_node, "0", m, t.caps.ndiff, DiffGeom::default(), DiffGeom::default());
+        c.mos(
+            name,
+            a,
+            gate,
+            b_node,
+            "0",
+            m,
+            t.caps.ndiff,
+            DiffGeom::default(),
+            DiffGeom::default(),
+        );
     };
     // φ1: sample vin onto Cs (top plate n1, bottom plate n2).
     sw(c, "s1", "n1", "ph1", "vin");

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     for t in &techs {
-        let pts = gm_over_id_vs_veff(t, Polarity::Nmos, 2.0 * t.rules.poly_width as f64 * 1e-9, &veffs);
+        let pts = gm_over_id_vs_veff(
+            t,
+            Polarity::Nmos,
+            2.0 * t.rules.poly_width as f64 * 1e-9,
+            &veffs,
+        );
         print!("{:<10}", t.name());
         for p in pts {
             print!("{:>8.1}", p.y);

@@ -7,10 +7,10 @@
 //! ```
 
 use losac::sizing::eval::evaluate;
-use losac::sizing::ota::telescopic::telescopic_example_specs;
-use losac::sizing::{MatchingStyle, OtaSpecs, ParasiticMode, TelescopicPlan, TwoStagePlan};
 use losac::sizing::offset_monte_carlo;
+use losac::sizing::ota::telescopic::telescopic_example_specs;
 use losac::sizing::FoldedCascodePlan;
+use losac::sizing::{MatchingStyle, OtaSpecs, ParasiticMode, TelescopicPlan, TwoStagePlan};
 use losac::tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints (best-effort), and the tier-1
+# build+test verification. Everything here runs without network access.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "==> cargo fmt --check"
+if ! cargo fmt --all -- --check; then
+    echo "FAIL: formatting (run 'cargo fmt')"
+    fail=1
+fi
+
+# Clippy is advisory: warnings are printed and counted, but an absent or
+# broken clippy toolchain must not block the offline gate.
+echo "==> cargo clippy (best effort)"
+if command -v cargo-clippy >/dev/null 2>&1; then
+    if ! cargo clippy --workspace --all-targets -- -D warnings; then
+        echo "WARN: clippy reported issues (not blocking)"
+    fi
+else
+    echo "WARN: clippy not installed, skipping"
+fi
+
+echo "==> tier-1: cargo build --release"
+if ! cargo build --release; then
+    echo "FAIL: release build"
+    fail=1
+fi
+
+echo "==> tier-1: cargo test -q"
+if ! cargo test -q; then
+    echo "FAIL: tests"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "CI: FAILED"
+    exit 1
+fi
+echo "CI: OK"

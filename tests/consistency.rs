@@ -14,20 +14,32 @@ fn planned_currents_match_the_simulated_operating_point() {
     let ota = FoldedCascodePlan::default()
         .size(&tech, &specs, &ParasiticMode::None)
         .expect("sizes");
-    let c = ota.netlist(&tech, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+    let c = ota.netlist(
+        &tech,
+        &ParasiticMode::None,
+        InputDrive::Differential { dv: 0.0 },
+    );
     let sol = dc_operating_point(&c, &DcOptions::default()).expect("solves");
 
     // Input device current ≈ the plan's i_in.
     let op1 = sol.mos_op("mp1").expect("mp1 present");
     let err_in = (op1.id - ota.currents.i_in).abs() / ota.currents.i_in;
-    assert!(err_in < 0.30, "mp1: planned {:.1} µA vs simulated {:.1} µA",
-        ota.currents.i_in * 1e6, op1.id * 1e6);
+    assert!(
+        err_in < 0.30,
+        "mp1: planned {:.1} µA vs simulated {:.1} µA",
+        ota.currents.i_in * 1e6,
+        op1.id * 1e6
+    );
 
     // Cascode branch current ≈ the plan's i_casc (through mp4c).
     let op4c = sol.mos_op("mp4c").expect("mp4c present");
     let err_c = (op4c.id - ota.currents.i_casc).abs() / ota.currents.i_casc;
-    assert!(err_c < 0.30, "mp4c: planned {:.1} µA vs simulated {:.1} µA",
-        ota.currents.i_casc * 1e6, op4c.id * 1e6);
+    assert!(
+        err_c < 0.30,
+        "mp4c: planned {:.1} µA vs simulated {:.1} µA",
+        ota.currents.i_casc * 1e6,
+        op4c.id * 1e6
+    );
 
     // Total supply current ≈ the plan's estimate.
     let i_dd = sol.supply_current(&c, "vdd");
@@ -49,12 +61,18 @@ fn every_transistor_saturated_at_the_planned_bias() {
     let ota = FoldedCascodePlan::default()
         .size(&tech, &specs, &ParasiticMode::None)
         .expect("sizes");
-    let c = ota.netlist(&tech, &ParasiticMode::None, InputDrive::Differential { dv: 0.0 });
+    let c = ota.netlist(
+        &tech,
+        &ParasiticMode::None,
+        InputDrive::Differential { dv: 0.0 },
+    );
     let sol = dc_operating_point(&c, &DcOptions::default()).expect("solves");
     // The signal-path devices must be saturated; the bottom sinks may sit
     // at the saturation edge (their VDS is the fold-node voltage, placed
     // one margin above VDsat by design).
-    for name in ["mp1", "mp2", "mptail", "mn1c", "mn2c", "mp3", "mp4", "mp3c", "mp4c"] {
+    for name in [
+        "mp1", "mp2", "mptail", "mn1c", "mn2c", "mp3", "mp4", "mp3c", "mp4c",
+    ] {
         let op = sol.mos_op(name).unwrap();
         assert!(
             op.region == losac::device::Region::Saturation,
@@ -66,8 +84,7 @@ fn every_transistor_saturated_at_the_planned_bias() {
     for name in ["mn5", "mn6"] {
         let op = sol.mos_op(name).unwrap();
         assert!(
-            op.region != losac::device::Region::Cutoff
-                && op.region != losac::device::Region::Weak,
+            op.region != losac::device::Region::Cutoff && op.region != losac::device::Region::Weak,
             "{name} in {:?}",
             op.region
         );
@@ -114,14 +131,28 @@ fn ac_measured_gate_capacitance_matches_the_model() {
     c.vsource_ac("vin", "in", "0", vgs, 1.0);
     c.resistor("rs", "in", "g", rs);
     c.vsource("vd", "d", "0", vds);
-    c.mos("m1", "d", "g", "0", "0", m, tech.caps.ndiff, Default::default(), Default::default());
+    c.mos(
+        "m1",
+        "d",
+        "g",
+        "0",
+        "0",
+        m,
+        tech.caps.ndiff,
+        Default::default(),
+        Default::default(),
+    );
 
     let dc = dc_operating_point(&c, &DcOptions::default()).expect("dc");
     let f = 1.0e6; // well below the RC pole? pole = 1/(2π·10k·~50f) ≈ 300 MHz
     let ac = ac_sweep(
         &c,
         &dc,
-        &AcOptions { fstart: f, fstop: 2.0 * f, points_per_decade: 4 },
+        &AcOptions {
+            fstart: f,
+            fstop: 2.0 * f,
+            points_per_decade: 4,
+        },
     )
     .expect("ac");
     let vg = ac.node(&c, "g")[0];

@@ -12,7 +12,9 @@ fn corner_spread_and_recovery() {
     let typ = Technology::cmos06();
     let specs = OtaSpecs::paper_example();
     let plan = FoldedCascodePlan::default();
-    let ota = plan.size(&typ, &specs, &ParasiticMode::None).expect("sizes at typical");
+    let ota = plan
+        .size(&typ, &specs, &ParasiticMode::None)
+        .expect("sizes at typical");
 
     // Same sized circuit (same widths AND same bias voltages) evaluated
     // on corner silicon: a fixed external bias meets a shifted threshold,
@@ -37,7 +39,9 @@ fn corner_spread_and_recovery() {
 
     // Re-sizing *at* the slow corner recovers the target (the sizing tool
     // treats the corner like any other technology).
-    let ota_ss = plan.size(&slow, &specs, &ParasiticMode::None).expect("sizes at slow");
+    let ota_ss = plan
+        .size(&slow, &specs, &ParasiticMode::None)
+        .expect("sizes at slow");
     let p_ss = evaluate(&ota_ss, &slow, &ParasiticMode::None).expect("evaluates");
     assert!(
         p_ss.gbw >= 0.99 * specs.gbw,

@@ -15,14 +15,21 @@ fn check_tech(tech: &Technology) {
         &FlowOptions::default(),
     )
     .expect("flow runs");
-    assert!(r.layout.em_clean, "electromigration rules respected in {}", tech.name());
+    assert!(
+        r.layout.em_clean,
+        "electromigration rules respected in {}",
+        tech.name()
+    );
     let violations = drc::check(tech, &r.layout.cell);
     assert!(
         violations.is_empty(),
         "{}: {} violations, first: {}",
         tech.name(),
         violations.len(),
-        violations.first().map(|v| v.to_string()).unwrap_or_default()
+        violations
+            .first()
+            .map(|v| v.to_string())
+            .unwrap_or_default()
     );
 }
 

@@ -54,7 +54,17 @@ fn sc_integrator_steps_by_cs_over_ci() {
             Polarity::Nmos => tech.caps.ndiff,
             Polarity::Pmos => tech.caps.pdiff,
         };
-        c.mos(name, d, g, s, b, m, junction, DiffGeom::default(), DiffGeom::default());
+        c.mos(
+            name,
+            d,
+            g,
+            s,
+            b,
+            m,
+            junction,
+            DiffGeom::default(),
+            DiffGeom::default(),
+        );
     };
     mos(&mut c, "mptail", "tail", "vp1", "vdd", "vdd");
     mos(&mut c, "mp1", "f1", "vinp", "tail", "vdd");
@@ -73,7 +83,17 @@ fn sc_integrator_steps_by_cs_over_ci() {
 
     let sw = |c: &mut Circuit, name: &str, a: &str, gate: &str, b_node: &str| {
         let m = Mosfet::new(tech.nmos, 4e-6, 0.6e-6);
-        c.mos(name, a, gate, b_node, "0", m, tech.caps.ndiff, DiffGeom::default(), DiffGeom::default());
+        c.mos(
+            name,
+            a,
+            gate,
+            b_node,
+            "0",
+            m,
+            tech.caps.ndiff,
+            DiffGeom::default(),
+            DiffGeom::default(),
+        );
     };
     sw(&mut c, "s1", "n1", "ph1", "vin");
     sw(&mut c, "s2", "n2", "ph1", "vref2");
@@ -94,13 +114,21 @@ fn sc_integrator_steps_by_cs_over_ci() {
     let res = transient(
         &c,
         &dc,
-        &TranOptions { tstop, dt: period / 250.0, newton: DcOptions::default() },
+        &TranOptions {
+            tstop,
+            dt: period / 250.0,
+            newton: DcOptions::default(),
+        },
     )
     .expect("transient runs");
 
     let out = res.node(&c, "out");
     let sample_at = |t: f64| -> f64 {
-        let k = res.t.iter().position(|&x| x >= t).unwrap_or(res.t.len() - 1);
+        let k = res
+            .t
+            .iter()
+            .position(|&x| x >= t)
+            .unwrap_or(res.t.len() - 1);
         out[k]
     };
     let ideal = cs / ci * dv_in;

@@ -11,9 +11,13 @@ fn rel(a: f64, b: f64) -> f64 {
 }
 
 fn freq_match(a: &Performance, b: &Performance) -> f64 {
-    [rel(a.dc_gain_db, b.dc_gain_db), rel(a.gbw, b.gbw), rel(a.phase_margin, b.phase_margin)]
-        .into_iter()
-        .fold(0.0, f64::max)
+    [
+        rel(a.dc_gain_db, b.dc_gain_db),
+        rel(a.gbw, b.gbw),
+        rel(a.phase_margin, b.phase_margin),
+    ]
+    .into_iter()
+    .fold(0.0, f64::max)
 }
 
 #[test]
@@ -23,7 +27,11 @@ fn case1_ignoring_parasitics_misses_the_extracted_target() {
     let r = run_case(&tech, &specs, Case::NoParasitics).expect("case 1 runs");
 
     // The synthesized numbers meet the GBW requirement…
-    assert!(r.synthesized.gbw >= specs.gbw, "synth {:.1} MHz", r.synthesized.gbw / 1e6);
+    assert!(
+        r.synthesized.gbw >= specs.gbw,
+        "synth {:.1} MHz",
+        r.synthesized.gbw / 1e6
+    );
     // …but the extracted netlist falls short (the paper's 58.1 MHz vs 65).
     assert!(
         r.extracted.gbw < specs.gbw,
@@ -43,7 +51,11 @@ fn case4_full_feedback_matches_and_meets_spec() {
 
     // Synthesized and extracted agree (the paper's headline claim).
     let mismatch = freq_match(&r.synthesized, &r.extracted);
-    assert!(mismatch < 0.05, "synth vs extracted mismatch {:.1}%", mismatch * 100.0);
+    assert!(
+        mismatch < 0.05,
+        "synth vs extracted mismatch {:.1}%",
+        mismatch * 100.0
+    );
     // And the extracted performance meets the specification.
     assert!(
         r.extracted.gbw >= 0.99 * specs.gbw,

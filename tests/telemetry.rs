@@ -1,0 +1,125 @@
+//! End-to-end telemetry: run the full layout-oriented synthesis flow with
+//! an in-memory collector installed and check that the observability layer
+//! reports what actually happened.
+
+use losac::flow::flow::{layout_oriented_synthesis, FlowOptions, FlowResult};
+use losac::obs::{Collector, RecordKind};
+use losac::sizing::{FoldedCascodePlan, OtaSpecs};
+use losac::tech::Technology;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run_flow() -> FlowResult {
+    let tech = Technology::cmos06();
+    layout_oriented_synthesis(
+        &tech,
+        &OtaSpecs::paper_example(),
+        &FoldedCascodePlan::default(),
+        &FlowOptions::default(),
+    )
+    .expect("flow")
+}
+
+#[test]
+fn flow_emits_spans_events_and_counters() {
+    let collector = Collector::new();
+    let guard = losac::obs::install(Arc::new(collector.clone()));
+    let result = run_flow();
+    drop(guard);
+
+    // One completed span per parasitic-mode layout call.
+    let calls = collector.spans("flow.layout_call");
+    assert_eq!(calls.len(), result.layout_calls, "one span per layout call");
+    for span in &calls {
+        let RecordKind::SpanEnd { elapsed_ns } = span.kind else {
+            unreachable!()
+        };
+        assert!(elapsed_ns > 0, "layout calls take measurable time");
+        assert_eq!(
+            span.path, "flow>flow.layout_call",
+            "nested under the flow span"
+        );
+    }
+
+    // The whole run is wrapped in exactly one `flow` span.
+    assert_eq!(collector.spans("flow").len(), 1);
+
+    // Parasitic-change events mirror the history, strictly decreasing on
+    // this converging example.
+    let changes: Vec<f64> = collector
+        .events("flow.parasitic_change")
+        .iter()
+        .map(|e| {
+            e.field("change")
+                .and_then(|v| v.as_f64())
+                .expect("change field")
+        })
+        .collect();
+    assert_eq!(changes.len(), result.history.len());
+    for (got, want) in changes.iter().zip(&result.history) {
+        assert_eq!(got, want);
+    }
+    assert!(
+        changes.windows(2).all(|w| w[1] < w[0]),
+        "parasitic change strictly decreasing: {changes:?}"
+    );
+
+    // Fold and net-cap events: one per layout call, with sane payloads.
+    let folds = collector.events("flow.folds");
+    assert_eq!(folds.len(), result.layout_calls);
+    for e in &folds {
+        assert!(e.field("total_folds").and_then(|v| v.as_u64()).unwrap() > 0);
+    }
+    assert_eq!(collector.events("flow.net_cap").len(), result.layout_calls);
+
+    // The device and matrix solvers did real work under the flow.
+    assert!(collector.counter_sum("device.vgs_bisect.iters") > 0);
+    assert!(collector.counter_sum("sim.matrix.factorizations") > 0);
+    assert!(collector.counter_sum("layout.generate.calls") >= result.layout_calls as u64 + 1);
+
+    // The telemetry summary agrees with the collector's view.
+    assert_eq!(
+        result.telemetry.layout_call_durations.len(),
+        result.layout_calls
+    );
+    assert!(result.telemetry.counter("sim.dc.solves") > 0);
+}
+
+#[test]
+fn disabled_instrumentation_overhead_is_small() {
+    // With no sink installed a span is one atomic load and a counter one
+    // atomic add. The bound here is deliberately generous (the acceptance
+    // bar is <3% on the full flow; a hot loop of pure instrumentation
+    // calls must still be far below micro-seconds per site) — this is a
+    // smoke test against regressions like taking a lock or reading the
+    // clock on the disabled path, not a precise benchmark.
+    const N: u32 = 100_000;
+    let active_before = losac::obs::active();
+    let start = Instant::now();
+    for i in 0..N {
+        let _span = losac::obs::span("overhead_probe");
+        if i == u32::MAX {
+            // Defeat loop-deletion without affecting the measurement.
+            println!("unreachable");
+        }
+    }
+    let per_span = start.elapsed().as_nanos() / u128::from(N);
+
+    static PROBE: losac::obs::Counter = losac::obs::Counter::new("test.overhead.probe");
+    let start = Instant::now();
+    for _ in 0..N {
+        PROBE.incr();
+    }
+    let per_add = start.elapsed().as_nanos() / u128::from(N);
+
+    // The sibling test installs a sink while running its flow; when it
+    // overlaps with this one the spans arm and the measurement reflects
+    // the *enabled* path instead. Only assert the disabled-path bound
+    // when nothing was listening.
+    if active_before || losac::obs::active() {
+        eprintln!("sink active during overhead probe — skipping disabled-path bound");
+        return;
+    }
+    assert!(per_span < 2_000, "disabled span costs {per_span} ns");
+    assert!(per_add < 2_000, "counter add costs {per_add} ns");
+}

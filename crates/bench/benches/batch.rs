@@ -1,0 +1,34 @@
+//! Batch-engine benchmark: the same 8-job sweep (4 cases × 2 shapes)
+//! through 1 worker and through one worker per core, so the measured
+//! ratio is the engine's parallel speedup on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use losac_core::prelude::*;
+use losac_engine::{Engine, EngineOptions, SweepBuilder};
+use std::sync::Arc;
+
+fn jobs() -> Vec<losac_engine::SynthesisJob> {
+    SweepBuilder::new(Arc::new(Technology::cmos06()), OtaSpecs::paper_example())
+        .over_cases(Case::ALL)
+        .over_shapes([ShapeConstraint::MinArea, ShapeConstraint::Aspect(1.0)])
+        .build()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    c.bench_function("batch_sweep_1_worker", |b| {
+        let engine = Engine::new(EngineOptions::with_workers(1));
+        b.iter(|| engine.run_batch(jobs()))
+    });
+
+    c.bench_function("batch_sweep_n_workers", |b| {
+        let engine = Engine::new(EngineOptions::with_workers(0));
+        b.iter(|| engine.run_batch(jobs()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(20)).warm_up_time(std::time::Duration::from_secs(2));
+    targets = bench_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Batch-sweep driver: the four Table-1 cases × four shape constraints
+//! (16 jobs) through the parallel batch engine, verified against a
+//! serial run of the same sweep.
+//!
+//! ```text
+//! batch_sweep [--workers N] [--json]
+//! ```
+//!
+//! * `--workers N` — worker threads for the parallel run (default 0 =
+//!   one per available core);
+//! * `--json` — emit a machine-readable run record instead of the table.
+//!
+//! The binary asserts the engine's determinism contract: the parallel
+//! run must produce **bit-identical** performance numbers to the serial
+//! run, in submission order. It exits non-zero if any job fails or any
+//! result differs.
+
+use losac_bench::{counters_json, json_mode, perf_json};
+use losac_core::prelude::*;
+use losac_engine::{Engine, EngineOptions, JobOutcome, SweepBuilder};
+use losac_obs::json::{array, Object};
+use std::sync::Arc;
+
+fn workers_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn shapes() -> [ShapeConstraint; 4] {
+    // The min-area layout of the paper's OTA is ~165 × 142 µm, so a
+    // 160 µm height cap is feasible but binding (it forbids the tall
+    // aspect-1:1 realisations).
+    [
+        ShapeConstraint::MinArea,
+        ShapeConstraint::Aspect(1.0),
+        ShapeConstraint::Aspect(0.5),
+        ShapeConstraint::MaxHeight(160_000),
+    ]
+}
+
+/// Bit-level equality of two performance rows (no tolerance: the
+/// determinism contract is exact).
+fn perf_identical(a: &Performance, b: &Performance) -> bool {
+    let bits = |p: &Performance| {
+        [
+            p.dc_gain_db,
+            p.gbw,
+            p.phase_margin,
+            p.slew_rate,
+            p.cmrr_db,
+            p.offset,
+            p.output_resistance,
+            p.input_noise_rms,
+            p.thermal_noise_density,
+            p.flicker_noise_density,
+            p.power,
+        ]
+        .map(f64::to_bits)
+    };
+    bits(a) == bits(b)
+}
+
+fn main() {
+    let json = json_mode();
+    let workers = workers_arg();
+    let tech = Arc::new(Technology::cmos06());
+    let specs = OtaSpecs::paper_example();
+
+    let sweep = || {
+        SweepBuilder::new(tech.clone(), specs)
+            .over_cases(Case::ALL)
+            .over_shapes(shapes())
+            .build()
+    };
+    let jobs = sweep();
+    let n = jobs.len();
+    if !json {
+        println!("batch sweep: {n} jobs (4 cases x 4 shape constraints), {specs}");
+    }
+
+    // Serial reference: the same sweep, one worker.
+    let serial = Engine::new(EngineOptions::with_workers(1)).run_batch(sweep());
+    // Parallel run under test.
+    let engine = Engine::new(EngineOptions::with_workers(workers));
+    let resolved = engine.workers();
+    let parallel = engine.run_batch(jobs);
+
+    // Determinism check: identical outcomes, in submission order.
+    let mut identical = true;
+    let mut failures = 0usize;
+    for (i, (s, p)) in serial.outcomes.iter().zip(&parallel.outcomes).enumerate() {
+        match (s.result(), p.result()) {
+            (Some(sr), Some(pr)) => {
+                let same = perf_identical(&sr.synthesized, &pr.synthesized)
+                    && perf_identical(&sr.extracted, &pr.extracted)
+                    && sr.layout_calls == pr.layout_calls;
+                if !same {
+                    identical = false;
+                    eprintln!("job {i}: parallel result differs from serial");
+                }
+            }
+            _ => {
+                failures += 1;
+                eprintln!("job {i}: serial={} parallel={}", s.status(), p.status());
+            }
+        }
+    }
+
+    // Measured speedup: the serial run's wall-clock over the parallel
+    // run's — both actually measured, so on a single-core machine this
+    // honestly reports ~1x (the per-job-time-based estimate in the
+    // telemetry inflates under time-slicing).
+    let parallel_wall = parallel.telemetry.wall.as_secs_f64();
+    let speedup = if parallel_wall > 0.0 {
+        serial.telemetry.wall.as_secs_f64() / parallel_wall
+    } else {
+        1.0
+    };
+    if json {
+        let jobs_detail = parallel.outcomes.iter().zip(sweep()).map(|(o, job)| {
+            let base = Object::new()
+                .str("label", &job.label)
+                .str("status", o.status());
+            match o.result() {
+                Some(r) => base
+                    .u64("layout_calls", r.layout_calls as u64)
+                    .raw("synthesized", perf_json(&r.synthesized))
+                    .raw("extracted", perf_json(&r.extracted))
+                    .build(),
+                None => base.build(),
+            }
+        });
+        let record = Object::new()
+            .str("experiment", "batch_sweep")
+            .u64("jobs", n as u64)
+            .u64("workers", resolved as u64)
+            .bool("identical_to_serial", identical)
+            .u64("failures", failures as u64)
+            .f64("speedup", speedup)
+            .f64("speedup_estimate", parallel.telemetry.speedup())
+            .raw("serial", serial.telemetry.to_json())
+            .raw("parallel", parallel.telemetry.to_json())
+            .raw("jobs_detail", array(jobs_detail))
+            .raw("counters", counters_json())
+            .build();
+        println!("{record}");
+    } else {
+        println!();
+        println!(
+            "{:<32} {:>9} {:>7} {:>10} {:>8}",
+            "job", "status", "calls", "GBW (MHz)", "PM (deg)"
+        );
+        for (o, job) in parallel.outcomes.iter().zip(sweep()) {
+            match o {
+                JobOutcome::Finished(r) => println!(
+                    "{:<32} {:>9} {:>7} {:>10.1} {:>8.1}",
+                    job.label,
+                    o.status(),
+                    r.layout_calls,
+                    r.extracted.gbw / 1e6,
+                    r.extracted.phase_margin
+                ),
+                _ => println!("{:<32} {:>9}", job.label, o.status()),
+            }
+        }
+        println!();
+        println!(
+            "serial   : {:>6.1} s wall ({} worker)",
+            serial.telemetry.wall.as_secs_f64(),
+            serial.telemetry.workers
+        );
+        println!(
+            "parallel : {:>6.1} s wall ({} workers, utilization {:.0}%)",
+            parallel.telemetry.wall.as_secs_f64(),
+            parallel.telemetry.workers,
+            parallel.telemetry.utilization() * 100.0
+        );
+        println!(
+            "speedup  : {speedup:.2}x measured (serial wall / parallel wall); per-job-time estimate {:.2}x",
+            parallel.telemetry.speedup()
+        );
+        println!(
+            "identical to serial, in submission order: {}",
+            if identical && failures == 0 {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    if !identical || failures > 0 {
+        std::process::exit(1);
+    }
+}

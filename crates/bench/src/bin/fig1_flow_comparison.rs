@@ -10,11 +10,8 @@
 //! rounds to compensate blind sizing.
 
 use losac_bench::{counters_json, json_mode};
-use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
-use losac_core::traditional::traditional_flow;
+use losac_core::prelude::*;
 use losac_obs::json::{array, number, Object};
-use losac_sizing::{FoldedCascodePlan, OtaSpecs};
-use losac_tech::Technology;
 
 fn main() {
     let json = json_mode();

@@ -10,11 +10,9 @@
 //!   ends,
 //! * the layout is free of shorts and design-rule violations.
 
-use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
+use losac_core::prelude::*;
 use losac_layout::drc;
 use losac_layout::export::{to_svg, to_text};
-use losac_sizing::{FoldedCascodePlan, OtaSpecs};
-use losac_tech::Technology;
 
 fn main() {
     let tech = Technology::cmos06();

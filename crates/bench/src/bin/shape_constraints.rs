@@ -4,10 +4,7 @@
 //! flow under different global shape constraints and shows how the area
 //! optimiser re-folds the transistors to comply.
 
-use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
-use losac_layout::slicing::ShapeConstraint;
-use losac_sizing::{FoldedCascodePlan, OtaSpecs};
-use losac_tech::Technology;
+use losac_core::prelude::*;
 
 fn main() {
     let tech = Technology::cmos06();

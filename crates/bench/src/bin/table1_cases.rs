@@ -12,11 +12,9 @@
 //!   loop converges in a few layout calls.
 
 use losac_bench::{counters_json, json_mode, perf_json};
-use losac_core::cases::{run_case, Case};
+use losac_core::prelude::*;
 use losac_core::report::table1;
 use losac_obs::json::{array, Object};
-use losac_sizing::OtaSpecs;
-use losac_tech::Technology;
 use std::time::Instant;
 
 fn main() {
@@ -29,11 +27,14 @@ fn main() {
         println!();
     }
 
+    // The historical hardwired inputs of `run_case`, spelled out through
+    // the explicit entry point.
+    let opts = CaseOptions::default();
     let mut results = Vec::new();
     let mut elapsed = Vec::new();
     for case in Case::ALL {
         let start = Instant::now();
-        match run_case(&tech, &specs, case) {
+        match run_case_with(&tech, &specs, case, &opts) {
             Ok(r) => {
                 if !json {
                     println!(

@@ -7,7 +7,7 @@
 //! believes (its own parasitic model); "extracted" numbers (the paper's
 //! values in brackets) come from the extracted netlist.
 
-use crate::flow::{layout_oriented_synthesis, FlowError, FlowOptions};
+use crate::flow::{layout_oriented_synthesis, FlowControl, FlowError, FlowOptions};
 use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
 use losac_sizing::eval::{evaluate, EvalError};
@@ -16,7 +16,11 @@ use losac_tech::Technology;
 use std::fmt;
 
 /// Which of Table 1's four sizing strategies to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: future PRs may add strategies (e.g.
+/// statistical-corner-aware sizing) without breaking downstream matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Case {
     /// Case 1: sizing with no layout capacitances (neither diffusion nor
     /// routing).
@@ -74,7 +78,12 @@ pub struct CaseResult {
 }
 
 /// Case-run failure.
+///
+/// Marked `#[non_exhaustive]`: callers outside this crate must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CaseError {
     /// Flow/sizing/layout failure.
     Flow(FlowError),
@@ -117,41 +126,104 @@ impl From<losac_layout::plan::PlanError> for CaseError {
     }
 }
 
-/// Run one Table-1 case.
+/// All inputs of one case run that `run_case` used to hardwire: the
+/// sizing plan, the layout implementation options, the shape constraint
+/// and the flow's convergence knobs.
+///
+/// The default value reproduces the historical `run_case` behaviour
+/// exactly (default plan, default layout options, min-area shape, the
+/// default flow tolerance and call budget, no cancellation).
+#[derive(Debug, Clone)]
+pub struct CaseOptions {
+    /// Sizing design plan.
+    pub plan: FoldedCascodePlan,
+    /// Layout implementation options (matching styles, finger target).
+    pub layout: LayoutOptions,
+    /// Shape constraint, applied both inside the flow loop and to the
+    /// final verification layout.
+    pub shape: ShapeConstraint,
+    /// Convergence tolerance of the sizing↔layout loop (cases 3–4).
+    pub tolerance: f64,
+    /// Layout-call budget of the sizing↔layout loop (cases 3–4).
+    pub max_layout_calls: usize,
+    /// Cooperative cancellation / deadline control, checked between the
+    /// phases of the run.
+    pub control: FlowControl,
+}
+
+impl Default for CaseOptions {
+    fn default() -> Self {
+        let flow = FlowOptions::default();
+        Self {
+            plan: FoldedCascodePlan::default(),
+            layout: flow.layout,
+            shape: flow.shape,
+            tolerance: flow.tolerance,
+            max_layout_calls: flow.max_layout_calls,
+            control: FlowControl::default(),
+        }
+    }
+}
+
+impl CaseOptions {
+    /// The flow options these case options imply.
+    pub fn flow_options(&self, diffusion_only: bool) -> FlowOptions {
+        FlowOptions {
+            shape: self.shape,
+            layout: self.layout.clone(),
+            tolerance: self.tolerance,
+            max_layout_calls: self.max_layout_calls,
+            diffusion_only,
+            control: self.control.clone(),
+        }
+    }
+}
+
+/// Run one Table-1 case with the default options (default plan, default
+/// layout options, min-area shape) — a thin wrapper over
+/// [`run_case_with`].
 ///
 /// # Errors
 ///
 /// Returns [`CaseError`] when sizing, layout generation or any
 /// measurement fails.
 pub fn run_case(tech: &Technology, specs: &OtaSpecs, case: Case) -> Result<CaseResult, CaseError> {
-    let plan = FoldedCascodePlan::default();
-    let layout_opts = LayoutOptions::default();
-    let shape = ShapeConstraint::MinArea;
+    run_case_with(tech, specs, case, &CaseOptions::default())
+}
 
+/// Run one Table-1 case with explicit options.
+///
+/// # Errors
+///
+/// Returns [`CaseError`] when sizing, layout generation or any
+/// measurement fails, and `CaseError::Flow(FlowError::Cancelled /
+/// TimedOut)` when the options' [`FlowControl`] stops the run between
+/// phases.
+pub fn run_case_with(
+    tech: &Technology,
+    specs: &OtaSpecs,
+    case: Case,
+    opts: &CaseOptions,
+) -> Result<CaseResult, CaseError> {
+    opts.control.check()?;
     let (ota, synth_mode, layout_calls) = match case {
         Case::NoParasitics => {
-            let ota = plan.size(tech, specs, &ParasiticMode::None)?;
+            let ota = opts.plan.size(tech, specs, &ParasiticMode::None)?;
             (ota, ParasiticMode::None, 1)
         }
         Case::UnfoldedDiffusion => {
-            let ota = plan.size(tech, specs, &ParasiticMode::UnfoldedDiffusion)?;
+            let ota = opts
+                .plan
+                .size(tech, specs, &ParasiticMode::UnfoldedDiffusion)?;
             (ota, ParasiticMode::UnfoldedDiffusion, 1)
         }
         Case::ExactDiffusion => {
-            let r = layout_oriented_synthesis(
-                tech,
-                specs,
-                &plan,
-                &FlowOptions {
-                    diffusion_only: true,
-                    ..Default::default()
-                },
-            )?;
+            let r = layout_oriented_synthesis(tech, specs, &opts.plan, &opts.flow_options(true))?;
             let calls = r.layout_calls;
             (r.ota, r.mode, calls)
         }
         Case::AllParasitics => {
-            let r = layout_oriented_synthesis(tech, specs, &plan, &FlowOptions::default())?;
+            let r = layout_oriented_synthesis(tech, specs, &opts.plan, &opts.flow_options(false))?;
             let calls = r.layout_calls;
             (r.ota, r.mode, calls)
         }
@@ -162,9 +234,12 @@ pub fn run_case(tech: &Technology, specs: &OtaSpecs, case: Case) -> Result<CaseR
 
     // Extraction step: generate the layout of this sizing, extract all
     // parasitics, simulate (the paper's bracketed values — done with the
-    // commercial extractor in the original).
-    let lplan = ota_layout_plan(tech, &ota, &layout_opts);
-    let generated = lplan.generate(tech, shape)?;
+    // commercial extractor in the original). Another cooperative stop
+    // point first: cases 1–2 have no flow loop, so without this check a
+    // cancelled batch would still pay for layout generation.
+    opts.control.check()?;
+    let lplan = ota_layout_plan(tech, &ota, &opts.layout);
+    let generated = lplan.generate(tech, opts.shape)?;
     let report = losac_layout::plan::ParasiticReport {
         devices: generated.devices.clone(),
         net_cap: generated.extraction.net_cap.clone(),
@@ -195,6 +270,41 @@ mod tests {
 
     // Case runs are exercised end-to-end by the integration tests and the
     // table1 binary; here we keep one smoke case to bound runtime.
+
+    #[test]
+    fn default_case_options_match_flow_defaults() {
+        let o = CaseOptions::default();
+        let f = FlowOptions::default();
+        assert_eq!(o.shape, f.shape);
+        assert_eq!(o.layout, f.layout);
+        assert_eq!(o.tolerance, f.tolerance);
+        assert_eq!(o.max_layout_calls, f.max_layout_calls);
+        let flow = o.flow_options(true);
+        assert!(flow.diffusion_only);
+        flow.validate().unwrap();
+    }
+
+    #[test]
+    fn run_case_with_honours_cancellation() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let tech = Technology::cmos06();
+        let specs = OtaSpecs::paper_example();
+        let opts = CaseOptions {
+            control: FlowControl::new().with_stop(Arc::new(AtomicBool::new(true))),
+            ..Default::default()
+        };
+        // Every case — including the loop-free cases 1–2 — stops before
+        // doing any work.
+        for case in Case::ALL {
+            let r = run_case_with(&tech, &specs, case, &opts);
+            assert!(
+                matches!(r, Err(CaseError::Flow(FlowError::Cancelled))),
+                "{case} did not cancel"
+            );
+        }
+    }
+
     #[test]
     fn case1_shape() {
         let tech = Technology::cmos06();

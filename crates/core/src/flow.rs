@@ -29,7 +29,81 @@ use losac_obs::f;
 use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError};
 use losac_tech::Technology;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cooperative run control: an optional stop flag and an optional
+/// wall-clock deadline, checked by the flow between layout calls.
+///
+/// The default control never stops a run. Cancellation is *cooperative*:
+/// a phase that is already in progress completes before the flag or
+/// deadline is observed, so a run ends at the next phase boundary rather
+/// than mid-solve. This is what lets a batch engine abort a whole queue
+/// without poisoning any partially-computed state.
+#[derive(Debug, Clone, Default)]
+pub struct FlowControl {
+    stop: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl FlowControl {
+    /// Control that never stops the run (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a shared stop flag; the flow returns
+    /// [`FlowError::Cancelled`] at the next phase boundary after the flag
+    /// is raised.
+    #[must_use]
+    pub fn with_stop(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.stop = Some(flag);
+        self
+    }
+
+    /// Attach an absolute deadline; the flow returns
+    /// [`FlowError::TimedOut`] at the next phase boundary past it.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a wall-clock budget counted from now.
+    #[must_use]
+    pub fn with_budget(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Whether the stop flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn is_past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Check both conditions, cancellation first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] when the stop flag is raised,
+    /// [`FlowError::TimedOut`] when the deadline has passed.
+    pub fn check(&self) -> Result<(), FlowError> {
+        if self.is_cancelled() {
+            return Err(FlowError::Cancelled);
+        }
+        if self.is_past_deadline() {
+            return Err(FlowError::TimedOut);
+        }
+        Ok(())
+    }
+}
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +120,9 @@ pub struct FlowOptions {
     /// Feed back only diffusion information (Table 1 case 3) instead of
     /// all parasitics (case 4).
     pub diffusion_only: bool,
+    /// Cooperative cancellation / deadline control (defaults to "never
+    /// stop").
+    pub control: FlowControl,
 }
 
 impl Default for FlowOptions {
@@ -56,11 +133,89 @@ impl Default for FlowOptions {
             tolerance: 0.02,
             max_layout_calls: 10,
             diffusion_only: false,
+            control: FlowControl::default(),
         }
     }
 }
 
+/// Fluent constructor for [`FlowOptions`]; validates on
+/// [`build`](FlowOptionsBuilder::build). Obtained from
+/// [`FlowOptions::builder`].
+///
+/// ```
+/// use losac_core::flow::FlowOptions;
+/// use losac_layout::slicing::ShapeConstraint;
+///
+/// let opts = FlowOptions::builder()
+///     .with_tolerance(0.01)
+///     .with_shape(ShapeConstraint::Aspect(1.0))
+///     .with_max_layout_calls(6)
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.max_layout_calls, 6);
+/// assert!(FlowOptions::builder().with_tolerance(-1.0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the validated FlowOptions"]
+pub struct FlowOptionsBuilder {
+    opts: FlowOptions,
+}
+
+impl FlowOptionsBuilder {
+    /// Set the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.opts.tolerance = tolerance;
+        self
+    }
+
+    /// Set the layout shape constraint.
+    pub fn with_shape(mut self, shape: ShapeConstraint) -> Self {
+        self.opts.shape = shape;
+        self
+    }
+
+    /// Set the layout-call budget.
+    pub fn with_max_layout_calls(mut self, calls: usize) -> Self {
+        self.opts.max_layout_calls = calls;
+        self
+    }
+
+    /// Feed back only diffusion information (Table 1 case 3).
+    pub fn with_diffusion_only(mut self, diffusion_only: bool) -> Self {
+        self.opts.diffusion_only = diffusion_only;
+        self
+    }
+
+    /// Set the layout implementation options.
+    pub fn with_layout(mut self, layout: LayoutOptions) -> Self {
+        self.opts.layout = layout;
+        self
+    }
+
+    /// Set the cancellation / deadline control.
+    pub fn with_control(mut self, control: FlowControl) -> Self {
+        self.opts.control = control;
+        self
+    }
+
+    /// Validate and return the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidOptions`] under the same conditions as
+    /// [`FlowOptions::validate`].
+    pub fn build(self) -> Result<FlowOptions, FlowError> {
+        self.opts.validate()?;
+        Ok(self.opts)
+    }
+}
+
 impl FlowOptions {
+    /// Start a fluent builder with the default options.
+    pub fn builder() -> FlowOptionsBuilder {
+        FlowOptionsBuilder::default()
+    }
+
     /// Check that the options describe a runnable flow.
     ///
     /// # Errors
@@ -109,13 +264,23 @@ pub struct FlowResult {
 impl FlowResult {
     /// Last observed parasitic change — `None` when the budget allowed a
     /// single layout call, which leaves nothing to compare.
+    ///
+    /// When [`converged`](FlowResult::converged) is `true` this is the
+    /// change that *triggered* convergence, so `converged == true`
+    /// implies `final_change() <= tolerance` — including a run that
+    /// converged on its very first comparison.
     pub fn final_change(&self) -> Option<f64> {
         self.history.last().copied()
     }
 }
 
 /// Flow failure.
+///
+/// Marked `#[non_exhaustive]`: callers outside this crate must keep a
+/// wildcard arm so new variants (as `TimedOut` and `Cancelled` were) can
+/// be added without a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FlowError {
     /// The options were rejected before the flow started.
     InvalidOptions(String),
@@ -123,6 +288,10 @@ pub enum FlowError {
     Sizing(SizingError),
     /// The layout tool failed.
     Layout(losac_layout::plan::PlanError),
+    /// The run exceeded its wall-clock budget ([`FlowControl`] deadline).
+    TimedOut,
+    /// The run was cancelled via its [`FlowControl`] stop flag.
+    Cancelled,
 }
 
 impl fmt::Display for FlowError {
@@ -131,6 +300,8 @@ impl fmt::Display for FlowError {
             FlowError::InvalidOptions(e) => write!(f, "invalid flow options: {e}"),
             FlowError::Sizing(e) => write!(f, "flow failed in sizing: {e}"),
             FlowError::Layout(e) => write!(f, "flow failed in layout: {e}"),
+            FlowError::TimedOut => write!(f, "flow exceeded its wall-clock budget"),
+            FlowError::Cancelled => write!(f, "flow was cancelled"),
         }
     }
 }
@@ -211,6 +382,9 @@ pub fn layout_oriented_synthesis(
 
     let mut layout_opts = opts.layout.clone();
     while layout_calls < opts.max_layout_calls {
+        // Cooperative stop point: between layout calls the run can be
+        // cancelled or timed out without leaving partial state behind.
+        opts.control.check()?;
         // Call the layout tool in parasitic-calculation mode.
         let call_span = losac_obs::span_with("flow.layout_call", vec![f("call", layout_calls + 1)]);
         let call_start = Instant::now();
@@ -256,7 +430,10 @@ pub fn layout_oriented_synthesis(
                 "flow.parasitic_change",
                 &[f("call", layout_calls), f("change", change)],
             );
-            if change < opts.tolerance {
+            // Inclusive comparison so the documented invariant
+            // `converged == true ⇒ final_change() <= tolerance` holds
+            // exactly, with no gap at `change == tolerance`.
+            if change <= opts.tolerance {
                 prev_report = Some(report);
                 converged = true;
                 break;
@@ -307,6 +484,7 @@ pub fn layout_oriented_synthesis(
 
     // Generation mode: produce the physical layout of the final sizing,
     // with the same frozen folding decisions the loop converged on.
+    opts.control.check()?;
     let generation_start = Instant::now();
     let lplan = ota_layout_plan(tech, &ota, &layout_opts);
     let layout = lplan.generate(tech, opts.shape)?;
@@ -467,6 +645,127 @@ mod tests {
         for (name, d) in &r.layout.devices {
             assert_eq!(d.folds, fb.devices[name].folds, "{name}");
         }
+    }
+
+    #[test]
+    fn converged_implies_final_change_within_tolerance() {
+        // Regression: the invariant must hold whether convergence takes
+        // several comparisons (tight tolerance) or is declared on the
+        // very first one (loose tolerance).
+        let tech = Technology::cmos06();
+        for tolerance in [0.02, 0.5] {
+            let r = layout_oriented_synthesis(
+                &tech,
+                &OtaSpecs::paper_example(),
+                &FoldedCascodePlan::default(),
+                &FlowOptions {
+                    tolerance,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(r.converged, "tolerance {tolerance}: {:?}", r.history);
+            let last = r
+                .final_change()
+                .expect("converged runs compared at least once");
+            assert!(
+                last <= tolerance,
+                "tolerance {tolerance}: final_change {last} (history {:?})",
+                r.history
+            );
+        }
+        // A loose tolerance converges on the first comparison: exactly
+        // one history entry, and it is the converging one.
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions {
+                tolerance: 0.9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert_eq!(r.history.len(), 1, "history {:?}", r.history);
+        assert!(r.final_change().unwrap() <= 0.9);
+        // And an unsatisfiable tolerance never claims convergence.
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions {
+                tolerance: 1e-12,
+                max_layout_calls: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let opts = FlowOptions::builder()
+            .with_tolerance(0.05)
+            .with_shape(ShapeConstraint::Aspect(2.0))
+            .with_max_layout_calls(4)
+            .with_diffusion_only(true)
+            .build()
+            .unwrap();
+        assert_eq!(opts.tolerance, 0.05);
+        assert_eq!(opts.shape, ShapeConstraint::Aspect(2.0));
+        assert_eq!(opts.max_layout_calls, 4);
+        assert!(opts.diffusion_only);
+        assert!(matches!(
+            FlowOptions::builder().with_tolerance(f64::NAN).build(),
+            Err(FlowError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            FlowOptions::builder().with_max_layout_calls(0).build(),
+            Err(FlowError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn raised_stop_flag_cancels_the_run() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let tech = Technology::cmos06();
+        let flag = Arc::new(AtomicBool::new(true));
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions {
+                control: FlowControl::new().with_stop(flag),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(r, Err(FlowError::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_times_the_run_out() {
+        let tech = Technology::cmos06();
+        let r = layout_oriented_synthesis(
+            &tech,
+            &OtaSpecs::paper_example(),
+            &FoldedCascodePlan::default(),
+            &FlowOptions {
+                control: FlowControl::new().with_budget(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(r, Err(FlowError::TimedOut)));
+    }
+
+    #[test]
+    fn default_control_never_stops() {
+        let c = FlowControl::default();
+        assert!(!c.is_cancelled());
+        assert!(!c.is_past_deadline());
+        c.check().unwrap();
     }
 
     #[test]

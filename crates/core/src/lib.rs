@@ -45,8 +45,41 @@ pub mod report;
 pub mod telemetry;
 pub mod traditional;
 
-pub use cases::{run_case, Case, CaseResult};
-pub use flow::{layout_oriented_synthesis, FlowError, FlowOptions, FlowResult};
+pub use cases::{run_case, run_case_with, Case, CaseError, CaseOptions, CaseResult};
+pub use flow::{
+    layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowOptionsBuilder, FlowResult,
+};
 pub use layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
 pub use telemetry::FlowTelemetry;
 pub use traditional::{traditional_flow, TraditionalResult};
+
+/// One-stop imports for driving the synthesis flow.
+///
+/// Pulls in the handful of types almost every caller needs — the
+/// technology, the specification, the plan, the flow entry points and
+/// their option/result types:
+///
+/// ```no_run
+/// use losac_core::prelude::*;
+///
+/// let tech = Technology::cmos06();
+/// let r = layout_oriented_synthesis(
+///     &tech,
+///     &OtaSpecs::paper_example(),
+///     &FoldedCascodePlan::default(),
+///     &FlowOptions::default(),
+/// )?;
+/// println!("{} layout calls", r.layout_calls);
+/// # Ok::<(), FlowError>(())
+/// ```
+pub mod prelude {
+    pub use crate::cases::{run_case, run_case_with, Case, CaseError, CaseOptions, CaseResult};
+    pub use crate::flow::{
+        layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowResult,
+    };
+    pub use crate::layout_gen::LayoutOptions;
+    pub use crate::traditional::traditional_flow;
+    pub use losac_layout::slicing::ShapeConstraint;
+    pub use losac_sizing::{FoldedCascodePlan, OtaSpecs, Performance};
+    pub use losac_tech::Technology;
+}

@@ -67,7 +67,7 @@ impl FoldSpec {
     pub fn even_internal(requested: u32) -> Self {
         let nf = if requested <= 1 {
             2
-        } else if requested % 2 == 0 {
+        } else if requested.is_multiple_of(2) {
             requested
         } else {
             requested + 1
@@ -114,14 +114,14 @@ impl FoldSpec {
 /// owning one end and `(nf+1)/2` … see the factor formulas.
 fn strip_counts(nf: u32, drain: DrainPosition) -> (u32, u32) {
     let total = nf + 1;
-    if nf % 2 == 0 {
+    if nf.is_multiple_of(2) {
         match drain {
             DrainPosition::Internal => (nf / 2, total - nf / 2),
             DrainPosition::External => (nf / 2 + 1, total - (nf / 2 + 1)),
         }
     } else {
         // Odd: alternating assignment gives both terminals (nf+1)/2 strips.
-        ((nf + 1) / 2, (nf + 1) / 2)
+        (nf.div_ceil(2), nf.div_ceil(2))
     }
 }
 
@@ -135,7 +135,7 @@ pub fn factor(nf: u32, drain: DrainPosition) -> f64 {
         return 1.0;
     }
     let nf_f = nf as f64;
-    if nf % 2 == 0 {
+    if nf.is_multiple_of(2) {
         match drain {
             DrainPosition::Internal => 0.5,
             DrainPosition::External => (nf_f + 2.0) / (2.0 * nf_f),
@@ -186,7 +186,7 @@ impl DiffusionGeometry {
         let l_end = nm_to_m(rules.end_diffusion());
 
         // How many of this terminal's strips are at the row ends?
-        let ends = match (spec.nf % 2 == 0, spec.drain_position, is_drain) {
+        let ends = match (spec.nf.is_multiple_of(2), spec.drain_position, is_drain) {
             (true, DrainPosition::Internal, true) => 0, // all drains internal
             (true, DrainPosition::Internal, false) => 2, // sources own both ends
             (true, DrainPosition::External, true) => 2,

@@ -1,0 +1,261 @@
+//! The engine: a configured worker pool that runs [`SynthesisJob`]
+//! batches.
+
+use crate::job::{JobOutcome, SynthesisJob};
+use crate::pool::{run_indexed, PoolOutcome, QueueKind};
+use crate::telemetry::BatchTelemetry;
+use losac_core::cases::run_case_with;
+use losac_core::flow::FlowControl;
+use losac_obs::f;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Queue implementation handing jobs to the workers.
+    pub queue: QueueKind,
+}
+
+impl EngineOptions {
+    /// Options with an explicit worker count (`0` = auto).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A handle that cancels the batch it was taken from. Raising it stops
+/// pending jobs before they start and in-flight jobs at their next phase
+/// boundary (which then report [`JobOutcome::Cancelled`]).
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Raise the stop flag.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The outcome of one batch: per-job outcomes in submission order, plus
+/// batch telemetry.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One outcome per submitted job, indexed by submission order —
+    /// **not** completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock / worker-utilisation summary of the batch.
+    pub telemetry: BatchTelemetry,
+}
+
+/// Parallel batch-synthesis engine.
+///
+/// ```no_run
+/// use losac_engine::{Engine, EngineOptions, SynthesisJob};
+/// use losac_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let tech = Arc::new(Technology::cmos06());
+/// let jobs: Vec<SynthesisJob> = Case::ALL
+///     .into_iter()
+///     .map(|c| SynthesisJob::new(tech.clone(), OtaSpecs::paper_example(), c))
+///     .collect();
+/// let batch = Engine::new(EngineOptions::with_workers(4)).run_batch(jobs);
+/// for (i, o) in batch.outcomes.iter().enumerate() {
+///     println!("job {i}: {}", o.status());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    opts: EngineOptions,
+    stop: Arc<AtomicBool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    /// Build an engine from options.
+    pub fn new(opts: EngineOptions) -> Self {
+        Self {
+            opts,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A token that cancels batches run by this engine. Tokens stay
+    /// valid across `run_batch` calls (the flag is engine-scoped).
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken(self.stop.clone())
+    }
+
+    /// The worker count a batch would run with.
+    pub fn workers(&self) -> usize {
+        self.opts.resolved_workers()
+    }
+
+    /// Run a batch of jobs to completion.
+    ///
+    /// Guarantees:
+    /// * `outcomes[i]` corresponds to `jobs[i]` — results are indexed by
+    ///   submission order regardless of completion order;
+    /// * a job that panics yields [`JobOutcome::Panicked`] without
+    ///   affecting any other job;
+    /// * a job whose [`SynthesisJob::budget`] elapses yields
+    ///   [`JobOutcome::TimedOut`] at its next phase boundary;
+    /// * after [`CancelToken::cancel`], jobs not yet started yield
+    ///   [`JobOutcome::Cancelled`] and in-flight jobs stop at their next
+    ///   phase boundary.
+    pub fn run_batch(&self, jobs: Vec<SynthesisJob>) -> BatchResult {
+        let n = jobs.len();
+        let workers = self.opts.resolved_workers().clamp(1, n.max(1));
+        let _span = losac_obs::span_with(
+            "engine.batch",
+            vec![f("jobs", n as u64), f("workers", workers as u64)],
+        );
+        let started = Instant::now();
+        let job_times: Vec<std::sync::Mutex<Duration>> = (0..n)
+            .map(|_| std::sync::Mutex::new(Duration::ZERO))
+            .collect();
+
+        let (pool_out, stats) = run_indexed(
+            workers,
+            self.opts.queue,
+            jobs,
+            &self.stop,
+            |i, job: SynthesisJob| {
+                let _job_span = losac_obs::span_with(
+                    "engine.job",
+                    vec![f("job", i as u64), f("label", job.label.as_str())],
+                );
+                let begun = Instant::now();
+                let mut control = FlowControl::new().with_stop(self.stop.clone());
+                if let Some(budget) = job.budget {
+                    control = control.with_budget(budget);
+                }
+                let opts = job.case_options(control);
+                let outcome =
+                    JobOutcome::from_run(run_case_with(&job.tech, &job.specs, job.case, &opts));
+                *job_times[i].lock().expect("job time lock poisoned") = begun.elapsed();
+                losac_obs::event(
+                    "engine.job.done",
+                    &[f("job", i as u64), f("status", outcome.status())],
+                );
+                outcome
+            },
+        );
+
+        let outcomes: Vec<JobOutcome> = pool_out
+            .into_iter()
+            .map(|o| match o {
+                PoolOutcome::Done(outcome) => outcome,
+                PoolOutcome::Panicked(msg) => JobOutcome::Panicked(msg),
+                PoolOutcome::Skipped => JobOutcome::Cancelled,
+            })
+            .collect();
+
+        let serial_estimate = job_times
+            .iter()
+            .map(|t| *t.lock().expect("job time lock poisoned"))
+            .sum();
+        let telemetry = BatchTelemetry {
+            jobs: n,
+            workers: stats.len(),
+            wall: started.elapsed(),
+            worker_busy: stats.iter().map(|s| s.busy).collect(),
+            worker_jobs: stats.iter().map(|s| s.jobs).collect(),
+            serial_estimate,
+        };
+        losac_obs::event(
+            "engine.batch.done",
+            &[
+                f("jobs", n as u64),
+                f("wall_ms", telemetry.wall.as_secs_f64() * 1e3),
+                f("speedup", telemetry.speedup()),
+            ],
+        );
+        BatchResult {
+            outcomes,
+            telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losac_core::prelude::{Case, OtaSpecs};
+    use losac_tech::Technology;
+
+    fn paper_job(case: Case) -> SynthesisJob {
+        SynthesisJob::new(
+            Arc::new(Technology::cmos06()),
+            OtaSpecs::paper_example(),
+            case,
+        )
+    }
+
+    #[test]
+    fn zero_budget_jobs_time_out_without_poisoning_the_batch() {
+        // Job 0 has an already-expired budget; job 1 must still finish.
+        let jobs = vec![
+            paper_job(Case::NoParasitics).with_budget(Duration::ZERO),
+            paper_job(Case::NoParasitics),
+        ];
+        let batch = Engine::new(EngineOptions::with_workers(1)).run_batch(jobs);
+        assert!(matches!(batch.outcomes[0], JobOutcome::TimedOut));
+        assert!(
+            batch.outcomes[1].is_finished(),
+            "{:?}",
+            batch.outcomes[1].status()
+        );
+        assert_eq!(batch.telemetry.jobs, 2);
+    }
+
+    #[test]
+    fn a_cancelled_engine_reports_every_job_cancelled() {
+        let engine = Engine::new(EngineOptions::with_workers(2));
+        engine.cancel_token().cancel();
+        let batch = engine.run_batch(vec![
+            paper_job(Case::NoParasitics),
+            paper_job(Case::UnfoldedDiffusion),
+            paper_job(Case::AllParasitics),
+        ]);
+        assert_eq!(batch.outcomes.len(), 3);
+        for o in &batch.outcomes {
+            assert!(matches!(o, JobOutcome::Cancelled), "{}", o.status());
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = Engine::default().run_batch(vec![]);
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.telemetry.jobs, 0);
+        assert_eq!(batch.telemetry.speedup(), 1.0);
+    }
+}

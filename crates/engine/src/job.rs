@@ -1,0 +1,234 @@
+//! The job value type: every input of one synthesis run, made explicit.
+
+use losac_core::cases::{CaseError, CaseOptions};
+use losac_core::flow::{FlowControl, FlowError};
+use losac_core::prelude::{Case, CaseResult, FlowOptions};
+use losac_core::LayoutOptions;
+use losac_layout::slicing::ShapeConstraint;
+use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+use losac_tech::Technology;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// All inputs of one synthesis run, as one self-contained value.
+///
+/// Where `run_case` buried its plan, layout options and shape constraint
+/// in hardwired defaults, a `SynthesisJob` spells every input out, so a
+/// batch can vary any of them per job. Jobs are cheap to clone; the
+/// technology is shared behind an [`Arc`] because a sweep typically runs
+/// hundreds of jobs against one process description.
+#[derive(Debug, Clone)]
+pub struct SynthesisJob {
+    /// Display label carried through to outcomes and run records.
+    pub label: String,
+    /// Process technology (shared across the batch).
+    pub tech: Arc<Technology>,
+    /// Performance specification to size for.
+    pub specs: OtaSpecs,
+    /// Which Table-1 parasitic-awareness strategy to run.
+    pub case: Case,
+    /// Sizing design plan.
+    pub plan: FoldedCascodePlan,
+    /// Layout implementation options.
+    pub layout: LayoutOptions,
+    /// Layout shape constraint.
+    pub shape: ShapeConstraint,
+    /// Convergence tolerance of the sizing↔layout loop.
+    pub tolerance: f64,
+    /// Layout-call budget of the sizing↔layout loop.
+    pub max_layout_calls: usize,
+    /// Optional per-job wall-clock budget; the engine turns it into a
+    /// deadline when the job starts and the run stops cooperatively at
+    /// the next phase boundary past it.
+    pub budget: Option<Duration>,
+}
+
+impl SynthesisJob {
+    /// A job with the historical `run_case` defaults: default plan,
+    /// default layout options, min-area shape, default flow knobs, no
+    /// budget.
+    pub fn new(tech: Arc<Technology>, specs: OtaSpecs, case: Case) -> Self {
+        let defaults = CaseOptions::default();
+        Self {
+            label: case.label().to_owned(),
+            tech,
+            specs,
+            case,
+            plan: defaults.plan,
+            layout: defaults.layout,
+            shape: defaults.shape,
+            tolerance: defaults.tolerance,
+            max_layout_calls: defaults.max_layout_calls,
+            budget: None,
+        }
+    }
+
+    /// Set the display label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Set the shape constraint.
+    #[must_use]
+    pub fn with_shape(mut self, shape: ShapeConstraint) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Set the sizing plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: FoldedCascodePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Set the layout implementation options.
+    #[must_use]
+    pub fn with_layout(mut self, layout: LayoutOptions) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Set the flow convergence tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Set the flow layout-call budget.
+    #[must_use]
+    pub fn with_max_layout_calls(mut self, calls: usize) -> Self {
+        self.max_layout_calls = calls;
+        self
+    }
+
+    /// Set the per-job wall-clock budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The [`CaseOptions`] this job implies, with the given run control
+    /// attached.
+    pub fn case_options(&self, control: FlowControl) -> CaseOptions {
+        CaseOptions {
+            plan: self.plan,
+            layout: self.layout.clone(),
+            shape: self.shape,
+            tolerance: self.tolerance,
+            max_layout_calls: self.max_layout_calls,
+            control,
+        }
+    }
+
+    /// The [`FlowOptions`] this job implies (no run control), for
+    /// reference or for running the job manually.
+    pub fn flow_options(&self) -> FlowOptions {
+        self.case_options(FlowControl::default())
+            .flow_options(matches!(self.case, Case::ExactDiffusion))
+    }
+}
+
+/// What became of one job in a batch. One entry per submitted job, in
+/// submission order.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JobOutcome {
+    /// The run completed; the boxed [`CaseResult`] carries both
+    /// performance rows.
+    Finished(Box<CaseResult>),
+    /// The run failed in sizing, layout or measurement.
+    Failed(CaseError),
+    /// The run panicked; the pool caught it and carried on.
+    Panicked(String),
+    /// The run exceeded its per-job wall-clock budget.
+    TimedOut,
+    /// The batch was cancelled before or during this job.
+    Cancelled,
+}
+
+impl JobOutcome {
+    /// The case result, when the job finished.
+    pub fn result(&self) -> Option<&CaseResult> {
+        match self {
+            JobOutcome::Finished(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the job produced a result.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, JobOutcome::Finished(_))
+    }
+
+    /// Short machine-readable status tag (used in run records).
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Finished(_) => "finished",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::Panicked(_) => "panicked",
+            JobOutcome::TimedOut => "timed_out",
+            JobOutcome::Cancelled => "cancelled",
+        }
+    }
+
+    /// Map a case-run result to an outcome, turning the control-flow
+    /// errors ([`FlowError::TimedOut`] / [`FlowError::Cancelled`]) into
+    /// their dedicated variants.
+    pub(crate) fn from_run(r: Result<CaseResult, CaseError>) -> Self {
+        match r {
+            Ok(res) => JobOutcome::Finished(Box::new(res)),
+            Err(CaseError::Flow(FlowError::TimedOut)) => JobOutcome::TimedOut,
+            Err(CaseError::Flow(FlowError::Cancelled)) => JobOutcome::Cancelled,
+            Err(e) => JobOutcome::Failed(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_defaults_match_case_options_defaults() {
+        let tech = Arc::new(Technology::cmos06());
+        let job = SynthesisJob::new(tech, OtaSpecs::paper_example(), Case::AllParasitics);
+        let d = CaseOptions::default();
+        assert_eq!(job.shape, d.shape);
+        assert_eq!(job.layout, d.layout);
+        assert_eq!(job.tolerance, d.tolerance);
+        assert_eq!(job.max_layout_calls, d.max_layout_calls);
+        assert_eq!(job.label, "Case 4");
+        assert!(job.budget.is_none());
+        // Flow options derived from a case-3 job are diffusion-only.
+        let j3 = SynthesisJob::new(
+            Arc::new(Technology::cmos06()),
+            OtaSpecs::paper_example(),
+            Case::ExactDiffusion,
+        );
+        assert!(j3.flow_options().diffusion_only);
+        assert!(!job.flow_options().diffusion_only);
+    }
+
+    #[test]
+    fn outcome_mapping() {
+        assert!(matches!(
+            JobOutcome::from_run(Err(CaseError::Flow(FlowError::TimedOut))),
+            JobOutcome::TimedOut
+        ));
+        assert!(matches!(
+            JobOutcome::from_run(Err(CaseError::Flow(FlowError::Cancelled))),
+            JobOutcome::Cancelled
+        ));
+        let failed = JobOutcome::from_run(Err(CaseError::Flow(FlowError::InvalidOptions(
+            "nope".into(),
+        ))));
+        assert!(matches!(failed, JobOutcome::Failed(_)));
+        assert_eq!(failed.status(), "failed");
+        assert!(failed.result().is_none());
+    }
+}

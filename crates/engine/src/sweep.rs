@@ -1,0 +1,256 @@
+//! Sweep constructors: expand a cartesian grid of [`SynthesisJob`]s.
+//!
+//! The batch-parallel exploration pattern from the related work (many
+//! sized candidates through layout+extraction per optimizer step; layout
+//! variants as a dataset) is "run the flow N times with varied inputs".
+//! A [`SweepBuilder`] owns the shared inputs and expands the cartesian
+//! product of the varied axes into a job list for
+//! [`crate::Engine::run_batch`].
+
+use crate::job::SynthesisJob;
+use losac_core::prelude::{Case, OtaSpecs};
+use losac_layout::slicing::ShapeConstraint;
+use losac_sizing::FoldedCascodePlan;
+use losac_tech::Technology;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A specification field a sweep can vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecAxis {
+    /// Gain–bandwidth product (Hz).
+    Gbw,
+    /// Phase margin (degrees).
+    PhaseMargin,
+    /// Load capacitance (F).
+    LoadCap,
+    /// Supply voltage (V).
+    Vdd,
+}
+
+impl SpecAxis {
+    /// Short label used in job names (`gbw=6.5e7`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpecAxis::Gbw => "gbw",
+            SpecAxis::PhaseMargin => "pm",
+            SpecAxis::LoadCap => "cl",
+            SpecAxis::Vdd => "vdd",
+        }
+    }
+
+    fn apply(&self, specs: &mut OtaSpecs, value: f64) {
+        match self {
+            SpecAxis::Gbw => specs.gbw = value,
+            SpecAxis::PhaseMargin => specs.phase_margin = value,
+            SpecAxis::LoadCap => specs.c_load = value,
+            SpecAxis::Vdd => specs.vdd = value,
+        }
+    }
+}
+
+fn shape_label(shape: &ShapeConstraint) -> String {
+    match shape {
+        ShapeConstraint::MinArea => "min_area".to_owned(),
+        ShapeConstraint::MaxHeight(h) => format!("hmax={h}"),
+        ShapeConstraint::MaxWidth(w) => format!("wmax={w}"),
+        ShapeConstraint::Aspect(r) => format!("aspect={r}"),
+    }
+}
+
+/// Builder expanding a cartesian grid of jobs over cases, shape
+/// constraints and specification axes.
+///
+/// Axes left unset contribute a single default point (case 4 /
+/// min-area / the base specification), so
+/// `SweepBuilder::new(tech, specs).build()` yields exactly one job.
+///
+/// ```
+/// use losac_engine::{SweepBuilder, SpecAxis};
+/// use losac_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let jobs = SweepBuilder::new(Arc::new(Technology::cmos06()), OtaSpecs::paper_example())
+///     .over_cases(Case::ALL)
+///     .over_shapes([ShapeConstraint::MinArea, ShapeConstraint::Aspect(1.0)])
+///     .over_spec_axis(SpecAxis::Gbw, [50.0e6, 65.0e6])
+///     .build();
+/// assert_eq!(jobs.len(), 4 * 2 * 2);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to expand the sweep into jobs"]
+pub struct SweepBuilder {
+    tech: Arc<Technology>,
+    base: OtaSpecs,
+    cases: Vec<Case>,
+    shapes: Vec<ShapeConstraint>,
+    axes: Vec<(SpecAxis, Vec<f64>)>,
+    plan: FoldedCascodePlan,
+    budget: Option<Duration>,
+}
+
+impl SweepBuilder {
+    /// A sweep over the given technology and base specification.
+    pub fn new(tech: Arc<Technology>, base: OtaSpecs) -> Self {
+        Self {
+            tech,
+            base,
+            cases: Vec::new(),
+            shapes: Vec::new(),
+            axes: Vec::new(),
+            plan: FoldedCascodePlan::default(),
+            budget: None,
+        }
+    }
+
+    /// Vary the Table-1 case.
+    pub fn over_cases(mut self, cases: impl IntoIterator<Item = Case>) -> Self {
+        self.cases = cases.into_iter().collect();
+        self
+    }
+
+    /// Vary the layout shape constraint.
+    pub fn over_shapes(mut self, shapes: impl IntoIterator<Item = ShapeConstraint>) -> Self {
+        self.shapes = shapes.into_iter().collect();
+        self
+    }
+
+    /// Vary one specification field over the given values. Each call
+    /// adds another cartesian axis.
+    pub fn over_spec_axis(mut self, axis: SpecAxis, values: impl IntoIterator<Item = f64>) -> Self {
+        self.axes.push((axis, values.into_iter().collect()));
+        self
+    }
+
+    /// Use this sizing plan for every job.
+    pub fn with_plan(mut self, plan: FoldedCascodePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Give every job this wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Expand the cartesian product into jobs. Order is deterministic:
+    /// the first axis varies slowest (cases, then shapes, then each
+    /// spec axis in the order added).
+    pub fn build(self) -> Vec<SynthesisJob> {
+        let cases = if self.cases.is_empty() {
+            vec![Case::AllParasitics]
+        } else {
+            self.cases
+        };
+        let shapes = if self.shapes.is_empty() {
+            vec![ShapeConstraint::MinArea]
+        } else {
+            self.shapes
+        };
+
+        // Expand the spec axes into (label-suffix, specs) points.
+        let mut spec_points: Vec<(String, OtaSpecs)> = vec![(String::new(), self.base)];
+        for (axis, values) in &self.axes {
+            let mut next = Vec::with_capacity(spec_points.len() * values.len().max(1));
+            for (suffix, specs) in &spec_points {
+                for v in values {
+                    let mut s = *specs;
+                    axis.apply(&mut s, *v);
+                    next.push((format!("{suffix}/{}={v}", axis.label()), s));
+                }
+            }
+            if !next.is_empty() {
+                spec_points = next;
+            }
+        }
+
+        let mut jobs = Vec::with_capacity(cases.len() * shapes.len() * spec_points.len());
+        for case in &cases {
+            for shape in &shapes {
+                for (suffix, specs) in &spec_points {
+                    let label = format!("{}/{}{}", case.label(), shape_label(shape), suffix);
+                    jobs.push(
+                        SynthesisJob::new(self.tech.clone(), *specs, *case)
+                            .with_plan(self.plan)
+                            .with_shape(*shape)
+                            .with_label(label),
+                    );
+                }
+            }
+        }
+        if let Some(budget) = self.budget {
+            for job in &mut jobs {
+                job.budget = Some(budget);
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> SweepBuilder {
+        SweepBuilder::new(Arc::new(Technology::cmos06()), OtaSpecs::paper_example())
+    }
+
+    #[test]
+    fn empty_axes_yield_one_default_job() {
+        let jobs = builder().build();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].case, Case::AllParasitics);
+        assert_eq!(jobs[0].shape, ShapeConstraint::MinArea);
+    }
+
+    #[test]
+    fn cartesian_expansion_order_is_deterministic() {
+        let jobs = builder()
+            .over_cases([Case::NoParasitics, Case::AllParasitics])
+            .over_shapes([ShapeConstraint::MinArea, ShapeConstraint::Aspect(1.0)])
+            .over_spec_axis(SpecAxis::Gbw, [50.0e6, 65.0e6])
+            .build();
+        assert_eq!(jobs.len(), 8);
+        // First axis (case) varies slowest.
+        assert!(jobs[..4].iter().all(|j| j.case == Case::NoParasitics));
+        assert!(jobs[4..].iter().all(|j| j.case == Case::AllParasitics));
+        // Shapes next.
+        assert_eq!(jobs[0].shape, ShapeConstraint::MinArea);
+        assert_eq!(jobs[2].shape, ShapeConstraint::Aspect(1.0));
+        // Spec axis fastest.
+        assert_eq!(jobs[0].specs.gbw, 50.0e6);
+        assert_eq!(jobs[1].specs.gbw, 65.0e6);
+        // Labels are unique and descriptive.
+        let labels: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.label.clone()).collect();
+        assert_eq!(labels.len(), 8, "{labels:?}");
+        assert!(jobs[0].label.contains("Case 1"), "{}", jobs[0].label);
+        assert!(jobs[0].label.contains("min_area"));
+        assert!(jobs[0].label.contains("gbw=50000000"));
+    }
+
+    #[test]
+    fn budget_applies_to_every_job() {
+        let jobs = builder()
+            .over_cases(Case::ALL)
+            .with_budget(Duration::from_secs(30))
+            .build();
+        assert_eq!(jobs.len(), 4);
+        assert!(jobs
+            .iter()
+            .all(|j| j.budget == Some(Duration::from_secs(30))));
+    }
+
+    #[test]
+    fn multiple_spec_axes_multiply() {
+        let jobs = builder()
+            .over_spec_axis(SpecAxis::Gbw, [50.0e6, 60.0e6, 70.0e6])
+            .over_spec_axis(SpecAxis::LoadCap, [2.0e-12, 3.0e-12])
+            .build();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs[0].specs.c_load, 2.0e-12);
+        assert_eq!(jobs[1].specs.c_load, 3.0e-12);
+        assert_eq!(jobs[2].specs.gbw, 60.0e6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Batch-level telemetry: what the whole batch cost and how well the
+//! workers were used.
+
+use losac_obs::json::{array, number, Object};
+use std::time::Duration;
+
+/// Runtime summary of one [`crate::Engine::run_batch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTelemetry {
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Number of worker threads the pool actually spawned.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Per-worker time spent inside jobs (same order as worker ids).
+    pub worker_busy: Vec<Duration>,
+    /// Per-worker number of jobs claimed.
+    pub worker_jobs: Vec<usize>,
+    /// Sum of every job's individual wall-clock time — what a 1-worker
+    /// run of the same batch would roughly cost.
+    pub serial_estimate: Duration,
+}
+
+impl BatchTelemetry {
+    /// Estimated speedup over a serial run: total per-job time divided by
+    /// the batch wall-clock (1.0 when the batch was empty or instant).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if self.jobs == 0 || wall <= 0.0 {
+            return 1.0;
+        }
+        self.serial_estimate.as_secs_f64() / wall
+    }
+
+    /// Mean fraction of the batch wall-clock each worker spent busy
+    /// (0 when no workers ran).
+    pub fn utilization(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 || self.worker_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        busy / (wall * self.worker_busy.len() as f64)
+    }
+
+    /// Render as a JSON object for `--json` run records.
+    pub fn to_json(&self) -> String {
+        let secs = |d: &Duration| number(d.as_secs_f64());
+        Object::new()
+            .u64("jobs", self.jobs as u64)
+            .u64("workers", self.workers as u64)
+            .f64("wall_s", self.wall.as_secs_f64())
+            .f64("serial_estimate_s", self.serial_estimate.as_secs_f64())
+            .f64("speedup", self.speedup())
+            .f64("utilization", self.utilization())
+            .raw("worker_busy_s", array(self.worker_busy.iter().map(secs)))
+            .raw(
+                "worker_jobs",
+                array(self.worker_jobs.iter().map(|j| j.to_string())),
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_utilization() {
+        let t = BatchTelemetry {
+            jobs: 4,
+            workers: 2,
+            wall: Duration::from_secs(2),
+            worker_busy: vec![Duration::from_secs(2), Duration::from_secs(1)],
+            worker_jobs: vec![3, 1],
+            serial_estimate: Duration::from_secs(3),
+        };
+        assert!((t.speedup() - 1.5).abs() < 1e-9);
+        assert!((t.utilization() - 0.75).abs() < 1e-9);
+        let j = t.to_json();
+        assert!(j.contains("\"speedup\":1.5"), "{j}");
+        assert!(j.contains("\"worker_jobs\":[3,1]"), "{j}");
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let t = BatchTelemetry::default();
+        assert_eq!(t.speedup(), 1.0);
+        assert_eq!(t.utilization(), 0.0);
+    }
+}

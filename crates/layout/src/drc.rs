@@ -216,9 +216,7 @@ pub fn check(tech: &Technology, cell: &Cell) -> Vec<Violation> {
     // Well enclosure of P+ active.
     let wells: Vec<Rect> = cell.shapes_on(Layer::Nwell).map(|s| s.rect).collect();
     for s in cell.shapes_on(Layer::Pplus) {
-        let ok = wells
-            .iter()
-            .any(|w| w.contains(&s.rect.expanded(-0_i64.max(0))))
+        let ok = wells.iter().any(|w| w.contains(&s.rect.expanded(-0)))
             && wells.iter().any(|w| {
                 w.x0 <= s.rect.x0 && w.y0 <= s.rect.y0 && w.x1 >= s.rect.x1 && w.y1 >= s.rect.y1
             });

@@ -34,10 +34,10 @@ pub fn to_svg(cell: &Cell) -> String {
     // Scale: 1 px per 50 nm keeps files small.
     let scale = 0.02;
     let mut svg = String::new();
-    let _ = write!(
+    let _ = writeln!(
         svg,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
-         viewBox=\"0 0 {:.0} {:.0}\">\n",
+         viewBox=\"0 0 {:.0} {:.0}\">",
         w as f64 * scale,
         h as f64 * scale,
         w as f64 * scale,

@@ -484,7 +484,11 @@ impl LayoutPlan {
         let n = nf as usize;
         let strip_nets: Vec<String> = (0..=n)
             .map(|i| {
-                let drain = if n % 2 == 0 { i % 2 == 1 } else { i % 2 == 0 };
+                let drain = if n.is_multiple_of(2) {
+                    i % 2 == 1
+                } else {
+                    i % 2 == 0
+                };
                 if drain {
                     def.d.clone()
                 } else {

@@ -293,7 +293,8 @@ pub fn optimize_xy(
             .filter(|(_, v)| v.w <= wmax)
             .min_by_key(|(_, v)| v.area()),
         ShapeConstraint::Aspect(r) => {
-            if !(r > 0.0) {
+            let valid = r.is_finite() && r > 0.0;
+            if !valid {
                 return Err(SlicingError {
                     message: format!("bad aspect ratio {r}"),
                 });

@@ -162,8 +162,8 @@ pub fn ac_sweep(circuit: &Circuit, dc: &DcSolution, opts: &AcOptions) -> Result<
         })?;
         let x = lu.solve(&lin.b_ac);
         let mut row = vec![Complex::ZERO; circuit.num_nodes()];
-        for id in 1..circuit.num_nodes() {
-            row[id] = lin.voltage(&x, id);
+        for (id, r) in row.iter_mut().enumerate().skip(1) {
+            *r = lin.voltage(&x, id);
         }
         v.push(row);
     }

@@ -493,10 +493,9 @@ pub fn dc_from_previous(
 ) -> Result<DcSolution, DcError> {
     DC_SOLVES.incr();
     let u = Unknowns::of(circuit);
+    let n = circuit.num_nodes();
     let mut x0 = vec![0.0; u.total];
-    for id in 1..circuit.num_nodes() {
-        x0[id - 1] = previous.v[id];
-    }
+    x0[..n - 1].copy_from_slice(&previous.v[1..]);
     for (k, i) in previous.branch_currents.iter().enumerate() {
         x0[u.nv_offset + k] = *i;
     }
@@ -627,10 +626,9 @@ fn gmin_then_source_stepping(
 }
 
 fn package(circuit: &Circuit, u: &Unknowns, x: Vec<f64>, iterations: usize) -> DcSolution {
-    let mut v = vec![0.0; circuit.num_nodes()];
-    for id in 1..circuit.num_nodes() {
-        v[id] = x[id - 1];
-    }
+    let n = circuit.num_nodes();
+    let mut v = vec![0.0; n];
+    v[1..].copy_from_slice(&x[..n - 1]);
     let mut branch_currents = Vec::new();
     let mut mos_ops = HashMap::new();
     let mut vsrc_idx = 0;

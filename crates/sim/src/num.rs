@@ -120,6 +120,9 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by reciprocal multiplication is the intended formula, not
+    // a copy-paste slip.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -273,12 +276,13 @@ impl<T: Scalar> Matrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![T::zero(); self.n];
-        for i in 0..self.n {
+        for (i, y_i) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
             let mut acc = T::zero();
-            for j in 0..self.n {
-                acc += self.data[i * self.n + j] * x[j];
+            for (&m, &v) in row.iter().zip(x) {
+                acc += m * v;
             }
-            y[i] = acc;
+            *y_i = acc;
         }
         y
     }
@@ -304,7 +308,8 @@ impl<T: Scalar> Matrix<T> {
                     p = i;
                 }
             }
-            if !(best > 0.0) || !best.is_finite() {
+            let usable = best.is_finite() && best > 0.0;
+            if !usable {
                 return Err(SingularMatrix { column: k });
             }
             if p != k {
@@ -369,16 +374,16 @@ impl<T: Scalar> Lu<T> {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.mat.get(i, j) * x[j];
+            for (j, &xv) in x[..i].iter().enumerate() {
+                acc -= self.mat.get(i, j) * xv;
             }
             x[i] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.mat.get(i, j) * x[j];
+            for (j, &xv) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.mat.get(i, j) * xv;
             }
             x[i] = acc / self.mat.get(i, i);
         }

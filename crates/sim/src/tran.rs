@@ -142,10 +142,9 @@ pub fn transient(
         "bad transient time range"
     );
     let u = Unknowns::of(circuit);
+    let n = circuit.num_nodes();
     let mut x = vec![0.0; u.total];
-    for id in 1..circuit.num_nodes() {
-        x[id - 1] = dc.v[id];
-    }
+    x[..n - 1].copy_from_slice(&dc.v[1..]);
     for (k, i) in dc.branch_currents.iter().enumerate() {
         x[u.nv_offset + k] = *i;
     }
@@ -175,10 +174,8 @@ pub fn transient(
             })?;
         x = xn;
         time = t_next;
-        let mut row = vec![0.0; circuit.num_nodes()];
-        for id in 1..circuit.num_nodes() {
-            row[id] = x[id - 1];
-        }
+        let mut row = vec![0.0; n];
+        row[1..].copy_from_slice(&x[..n - 1]);
         t.push(time);
         v.push(row);
     }

@@ -6,12 +6,9 @@
 //! cargo run --release --example folded_cascode_synthesis
 //! ```
 
-use losac::flow::cases::{run_case, Case};
-use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
+use losac::flow::prelude::*;
 use losac::flow::report::table1;
 use losac::layout::export::to_svg;
-use losac::sizing::{FoldedCascodePlan, OtaSpecs};
-use losac::tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::cmos06();

@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
+use losac::flow::prelude::*;
 use losac::sizing::eval::evaluate;
-use losac::sizing::{FoldedCascodePlan, OtaSpecs};
-use losac::tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A technology and a specification (the paper's example values).

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cycles = 8.0;
-    let tstop = cycles as f64 * period + 0.25 * period;
+    let tstop = cycles * period + 0.25 * period;
     let res = transient(
         &c,
         &dc,

@@ -7,10 +7,9 @@
 //! cargo run --release --example tech_comparison
 //! ```
 
-use losac::flow::flow::{layout_oriented_synthesis, FlowOptions};
+use losac::flow::prelude::*;
 use losac::sizing::techeval::{gm_over_id_vs_veff, summarize};
-use losac::sizing::{FoldedCascodePlan, OtaSpecs};
-use losac::tech::{Polarity, Technology};
+use losac::tech::Polarity;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let techs = [Technology::cmos06(), Technology::cmos035()];

@@ -13,12 +13,13 @@ if ! cargo fmt --all -- --check; then
     fail=1
 fi
 
-# Clippy is advisory: warnings are printed and counted, but an absent or
-# broken clippy toolchain must not block the offline gate.
-echo "==> cargo clippy (best effort)"
+# Clippy blocks when the toolchain component is present; an absent clippy
+# must not break the offline gate.
+echo "==> cargo clippy -D warnings"
 if command -v cargo-clippy >/dev/null 2>&1; then
-    if ! cargo clippy --workspace --all-targets -- -D warnings; then
-        echo "WARN: clippy reported issues (not blocking)"
+    if ! cargo clippy -q --all-targets -- -D warnings; then
+        echo "FAIL: clippy"
+        fail=1
     fi
 else
     echo "WARN: clippy not installed, skipping"
@@ -33,6 +34,20 @@ fi
 echo "==> tier-1: cargo test -q"
 if ! cargo test -q; then
     echo "FAIL: tests"
+    fail=1
+fi
+
+# Batch engine integration: the 4-case Table-1 batch must be bitwise
+# identical to serial run_case whether one worker or four execute it.
+echo "==> batch engine integration (1 worker)"
+if ! LOSAC_LOG=off LOSAC_ENGINE_WORKERS=1 cargo test -q --release --test batch_engine; then
+    echo "FAIL: batch integration (1 worker)"
+    fail=1
+fi
+
+echo "==> batch engine integration (4 workers)"
+if ! LOSAC_LOG=off LOSAC_ENGINE_WORKERS=4 cargo test -q --release --test batch_engine; then
+    echo "FAIL: batch integration (4 workers)"
     fail=1
 fi
 

@@ -16,6 +16,7 @@
 //! | [`sim`] | SPICE-class simulator: DC, AC, noise, transient, measurements |
 //! | [`sizing`] | COMDIAC-style design plans, evaluation by simulation, statistics |
 //! | [`flow`] | the layout-oriented synthesis loop, the Table-1 cases, the traditional baseline |
+//! | [`engine`] | parallel batch synthesis: jobs, worker pool, sweeps, batch telemetry |
 //! | [`obs`] | zero-dependency tracing/metrics: spans, counters, events, sinks (`LOSAC_LOG`) |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 
 pub use losac_core as flow;
 pub use losac_device as device;
+pub use losac_engine as engine;
 pub use losac_layout as layout;
 pub use losac_obs as obs;
 pub use losac_sim as sim;

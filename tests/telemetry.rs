@@ -75,7 +75,7 @@ fn flow_emits_spans_events_and_counters() {
     // The device and matrix solvers did real work under the flow.
     assert!(collector.counter_sum("device.vgs_bisect.iters") > 0);
     assert!(collector.counter_sum("sim.matrix.factorizations") > 0);
-    assert!(collector.counter_sum("layout.generate.calls") >= result.layout_calls as u64 + 1);
+    assert!(collector.counter_sum("layout.generate.calls") > result.layout_calls as u64);
 
     // The telemetry summary agrees with the collector's view.
     assert_eq!(

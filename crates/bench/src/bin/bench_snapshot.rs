@@ -1,0 +1,175 @@
+//! Wall-time + factorisation-count snapshot of the simulator hot path,
+//! written to `BENCH_PR3.json`.
+//!
+//! Measures the Table-1 measurement pipeline in every bitwise-equal
+//! configuration (legacy serial, linearisation reuse, reuse + threads,
+//! cached) plus the raw AC sweep and a full case-4 synthesis run, so the
+//! README's performance numbers can be regenerated with one command:
+//!
+//! ```text
+//! scripts/bench_snapshot.sh       # or: cargo run --release -p losac-bench --bin bench_snapshot
+//! ```
+
+use losac_core::cases::{run_case_with, Case, CaseOptions};
+use losac_obs::metrics::snapshot;
+use losac_sim::ac::{ac_sweep, ac_sweep_on, AcOptions};
+use losac_sim::dc::{dc_operating_point, DcOptions};
+use losac_sim::linear::Linearized;
+use losac_sizing::eval::{evaluate_with, EvalCache, EvalOptions};
+use losac_sizing::{FoldedCascodePlan, InputDrive, OtaSpecs, ParasiticMode};
+use losac_tech::Technology;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Factorisations counted across `f`, which runs `reps` times.
+fn timed(reps: usize, mut f: impl FnMut()) -> (f64, u64) {
+    let before = snapshot();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let after = snapshot();
+    let facts = after
+        .counters_since(&before)
+        .get("sim.matrix.factorizations")
+        .copied()
+        .unwrap_or(0)
+        / reps as u64;
+    (ms, facts)
+}
+
+fn main() {
+    let tech = Technology::cmos06();
+    let specs = OtaSpecs::paper_example();
+    let ota = FoldedCascodePlan::default()
+        .size(&tech, &specs, &ParasiticMode::None)
+        .unwrap();
+    let circuit = ota.netlist(
+        &tech,
+        &ParasiticMode::None,
+        InputDrive::Differential { dv: 0.0 },
+    );
+    let dc = dc_operating_point(&circuit, &DcOptions::default()).unwrap();
+    let ac_opts = |threads| AcOptions {
+        fstart: 10.0,
+        fstop: 20e9,
+        points_per_decade: 24,
+        threads,
+    };
+
+    let mut out = String::from("{\n");
+    // Thread-fan-out rows only scale with the cores actually available;
+    // on a 1-CPU host they validate bitwise identity, not wall-clock.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"environment\": {{ \"cpus\": {cpus} }},\n"));
+
+    // --- ac_sweep: fresh build vs reuse, serial vs fanned out -------------
+    let reps = 20;
+    let (fresh_ms, _) = timed(reps, || {
+        let _ = ac_sweep(&circuit, &dc, &ac_opts(1)).unwrap();
+    });
+    let lin = Linearized::build(&circuit, &dc);
+    let mut sweep_rows = vec![format!("\"fresh_build_1t_ms\": {fresh_ms:.3}")];
+    for threads in [1usize, 2, 4] {
+        let (ms, _) = timed(reps, || {
+            let _ = ac_sweep_on(&lin, &ac_opts(threads)).unwrap();
+        });
+        sweep_rows.push(format!("\"reuse_{threads}t_ms\": {ms:.3}"));
+        println!("ac_sweep[{threads}t on prebuilt lin]: {ms:.3} ms/iter");
+    }
+    out.push_str(&format!(
+        "  \"ac_sweep\": {{ {} }},\n",
+        sweep_rows.join(", ")
+    ));
+
+    // --- evaluate: every bitwise-equal configuration ----------------------
+    let reps = 5;
+    let mut eval_rows = Vec::new();
+    for (name, opts) in [
+        ("legacy", EvalOptions::legacy()),
+        ("reuse_1t", EvalOptions::default()),
+        ("reuse_2t", EvalOptions::default().with_threads(2)),
+        ("reuse_4t", EvalOptions::default().with_threads(4)),
+    ] {
+        let (ms, facts) = timed(reps, || {
+            let _ = evaluate_with(&ota, &tech, &ParasiticMode::None, &opts).unwrap();
+        });
+        eval_rows.push(format!(
+            "\"{name}\": {{ \"ms\": {ms:.1}, \"factorizations\": {facts} }}"
+        ));
+        println!("evaluate[{name}]: {ms:.1} ms/iter, {facts} factorizations/iter");
+    }
+    // Cached: second identical evaluation is a table lookup.
+    let cache = Arc::new(EvalCache::new());
+    let opts = EvalOptions::default().with_cache(cache.clone());
+    let _ = evaluate_with(&ota, &tech, &ParasiticMode::None, &opts).unwrap();
+    let (ms, facts) = timed(1, || {
+        let _ = evaluate_with(&ota, &tech, &ParasiticMode::None, &opts).unwrap();
+    });
+    eval_rows.push(format!(
+        "\"cached_hit\": {{ \"ms\": {ms:.3}, \"factorizations\": {facts} }}"
+    ));
+    println!("evaluate[cached hit]: {ms:.3} ms, {facts} factorizations");
+    out.push_str(&format!(
+        "  \"evaluate\": {{\n    {}\n  }},\n",
+        eval_rows.join(",\n    ")
+    ));
+
+    // --- full case-4 synthesis run ----------------------------------------
+    let mut case_rows = Vec::new();
+    let (ms, facts) = timed(1, || {
+        let _ = run_case_with(&tech, &specs, Case::AllParasitics, &CaseOptions::default()).unwrap();
+    });
+    case_rows.push(format!(
+        "\"default\": {{ \"ms\": {ms:.1}, \"factorizations\": {facts} }}"
+    ));
+    println!("run_case(case4)[default]: {ms:.1} ms, {facts} factorizations");
+    // A shared cache across repeated identical runs (the batch-engine
+    // scenario): the repeat's evaluations are answered from the cache.
+    let cache = Arc::new(EvalCache::new());
+    let cached_opts = CaseOptions {
+        eval: EvalOptions::default().with_cache(cache.clone()),
+        ..Default::default()
+    };
+    let (first_ms, first_facts) = timed(1, || {
+        let _ = run_case_with(&tech, &specs, Case::AllParasitics, &cached_opts).unwrap();
+    });
+    let (repeat_ms, repeat_facts) = timed(1, || {
+        let _ = run_case_with(&tech, &specs, Case::AllParasitics, &cached_opts).unwrap();
+    });
+    case_rows.push(format!(
+        "\"cache_cold\": {{ \"ms\": {first_ms:.1}, \"factorizations\": {first_facts} }}"
+    ));
+    case_rows.push(format!(
+        "\"cache_warm_repeat\": {{ \"ms\": {repeat_ms:.1}, \"factorizations\": {repeat_facts} }}"
+    ));
+    println!("run_case(case4)[cache cold]: {first_ms:.1} ms, {first_facts} factorizations");
+    println!(
+        "run_case(case4)[cache warm repeat]: {repeat_ms:.1} ms, {repeat_facts} factorizations"
+    );
+    let hits = snapshot()
+        .counters
+        .get("sizing.eval.cache_hit")
+        .copied()
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "  \"run_case4\": {{\n    {}\n  }},\n",
+        case_rows.join(",\n    ")
+    ));
+    out.push_str(&format!("  \"eval_cache_hits_total\": {hits},\n"));
+
+    // Reference numbers from the pre-overhaul tree (commit 2b00b84),
+    // measured with this same binary on the same machine before the
+    // workspace/linearisation/thread work landed.
+    out.push_str(
+        "  \"pre_overhaul_baseline\": { \"ac_sweep_ms\": 1.204, \"evaluate_ms\": 37.5, \
+         \"evaluate_factorizations\": 3578, \"run_case4_ms\": 135.4, \
+         \"run_case4_factorizations\": 10904 }\n}\n",
+    );
+
+    std::fs::write("BENCH_PR3.json", &out).expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
+}

@@ -10,7 +10,7 @@
 use crate::flow::{layout_oriented_synthesis, FlowControl, FlowError, FlowOptions};
 use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
-use losac_sizing::eval::{evaluate, EvalError};
+use losac_sizing::eval::{evaluate_with, EvalError, EvalOptions};
 use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
 use losac_tech::Technology;
 use std::fmt;
@@ -149,6 +149,11 @@ pub struct CaseOptions {
     /// Cooperative cancellation / deadline control, checked between the
     /// phases of the run.
     pub control: FlowControl,
+    /// Performance knobs for the two `evaluate` calls of the run
+    /// (threads, linearisation reuse, shared evaluation cache). Every
+    /// knob is bitwise-neutral: the measured numbers are identical to the
+    /// default serial/uncached run.
+    pub eval: EvalOptions,
 }
 
 impl Default for CaseOptions {
@@ -161,6 +166,7 @@ impl Default for CaseOptions {
             tolerance: flow.tolerance,
             max_layout_calls: flow.max_layout_calls,
             control: FlowControl::default(),
+            eval: flow.eval,
         }
     }
 }
@@ -175,6 +181,7 @@ impl CaseOptions {
             max_layout_calls: self.max_layout_calls,
             diffusion_only,
             control: self.control.clone(),
+            eval: self.eval.clone(),
         }
     }
 }
@@ -230,7 +237,7 @@ pub fn run_case_with(
     };
 
     // Synthesized performance: the sizing tool's own belief.
-    let synthesized = evaluate(&ota, tech, &synth_mode)?;
+    let synthesized = evaluate_with(&ota, tech, &synth_mode, &opts.eval)?;
 
     // Extraction step: generate the layout of this sizing, extract all
     // parasitics, simulate (the paper's bracketed values — done with the
@@ -253,7 +260,7 @@ pub fn run_case_with(
         em_clean: generated.em_clean,
     };
     let full = ParasiticMode::Full(to_feedback(&report, false));
-    let extracted = evaluate(&ota, tech, &full)?;
+    let extracted = evaluate_with(&ota, tech, &full, &opts.eval)?;
 
     Ok(CaseResult {
         case,

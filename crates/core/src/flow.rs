@@ -26,7 +26,9 @@ use crate::telemetry::FlowTelemetry;
 use losac_layout::plan::{GeneratedLayout, ParasiticReport};
 use losac_layout::slicing::ShapeConstraint;
 use losac_obs::f;
-use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError};
+use losac_sizing::{
+    EvalOptions, FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError,
+};
 use losac_tech::Technology;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,6 +125,11 @@ pub struct FlowOptions {
     /// Cooperative cancellation / deadline control (defaults to "never
     /// stop").
     pub control: FlowControl,
+    /// Performance knobs for every `evaluate` the flow's callers run on
+    /// its results (threads, linearisation reuse, shared evaluation
+    /// cache). All knobs are bitwise-neutral; the default is serial with
+    /// reuse on and no cache.
+    pub eval: EvalOptions,
 }
 
 impl Default for FlowOptions {
@@ -134,6 +141,7 @@ impl Default for FlowOptions {
             max_layout_calls: 10,
             diffusion_only: false,
             control: FlowControl::default(),
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -195,6 +203,12 @@ impl FlowOptionsBuilder {
     /// Set the cancellation / deadline control.
     pub fn with_control(mut self, control: FlowControl) -> Self {
         self.opts.control = control;
+        self
+    }
+
+    /// Set the evaluation performance knobs.
+    pub fn with_eval(mut self, eval: EvalOptions) -> Self {
+        self.opts.eval = eval;
         self
     }
 

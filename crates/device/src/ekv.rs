@@ -134,15 +134,90 @@ const VT_TEMP_COEFF: f64 = -2.0e-3;
 /// Mobility temperature exponent: µ ∝ (T/T₀)^−1.5.
 const MOBILITY_TEMP_EXP: f64 = -1.5;
 
+/// Everything in the model that does not depend on the terminal voltages:
+/// thermal voltage, shifted threshold, the pinch-off constant `a`, the
+/// temperature-scaled transconductance factor and the CLM/degradation
+/// length terms. Computed once per bias point and shared by the nominal
+/// evaluation and all six finite-difference probes, which both removes six
+/// `powf` calls per evaluation and guarantees the probes see bit-identical
+/// constants.
+struct Precomputed {
+    ut: f64,
+    vt0_t: f64,
+    /// Pinch-off constant a = √φ + γ/2.
+    a: f64,
+    /// β = kp·(T/T₀)^−1.5·W/L_eff.
+    beta: f64,
+    /// Ecrit·L_eff.
+    ecrit_l: f64,
+    /// Early voltage VA = va_per_l·L_eff.
+    va: f64,
+}
+
+impl Precomputed {
+    fn of(m: &Mosfet, temp_k: f64) -> Self {
+        let p = &m.params;
+        let l_eff = m.l_eff();
+        Self {
+            ut: KBOLTZMANN * temp_k / QELECTRON,
+            vt0_t: p.vt0 + VT_TEMP_COEFF * (temp_k - T_NOMINAL),
+            a: p.phi.sqrt() + p.gamma / 2.0,
+            beta: p.kp * (temp_k / T_NOMINAL).powf(MOBILITY_TEMP_EXP) * m.w / l_eff,
+            ecrit_l: p.ecrit * l_eff,
+            va: p.va_per_l * l_eff,
+        }
+    }
+}
+
 /// Pinch-off voltage and slope factor for a bulk-referenced gate voltage
-/// `vg` (NMOS-normalised), at threshold `vt0_t` (already
-/// temperature-shifted).
-fn pinch_off(p: &MosParams, vg: f64, vt0_t: f64) -> (f64, f64) {
-    let a = p.phi.sqrt() + p.gamma / 2.0;
-    let arg = (vg - vt0_t + a * a).max(1e-12);
-    let vp = vg - vt0_t - p.gamma * (arg.sqrt() - a);
+/// `vg` (NMOS-normalised); depends on the gate voltage only.
+fn pinch_off(p: &MosParams, pre: &Precomputed, vg: f64) -> (f64, f64) {
+    let a = pre.a;
+    let arg = (vg - pre.vt0_t + a * a).max(1e-12);
+    let vp = vg - pre.vt0_t - p.gamma * (arg.sqrt() - a);
     let n = 1.0 + p.gamma / (2.0 * (p.phi + vp).max(0.05).sqrt());
     (vp, n)
+}
+
+/// Assemble the drain current from the bias-dependent pieces: slope factor
+/// `n`, normalised currents `i_f`/`i_r` and the smoothed |VDS| `sabs`.
+/// Factored out so the finite-difference probes recompute only the pieces
+/// their probe voltage actually moves.
+fn current_from_parts(
+    p: &MosParams,
+    pre: &Precomputed,
+    n: f64,
+    i_f: f64,
+    i_r: f64,
+    sabs: f64,
+) -> f64 {
+    let is = 2.0 * n * pre.beta * pre.ut * pre.ut;
+    // Degradation uses a source/drain-symmetric inversion measure so that
+    // swapping the terminal labels exactly negates the current:
+    // v_deg = n·Ut·(√i_f + √i_r) equals veff at VDS = 0 and veff/2 in deep
+    // saturation (θ and Ecrit are fitted to this convention).
+    let v_deg = n * pre.ut * (i_f.sqrt() + i_r.sqrt());
+    let mobility = 1.0 / ((1.0 + p.theta * v_deg) * (1.0 + v_deg / pre.ecrit_l));
+    let clm = 1.0 + sabs / pre.va;
+    mobility * is * (i_f - i_r) * clm
+}
+
+/// Raw drain current for bulk-referenced, NMOS-normalised terminal
+/// voltages. Returns (id, i_f, i_r, vp, n, veff).
+fn drain_current_pre(
+    m: &Mosfet,
+    pre: &Precomputed,
+    vg: f64,
+    vs: f64,
+    vd: f64,
+) -> (f64, f64, f64, f64, f64, f64) {
+    let p = &m.params;
+    let (vp, n) = pinch_off(p, pre, vg);
+    let i_f = ekv_f((vp - vs) / pre.ut);
+    let i_r = ekv_f((vp - vd) / pre.ut);
+    let veff = 2.0 * n * pre.ut * i_f.sqrt();
+    let id = current_from_parts(p, pre, n, i_f, i_r, smooth_abs(vd - vs, pre.ut));
+    (id, i_f, i_r, vp, n, veff)
 }
 
 /// Raw drain current for bulk-referenced, NMOS-normalised terminal
@@ -154,26 +229,7 @@ fn drain_current(
     vd: f64,
     temp_k: f64,
 ) -> (f64, f64, f64, f64, f64, f64) {
-    let p = &m.params;
-    let ut = KBOLTZMANN * temp_k / QELECTRON;
-    let vt0_t = p.vt0 + VT_TEMP_COEFF * (temp_k - T_NOMINAL);
-    let (vp, n) = pinch_off(p, vg, vt0_t);
-    let i_f = ekv_f((vp - vs) / ut);
-    let i_r = ekv_f((vp - vd) / ut);
-    let l_eff = m.l_eff();
-    let beta = p.kp * (temp_k / T_NOMINAL).powf(MOBILITY_TEMP_EXP) * m.w / l_eff;
-    let is = 2.0 * n * beta * ut * ut;
-    let veff = 2.0 * n * ut * i_f.sqrt();
-    // Degradation uses a source/drain-symmetric inversion measure so that
-    // swapping the terminal labels exactly negates the current:
-    // v_deg = n·Ut·(√i_f + √i_r) equals veff at VDS = 0 and veff/2 in deep
-    // saturation (θ and Ecrit are fitted to this convention).
-    let v_deg = n * ut * (i_f.sqrt() + i_r.sqrt());
-    let mobility = 1.0 / ((1.0 + p.theta * v_deg) * (1.0 + v_deg / (p.ecrit * l_eff)));
-    let va = p.va_per_l * l_eff;
-    let clm = 1.0 + smooth_abs(vd - vs, ut) / va;
-    let id = mobility * is * (i_f - i_r) * clm;
-    (id, i_f, i_r, vp, n, veff)
+    drain_current_pre(m, &Precomputed::of(m, temp_k), vg, vs, vd)
 }
 
 /// Evaluate the model at a source-referenced bias point.
@@ -201,27 +257,48 @@ pub fn evaluate_at(m: &Mosfet, vgs: f64, vds: f64, vbs: f64, temp_k: f64) -> Mos
     let vs = s * (-vbs);
     let vd = s * (vds - vbs);
 
-    let (id, i_f, i_r, vp, n, veff) = drain_current(m, vg, vs, vd, temp_k);
+    let p = &m.params;
+    let pre = Precomputed::of(m, temp_k);
+    let (id, i_f, i_r, vp, n, veff) = drain_current_pre(m, &pre, vg, vs, vd);
+    let sabs = smooth_abs(vd - vs, pre.ut);
 
     // Central differences on the normalised voltages. gm = ∂Id/∂VGS maps to
     // ∂Id/∂vg; gds to ∂Id/∂vd; gmb = −(∂/∂vg + ∂/∂vs + ∂/∂vd) because a
     // bulk wiggle moves all three normalised voltages together (sign folded
     // through twice, so the source-referenced conductances keep NMOS signs).
+    // Each probe recomputes only the pieces its voltage moves: the gate
+    // probes re-derive the pinch-off point (and with it both normalised
+    // currents), the source probe re-derives i_f only, the drain probe i_r
+    // only — every reused value is bit-identical to a full re-evaluation.
     let h = 1e-6;
-    let d_vg = (drain_current(m, vg + h, vs, vd, temp_k).0
-        - drain_current(m, vg - h, vs, vd, temp_k).0)
-        / (2.0 * h);
-    let d_vs = (drain_current(m, vg, vs + h, vd, temp_k).0
-        - drain_current(m, vg, vs - h, vd, temp_k).0)
-        / (2.0 * h);
-    let d_vd = (drain_current(m, vg, vs, vd + h, temp_k).0
-        - drain_current(m, vg, vs, vd - h, temp_k).0)
-        / (2.0 * h);
+    let d_vg = {
+        let probe = |vg_p: f64| {
+            let (vp_p, n_p) = pinch_off(p, &pre, vg_p);
+            let if_p = ekv_f((vp_p - vs) / pre.ut);
+            let ir_p = ekv_f((vp_p - vd) / pre.ut);
+            current_from_parts(p, &pre, n_p, if_p, ir_p, sabs)
+        };
+        (probe(vg + h) - probe(vg - h)) / (2.0 * h)
+    };
+    let d_vs = {
+        let probe = |vs_p: f64| {
+            let if_p = ekv_f((vp - vs_p) / pre.ut);
+            current_from_parts(p, &pre, n, if_p, i_r, smooth_abs(vd - vs_p, pre.ut))
+        };
+        (probe(vs + h) - probe(vs - h)) / (2.0 * h)
+    };
+    let d_vd = {
+        let probe = |vd_p: f64| {
+            let ir_p = ekv_f((vp - vd_p) / pre.ut);
+            current_from_parts(p, &pre, n, i_f, ir_p, smooth_abs(vd_p - vs, pre.ut))
+        };
+        (probe(vd + h) - probe(vd - h)) / (2.0 * h)
+    };
     let gm = d_vg;
     let gds = d_vd;
     let gmb = -(d_vg + d_vs + d_vd);
 
-    let ut = KBOLTZMANN * temp_k / QELECTRON;
+    let ut = pre.ut;
     let vdsat = 2.0 * ut * i_f.sqrt() + 4.0 * ut;
     let region = if i_f < 1e-3 {
         Region::Cutoff
@@ -445,6 +522,31 @@ mod tests {
         let op = evaluate(&m, 0.0, 2.0, 0.0);
         assert_eq!(op.region, Region::Cutoff);
         assert!(op.id < 1e-12);
+    }
+
+    #[test]
+    fn probe_reuse_matches_full_finite_differences_bitwise() {
+        // The derivative probes in `evaluate_at` recompute only the pieces
+        // their voltage moves; this must be *bit-identical* to probing the
+        // full model, or the Newton trajectories of every simulation shift.
+        let devs = [nmos(12e-6, 0.8e-6), pmos(30e-6, 1.2e-6)];
+        let biases = [(1.25, 1.7, -0.2), (0.6, 0.05, 0.0), (1.8, 2.5, -0.5)];
+        for m in &devs {
+            for &(vgs, vds, vbs) in &biases {
+                let s = m.params.polarity.sign();
+                let (vg, vs, vd) = (s * (vgs - vbs), s * (-vbs), s * (vds - vbs));
+                let op = evaluate(m, vgs, vds, vbs);
+                let h = 1e-6;
+                let id = |vg, vs, vd| drain_current(m, vg, vs, vd, T_NOMINAL).0;
+                let d_vg = (id(vg + h, vs, vd) - id(vg - h, vs, vd)) / (2.0 * h);
+                let d_vs = (id(vg, vs + h, vd) - id(vg, vs - h, vd)) / (2.0 * h);
+                let d_vd = (id(vg, vs, vd + h) - id(vg, vs, vd - h)) / (2.0 * h);
+                assert_eq!(op.gm.to_bits(), d_vg.to_bits());
+                assert_eq!(op.gds.to_bits(), d_vd.to_bits());
+                assert_eq!(op.gmb.to_bits(), (-(d_vg + d_vs + d_vd)).to_bits());
+                assert_eq!(op.id.to_bits(), id(vg, vs, vd).to_bits());
+            }
+        }
     }
 
     #[test]

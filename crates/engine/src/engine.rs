@@ -12,12 +12,29 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Worker threads; `0` means [`std::thread::available_parallelism`].
     pub workers: usize,
     /// Queue implementation handing jobs to the workers.
     pub queue: QueueKind,
+    /// Simulator threads *inside* each job (AC/noise sweep fan-out and
+    /// the concurrent slew-rate transient — see
+    /// [`losac_sizing::EvalOptions::threads`]). Defaults to `1`: batch
+    /// parallelism normally comes from `workers`, so raise this only for
+    /// small batches on wide machines. `0` means auto. Results are
+    /// bitwise identical at any setting.
+    pub sim_threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue: QueueKind::default(),
+            sim_threads: 1,
+        }
+    }
 }
 
 impl EngineOptions {
@@ -27,6 +44,13 @@ impl EngineOptions {
             workers,
             ..Default::default()
         }
+    }
+
+    /// Same options with an explicit per-job simulator thread count.
+    #[must_use]
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
     }
 
     fn resolved_workers(&self) -> usize {
@@ -141,6 +165,13 @@ impl Engine {
         let job_times: Vec<std::sync::Mutex<Duration>> = (0..n)
             .map(|_| std::sync::Mutex::new(Duration::ZERO))
             .collect();
+        // One evaluation cache for the whole batch: jobs that reach an
+        // identical (sizing, parasitic-mode) evaluation — common when a
+        // sweep varies a knob the sizing is insensitive to, or when the
+        // synthesized and extracted measurements coincide — reuse the
+        // stored result. Memoisation is bitwise-neutral, so outcomes are
+        // unchanged; `sizing.eval.cache_hit` counts what it saved.
+        let eval_cache = Arc::new(losac_sizing::EvalCache::new());
 
         let (pool_out, stats) = run_indexed(
             workers,
@@ -157,7 +188,9 @@ impl Engine {
                 if let Some(budget) = job.budget {
                     control = control.with_budget(budget);
                 }
-                let opts = job.case_options(control);
+                let mut opts = job.case_options(control);
+                opts.eval.threads = self.opts.sim_threads;
+                opts.eval.cache = Some(eval_cache.clone());
                 let outcome =
                     JobOutcome::from_run(run_case_with(&job.tech, &job.specs, job.case, &opts));
                 *job_times[i].lock().expect("job time lock poisoned") = begun.elapsed();

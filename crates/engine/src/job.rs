@@ -113,7 +113,8 @@ impl SynthesisJob {
     }
 
     /// The [`CaseOptions`] this job implies, with the given run control
-    /// attached.
+    /// attached. Evaluation knobs default to serial/uncached here; the
+    /// engine overrides them per batch (shared cache, sim-thread count).
     pub fn case_options(&self, control: FlowControl) -> CaseOptions {
         CaseOptions {
             plan: self.plan,
@@ -122,6 +123,7 @@ impl SynthesisJob {
             tolerance: self.tolerance,
             max_layout_calls: self.max_layout_calls,
             control,
+            eval: losac_sizing::EvalOptions::default(),
         }
     }
 

@@ -4,11 +4,13 @@
 //! `(G + jωC)·x = b` over a logarithmic frequency grid.
 
 use crate::dc::DcSolution;
-use crate::linear::Linearized;
+use crate::linear::{AcWorkspace, Linearized};
 use crate::netlist::Circuit;
 use crate::num::{Complex, SingularMatrix};
 use losac_obs::Counter;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// AC sweeps run.
 static AC_SWEEPS: Counter = Counter::new("sim.ac.sweeps");
@@ -24,6 +26,13 @@ pub struct AcOptions {
     pub fstop: f64,
     /// Points per decade of the logarithmic grid.
     pub points_per_decade: usize,
+    /// Worker threads fanning out the frequency points: `1` (the
+    /// default) runs serial, `0` means
+    /// [`std::thread::available_parallelism`]. Results are **bitwise
+    /// identical** at every thread count — points are written back by
+    /// frequency index, and each point's arithmetic is independent of
+    /// the others.
+    pub threads: usize,
 }
 
 impl Default for AcOptions {
@@ -32,6 +41,7 @@ impl Default for AcOptions {
             fstart: 1.0,
             fstop: 1e9,
             points_per_decade: 20,
+            threads: 1,
         }
     }
 }
@@ -40,6 +50,29 @@ impl AcOptions {
     /// The frequency grid this configuration produces.
     pub fn frequencies(&self) -> Vec<f64> {
         log_grid(self.fstart, self.fstop, self.points_per_decade)
+    }
+
+    /// Same options with an explicit sweep thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count (`0` resolved to the machine's
+    /// available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+}
+
+/// `0` → available parallelism, anything else verbatim.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
     }
 }
 
@@ -72,29 +105,77 @@ pub struct AcResult {
 impl AcResult {
     /// Phasor of a named node across the sweep.
     ///
+    /// Allocates a fresh vector; prefer [`AcResult::trace`] when only
+    /// iterating.
+    ///
     /// # Panics
     ///
     /// Panics if the node does not exist.
     pub fn node(&self, circuit: &Circuit, name: &str) -> Vec<Complex> {
+        self.trace(circuit, name).iter().collect()
+    }
+
+    /// Borrowing view of a named node's column — no per-call allocation,
+    /// unlike [`AcResult::node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn trace<'a>(&'a self, circuit: &Circuit, name: &str) -> NodeTrace<'a> {
         let id = circuit
             .find_node(name)
             .unwrap_or_else(|| panic!("no node named `{name}` in circuit"));
-        self.v.iter().map(|row| row[id]).collect()
+        NodeTrace { v: &self.v, id }
     }
 
     /// Magnitude response of a named node (linear).
     pub fn magnitude(&self, circuit: &Circuit, name: &str) -> Vec<f64> {
-        self.node(circuit, name).iter().map(|z| z.abs()).collect()
+        self.trace(circuit, name).iter().map(|z| z.abs()).collect()
     }
 
     /// Phase response of a named node (degrees, unwrapped).
     pub fn phase_degrees(&self, circuit: &Circuit, name: &str) -> Vec<f64> {
         let raw: Vec<f64> = self
-            .node(circuit, name)
+            .trace(circuit, name)
             .iter()
             .map(|z| z.arg_degrees())
             .collect();
         unwrap_degrees(&raw)
+    }
+}
+
+/// A borrowed column of an [`AcResult`]: one node's phasor across the
+/// sweep, read straight out of the per-frequency rows.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTrace<'a> {
+    v: &'a [Vec<Complex>],
+    id: usize,
+}
+
+impl<'a> NodeTrace<'a> {
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Phasor at frequency index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn at(&self, k: usize) -> Complex {
+        self.v[k][self.id]
+    }
+
+    /// Iterate the phasors in frequency order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Complex> + 'a {
+        let id = self.id;
+        self.v.iter().map(move |row| row[id])
     }
 }
 
@@ -148,26 +229,137 @@ impl std::error::Error for AcError {}
 ///
 /// Returns [`AcError`] if the linear system is singular at some frequency.
 pub fn ac_sweep(circuit: &Circuit, dc: &DcSolution, opts: &AcOptions) -> Result<AcResult, AcError> {
+    let lin = Linearized::build(circuit, dc);
+    ac_sweep_on(&lin, opts)
+}
+
+/// Run an AC sweep over an existing linearised network.
+///
+/// This is the hot-path entry: callers that run several sweeps on the
+/// same (circuit, operating point) — e.g. differential then common-mode
+/// with only the excitation restamped — build the [`Linearized`] once
+/// and sweep on it, instead of re-stamping `G`/`C` per sweep.
+///
+/// With `opts.threads > 1` the frequency points are fanned out over
+/// scoped threads claiming chunks of the grid via an atomic index (the
+/// same pattern as the engine's worker pool); every point's row is
+/// written back by frequency index, so the result is bitwise identical
+/// to the serial sweep at any thread count.
+///
+/// # Errors
+///
+/// Returns [`AcError`] if the linear system is singular at some
+/// frequency (the lowest failing frequency, like the serial sweep).
+pub fn ac_sweep_on(lin: &Linearized, opts: &AcOptions) -> Result<AcResult, AcError> {
     let _span = losac_obs::span("sim.ac.sweep");
     AC_SWEEPS.incr();
-    let lin = Linearized::build(circuit, dc);
     let freqs = opts.frequencies();
     AC_POINTS.add(freqs.len() as u64);
-    let mut v = Vec::with_capacity(freqs.len());
-    for &f in &freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let lu = lin.factor(omega).map_err(|cause| AcError {
-            frequency: f,
-            cause,
-        })?;
-        let x = lu.solve(&lin.b_ac);
-        let mut row = vec![Complex::ZERO; circuit.num_nodes()];
-        for (id, r) in row.iter_mut().enumerate().skip(1) {
-            *r = lin.voltage(&x, id);
+    let threads = opts.resolved_threads().min(freqs.len().max(1));
+    let v = if threads <= 1 {
+        let mut ws = AcWorkspace::new();
+        let mut v = Vec::with_capacity(freqs.len());
+        for &f in &freqs {
+            v.push(solve_point(lin, f, &mut ws)?);
         }
-        v.push(row);
-    }
+        v
+    } else {
+        sweep_parallel(lin, &freqs, threads, AcWorkspace::new, solve_point)?
+    };
     Ok(AcResult { freqs, v })
+}
+
+/// Solve a single frequency point on an existing linearised network.
+///
+/// Returns the complex node-voltage row (ground included), bitwise
+/// identical to the corresponding entry of [`ac_sweep_on`]'s result —
+/// it runs the same per-point kernel. Callers that only need one
+/// frequency (e.g. a low-frequency CMRR or output-impedance probe) save
+/// the factorisations of a full sweep.
+///
+/// # Errors
+///
+/// Returns [`AcError`] if the linear system is singular at `f`.
+pub fn ac_point_on(lin: &Linearized, f: f64) -> Result<Vec<Complex>, AcError> {
+    AC_POINTS.incr();
+    let mut ws = AcWorkspace::new();
+    solve_point(lin, f, &mut ws)
+}
+
+/// Factor and solve one frequency point; shared verbatim by the serial
+/// and parallel sweeps so both perform identical arithmetic.
+fn solve_point(lin: &Linearized, f: f64, ws: &mut AcWorkspace) -> Result<Vec<Complex>, AcError> {
+    let omega = 2.0 * std::f64::consts::PI * f;
+    lin.factor_into(omega, ws).map_err(|cause| AcError {
+        frequency: f,
+        cause,
+    })?;
+    let x = ws.solve(&lin.b_ac);
+    let mut row = vec![Complex::ZERO; lin.num_nodes()];
+    for (id, r) in row.iter_mut().enumerate().skip(1) {
+        *r = lin.voltage(x, id);
+    }
+    Ok(row)
+}
+
+/// How many frequency points a sweep worker claims per atomic fetch.
+const SWEEP_CHUNK: usize = 8;
+
+/// Deterministic parallel fan-out over a frequency grid: workers claim
+/// chunks with an atomic index, each point is solved by `point` with a
+/// per-thread workspace (built by `init`), and results land in per-index
+/// slots. The output order (and content) is therefore independent of
+/// scheduling; on failure the error for the **lowest** failing index is
+/// returned, which matches what a serial in-order sweep would report.
+pub(crate) fn sweep_parallel<W, R, E, I, F>(
+    lin: &Linearized,
+    freqs: &[f64],
+    threads: usize,
+    init: I,
+    point: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&Linearized, f64, &mut W) -> Result<R, E> + Sync,
+{
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = freqs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let slots = &slots;
+            let next = &next;
+            let init = &init;
+            let point = &point;
+            s.spawn(move || {
+                let mut ws = init();
+                loop {
+                    let start = next.fetch_add(SWEEP_CHUNK, Ordering::Relaxed);
+                    if start >= freqs.len() {
+                        break;
+                    }
+                    for (k, &f) in freqs
+                        .iter()
+                        .enumerate()
+                        .skip(start)
+                        .take(SWEEP_CHUNK.min(freqs.len() - start))
+                    {
+                        *slots[k].lock().expect("sweep slot lock poisoned") =
+                            Some(point(lin, f, &mut ws));
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot lock poisoned")
+                .expect("every frequency point was claimed")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -206,6 +398,7 @@ mod tests {
                 fstart: 1.0,
                 fstop: 1e6,
                 points_per_decade: 30,
+                threads: 1,
             },
         )
         .unwrap();
@@ -247,6 +440,7 @@ mod tests {
                 fstart: 10.0,
                 fstop: 1e9,
                 points_per_decade: 20,
+                threads: 1,
             },
         )
         .unwrap();
@@ -287,6 +481,7 @@ mod tests {
                 fstart: 1e3,
                 fstop: 1e8,
                 points_per_decade: 10,
+                threads: 1,
             },
         )
         .unwrap();

@@ -238,6 +238,29 @@ pub(crate) fn assemble(
 ) -> (Matrix<f64>, Vec<f64>) {
     let mut j = Matrix::zeros(u.total);
     let mut f = vec![0.0; u.total];
+    assemble_into(circuit, u, x, gmin, mode, &mut j, &mut f);
+    (j, f)
+}
+
+/// Assemble the Jacobian and residual at point `x` into caller-owned
+/// buffers — zero allocations once the buffers have reached size, which
+/// matters because this runs once per Newton iteration.
+pub(crate) fn assemble_into(
+    circuit: &Circuit,
+    u: &Unknowns,
+    x: &[f64],
+    gmin: f64,
+    mode: &AssembleMode<'_>,
+    j: &mut Matrix<f64>,
+    f: &mut Vec<f64>,
+) {
+    if j.n() != u.total {
+        *j = Matrix::zeros(u.total);
+    } else {
+        j.clear();
+    }
+    f.clear();
+    f.resize(u.total, 0.0);
     let mut vsrc_idx = 0usize;
 
     // gmin to ground on every node.
@@ -297,7 +320,7 @@ pub(crate) fn assemble(
                 }
             }
             Element::Capacitor { a, b, farads, .. } => {
-                stamp_cap(&mut j, &mut f, *a, *b, *farads);
+                stamp_cap(j, f, *a, *b, *farads);
             }
             Element::Vsource(vs) => {
                 let row = u.nv_offset + vsrc_idx;
@@ -386,16 +409,34 @@ pub(crate) fn assemble(
                     let csb =
                         m.junction
                             .capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
-                    stamp_cap(&mut j, &mut f, m.g, m.s, ic.cgs);
-                    stamp_cap(&mut j, &mut f, m.g, m.d, ic.cgd);
-                    stamp_cap(&mut j, &mut f, m.g, m.b, ic.cgb);
-                    stamp_cap(&mut j, &mut f, m.d, m.b, cdb);
-                    stamp_cap(&mut j, &mut f, m.s, m.b, csb);
+                    stamp_cap(j, f, m.g, m.s, ic.cgs);
+                    stamp_cap(j, f, m.g, m.d, ic.cgd);
+                    stamp_cap(j, f, m.g, m.b, ic.cgb);
+                    stamp_cap(j, f, m.d, m.b, cdb);
+                    stamp_cap(j, f, m.s, m.b, csb);
                 }
             }
         }
     }
-    (j, f)
+}
+
+/// Reusable buffers for the Newton loop: Jacobian (factored in place —
+/// it is rebuilt by the next assembly anyway), pivot vector, residual,
+/// negated right-hand side and update vector. One scratch per solve (or
+/// per transient run) means the inner loop allocates and copies nothing.
+#[derive(Debug, Default)]
+pub(crate) struct NewtonScratch {
+    j: Matrix<f64>,
+    f: Vec<f64>,
+    perm: Vec<usize>,
+    rhs: Vec<f64>,
+    dx: Vec<f64>,
+}
+
+impl NewtonScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One damped Newton solve.
@@ -408,15 +449,23 @@ pub(crate) fn newton(
     gmin: f64,
     mode: &AssembleMode<'_>,
     opts: &DcOptions,
+    scratch: &mut NewtonScratch,
 ) -> Result<(Vec<f64>, usize), DcError> {
     let mut x = x0.to_vec();
     let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
-        let (j, f) = assemble(circuit, u, &x, gmin, mode);
-        last_residual = f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-        let lu = j.lu().map_err(DcError::Singular)?;
-        let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
-        let dx = lu.solve(&rhs);
+        assemble_into(circuit, u, &x, gmin, mode, &mut scratch.j, &mut scratch.f);
+        last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        scratch
+            .j
+            .factor_in_place(&mut scratch.perm)
+            .map_err(DcError::Singular)?;
+        scratch.rhs.clear();
+        scratch.rhs.extend(scratch.f.iter().map(|&v| -v));
+        scratch
+            .j
+            .solve_factored(&scratch.perm, &scratch.rhs, &mut scratch.dx);
+        let dx = &scratch.dx;
         // Damping on the node-voltage part.
         let max_dv = dx[..u.n_nodes]
             .iter()
@@ -456,6 +505,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolut
 
     // Ladder: plain Newton → gmin stepping → source stepping.
     let mut total_iter = 0usize;
+    let mut scratch = NewtonScratch::new();
     let attempt = newton(
         circuit,
         &u,
@@ -463,6 +513,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolut
         opts.gmin,
         &AssembleMode::Dc { src_scale: 1.0 },
         opts,
+        &mut scratch,
     );
     let x = match attempt {
         Ok((x, it)) => {
@@ -473,7 +524,7 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolut
             DC_FAILURES.incr();
             return Err(DcError::Singular(s));
         }
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
             .inspect_err(|_| DC_FAILURES.incr())?,
     };
 
@@ -500,6 +551,7 @@ pub fn dc_from_previous(
         x0[u.nv_offset + k] = *i;
     }
     let mut total_iter = 0usize;
+    let mut scratch = NewtonScratch::new();
     let x = match newton(
         circuit,
         &u,
@@ -507,6 +559,7 @@ pub fn dc_from_previous(
         opts.gmin,
         &AssembleMode::Dc { src_scale: 1.0 },
         opts,
+        &mut scratch,
     ) {
         Ok((x, it)) => {
             total_iter += it;
@@ -516,7 +569,7 @@ pub fn dc_from_previous(
             DC_FAILURES.incr();
             return Err(DcError::Singular(s));
         }
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter)
+        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
             .inspect_err(|_| DC_FAILURES.incr())?,
     };
     Ok(package(circuit, &u, x, total_iter))
@@ -544,17 +597,17 @@ pub fn dc_sweep(
             _ => None,
         })
         .ok_or_else(|| DcError::BadNetlist(format!("no voltage source named `{source}`")))?;
-    let mut out = Vec::with_capacity(values.len());
-    let mut prev: Option<DcSolution> = None;
+    let mut out: Vec<DcSolution> = Vec::with_capacity(values.len());
     for &v in values {
         circuit
             .set_vsource_dc(source, v)
             .map_err(|e| DcError::BadNetlist(e.to_string()))?;
-        let sol = match &prev {
+        // Warm-start from the last solution already in `out` — no clone
+        // of the full `DcSolution` per step.
+        let sol = match out.last() {
             Some(p) => dc_from_previous(circuit, p, opts)?,
             None => dc_operating_point(circuit, opts)?,
         };
-        prev = Some(sol.clone());
         out.push(sol);
     }
     circuit
@@ -569,6 +622,7 @@ fn gmin_then_source_stepping(
     x0: &[f64],
     opts: &DcOptions,
     total_iter: &mut usize,
+    scratch: &mut NewtonScratch,
 ) -> Result<Vec<f64>, DcError> {
     // gmin stepping.
     let mut x = x0.to_vec();
@@ -582,6 +636,7 @@ fn gmin_then_source_stepping(
             gmin,
             &AssembleMode::Dc { src_scale: 1.0 },
             opts,
+            scratch,
         ) {
             Ok((xn, it)) => {
                 *total_iter += it;
@@ -608,6 +663,7 @@ fn gmin_then_source_stepping(
             opts.gmin.max(1e-9),
             &AssembleMode::Dc { src_scale: scale },
             opts,
+            scratch,
         )?;
         *total_iter += it;
         x = xn;
@@ -620,6 +676,7 @@ fn gmin_then_source_stepping(
         opts.gmin,
         &AssembleMode::Dc { src_scale: 1.0 },
         opts,
+        scratch,
     )?;
     *total_iter += it;
     Ok(xn)

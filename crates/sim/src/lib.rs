@@ -43,11 +43,12 @@ pub mod num;
 pub mod spice;
 pub mod tran;
 
-pub use ac::{ac_sweep, AcOptions, AcResult};
+pub use ac::{ac_point_on, ac_sweep, ac_sweep_on, AcOptions, AcResult, NodeTrace};
 pub use dc::{dc_operating_point, DcOptions, DcSolution};
-pub use meas::{bode_summary, BodeSummary};
+pub use linear::{AcWorkspace, Linearized};
+pub use meas::{bode_summary, bode_summary_of, BodeSummary};
 pub use netlist::Circuit;
-pub use noise::{noise_analysis, NoiseResult};
+pub use noise::{noise_analysis, noise_analysis_on, NoiseResult};
 pub use num::Complex;
 pub use spice::to_spice;
 pub use tran::{transient, TranOptions, TranResult};

@@ -7,7 +7,7 @@
 
 use crate::dc::{DcSolution, Unknowns};
 use crate::netlist::{Circuit, Element, MosInstance};
-use crate::num::{Complex, Lu, Matrix};
+use crate::num::{Complex, Lu, LuWorkspace, Matrix, SingularMatrix};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::evaluate;
 use losac_device::noise as devnoise;
@@ -154,10 +154,13 @@ impl Linearized {
 
     /// Factorise `G + jωC` at angular frequency `omega`.
     ///
+    /// Allocates a fresh matrix per call; hot loops should prefer
+    /// [`Linearized::factor_into`] with a reused [`AcWorkspace`].
+    ///
     /// # Errors
     ///
     /// Returns the singularity error from the LU factorisation.
-    pub fn factor(&self, omega: f64) -> Result<Lu<Complex>, crate::num::SingularMatrix> {
+    pub fn factor(&self, omega: f64) -> Result<Lu<Complex>, SingularMatrix> {
         let n = self.g.n();
         let mut a = Matrix::<Complex>::zeros(n);
         for i in 0..n {
@@ -170,6 +173,75 @@ impl Linearized {
             }
         }
         a.lu()
+    }
+
+    /// Factorise `G + jωC` into a reusable workspace — zero allocations
+    /// once the workspace is sized, and factors bitwise identical to
+    /// [`Linearized::factor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the singularity error from the LU factorisation.
+    pub fn factor_into(&self, omega: f64, ws: &mut AcWorkspace) -> Result<(), SingularMatrix> {
+        let n = self.g.n();
+        if ws.a.n() != n {
+            ws.a = Matrix::zeros(n);
+        }
+        for ((av, &gv), &cv) in
+            ws.a.as_mut_slice()
+                .iter_mut()
+                .zip(self.g.as_slice())
+                .zip(self.c.as_slice())
+        {
+            *av = Complex::new(gv, omega * cv);
+        }
+        ws.a.factor_into(&mut ws.lu)
+    }
+
+    /// Total node count of the underlying circuit (ground included) —
+    /// the row length of per-frequency voltage vectors.
+    pub fn num_nodes(&self) -> usize {
+        self.u.n_nodes + 1
+    }
+
+    /// Re-derive only the AC excitation vector from `circuit`, leaving
+    /// `G`, `C` and the noise generators untouched.
+    ///
+    /// This is the cheap half of [`Linearized::build`]: after changing
+    /// source AC magnitudes (e.g. switching from a differential to a
+    /// common-mode drive) the linearised network itself is unchanged, so
+    /// sweeps can reuse one `Linearized` per (circuit, operating point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit`'s unknown layout does not match the one this
+    /// linearisation was built from.
+    pub fn restamp_excitation(&mut self, circuit: &Circuit) {
+        let u = Unknowns::of(circuit);
+        assert_eq!(
+            u.total, self.u.total,
+            "circuit does not match linearisation"
+        );
+        self.b_ac.fill(Complex::ZERO);
+        let mut vsrc_idx = 0usize;
+        for e in circuit.elements() {
+            match e {
+                Element::Vsource(vs) => {
+                    let row = self.u.nv_offset + vsrc_idx;
+                    vsrc_idx += 1;
+                    self.b_ac[row] = Complex::real(vs.ac);
+                }
+                Element::Isource(is) => {
+                    if let Some(ito) = self.u.node(is.to) {
+                        self.b_ac[ito] += Complex::real(is.ac);
+                    }
+                    if let Some(ifrom) = self.u.node(is.from) {
+                        self.b_ac[ifrom] -= Complex::real(is.ac);
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Unknown-vector index of a node, or `None` for ground.
@@ -188,14 +260,53 @@ impl Linearized {
     /// RHS with a unit AC current flowing from `a` to `b` through a test
     /// generator (used by noise and impedance analyses).
     pub fn unit_current_rhs(&self, a: usize, b: usize) -> Vec<Complex> {
-        let mut rhs = vec![Complex::ZERO; self.u.total];
+        let mut rhs = Vec::new();
+        self.unit_current_rhs_into(a, b, &mut rhs);
+        rhs
+    }
+
+    /// [`Linearized::unit_current_rhs`] into a caller-owned buffer,
+    /// reused across noise generators.
+    pub fn unit_current_rhs_into(&self, a: usize, b: usize, rhs: &mut Vec<Complex>) {
+        rhs.clear();
+        rhs.resize(self.u.total, Complex::ZERO);
         if let Some(ib) = self.u.node(b) {
             rhs[ib] += Complex::ONE;
         }
         if let Some(ia) = self.u.node(a) {
             rhs[ia] -= Complex::ONE;
         }
-        rhs
+    }
+}
+
+/// Reusable buffers for repeated `(G + jωC)` factor/solve cycles: the
+/// complex system matrix, the LU factor workspace and a solution vector.
+/// One workspace per sweep (or per worker thread) means the per-frequency
+/// inner loop performs no allocations at all.
+#[derive(Debug, Default)]
+pub struct AcWorkspace {
+    a: Matrix<Complex>,
+    lu: LuWorkspace<Complex>,
+    x: Vec<Complex>,
+}
+
+impl AcWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solve against the factors of the last successful
+    /// [`Linearized::factor_into`], returning the internal solution
+    /// buffer. Bitwise identical to [`Lu::solve`] on the same system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace holds no factorisation or the length of
+    /// `b` does not match it.
+    pub fn solve(&mut self, b: &[Complex]) -> &[Complex] {
+        self.lu.solve_into(b, &mut self.x);
+        &self.x
     }
 }
 

@@ -105,12 +105,28 @@ pub struct BodeSummary {
 ///
 /// Panics if the grids are empty or mismatched.
 pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
+    bode_summary_of(freqs, h.iter().copied())
+}
+
+/// Like [`bode_summary`], but consumes the response as an iterator —
+/// e.g. an [`crate::ac::NodeTrace`] read straight out of an
+/// [`crate::ac::AcResult`] — so callers never materialise the phasor
+/// column. Same arithmetic, same result, one allocation fewer.
+///
+/// # Panics
+///
+/// Panics if the grids are empty or mismatched.
+pub fn bode_summary_of(freqs: &[f64], h: impl Iterator<Item = Complex>) -> BodeSummary {
+    let mut mag: Vec<f64> = Vec::with_capacity(freqs.len());
+    let mut raw_phase: Vec<f64> = Vec::with_capacity(freqs.len());
+    for z in h {
+        mag.push(z.abs());
+        raw_phase.push(z.arg_degrees());
+    }
     assert!(
-        !freqs.is_empty() && freqs.len() == h.len(),
+        !freqs.is_empty() && freqs.len() == mag.len(),
         "bad response grids"
     );
-    let mag: Vec<f64> = h.iter().map(|z| z.abs()).collect();
-    let raw_phase: Vec<f64> = h.iter().map(|z| z.arg_degrees()).collect();
     let unwrapped = crate::ac::unwrap_degrees(&raw_phase);
     let p0 = unwrapped[0];
     let rel: Vec<f64> = unwrapped.iter().map(|p| p - p0).collect();

@@ -8,10 +8,11 @@
 //! input-referred density — exactly what the paper's Table 1 reports as
 //! "input noise voltage", "thermal noise density" and "flicker noise".
 
+use crate::ac::{resolve_threads, sweep_parallel};
 use crate::dc::DcSolution;
-use crate::linear::Linearized;
+use crate::linear::{AcWorkspace, Linearized};
 use crate::netlist::Circuit;
-use crate::num::SingularMatrix;
+use crate::num::{Complex, SingularMatrix};
 use std::fmt;
 
 /// Noise analysis result.
@@ -117,6 +118,89 @@ pub fn noise_analysis(
         .find_node(output)
         .unwrap_or_else(|| panic!("no node named `{output}` in circuit"));
     let lin = Linearized::build(circuit, dc);
+    noise_analysis_on(&lin, freqs, out, 1)
+}
+
+/// One frequency point of the noise analysis: signal gain, total output
+/// PSD, and the per-generator contributions.
+struct NoisePoint {
+    gain: f64,
+    total: f64,
+    per_source: Vec<f64>,
+}
+
+/// Per-worker scratch: the factor/solve workspace plus a reused RHS
+/// buffer for the per-generator solves.
+#[derive(Default)]
+struct NoiseScratch {
+    ws: AcWorkspace,
+    rhs: Vec<Complex>,
+}
+
+fn solve_noise_point(
+    lin: &Linearized,
+    f: f64,
+    scratch: &mut NoiseScratch,
+    out: usize,
+) -> Result<NoisePoint, NoiseError> {
+    let omega = 2.0 * std::f64::consts::PI * f;
+    lin.factor_into(omega, &mut scratch.ws)
+        .map_err(|cause| NoiseError {
+            frequency: f,
+            cause,
+        })?;
+
+    // Signal gain.
+    let x_sig = scratch.ws.solve(&lin.b_ac);
+    let gain = lin.voltage(x_sig, out).abs();
+
+    // Noise generators.
+    let mut per_source = Vec::with_capacity(lin.noise_sources.len());
+    let mut total = 0.0;
+    for src in &lin.noise_sources {
+        lin.unit_current_rhs_into(src.a, src.b, &mut scratch.rhs);
+        let x = scratch.ws.solve(&scratch.rhs);
+        let h2 = lin.voltage(x, out).norm_sqr();
+        let contrib = h2 * src.psd(f);
+        per_source.push(contrib);
+        total += contrib;
+    }
+    Ok(NoisePoint {
+        gain,
+        total,
+        per_source,
+    })
+}
+
+/// Run a noise analysis over an existing linearised network.
+///
+/// `out` is the node id of the output (see [`Circuit::find_node`]);
+/// `threads` fans the frequency points out exactly like
+/// [`crate::ac::ac_sweep_on`] (`0` = available parallelism, results
+/// bitwise identical to serial at any count).
+///
+/// # Errors
+///
+/// Returns [`NoiseError`] on a singular system.
+pub fn noise_analysis_on(
+    lin: &Linearized,
+    freqs: &[f64],
+    out: usize,
+    threads: usize,
+) -> Result<NoiseResult, NoiseError> {
+    let threads = resolve_threads(threads).min(freqs.len().max(1));
+    let points = if threads <= 1 {
+        let mut scratch = NoiseScratch::default();
+        let mut points = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            points.push(solve_noise_point(lin, f, &mut scratch, out)?);
+        }
+        points
+    } else {
+        sweep_parallel(lin, freqs, threads, NoiseScratch::default, |lin, f, s| {
+            solve_noise_point(lin, f, s, out)
+        })?
+    };
 
     let mut output_psd = Vec::with_capacity(freqs.len());
     let mut gain = Vec::with_capacity(freqs.len());
@@ -124,35 +208,17 @@ pub fn noise_analysis(
     // Per-source output PSD per frequency for the contribution integrals.
     let mut per_source: Vec<Vec<f64>> =
         vec![Vec::with_capacity(freqs.len()); lin.noise_sources.len()];
-
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let lu = lin.factor(omega).map_err(|cause| NoiseError {
-            frequency: f,
-            cause,
-        })?;
-
-        // Signal gain.
-        let x_sig = lu.solve(&lin.b_ac);
-        let av = lin.voltage(&x_sig, out).abs();
-        gain.push(av);
-
-        // Noise generators.
-        let mut total = 0.0;
-        for (k, src) in lin.noise_sources.iter().enumerate() {
-            let rhs = lin.unit_current_rhs(src.a, src.b);
-            let x = lu.solve(&rhs);
-            let h2 = lin.voltage(&x, out).norm_sqr();
-            let contrib = h2 * src.psd(f);
-            per_source[k].push(contrib);
-            total += contrib;
-        }
-        output_psd.push(total);
-        input_psd.push(if av > 0.0 {
-            total / (av * av)
+    for p in points {
+        gain.push(p.gain);
+        output_psd.push(p.total);
+        input_psd.push(if p.gain > 0.0 {
+            p.total / (p.gain * p.gain)
         } else {
             f64::INFINITY
         });
+        for (col, contrib) in per_source.iter_mut().zip(p.per_source) {
+            col.push(contrib);
+        }
     }
 
     let contributions = lin

@@ -212,6 +212,13 @@ pub struct Matrix<T> {
     data: Vec<T>,
 }
 
+impl<T: Scalar> Default for Matrix<T> {
+    /// A 0 × 0 matrix (useful as an unsized scratch buffer).
+    fn default() -> Self {
+        Matrix::zeros(0)
+    }
+}
+
 impl<T: Scalar> Matrix<T> {
     /// An `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
@@ -287,6 +294,23 @@ impl<T: Scalar> Matrix<T> {
         y
     }
 
+    /// Reset every entry to zero without releasing storage — the cheap
+    /// way to reuse one matrix across repeated MNA assemblies.
+    pub fn clear(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// The raw row-major entries.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw row-major entries, mutably (for bulk re-stamping into a
+    /// reused matrix; indices are `i * n + j`).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// LU-factorise in place with partial pivoting.
     ///
     /// # Errors
@@ -294,46 +318,203 @@ impl<T: Scalar> Matrix<T> {
     /// Returns [`SingularMatrix`] when no usable pivot exists (the system
     /// has no unique solution — e.g. a floating circuit node).
     pub fn lu(mut self) -> Result<Lu<T>, SingularMatrix> {
-        FACTORIZATIONS.incr();
-        let n = self.n;
-        let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Pivot: largest magnitude in column k at/below the diagonal.
-            let mut p = k;
-            let mut best = self.get(k, k).magnitude();
-            for i in (k + 1)..n {
-                let m = self.get(i, k).magnitude();
-                if m > best {
-                    best = m;
-                    p = i;
-                }
+        let mut perm = Vec::new();
+        factor_in_place(self.n, &mut self.data, &mut perm)?;
+        Ok(Lu { mat: self, perm })
+    }
+
+    /// LU-factorise into a reusable workspace, leaving `self` untouched.
+    ///
+    /// The workspace's factor storage and pivot vector are reused across
+    /// calls, so a Newton loop / frequency sweep performs zero allocations
+    /// after the first factorisation. The factors are **bitwise identical**
+    /// to [`Matrix::lu`]'s (same elimination kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when no usable pivot exists.
+    pub fn factor_into(&self, ws: &mut LuWorkspace<T>) -> Result<(), SingularMatrix> {
+        ws.n = self.n;
+        ws.data.clear();
+        ws.data.extend_from_slice(&self.data);
+        let res = factor_in_place(self.n, &mut ws.data, &mut ws.perm);
+        ws.factored = res.is_ok();
+        res
+    }
+
+    /// LU-factorise this matrix **in place**, overwriting its entries
+    /// with the L/U factors and writing the row permutation into `perm`.
+    ///
+    /// This is the zero-copy variant of [`Matrix::factor_into`] for loops
+    /// that rebuild the matrix from scratch before every factorisation
+    /// anyway (the Newton assemble–factor–solve cycle): no factor-storage
+    /// copy, no allocation once `perm` has capacity. Factors and pivots
+    /// are bitwise identical to [`Matrix::lu`]'s. Solve against the
+    /// result with [`Matrix::solve_factored`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] when no usable pivot exists; the matrix
+    /// contents are unspecified afterwards.
+    pub fn factor_in_place(&mut self, perm: &mut Vec<usize>) -> Result<(), SingularMatrix> {
+        factor_in_place(self.n, &mut self.data, perm)
+    }
+
+    /// Solve `A·x = b` against factors produced by a preceding
+    /// [`Matrix::factor_in_place`] with the matching permutation, writing
+    /// into `x` (resized as needed). Bitwise identical to [`Lu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `perm.len()` does not match the dimension.
+    pub fn solve_factored(&self, perm: &[usize], b: &[T], x: &mut Vec<T>) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        x.clear();
+        x.extend(perm.iter().map(|&p| b[p]));
+        solve_in_place(self.n, &self.data, x);
+    }
+}
+
+/// The shared elimination kernel behind [`Matrix::lu`] and
+/// [`Matrix::factor_into`]: LU with partial pivoting, factors stored in
+/// place over `data`, permutation written to `perm`.
+///
+/// Every call increments the `sim.matrix.factorizations` counter — this
+/// is the simulator's unit of work regardless of the entry point.
+fn factor_in_place<T: Scalar>(
+    n: usize,
+    data: &mut [T],
+    perm: &mut Vec<usize>,
+) -> Result<(), SingularMatrix> {
+    FACTORIZATIONS.incr();
+    debug_assert_eq!(data.len(), n * n);
+    perm.clear();
+    perm.extend(0..n);
+    for k in 0..n {
+        // Pivot: largest magnitude in column k at/below the diagonal.
+        let mut p = k;
+        let mut best = data[k * n + k].magnitude();
+        for i in (k + 1)..n {
+            let m = data[i * n + k].magnitude();
+            if m > best {
+                best = m;
+                p = i;
             }
-            let usable = best.is_finite() && best > 0.0;
-            if !usable {
-                return Err(SingularMatrix { column: k });
+        }
+        let usable = best.is_finite() && best > 0.0;
+        if !usable {
+            return Err(SingularMatrix { column: k });
+        }
+        if p != k {
+            perm.swap(k, p);
+            for j in 0..n {
+                data.swap(k * n + j, p * n + j);
             }
-            if p != k {
-                perm.swap(k, p);
-                for j in 0..n {
-                    let a = self.get(k, j);
-                    let b = self.get(p, j);
-                    self.set(k, j, b);
-                    self.set(p, j, a);
-                }
-            }
-            let pivot = self.get(k, k);
-            for i in (k + 1)..n {
-                let factor = self.get(i, k) / pivot;
-                self.set(i, k, factor);
-                if factor != T::zero() {
-                    for j in (k + 1)..n {
-                        let v = self.get(i, j) - factor * self.get(k, j);
-                        self.set(i, j, v);
-                    }
+        }
+        let (upper, lower) = data.split_at_mut((k + 1) * n);
+        let row_k = &upper[k * n..];
+        let pivot = row_k[k];
+        for row_i in lower.chunks_exact_mut(n) {
+            let factor = row_i[k] / pivot;
+            row_i[k] = factor;
+            if factor != T::zero() {
+                for (v, &u) in row_i[(k + 1)..].iter_mut().zip(&row_k[(k + 1)..]) {
+                    *v -= factor * u;
                 }
             }
         }
-        Ok(Lu { mat: self, perm })
+    }
+    Ok(())
+}
+
+/// Forward/back substitution over row-major LU factors; shared by
+/// [`Lu::solve`] and [`LuWorkspace::solve_into`]. `x` must already hold
+/// the permuted right-hand side.
+fn solve_in_place<T: Scalar>(n: usize, data: &[T], x: &mut [T]) {
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        let row = &data[i * n..i * n + i];
+        let mut acc = x[i];
+        for (&m, &xv) in row.iter().zip(x.iter()) {
+            acc -= m * xv;
+        }
+        x[i] = acc;
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let row = &data[i * n..(i + 1) * n];
+        let mut acc = x[i];
+        for (&m, &xv) in row[(i + 1)..].iter().zip(x[(i + 1)..].iter()) {
+            acc -= m * xv;
+        }
+        x[i] = acc / row[i];
+    }
+}
+
+/// Reusable LU factor storage: one backing buffer and pivot vector that
+/// survive across factorisations, so hot loops (Newton iterations, AC
+/// frequency points, transient steps) stop allocating per solve.
+///
+/// ```
+/// use losac_sim::num::{LuWorkspace, Matrix};
+///
+/// let mut m = Matrix::<f64>::zeros(2);
+/// m.set(0, 0, 2.0);
+/// m.set(1, 1, 4.0);
+/// let mut ws = LuWorkspace::new();
+/// let mut x = Vec::new();
+/// m.factor_into(&mut ws).unwrap();
+/// ws.solve_into(&[2.0, 8.0], &mut x);
+/// assert_eq!(x, [1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace<T> {
+    n: usize,
+    factored: bool,
+    data: Vec<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> LuWorkspace<T> {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            factored: false,
+            data: Vec::new(),
+            perm: Vec::new(),
+        }
+    }
+
+    /// Dimension of the last factorised system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solve `A·x = b` against the factors of the last successful
+    /// [`Matrix::factor_into`], writing into `x` (resized as needed, no
+    /// allocation once capacity is reached). Bitwise identical to
+    /// [`Lu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace holds no factorisation or `b.len()` does
+    /// not match its dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
+        assert!(self.factored, "workspace holds no LU factorisation");
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        solve_in_place(self.n, &self.data, x);
+    }
+
+    /// Convenience wrapper over [`LuWorkspace::solve_into`] that
+    /// allocates the solution vector.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
     }
 }
 
@@ -367,27 +548,22 @@ impl<T: Scalar> Lu<T> {
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solve `A·x = b` into a caller-owned buffer, reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) {
         let n = self.mat.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
-        // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution (L has unit diagonal).
-        for i in 1..n {
-            let mut acc = x[i];
-            for (j, &xv) in x[..i].iter().enumerate() {
-                acc -= self.mat.get(i, j) * xv;
-            }
-            x[i] = acc;
-        }
-        // Back substitution.
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for (j, &xv) in x.iter().enumerate().skip(i + 1) {
-                acc -= self.mat.get(i, j) * xv;
-            }
-            x[i] = acc / self.mat.get(i, i);
-        }
-        x
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        solve_in_place(n, &self.mat.data, x);
     }
 }
 
@@ -489,6 +665,93 @@ mod tests {
         for i in 0..n {
             assert!((back[i] - b[i]).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn workspace_factors_match_fresh_lu_bitwise() {
+        // Equivalence gate: factor_into/solve_into must reproduce
+        // lu()/solve() bit for bit on a random well-conditioned system.
+        let n = 16;
+        let mut seed = 7u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut m = Matrix::<f64>::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, rnd());
+            }
+            m.add(i, i, 4.0);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let fresh = m.clone().lu().unwrap().solve(&b);
+
+        let mut ws = LuWorkspace::new();
+        let mut x = Vec::new();
+        // Twice, to prove reuse of a dirty workspace stays identical.
+        for _ in 0..2 {
+            m.factor_into(&mut ws).unwrap();
+            ws.solve_into(&b, &mut x);
+            assert_eq!(x.len(), n);
+            for (a, f) in x.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), f.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_factors_match_fresh_lu_bitwise() {
+        let n = 16;
+        let mut seed = 11u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut m = Matrix::<f64>::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, rnd());
+            }
+            m.add(i, i, 4.0);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let fresh = m.clone().lu().unwrap().solve(&b);
+
+        let mut work = m.clone();
+        let mut perm = Vec::new();
+        let mut x = Vec::new();
+        work.factor_in_place(&mut perm).unwrap();
+        work.solve_factored(&perm, &b, &mut x);
+        for (a, f) in x.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_reports_singular() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let mut ws = LuWorkspace::new();
+        assert!(m.factor_into(&mut ws).is_err());
+    }
+
+    #[test]
+    fn lu_solve_into_reuses_buffer() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let lu = m.lu().unwrap();
+        let mut x = vec![9.0; 17]; // dirty, wrong-sized buffer
+        lu.solve_into(&[2.0, 8.0], &mut x);
+        assert_eq!(x, vec![1.0, 2.0]);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! switched amplifier needs; the step size is fixed and chosen by the
 //! caller from the time constants of interest.
 
-use crate::dc::{assemble, newton, AssembleMode, DcError, DcOptions, DcSolution, Unknowns};
+use crate::dc::{
+    assemble, newton, AssembleMode, DcError, DcOptions, DcSolution, NewtonScratch, Unknowns,
+};
 use crate::netlist::Circuit;
 use std::fmt;
 
@@ -152,6 +154,10 @@ pub fn transient(
     let mut t = vec![0.0];
     let mut v = vec![dc.v.clone()];
     let mut time = 0.0;
+    // One scratch (Jacobian + LU workspace + update buffers) and one
+    // previous-state buffer reused across every step of the run.
+    let mut scratch = NewtonScratch::new();
+    let mut x_prev = vec![0.0; u.total];
     loop {
         let remaining = opts.tstop - time;
         // Skip a degenerate final sliver: C/h would explode and the step
@@ -161,16 +167,18 @@ pub fn transient(
         }
         let h = opts.dt.min(remaining);
         let t_next = time + h;
-        let x_prev = x.clone();
+        x_prev.copy_from_slice(&x);
         let mode = AssembleMode::Tran {
             h,
             x_prev: &x_prev,
             time: t_next,
         };
         let (xn, _) =
-            newton(circuit, &u, &x, 1e-12, &mode, &opts.newton).map_err(|cause| TranError {
-                time: t_next,
-                cause,
+            newton(circuit, &u, &x, 1e-12, &mode, &opts.newton, &mut scratch).map_err(|cause| {
+                TranError {
+                    time: t_next,
+                    cause,
+                }
             })?;
         x = xn;
         time = t_next;

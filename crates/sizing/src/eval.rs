@@ -10,14 +10,23 @@
 
 use crate::feedback::ParasiticMode;
 use crate::specs::OtaSpecs;
-use losac_sim::ac::{ac_sweep, AcOptions};
+use losac_obs::Counter;
+use losac_sim::ac::{ac_point_on, ac_sweep, ac_sweep_on, log_grid, AcOptions};
 use losac_sim::dc::{dc_from_previous, dc_operating_point, DcError, DcOptions, DcSolution};
-use losac_sim::meas::{bode_summary, db};
+use losac_sim::linear::Linearized;
+use losac_sim::meas::{bode_summary_of, db};
 use losac_sim::netlist::Circuit;
-use losac_sim::noise::{integrate_psd, noise_analysis};
+use losac_sim::noise::{integrate_psd, noise_analysis, noise_analysis_on};
 use losac_sim::tran::{transient, TranOptions};
 use losac_tech::Technology;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Evaluations answered from an [`EvalCache`] without simulating.
+static EVAL_CACHE_HIT: Counter = Counter::new("sizing.eval.cache_hit");
+/// Evaluations that missed the cache and ran the full pipeline.
+static EVAL_CACHE_MISS: Counter = Counter::new("sizing.eval.cache_miss");
 
 /// Input drive of a generated amplifier netlist.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,9 +53,12 @@ pub enum InputDrive {
 
 /// An amplifier that the measurement pipeline can characterise.
 ///
-/// Both provided topologies implement this; new topologies get the whole
-/// Table-1 measurement suite by implementing these three methods.
-pub trait Amplifier {
+/// All provided topologies implement this; new topologies get the whole
+/// Table-1 measurement suite by implementing these three methods. The
+/// `Sync` bound lets the evaluator run the slew-rate transient
+/// concurrently with the small-signal pipeline (both only read the
+/// amplifier); every implementor is plain sized-device data.
+pub trait Amplifier: Sync {
     /// The specification the amplifier was sized for.
     fn specs(&self) -> &OtaSpecs;
     /// Build the amplifier netlist in the requested testbench, with
@@ -56,6 +68,17 @@ pub trait Amplifier {
     /// Rough slew-rate estimate (V/s), used only to choose the transient
     /// time scale.
     fn slew_estimate(&self) -> f64;
+    /// Hash of every field that influences [`Amplifier::netlist`] and
+    /// [`Amplifier::slew_estimate`] — geometries, bias points, passives
+    /// and specs — used as the amplifier part of the [`EvalCache`] key.
+    ///
+    /// The default `None` opts the topology out of caching entirely, so
+    /// an implementor that forgets to cover a field can only ever be
+    /// slower, never wrong *if* it hashes everything it exposes to the
+    /// netlist. Use [`FnvHasher`] so float quantisation is uniform.
+    fn cache_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Everything the paper's Table 1 reports for one sizing case.
@@ -144,6 +167,261 @@ impl From<DcError> for EvalError {
     }
 }
 
+/// Knobs for [`evaluate_with`].
+///
+/// Every knob is an *optimisation*: flipping any of them changes how the
+/// answer is computed, never what it is. The optimised paths are bitwise
+/// identical to the plain [`evaluate`] pipeline (enforced by the
+/// `sim_equivalence` test suite).
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Worker threads: fans out AC/noise frequency points and, at `>= 2`,
+    /// runs the slew-rate transient concurrently with the small-signal
+    /// measurements. `1` is fully serial, `0` means
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Linearise the balanced circuit once and re-use it across the
+    /// differential, common-mode and noise analyses (restamping only the
+    /// excitation), instead of rebuilding `G`/`C` per analysis. Also
+    /// collapses the single-frequency CMRR and output-resistance probes
+    /// to one solve each.
+    pub reuse_linearisation: bool,
+    /// Memoise whole evaluations keyed by (amplifier fingerprint,
+    /// technology, parasitic mode). `None` (the default) disables
+    /// caching; the engine's batch runner shares one cache across a job.
+    pub cache: Option<Arc<EvalCache>>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            reuse_linearisation: true,
+            cache: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options matching the historical evaluator exactly: serial, no
+    /// linearisation reuse, no cache. The reference arm of the
+    /// equivalence gates.
+    pub fn legacy() -> Self {
+        Self {
+            threads: 1,
+            reuse_linearisation: false,
+            cache: None,
+        }
+    }
+
+    /// Same options with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Same options evaluating through `cache`.
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The effective thread count (`0` resolved to the machine's
+    /// available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// A keyed memo of completed evaluations.
+///
+/// The synthesis loop re-evaluates the same sizing under the same
+/// parasitic feedback whenever the outer iteration converges (and the
+/// batch engine evaluates identical jobs across workers); this cache
+/// returns the stored [`Performance`] instead of re-simulating. Hits and
+/// misses are counted on `sizing.eval.cache_hit` / `sizing.eval.cache_miss`.
+///
+/// Keys quantise every float (see [`FnvHasher::write_f64`]), so a
+/// collision would require two different designs to agree on a 64-bit
+/// hash; a miss merely re-simulates.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<u64, Performance>>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct evaluations stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("eval cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: u64) -> Option<Performance> {
+        let hit = self
+            .map
+            .lock()
+            .expect("eval cache poisoned")
+            .get(&key)
+            .copied();
+        match hit {
+            Some(_) => EVAL_CACHE_HIT.incr(),
+            None => EVAL_CACHE_MISS.incr(),
+        }
+        hit
+    }
+
+    fn store(&self, key: u64, perf: Performance) {
+        self.map
+            .lock()
+            .expect("eval cache poisoned")
+            .insert(key, perf);
+    }
+}
+
+/// FNV-1a accumulator used to build [`EvalCache`] keys.
+///
+/// Floats are quantised before hashing so that values differing only in
+/// the last few mantissa bits (float noise from a different summation
+/// order upstream) land on the same key. Amplifier implementations use
+/// this in [`Amplifier::cache_fingerprint`] so quantisation is uniform
+/// across the whole key.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FnvHasher {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mix raw 64 bits.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    /// Mix a string (length-prefixed, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    /// Mix a float, quantised by clearing the low 20 mantissa bits
+    /// (~2·10⁻¹⁰ relative) and folding `-0.0` onto `+0.0`.
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v == 0.0 { 0 } else { v.to_bits() & !0xF_FFFF };
+        self.write_u64(bits);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Mix the fingerprint parts every topology shares: the sized-device map
+/// (sorted by name, so `HashMap` order cannot perturb the key) and the
+/// spec block. Topologies add their bias voltages, currents and passives
+/// on top.
+pub fn hash_common_fingerprint(
+    h: &mut FnvHasher,
+    devices: &HashMap<String, crate::ota::folded_cascode::SizedDevice>,
+    specs: &OtaSpecs,
+) {
+    let mut sorted: Vec<_> = devices.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, d) in sorted {
+        h.write_str(name);
+        h.write_u64(matches!(d.polarity, losac_tech::Polarity::Pmos) as u64);
+        h.write_f64(d.w);
+        h.write_f64(d.l);
+    }
+    h.write_f64(specs.vdd);
+    h.write_f64(specs.gbw);
+    h.write_f64(specs.phase_margin);
+    h.write_f64(specs.c_load);
+    h.write_f64(specs.input_cm_range.0);
+    h.write_f64(specs.input_cm_range.1);
+    h.write_f64(specs.output_range.0);
+    h.write_f64(specs.output_range.1);
+}
+
+/// Cache key for one evaluation, or `None` when the amplifier does not
+/// fingerprint itself.
+fn eval_key(ota: &dyn Amplifier, tech: &Technology, mode: &ParasiticMode) -> Option<u64> {
+    let fp = ota.cache_fingerprint()?;
+    let mut h = FnvHasher::new();
+    h.write_u64(fp);
+    h.write_str(tech.name());
+    hash_mode(&mut h, mode);
+    Some(h.finish())
+}
+
+/// Mix the full content of a parasitic mode: the case label separates
+/// the four cases, and the layout feedback (when present) is hashed in
+/// sorted order so `HashMap` iteration order cannot perturb the key.
+fn hash_mode(h: &mut FnvHasher, mode: &ParasiticMode) {
+    h.write_str(mode.case_label());
+    let Some(fb) = mode.feedback() else { return };
+    let mut devices: Vec<_> = fb.devices.iter().collect();
+    devices.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, d) in devices {
+        h.write_str(name);
+        h.write_u64(d.folds as u64);
+        h.write_u64(d.drawn_w as u64);
+        for g in [&d.drain, &d.source] {
+            h.write_f64(g.area);
+            h.write_f64(g.perimeter);
+        }
+    }
+    let mut nets: Vec<_> = fb.net_caps.iter().collect();
+    nets.sort_by(|a, b| a.0.cmp(b.0));
+    for (net, &c) in nets {
+        h.write_str(net);
+        h.write_f64(c);
+    }
+    let mut coupling: Vec<_> = fb.coupling.iter().collect();
+    coupling.sort_by(|a, b| a.0.cmp(b.0));
+    for ((a, b), &c) in coupling {
+        h.write_str(a);
+        h.write_str(b);
+        h.write_f64(c);
+    }
+    let mut wells: Vec<_> = fb.well_caps.iter().collect();
+    wells.sort_by(|a, b| a.0.cmp(b.0));
+    for (net, &c) in wells {
+        h.write_str(net);
+        h.write_f64(c);
+    }
+    h.write_u64(fb.lump_coupling_to_ground as u64);
+}
+
 /// Find the differential input voltage that centres the output at the
 /// spec's output mid-point, returning it together with the balanced
 /// circuit and DC solution.
@@ -208,7 +486,8 @@ pub fn balance(
 }
 
 /// Measure the full Table-1 performance of a sized OTA under the given
-/// parasitic mode.
+/// parasitic mode, with default [`EvalOptions`]: serial, linearisation
+/// reuse on, no cache.
 ///
 /// # Errors
 ///
@@ -218,7 +497,92 @@ pub fn evaluate(
     tech: &Technology,
     mode: &ParasiticMode,
 ) -> Result<Performance, EvalError> {
+    evaluate_with(ota, tech, mode, &EvalOptions::default())
+}
+
+/// [`evaluate`] with explicit performance knobs.
+///
+/// All knobs preserve the measured numbers bitwise — see [`EvalOptions`].
+///
+/// # Errors
+///
+/// Propagates any analysis failure with context.
+pub fn evaluate_with(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+    opts: &EvalOptions,
+) -> Result<Performance, EvalError> {
     let _span = losac_obs::span("sizing.evaluate");
+    let key = match &opts.cache {
+        Some(_) => eval_key(ota, tech, mode),
+        None => None,
+    };
+    if let (Some(cache), Some(key)) = (&opts.cache, key) {
+        if let Some(perf) = cache.lookup(key) {
+            return Ok(perf);
+        }
+    }
+    let perf = evaluate_uncached(ota, tech, mode, opts)?;
+    if let (Some(cache), Some(key)) = (&opts.cache, key) {
+        cache.store(key, perf);
+    }
+    Ok(perf)
+}
+
+/// The measurement pipeline behind [`evaluate_with`], after the cache.
+///
+/// The slew-rate transient uses its own netlist and operating point, so
+/// it shares no state with the small-signal measurements; at
+/// `threads >= 2` it runs on a scoped thread alongside them — same
+/// arithmetic on both lanes, therefore bitwise-identical results.
+/// Serially, it runs after them, exactly like the historical pipeline.
+fn evaluate_uncached(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+    opts: &EvalOptions,
+) -> Result<Performance, EvalError> {
+    if opts.resolved_threads() >= 2 {
+        std::thread::scope(|s| {
+            let slew = s.spawn(|| measure_slew_rate(ota, tech, mode));
+            let main = small_signal(ota, tech, mode, opts);
+            let slew = slew
+                .join()
+                .map_err(|_| EvalError::new("slew-rate measurement thread panicked"));
+            let mut perf = main?;
+            perf.slew_rate = slew??;
+            Ok(perf)
+        })
+    } else {
+        let mut perf = small_signal(ota, tech, mode, opts)?;
+        perf.slew_rate = measure_slew_rate(ota, tech, mode)?;
+        Ok(perf)
+    }
+}
+
+/// Everything except the slew rate: balanced operating point, gain/GBW/
+/// phase margin, CMRR, output resistance and noise. Returns a
+/// [`Performance`] with `slew_rate` set to NaN for the caller to fill.
+///
+/// With `opts.reuse_linearisation` the balanced circuit is linearised
+/// once; the differential sweep runs on it directly, and the common-mode
+/// and noise analyses restamp only the excitation vector — the `G`/`C`
+/// stamps depend on the operating point, not the source values, so the
+/// restamped system is the one `Linearized::build` would produce and
+/// every downstream number is bitwise unchanged. The CMRR and output-
+/// resistance probes additionally collapse to single-frequency solves:
+/// both legacy sweeps only ever read index `[0]`, and a sweep's first
+/// point is exactly `fstart` (`10^(0/ppd) = 1`), so one solve at
+/// `fstart` reproduces that entry bit for bit while skipping the
+/// factorisations of the remaining grid points.
+fn small_signal(
+    ota: &dyn Amplifier,
+    tech: &Technology,
+    mode: &ParasiticMode,
+    opts: &EvalOptions,
+) -> Result<Performance, EvalError> {
+    let threads = opts.threads;
     // --- balanced operating point (also yields the offset) ----------------
     let (dv, mut c, dc) = balance(ota, tech, mode)?;
     let offset = dv;
@@ -231,10 +595,15 @@ pub fn evaluate(
         fstart: 10.0,
         fstop: 20e9,
         points_per_decade: 24,
+        threads,
     };
-    let ac = ac_sweep(&c, &dc, &ac_opts).map_err(|e| EvalError::new(e.to_string()))?;
-    let h = ac.node(&c, "out");
-    let summary = bode_summary(&ac.freqs, &h);
+    let mut lin = opts.reuse_linearisation.then(|| Linearized::build(&c, &dc));
+    let ac = match &lin {
+        Some(lin) => ac_sweep_on(lin, &ac_opts),
+        None => ac_sweep(&c, &dc, &ac_opts),
+    }
+    .map_err(|e| EvalError::new(e.to_string()))?;
+    let summary = bode_summary_of(&ac.freqs, ac.trace(&c, "out").iter());
     let gbw = summary
         .unity_freq
         .ok_or_else(|| EvalError::new("gain never crosses unity — no GBW"))?;
@@ -246,53 +615,77 @@ pub fn evaluate(
     // --- common-mode AC: CMRR ----------------------------------------------
     c.set_source_ac("vinp", 1.0).expect("vinp");
     c.set_source_ac("vinn", 1.0).expect("vinn");
-    let ac_cm = ac_sweep(
-        &c,
-        &dc,
-        &AcOptions {
-            fstart: 10.0,
-            fstop: 1e3,
-            points_per_decade: 4,
-        },
-    )
-    .map_err(|e| EvalError::new(e.to_string()))?;
-    let acm0 = ac_cm.magnitude(&c, "out")[0].max(1e-12);
+    let acm0 = match &mut lin {
+        Some(lin) => {
+            lin.restamp_excitation(&c);
+            let row = ac_point_on(lin, 10.0).map_err(|e| EvalError::new(e.to_string()))?;
+            let out = c.find_node("out").expect("out node");
+            row[out].abs()
+        }
+        None => {
+            let ac_cm = ac_sweep(
+                &c,
+                &dc,
+                &AcOptions {
+                    fstart: 10.0,
+                    fstop: 1e3,
+                    points_per_decade: 4,
+                    threads,
+                },
+            )
+            .map_err(|e| EvalError::new(e.to_string()))?;
+            ac_cm.magnitude(&c, "out")[0]
+        }
+    }
+    .max(1e-12);
     let cmrr_db = db(adm0 / acm0);
 
     // --- output resistance ---------------------------------------------------
     let mut c_rout = ota.netlist(tech, mode, InputDrive::Differential { dv });
     c_rout.isource_ac("itest", "0", "out", 0.0, 1.0);
     let dc_rout = dc_operating_point(&c_rout, &DcOptions::default())?;
-    let ac_rout = ac_sweep(
-        &c_rout,
-        &dc_rout,
-        &AcOptions {
-            fstart: 1.0,
-            fstop: 10.0,
-            points_per_decade: 2,
-        },
-    )
-    .map_err(|e| EvalError::new(e.to_string()))?;
-    let output_resistance = ac_rout.magnitude(&c_rout, "out")[0];
+    let output_resistance = if opts.reuse_linearisation {
+        let lin_rout = Linearized::build(&c_rout, &dc_rout);
+        let row = ac_point_on(&lin_rout, 1.0).map_err(|e| EvalError::new(e.to_string()))?;
+        let out = c_rout.find_node("out").expect("out node");
+        row[out].abs()
+    } else {
+        let ac_rout = ac_sweep(
+            &c_rout,
+            &dc_rout,
+            &AcOptions {
+                fstart: 1.0,
+                fstop: 10.0,
+                points_per_decade: 2,
+                threads,
+            },
+        )
+        .map_err(|e| EvalError::new(e.to_string()))?;
+        ac_rout.magnitude(&c_rout, "out")[0]
+    };
 
     // --- noise ----------------------------------------------------------------
     c.set_source_ac("vinp", 0.5).expect("vinp");
     c.set_source_ac("vinn", -0.5).expect("vinn");
-    let freqs = losac_sim::ac::log_grid(1.0, gbw.max(1e6), 12);
-    let noise =
-        noise_analysis(&c, &dc, &freqs, "out").map_err(|e| EvalError::new(e.to_string()))?;
+    let freqs = log_grid(1.0, gbw.max(1e6), 12);
+    let noise = match &mut lin {
+        Some(lin) => {
+            lin.restamp_excitation(&c);
+            let out = c.find_node("out").expect("out node");
+            noise_analysis_on(lin, &freqs, out, threads)
+        }
+        None => noise_analysis(&c, &dc, &freqs, "out"),
+    }
+    .map_err(|e| EvalError::new(e.to_string()))?;
     let input_noise_rms = integrate_psd(&noise.freqs, &noise.input_psd).sqrt();
     let thermal_noise_density = noise.input_density_at(gbw / 50.0);
     let flicker_noise_density = noise.input_density_at(1.0);
-
-    // --- slew rate --------------------------------------------------------------
-    let slew_rate = measure_slew_rate(ota, tech, mode)?;
 
     Ok(Performance {
         dc_gain_db: db(adm0),
         gbw,
         phase_margin,
-        slew_rate,
+        slew_rate: f64::NAN,
         cmrr_db,
         offset,
         output_resistance,
@@ -320,6 +713,7 @@ pub fn measure_psrr(
         fstart: 10.0,
         fstop: 1e3,
         points_per_decade: 4,
+        threads: 1,
     };
     // Differential gain.
     c.set_source_ac("vinp", 0.5).expect("vinp");

@@ -38,7 +38,10 @@ pub mod specs;
 pub mod statistical;
 pub mod techeval;
 
-pub use eval::{measure_psrr, Amplifier, EvalError, InputDrive, Performance};
+pub use eval::{
+    evaluate_with, measure_psrr, Amplifier, EvalCache, EvalError, EvalOptions, InputDrive,
+    Performance,
+};
 pub use feedback::{DeviceFeedback, DiffGeom, LayoutFeedback, ParasiticMode};
 pub use ota::folded_cascode::{
     BiasVoltages, BranchCurrents, FoldedCascodeOta, FoldedCascodePlan, SizedDevice, SizingError,

@@ -517,6 +517,7 @@ fn quick_ac(ota: &FoldedCascodeOta, tech: &Technology, mode: &ParasiticMode) -> 
             fstart: 100.0,
             fstop: 20e9,
             points_per_decade: 16,
+            threads: 1,
         },
     )
     .ok()?;
@@ -788,6 +789,25 @@ impl Amplifier for FoldedCascodeOta {
 
     fn slew_estimate(&self) -> f64 {
         self.currents.i_tail / self.specs.c_load.max(1e-15)
+    }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut h = crate::eval::FnvHasher::new();
+        h.write_str("folded_cascode");
+        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        for v in [
+            self.bias.vp1,
+            self.bias.vbn,
+            self.bias.vc1,
+            self.bias.vc3,
+            self.currents.i_tail,
+            self.currents.i_in,
+            self.currents.i_casc,
+            self.currents.i_sink,
+        ] {
+            h.write_f64(v);
+        }
+        Some(h.finish())
     }
 }
 

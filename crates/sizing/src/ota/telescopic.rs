@@ -289,6 +289,16 @@ impl Amplifier for TelescopicOta {
     fn slew_estimate(&self) -> f64 {
         self.i_tail / self.specs.c_load.max(1e-15)
     }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut h = crate::eval::FnvHasher::new();
+        h.write_str("telescopic");
+        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        for v in [self.vp1, self.vcp, self.vcn, self.i_tail] {
+            h.write_f64(v);
+        }
+        Some(h.finish())
+    }
 }
 
 /// The narrower-swing specification the telescopic example runs with.

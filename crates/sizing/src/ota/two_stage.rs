@@ -324,6 +324,16 @@ impl Amplifier for TwoStageOta {
     fn slew_estimate(&self) -> f64 {
         (self.i_tail / self.cc).min(self.i_stage2 / self.specs.c_load)
     }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut h = crate::eval::FnvHasher::new();
+        h.write_str("two_stage");
+        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        for v in [self.vp1, self.vp2, self.cc, self.i_tail, self.i_stage2] {
+            h.write_f64(v);
+        }
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -35,8 +35,9 @@ impl JunctionCaps {
     pub fn capacitance(&self, area: f64, perimeter: f64, vr: f64) -> f64 {
         debug_assert!(area >= 0.0 && perimeter >= 0.0);
         let v = vr.max(-self.pb / 2.0);
-        let bottom = self.cj * area / (1.0 + v / self.pb).powf(self.mj);
-        let side = self.cjsw * perimeter / (1.0 + v / self.pb).powf(self.mjsw);
+        let base = 1.0 + v / self.pb;
+        let bottom = self.cj * area / base.powf(self.mj);
+        let side = self.cjsw * perimeter / base.powf(self.mjsw);
         bottom + side
     }
 

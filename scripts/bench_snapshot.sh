@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_PR3.json — wall-time + factorisation-count snapshot of
+# the simulator hot path (AC sweep, `evaluate`, full case-4 run) in every
+# bitwise-equal configuration. Writes to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p losac-bench --bin bench_snapshot

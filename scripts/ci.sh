@@ -51,6 +51,16 @@ if ! LOSAC_LOG=off LOSAC_ENGINE_WORKERS=4 cargo test -q --release --test batch_e
     fail=1
 fi
 
+# Hot-path equivalence gates: every simulator optimisation (linearisation
+# reuse, thread fan-out, eval cache) must be bitwise identical to the
+# legacy serial path, and must measurably cut matrix factorisations.
+echo "==> simulator equivalence gates"
+if ! LOSAC_LOG=off cargo test -q --release -p losac-sizing \
+    --test sim_equivalence --test eval_cache_counters; then
+    echo "FAIL: simulator equivalence gates"
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "CI: FAILED"
     exit 1

@@ -10,7 +10,7 @@
 use crate::flow::{layout_oriented_synthesis, FlowControl, FlowError, FlowOptions};
 use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
-use losac_sizing::eval::{evaluate_with, EvalError, EvalOptions};
+use losac_sizing::eval::{evaluate_with, EvalError, EvalErrorKind, EvalOptions};
 use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
 use losac_tech::Technology;
 use std::fmt;
@@ -110,7 +110,15 @@ impl From<FlowError> for CaseError {
 
 impl From<EvalError> for CaseError {
     fn from(e: EvalError) -> Self {
-        CaseError::Eval(e)
+        // An interrupted evaluation is the run control stopping the case,
+        // not a measurement defect: surface it as the matching flow
+        // outcome so retry logic never mistakes a budget stop for a
+        // transient analysis failure.
+        match e.kind() {
+            EvalErrorKind::Cancelled => CaseError::Flow(FlowError::Cancelled),
+            EvalErrorKind::TimedOut => CaseError::Flow(FlowError::TimedOut),
+            _ => CaseError::Eval(e),
+        }
     }
 }
 
@@ -213,6 +221,14 @@ pub fn run_case_with(
     opts: &CaseOptions,
 ) -> Result<CaseResult, CaseError> {
     opts.control.check()?;
+    // Thread the control's stop flag / deadline into every solver on this
+    // thread (the flow re-installs the same interrupt, which is
+    // idempotent): the two verification evaluations below run outside the
+    // flow and must honour the budget too.
+    let _sim_interrupt = opts
+        .control
+        .sim_interrupt()
+        .map(losac_sim::interrupt::install);
     let (ota, synth_mode, layout_calls) = match case {
         Case::NoParasitics => {
             let ota = opts.plan.size(tech, specs, &ParasiticMode::None)?;

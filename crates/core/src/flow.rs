@@ -90,6 +90,32 @@ impl FlowControl {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    /// The shared stop flag, when one is attached.
+    pub fn stop_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.stop.clone()
+    }
+
+    /// The absolute deadline, when one is attached.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The simulator-level interrupt mirroring this control, or `None`
+    /// when the control never stops a run. Installing it (see
+    /// [`losac_sim::interrupt::install`]) makes the Newton iterations
+    /// *inside* a phase observe the same stop flag and deadline the flow
+    /// checks between phases, so a hung solve cannot outlive the budget.
+    pub fn sim_interrupt(&self) -> Option<losac_sim::interrupt::SimInterrupt> {
+        let mut si = losac_sim::interrupt::SimInterrupt::new();
+        if let Some(flag) = self.stop_flag() {
+            si = si.with_stop(flag);
+        }
+        if let Some(d) = self.deadline {
+            si = si.with_deadline(d);
+        }
+        si.is_armed().then_some(si)
+    }
+
     /// Check both conditions, cancellation first.
     ///
     /// # Errors
@@ -373,6 +399,13 @@ pub fn layout_oriented_synthesis(
 ) -> Result<FlowResult, FlowError> {
     opts.validate()?;
     let start = Instant::now();
+    // Mirror the flow control down into the simulator: Newton polls the
+    // interrupt every iteration, so a stop or deadline fires inside a
+    // solve rather than waiting for the next phase boundary.
+    let _sim_interrupt = opts
+        .control
+        .sim_interrupt()
+        .map(losac_sim::interrupt::install);
     let _flow_span = losac_obs::span_with(
         "flow",
         vec![
@@ -400,6 +433,14 @@ pub fn layout_oriented_synthesis(
         // cancelled or timed out without leaving partial state behind.
         opts.control.check()?;
         // Call the layout tool in parasitic-calculation mode.
+        #[cfg(feature = "failpoints")]
+        if losac_obs::failpoint::hit("flow.layout_call").is_some() {
+            return Err(FlowError::Layout(
+                losac_layout::plan::PlanError::with_message(
+                    "injected failure at `flow.layout_call`",
+                ),
+            ));
+        }
         let call_span = losac_obs::span_with("flow.layout_call", vec![f("call", layout_calls + 1)]);
         let call_start = Instant::now();
         let lplan = ota_layout_plan(tech, &ota, &layout_opts);

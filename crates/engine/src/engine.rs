@@ -2,14 +2,91 @@
 //! batches.
 
 use crate::job::{JobOutcome, SynthesisJob};
-use crate::pool::{run_indexed, PoolOutcome, QueueKind};
+use crate::pool::{panic_message, run_indexed, PoolOutcome, QueueKind};
 use crate::telemetry::BatchTelemetry;
-use losac_core::cases::run_case_with;
-use losac_core::flow::FlowControl;
-use losac_obs::f;
-use std::sync::atomic::{AtomicBool, Ordering};
+use losac_core::cases::{run_case_with, CaseError};
+use losac_core::flow::{FlowControl, FlowError};
+use losac_core::prelude::CaseResult;
+use losac_obs::{f, Counter};
+use losac_sizing::eval::EvalErrorKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Retry attempts made beyond each job's first, across all batches.
+static ENGINE_JOB_RETRIES: Counter = Counter::new("engine.job.retries");
+/// Jobs that ended [`JobOutcome::Degraded`], across all batches.
+static ENGINE_JOB_DEGRADED: Counter = Counter::new("engine.job.degraded");
+
+/// How one attempt of a job ended, folded into the retry decision.
+enum Attempt {
+    /// The run produced a result.
+    Success(Box<CaseResult>),
+    /// Budget stop — never retried: the clock that stopped this attempt
+    /// covers all attempts, so another try cannot end differently.
+    Terminal(JobOutcome),
+    /// Deterministic failure of the inputs (invalid options, bad
+    /// netlist, sizing or layout rejection) — retrying replays it.
+    Permanent(CaseError),
+    /// Possibly-recoverable failure: non-convergence, a singular
+    /// system, an injected fault, or a panic inside the run.
+    Transient {
+        message: String,
+        /// The typed error, when the attempt failed without panicking.
+        error: Option<CaseError>,
+    },
+}
+
+/// Classify one caught attempt. Panics count as transient: in a long
+/// batch a panic is more often a data-dependent corner (the bug class
+/// the library's typed-error sweep keeps shrinking) than a systematic
+/// fault, and a retry that panics again still ends the job.
+fn classify(r: std::thread::Result<Result<CaseResult, CaseError>>) -> Attempt {
+    match r {
+        Ok(Ok(res)) => Attempt::Success(Box::new(res)),
+        Ok(Err(CaseError::Flow(FlowError::TimedOut))) => Attempt::Terminal(JobOutcome::TimedOut),
+        Ok(Err(CaseError::Flow(FlowError::Cancelled))) => Attempt::Terminal(JobOutcome::Cancelled),
+        Ok(Err(CaseError::Eval(e))) => match e.kind() {
+            EvalErrorKind::BadNetlist => Attempt::Permanent(CaseError::Eval(e)),
+            _ => Attempt::Transient {
+                message: e.to_string(),
+                error: Some(CaseError::Eval(e)),
+            },
+        },
+        // Remaining flow errors (invalid options, sizing, layout) are
+        // deterministic functions of the job's inputs.
+        Ok(Err(e)) => Attempt::Permanent(e),
+        Err(payload) => Attempt::Transient {
+            message: panic_message(payload),
+            error: None,
+        },
+    }
+}
+
+/// Sleep `delay` in small chunks, aborting early when the stop flag is
+/// raised or the deadline passes. Returns the outcome that interrupted
+/// the sleep, or `None` when the full backoff elapsed.
+fn backoff_sleep(
+    mut delay: Duration,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Option<JobOutcome> {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Some(JobOutcome::Cancelled);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(JobOutcome::TimedOut);
+        }
+        if delay.is_zero() {
+            return None;
+        }
+        let chunk = delay.min(Duration::from_millis(5));
+        std::thread::sleep(chunk);
+        delay = delay.saturating_sub(chunk);
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -150,10 +227,21 @@ impl Engine {
     /// * a job that panics yields [`JobOutcome::Panicked`] without
     ///   affecting any other job;
     /// * a job whose [`SynthesisJob::budget`] elapses yields
-    ///   [`JobOutcome::TimedOut`] at its next phase boundary;
+    ///   [`JobOutcome::TimedOut`] at its next phase boundary — the
+    ///   budget also covers every retry attempt and backoff sleep;
     /// * after [`CancelToken::cancel`], jobs not yet started yield
     ///   [`JobOutcome::Cancelled`] and in-flight jobs stop at their next
-    ///   phase boundary.
+    ///   phase boundary;
+    /// * with a [`SynthesisJob::retry`] policy, *transient* failures
+    ///   (non-convergence, singular systems, panics, injected faults)
+    ///   are retried with deterministic backoff and the job reports
+    ///   [`JobOutcome::Degraded`]; *permanent* failures (invalid
+    ///   options, bad netlists, sizing/layout rejections) and budget
+    ///   stops are never retried, and without a policy behaviour is
+    ///   unchanged from earlier releases;
+    /// * outcomes are a pure function of (jobs, cancellation): the
+    ///   worker count and queue kind never change what comes back, only
+    ///   how fast.
     pub fn run_batch(&self, jobs: Vec<SynthesisJob>) -> BatchResult {
         let n = jobs.len();
         let workers = self.opts.resolved_workers().clamp(1, n.max(1));
@@ -165,6 +253,9 @@ impl Engine {
         let job_times: Vec<std::sync::Mutex<Duration>> = (0..n)
             .map(|_| std::sync::Mutex::new(Duration::ZERO))
             .collect();
+        // Retries actually made per job (0 when the outcome is not
+        // Degraded too — a retried job can still end Failed/TimedOut).
+        let job_retries: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         // One evaluation cache for the whole batch: jobs that reach an
         // identical (sizing, parasitic-mode) evaluation — common when a
         // sweep varies a knob the sizing is insensitive to, or when the
@@ -184,15 +275,85 @@ impl Engine {
                     vec![f("job", i as u64), f("label", job.label.as_str())],
                 );
                 let begun = Instant::now();
-                let mut control = FlowControl::new().with_stop(self.stop.clone());
-                if let Some(budget) = job.budget {
-                    control = control.with_budget(budget);
+                // One deadline for the whole job: every attempt and
+                // every backoff sleep counts against the same budget.
+                let deadline = job.budget.map(|b| begun + b);
+                // The fault plan is installed once, outside the attempt
+                // loop, so its hit counters persist across retries — a
+                // `once` fault fails attempt 1 and spares attempt 2.
+                #[cfg(feature = "failpoints")]
+                let _fail_guard = job.fail_plan.clone().map(losac_obs::failpoint::install);
+                let retry = job.retry.clone().filter(|p| p.max_attempts > 1);
+                let mut attempt: u32 = 1;
+                let mut last_error: Option<String> = None;
+                let outcome = loop {
+                    // Per-attempt catch_unwind so a panicking attempt is
+                    // retryable; the pool's own catch_unwind stays as a
+                    // backstop for this orchestration code itself.
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let mut control = FlowControl::new().with_stop(self.stop.clone());
+                        if let Some(d) = deadline {
+                            control = control.with_deadline(d);
+                        }
+                        let mut opts = job.case_options(control);
+                        opts.eval.threads = self.opts.sim_threads;
+                        opts.eval.cache = Some(eval_cache.clone());
+                        run_case_with(&job.tech, &job.specs, job.case, &opts)
+                    }));
+                    match classify(run) {
+                        Attempt::Success(res) => {
+                            break if attempt == 1 {
+                                JobOutcome::Finished(res)
+                            } else {
+                                JobOutcome::Degraded {
+                                    attempts: attempt,
+                                    last_error: last_error.take().unwrap_or_default(),
+                                    partial: Some(res),
+                                }
+                            };
+                        }
+                        Attempt::Terminal(o) => break o,
+                        Attempt::Permanent(e) => break JobOutcome::Failed(e),
+                        Attempt::Transient { message, error } => {
+                            let can_retry =
+                                retry.as_ref().is_some_and(|p| attempt < p.max_attempts);
+                            if !can_retry {
+                                break if attempt > 1 {
+                                    JobOutcome::Degraded {
+                                        attempts: attempt,
+                                        last_error: message,
+                                        partial: None,
+                                    }
+                                } else if let Some(e) = error {
+                                    JobOutcome::Failed(e)
+                                } else {
+                                    JobOutcome::Panicked(message)
+                                };
+                            }
+                            let policy = retry.as_ref().expect("can_retry implies a policy");
+                            ENGINE_JOB_RETRIES.incr();
+                            job_retries[i].fetch_add(1, Ordering::Relaxed);
+                            losac_obs::event(
+                                "engine.job.retry",
+                                &[
+                                    f("job", i as u64),
+                                    f("attempt", u64::from(attempt)),
+                                    f("error", message.as_str()),
+                                ],
+                            );
+                            if let Some(o) =
+                                backoff_sleep(policy.backoff(i, attempt), &self.stop, deadline)
+                            {
+                                break o;
+                            }
+                            last_error = Some(message);
+                            attempt += 1;
+                        }
+                    }
+                };
+                if matches!(outcome, JobOutcome::Degraded { .. }) {
+                    ENGINE_JOB_DEGRADED.incr();
                 }
-                let mut opts = job.case_options(control);
-                opts.eval.threads = self.opts.sim_threads;
-                opts.eval.cache = Some(eval_cache.clone());
-                let outcome =
-                    JobOutcome::from_run(run_case_with(&job.tech, &job.specs, job.case, &opts));
                 *job_times[i].lock().expect("job time lock poisoned") = begun.elapsed();
                 losac_obs::event(
                     "engine.job.done",
@@ -215,6 +376,14 @@ impl Engine {
             .iter()
             .map(|t| *t.lock().expect("job time lock poisoned"))
             .sum();
+        let retries = job_retries
+            .iter()
+            .map(|r| u64::from(r.load(Ordering::Relaxed)))
+            .sum();
+        let degraded = outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Degraded { .. }))
+            .count();
         let telemetry = BatchTelemetry {
             jobs: n,
             workers: stats.len(),
@@ -222,6 +391,8 @@ impl Engine {
             worker_busy: stats.iter().map(|s| s.busy).collect(),
             worker_jobs: stats.iter().map(|s| s.jobs).collect(),
             serial_estimate,
+            retries,
+            degraded,
         };
         losac_obs::event(
             "engine.batch.done",
@@ -290,5 +461,42 @@ mod tests {
         assert!(batch.outcomes.is_empty());
         assert_eq!(batch.telemetry.jobs, 0);
         assert_eq!(batch.telemetry.speedup(), 1.0);
+    }
+
+    #[test]
+    fn an_invalid_netlist_is_a_typed_failure_not_a_panic() {
+        // A NaN load capacitance used to trip an assert deep in the
+        // netlist builder and panic the worker; it must now surface as
+        // a typed permanent failure — and never be retried, even with a
+        // generous retry policy.
+        let mut bad = OtaSpecs::paper_example();
+        bad.c_load = f64::NAN;
+        let jobs = vec![
+            SynthesisJob::new(Arc::new(Technology::cmos06()), bad, Case::NoParasitics)
+                .with_retry(crate::RetryPolicy::attempts(4)),
+            paper_job(Case::NoParasitics),
+        ];
+        let batch = Engine::new(EngineOptions::with_workers(1)).run_batch(jobs);
+        assert!(
+            matches!(batch.outcomes[0], JobOutcome::Failed(_)),
+            "expected a typed failure, got {}",
+            batch.outcomes[0].status()
+        );
+        assert_eq!(batch.telemetry.retries, 0, "permanent failures retried");
+        assert!(batch.outcomes[1].is_finished());
+    }
+
+    #[test]
+    fn a_retry_policy_changes_nothing_for_healthy_jobs() {
+        let jobs = vec![paper_job(Case::NoParasitics)
+            .with_retry(crate::RetryPolicy::attempts(3).with_jitter_seed(7))];
+        let batch = Engine::new(EngineOptions::with_workers(1)).run_batch(jobs);
+        assert!(
+            batch.outcomes[0].is_finished(),
+            "{}",
+            batch.outcomes[0].status()
+        );
+        assert_eq!(batch.telemetry.retries, 0);
+        assert_eq!(batch.telemetry.degraded, 0);
     }
 }

@@ -19,6 +19,14 @@
 //!   panic isolation ([`JobOutcome::Panicked`]), per-job wall-clock
 //!   budgets ([`JobOutcome::TimedOut`]) and cooperative cancellation
 //!   ([`CancelToken`], [`JobOutcome::Cancelled`]);
+//! * [`RetryPolicy`] — opt-in retry of *transient* failures
+//!   (non-convergence, singular systems, panics) with exponential
+//!   backoff and deterministic jitter; recovered or exhausted jobs
+//!   report [`JobOutcome::Degraded`], while permanent failures (invalid
+//!   options, bad netlists, sizing/layout rejections) and budget stops
+//!   are never retried. With the `failpoints` feature, per-job fault
+//!   plans ([`SynthesisJob::with_fail_plan`]) drive the seeded chaos
+//!   suite in `tests/chaos.rs`;
 //! * [`SweepBuilder`] — cartesian job grids over cases, shape
 //!   constraints and specification axes ([`SpecAxis`]);
 //! * [`BatchTelemetry`] — wall-clock, per-worker busy time and the
@@ -46,7 +54,7 @@ mod sweep;
 mod telemetry;
 
 pub use engine::{BatchResult, CancelToken, Engine, EngineOptions};
-pub use job::{JobOutcome, SynthesisJob};
+pub use job::{JobOutcome, RetryPolicy, SynthesisJob};
 pub use pool::QueueKind;
 pub use sweep::{SpecAxis, SweepBuilder};
 pub use telemetry::BatchTelemetry;

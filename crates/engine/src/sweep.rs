@@ -7,7 +7,7 @@
 //! product of the varied axes into a job list for
 //! [`crate::Engine::run_batch`].
 
-use crate::job::SynthesisJob;
+use crate::job::{RetryPolicy, SynthesisJob};
 use losac_core::prelude::{Case, OtaSpecs};
 use losac_layout::slicing::ShapeConstraint;
 use losac_sizing::FoldedCascodePlan;
@@ -88,6 +88,7 @@ pub struct SweepBuilder {
     axes: Vec<(SpecAxis, Vec<f64>)>,
     plan: FoldedCascodePlan,
     budget: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl SweepBuilder {
@@ -101,6 +102,7 @@ impl SweepBuilder {
             axes: Vec::new(),
             plan: FoldedCascodePlan::default(),
             budget: None,
+            retry: None,
         }
     }
 
@@ -132,6 +134,12 @@ impl SweepBuilder {
     /// Give every job this wall-clock budget.
     pub fn with_budget(mut self, budget: Duration) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Give every job this retry policy for transient failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
         self
     }
 
@@ -185,6 +193,11 @@ impl SweepBuilder {
                 job.budget = Some(budget);
             }
         }
+        if let Some(retry) = self.retry {
+            for job in &mut jobs {
+                job.retry = Some(retry.clone());
+            }
+        }
         jobs
     }
 }
@@ -231,15 +244,19 @@ mod tests {
     }
 
     #[test]
-    fn budget_applies_to_every_job() {
+    fn budget_and_retry_apply_to_every_job() {
         let jobs = builder()
             .over_cases(Case::ALL)
             .with_budget(Duration::from_secs(30))
+            .with_retry(RetryPolicy::attempts(2))
             .build();
         assert_eq!(jobs.len(), 4);
         assert!(jobs
             .iter()
             .all(|j| j.budget == Some(Duration::from_secs(30))));
+        assert!(jobs
+            .iter()
+            .all(|j| j.retry == Some(RetryPolicy::attempts(2))));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct BatchTelemetry {
     /// Sum of every job's individual wall-clock time — what a 1-worker
     /// run of the same batch would roughly cost.
     pub serial_estimate: Duration,
+    /// Total retry attempts across the batch (attempts beyond each
+    /// job's first).
+    pub retries: u64,
+    /// Number of jobs that ended [`Degraded`](crate::JobOutcome::Degraded)
+    /// — they needed their retry policy, whether or not they recovered.
+    pub degraded: usize,
 }
 
 impl BatchTelemetry {
@@ -54,6 +60,8 @@ impl BatchTelemetry {
             .f64("serial_estimate_s", self.serial_estimate.as_secs_f64())
             .f64("speedup", self.speedup())
             .f64("utilization", self.utilization())
+            .u64("retries", self.retries)
+            .u64("degraded", self.degraded as u64)
             .raw("worker_busy_s", array(self.worker_busy.iter().map(secs)))
             .raw(
                 "worker_jobs",
@@ -76,12 +84,16 @@ mod tests {
             worker_busy: vec![Duration::from_secs(2), Duration::from_secs(1)],
             worker_jobs: vec![3, 1],
             serial_estimate: Duration::from_secs(3),
+            retries: 5,
+            degraded: 2,
         };
         assert!((t.speedup() - 1.5).abs() < 1e-9);
         assert!((t.utilization() - 0.75).abs() < 1e-9);
         let j = t.to_json();
         assert!(j.contains("\"speedup\":1.5"), "{j}");
         assert!(j.contains("\"worker_jobs\":[3,1]"), "{j}");
+        assert!(j.contains("\"retries\":5"), "{j}");
+        assert!(j.contains("\"degraded\":2"), "{j}");
     }
 
     #[test]

@@ -208,6 +208,13 @@ impl PlanError {
     fn new(m: impl Into<String>) -> Self {
         Self { message: m.into() }
     }
+
+    /// Create an error with an explicit message. Lets upstream crates
+    /// (the flow's fault-injection harness in particular) surface a
+    /// layout-stage failure on the tool's behalf.
+    pub fn with_message(m: impl Into<String>) -> Self {
+        Self::new(m)
+    }
 }
 
 impl fmt::Display for PlanError {

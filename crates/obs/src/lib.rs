@@ -16,6 +16,10 @@
 //! * **Sinks** ([`Sink`], [`install`]) — a pretty stderr printer
 //!   ([`PrettySink`]), a JSONL file writer ([`JsonlSink`]) and a
 //!   thread-safe in-memory [`Collector`] for tests and benches.
+//! * **Fail points** (`failpoint` module, behind the non-default
+//!   `failpoints` feature) — named thread-local fault-injection sites the
+//!   chaos suite uses to drive the engine through synthetic failures;
+//!   zero code is emitted when the feature is off.
 //!
 //! ## Zero cost when idle
 //!
@@ -52,6 +56,8 @@
 //! ```
 
 pub mod collector;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod field;
 pub mod json;
 pub mod jsonl;

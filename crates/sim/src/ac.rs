@@ -289,6 +289,13 @@ pub fn ac_point_on(lin: &Linearized, f: f64) -> Result<Vec<Complex>, AcError> {
 /// Factor and solve one frequency point; shared verbatim by the serial
 /// and parallel sweeps so both perform identical arithmetic.
 fn solve_point(lin: &Linearized, f: f64, ws: &mut AcWorkspace) -> Result<Vec<Complex>, AcError> {
+    #[cfg(feature = "failpoints")]
+    if losac_obs::failpoint::hit("sim.ac.sweep").is_some() {
+        return Err(AcError {
+            frequency: f,
+            cause: crate::num::SingularMatrix { column: usize::MAX },
+        });
+    }
     let omega = 2.0 * std::f64::consts::PI * f;
     lin.factor_into(omega, ws).map_err(|cause| AcError {
         frequency: f,
@@ -326,13 +333,18 @@ where
 {
     let slots: Vec<Mutex<Option<Result<R, E>>>> = freqs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Budgets follow the work: workers re-install the caller's interrupt
+    // so a point kernel that polls it still observes the job's deadline.
+    let interrupt = crate::interrupt::current();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let slots = &slots;
             let next = &next;
             let init = &init;
             let point = &point;
+            let interrupt = interrupt.clone();
             s.spawn(move || {
+                let _interrupt = interrupt.map(crate::interrupt::install);
                 let mut ws = init();
                 loop {
                     let start = next.fetch_add(SWEEP_CHUNK, Ordering::Relaxed);

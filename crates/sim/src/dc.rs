@@ -7,6 +7,7 @@
 //! solver falls back to gmin stepping and then source stepping, the same
 //! continuation ladder real SPICE engines use.
 
+use crate::interrupt::Interrupted;
 use crate::netlist::{Circuit, Element, GROUND};
 use crate::num::{Matrix, SingularMatrix};
 use losac_device::caps::intrinsic_caps;
@@ -153,6 +154,10 @@ pub enum DcError {
     Singular(SingularMatrix),
     /// The netlist failed validation.
     BadNetlist(String),
+    /// The solve was interrupted by the installed
+    /// [`crate::interrupt::SimInterrupt`] (stop flag or deadline) — not a
+    /// numerical failure, so callers must not retry or fall back.
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for DcError {
@@ -163,6 +168,7 @@ impl fmt::Display for DcError {
             }
             DcError::Singular(s) => write!(f, "dc analysis failed: {s}"),
             DcError::BadNetlist(m) => write!(f, "dc analysis rejected netlist: {m}"),
+            DcError::Interrupted(i) => write!(f, "dc analysis interrupted: {i}"),
         }
     }
 }
@@ -454,6 +460,18 @@ pub(crate) fn newton(
     let mut x = x0.to_vec();
     let mut last_residual = f64::INFINITY;
     for iter in 0..opts.max_iter {
+        // Budget/cancellation hole fix: a stuck iteration must notice the
+        // job's stop flag or deadline here, not at the next phase boundary.
+        crate::interrupt::poll().map_err(DcError::Interrupted)?;
+        #[cfg(feature = "failpoints")]
+        if let Some(action) = losac_obs::failpoint::hit("sim.dc.newton") {
+            return Err(match action {
+                losac_obs::failpoint::FailAction::Nan => {
+                    DcError::NoConvergence { residual: f64::NAN }
+                }
+                _ => DcError::Singular(SingularMatrix { column: usize::MAX }),
+            });
+        }
         assemble_into(circuit, u, &x, gmin, mode, &mut scratch.j, &mut scratch.f);
         last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         scratch
@@ -524,8 +542,16 @@ pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolut
             DC_FAILURES.incr();
             return Err(DcError::Singular(s));
         }
+        // Interruption is not a numerical failure: propagate immediately
+        // instead of burning the remaining budget on the continuation
+        // ladder (and keep it out of the failure counter).
+        Err(e @ DcError::Interrupted(_)) => return Err(e),
         Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
-            .inspect_err(|_| DC_FAILURES.incr())?,
+            .inspect_err(|e| {
+                if !matches!(e, DcError::Interrupted(_)) {
+                    DC_FAILURES.incr();
+                }
+            })?,
     };
 
     Ok(package(circuit, &u, x, total_iter))
@@ -569,8 +595,13 @@ pub fn dc_from_previous(
             DC_FAILURES.incr();
             return Err(DcError::Singular(s));
         }
+        Err(e @ DcError::Interrupted(_)) => return Err(e),
         Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
-            .inspect_err(|_| DC_FAILURES.incr())?,
+            .inspect_err(|e| {
+                if !matches!(e, DcError::Interrupted(_)) {
+                    DC_FAILURES.incr();
+                }
+            })?,
     };
     Ok(package(circuit, &u, x, total_iter))
 }
@@ -642,6 +673,9 @@ fn gmin_then_source_stepping(
                 *total_iter += it;
                 x = xn;
             }
+            // An interrupted rung ends the whole ladder — falling through
+            // to source stepping would keep computing past the deadline.
+            Err(e @ DcError::Interrupted(_)) => return Err(e),
             Err(_) => {
                 ok = false;
                 break;
@@ -880,6 +914,32 @@ mod tests {
         let c = Circuit::new();
         let err = dc_operating_point(&c, &DcOptions::default()).unwrap_err();
         assert!(matches!(err, DcError::BadNetlist(_)));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_solve() {
+        use crate::interrupt::{install, SimInterrupt};
+        use std::time::{Duration, Instant};
+        let mut c = Circuit::new();
+        c.vsource("v1", "a", "0", 1.0);
+        c.resistor("r1", "a", "0", 1e3);
+        let _g =
+            install(SimInterrupt::new().with_deadline(Instant::now() - Duration::from_millis(1)));
+        let err = dc_operating_point(&c, &DcOptions::default()).unwrap_err();
+        assert_eq!(err, DcError::Interrupted(Interrupted::TimedOut));
+    }
+
+    #[test]
+    fn raised_stop_flag_cancels_the_solve() {
+        use crate::interrupt::{install, SimInterrupt};
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut c = Circuit::new();
+        c.vsource("v1", "a", "0", 1.0);
+        c.resistor("r1", "a", "0", 1e3);
+        let _g = install(SimInterrupt::new().with_stop(Arc::new(AtomicBool::new(true))));
+        let err = dc_operating_point(&c, &DcOptions::default()).unwrap_err();
+        assert_eq!(err, DcError::Interrupted(Interrupted::Cancelled));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`tran`] — backward-Euler transient (slew-rate measurements);
 //! * [`meas`] — Bode summaries: DC gain, GBW, phase margin, margins;
 //! * [`num`] — the dense real/complex LU kernel behind all of it;
-//! * [`spice`] — SPICE-deck export of any netlist.
+//! * [`spice`] — SPICE-deck export of any netlist;
+//! * [`interrupt`] — cooperative stop-flag/deadline polling inside the
+//!   Newton and continuation loops (per-job budgets in the batch engine).
 //!
 //! The MOS devices evaluate `losac-device`'s EKV model, so the sizing
 //! tool (`losac-sizing`) and this simulator can never disagree about an
@@ -35,6 +37,7 @@
 
 pub mod ac;
 pub mod dc;
+pub mod interrupt;
 pub mod linear;
 pub mod meas;
 pub mod netlist;
@@ -45,6 +48,7 @@ pub mod tran;
 
 pub use ac::{ac_point_on, ac_sweep, ac_sweep_on, AcOptions, AcResult, NodeTrace};
 pub use dc::{dc_operating_point, DcOptions, DcSolution};
+pub use interrupt::{Interrupted, SimInterrupt};
 pub use linear::{AcWorkspace, Linearized};
 pub use meas::{bode_summary, bode_summary_of, BodeSummary};
 pub use netlist::Circuit;

@@ -101,9 +101,10 @@ pub struct BodeSummary {
 /// matter whether the measured output is inverting: phase margin is
 /// `180° − |Δphase(f_unity)|`.
 ///
-/// # Panics
-///
-/// Panics if the grids are empty or mismatched.
+/// A degenerate input (empty sweep, or response length not matching the
+/// grid) yields an empty summary — NaN gains, no crossings — instead of
+/// panicking, so a corrupted sweep fails its measurement with a typed
+/// error downstream rather than killing a batch worker.
 pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
     bode_summary_of(freqs, h.iter().copied())
 }
@@ -113,9 +114,7 @@ pub fn bode_summary(freqs: &[f64], h: &[Complex]) -> BodeSummary {
 /// [`crate::ac::AcResult`] — so callers never materialise the phasor
 /// column. Same arithmetic, same result, one allocation fewer.
 ///
-/// # Panics
-///
-/// Panics if the grids are empty or mismatched.
+/// Degenerate inputs yield an empty summary — see [`bode_summary`].
 pub fn bode_summary_of(freqs: &[f64], h: impl Iterator<Item = Complex>) -> BodeSummary {
     let mut mag: Vec<f64> = Vec::with_capacity(freqs.len());
     let mut raw_phase: Vec<f64> = Vec::with_capacity(freqs.len());
@@ -123,10 +122,17 @@ pub fn bode_summary_of(freqs: &[f64], h: impl Iterator<Item = Complex>) -> BodeS
         mag.push(z.abs());
         raw_phase.push(z.arg_degrees());
     }
-    assert!(
-        !freqs.is_empty() && freqs.len() == mag.len(),
-        "bad response grids"
-    );
+    if freqs.is_empty() || freqs.len() != mag.len() {
+        // Regression: this used to `assert!`, panicking a batch worker on
+        // a corrupted sweep instead of failing the one measurement.
+        return BodeSummary {
+            dc_gain: f64::NAN,
+            dc_gain_db: f64::NAN,
+            unity_freq: None,
+            phase_margin: None,
+            gain_margin_db: None,
+        };
+    }
     let unwrapped = crate::ac::unwrap_degrees(&raw_phase);
     let p0 = unwrapped[0];
     let rel: Vec<f64> = unwrapped.iter().map(|p| p - p0).collect();
@@ -280,5 +286,18 @@ mod tests {
     #[should_panic(expected = "bad interpolation grids")]
     fn empty_grid_panics() {
         let _ = value_at(&[], &[], 1.0);
+    }
+
+    #[test]
+    fn degenerate_response_yields_empty_summary() {
+        let empty = bode_summary(&[], &[]);
+        assert!(empty.dc_gain.is_nan() && empty.dc_gain_db.is_nan());
+        assert_eq!(empty.unity_freq, None);
+        assert_eq!(empty.phase_margin, None);
+        assert_eq!(empty.gain_margin_db, None);
+        // Mismatched grid/response lengths are equally degenerate.
+        let mismatched = bode_summary(&[1.0, 10.0], &[Complex::real(1.0)]);
+        assert!(mismatched.dc_gain.is_nan());
+        assert_eq!(mismatched.unity_freq, None);
     }
 }

@@ -217,6 +217,11 @@ pub struct Circuit {
     node_names: Vec<String>,
     node_ids: HashMap<String, NodeId>,
     elements: Vec<Element>,
+    /// Bad element values recorded at insertion and surfaced by
+    /// [`Circuit::validate`]. Builders stay infallible (chainable), but a
+    /// netlist carrying a non-finite parasitic no longer panics a batch
+    /// worker — it fails its first analysis with a typed error instead.
+    value_errors: Vec<String>,
 }
 
 impl Circuit {
@@ -226,6 +231,7 @@ impl Circuit {
             node_names: Vec::new(),
             node_ids: HashMap::new(),
             elements: Vec::new(),
+            value_errors: Vec::new(),
         };
         c.node_names.push("0".to_owned());
         c.node_ids.insert("0".to_owned(), GROUND);
@@ -279,14 +285,14 @@ impl Circuit {
 
     /// Add a resistor.
     ///
-    /// # Panics
-    ///
-    /// Panics if `ohms` is not strictly positive and finite.
+    /// A non-finite or non-positive `ohms` is recorded as a value error
+    /// and reported by [`Circuit::validate`] (and therefore by the first
+    /// analysis run on this circuit) instead of panicking here.
     pub fn resistor(&mut self, name: &str, a: &str, b: &str, ohms: f64) -> &mut Self {
-        assert!(
-            ohms.is_finite() && ohms > 0.0,
-            "resistor {name}: bad value {ohms}"
-        );
+        if !(ohms.is_finite() && ohms > 0.0) {
+            self.value_errors
+                .push(format!("resistor {name}: bad value {ohms}"));
+        }
         let (a, b) = (self.node(a), self.node(b));
         self.elements.push(Element::Resistor {
             name: name.to_owned(),
@@ -299,14 +305,14 @@ impl Circuit {
 
     /// Add a capacitor.
     ///
-    /// # Panics
-    ///
-    /// Panics if `farads` is negative or not finite.
+    /// A non-finite or negative `farads` is recorded as a value error and
+    /// reported by [`Circuit::validate`] (and therefore by the first
+    /// analysis run on this circuit) instead of panicking here.
     pub fn capacitor(&mut self, name: &str, a: &str, b: &str, farads: f64) -> &mut Self {
-        assert!(
-            farads.is_finite() && farads >= 0.0,
-            "capacitor {name}: bad value {farads}"
-        );
+        if !(farads.is_finite() && farads >= 0.0) {
+            self.value_errors
+                .push(format!("capacitor {name}: bad value {farads}"));
+        }
         let (a, b) = (self.node(a), self.node(b));
         self.elements.push(Element::Capacitor {
             name: name.to_owned(),
@@ -464,13 +470,16 @@ impl Circuit {
         Err(NetlistError::new(format!("no source named `{name}`")))
     }
 
-    /// Sanity-check the netlist: unique element names, every element value
-    /// already validated at insertion.
+    /// Sanity-check the netlist: no bad element values recorded at
+    /// insertion, unique element names, at least one element.
     ///
     /// # Errors
     ///
     /// Returns the first problem found.
     pub fn validate(&self) -> Result<(), NetlistError> {
+        if let Some(first) = self.value_errors.first() {
+            return Err(NetlistError::new(first.clone()));
+        }
         let mut seen = HashMap::new();
         for e in &self.elements {
             if let Some(_prev) = seen.insert(e.name().to_owned(), ()) {
@@ -547,10 +556,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad value")]
-    fn zero_resistor_panics() {
+    fn bad_element_values_deferred_to_validate() {
+        // Regression: these used to `assert!` inside the builder, killing
+        // a whole engine worker through `catch_unwind` instead of failing
+        // the one job with a typed error.
+        let cases: [(fn(&mut Circuit), &str); 4] = [
+            (
+                |c| {
+                    c.resistor("r1", "a", "0", 0.0);
+                },
+                "resistor r1",
+            ),
+            (
+                |c| {
+                    c.resistor("r1", "a", "0", f64::NAN);
+                },
+                "resistor r1",
+            ),
+            (
+                |c| {
+                    c.capacitor("c1", "a", "0", -1e-12);
+                },
+                "capacitor c1",
+            ),
+            (
+                |c| {
+                    c.capacitor("c1", "a", "0", f64::INFINITY);
+                },
+                "capacitor c1",
+            ),
+        ];
+        for (build, want) in cases {
+            let mut c = Circuit::new();
+            build(&mut c);
+            let err = c.validate().unwrap_err().to_string();
+            assert!(err.contains(want), "got `{err}`");
+            assert!(err.contains("bad value"), "got `{err}`");
+        }
+    }
+
+    #[test]
+    fn good_element_values_still_validate() {
         let mut c = Circuit::new();
-        c.resistor("r1", "a", "0", 0.0);
+        c.resistor("r1", "a", "0", 1e3);
+        c.capacitor("c1", "a", "0", 0.0); // zero capacitance is legal
+        assert!(c.validate().is_ok());
     }
 
     #[test]

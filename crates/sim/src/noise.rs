@@ -143,6 +143,13 @@ fn solve_noise_point(
     scratch: &mut NoiseScratch,
     out: usize,
 ) -> Result<NoisePoint, NoiseError> {
+    #[cfg(feature = "failpoints")]
+    if losac_obs::failpoint::hit("sim.noise").is_some() {
+        return Err(NoiseError {
+            frequency: f,
+            cause: SingularMatrix { column: usize::MAX },
+        });
+    }
     let omega = 2.0 * std::f64::consts::PI * f;
     lin.factor_into(omega, &mut scratch.ws)
         .map_err(|cause| NoiseError {

@@ -129,20 +129,24 @@ impl std::error::Error for TranError {}
 ///
 /// # Errors
 ///
-/// Returns [`TranError`] if a time step fails to converge.
-///
-/// # Panics
-///
-/// Panics if `opts.dt` or `opts.tstop` is not strictly positive.
+/// Returns [`TranError`] if the time range is invalid (`dt`/`tstop` not
+/// strictly positive and finite — a typed error rather than a panic, so a
+/// batch job with a corrupted time scale fails cleanly) or if a time step
+/// fails to converge.
 pub fn transient(
     circuit: &Circuit,
     dc: &DcSolution,
     opts: &TranOptions,
 ) -> Result<TranResult, TranError> {
-    assert!(
-        opts.dt > 0.0 && opts.tstop > 0.0,
-        "bad transient time range"
-    );
+    if !(opts.dt > 0.0 && opts.dt.is_finite() && opts.tstop > 0.0 && opts.tstop.is_finite()) {
+        return Err(TranError {
+            time: 0.0,
+            cause: DcError::BadNetlist(format!(
+                "bad transient time range: dt = {:e}, tstop = {:e}",
+                opts.dt, opts.tstop
+            )),
+        });
+    }
     let u = Unknowns::of(circuit);
     let n = circuit.num_nodes();
     let mut x = vec![0.0; u.total];
@@ -167,6 +171,13 @@ pub fn transient(
         }
         let h = opts.dt.min(remaining);
         let t_next = time + h;
+        #[cfg(feature = "failpoints")]
+        if losac_obs::failpoint::hit("sim.tran.step").is_some() {
+            return Err(TranError {
+                time: t_next,
+                cause: DcError::NoConvergence { residual: f64::NAN },
+            });
+        }
         x_prev.copy_from_slice(&x);
         let mode = AssembleMode::Tran {
             h,
@@ -296,21 +307,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad transient time range")]
-    fn zero_dt_panics() {
+    fn zero_dt_is_a_typed_error() {
+        // Regression: this used to `assert!`, panicking a batch worker.
         let mut c = Circuit::new();
         c.vsource("v1", "a", "0", 1.0);
         c.resistor("r1", "a", "0", 1e3);
         let dc = dc_operating_point(&c, &DcOptions::default()).unwrap();
-        let _ = transient(
-            &c,
-            &dc,
-            &TranOptions {
-                tstop: 1e-6,
-                dt: 0.0,
-                newton: DcOptions::default(),
-            },
-        );
+        for (tstop, dt) in [
+            (1e-6, 0.0),
+            (0.0, 1e-9),
+            (1e-6, f64::NAN),
+            (f64::INFINITY, 1e-9),
+        ] {
+            let err = transient(
+                &c,
+                &dc,
+                &TranOptions {
+                    tstop,
+                    dt,
+                    newton: DcOptions::default(),
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(&err.cause, DcError::BadNetlist(m) if m.contains("bad transient time range")),
+                "got {err}"
+            );
+        }
     }
 
     #[test]

@@ -13,11 +13,12 @@ use crate::specs::OtaSpecs;
 use losac_obs::Counter;
 use losac_sim::ac::{ac_point_on, ac_sweep, ac_sweep_on, log_grid, AcOptions};
 use losac_sim::dc::{dc_from_previous, dc_operating_point, DcError, DcOptions, DcSolution};
+use losac_sim::interrupt::Interrupted;
 use losac_sim::linear::Linearized;
 use losac_sim::meas::{bode_summary_of, db};
 use losac_sim::netlist::Circuit;
 use losac_sim::noise::{integrate_psd, noise_analysis, noise_analysis_on};
-use losac_sim::tran::{transient, TranOptions};
+use losac_sim::tran::{transient, TranError, TranOptions};
 use losac_tech::Technology;
 use std::collections::HashMap;
 use std::fmt;
@@ -27,6 +28,10 @@ use std::sync::{Arc, Mutex};
 static EVAL_CACHE_HIT: Counter = Counter::new("sizing.eval.cache_hit");
 /// Evaluations that missed the cache and ran the full pipeline.
 static EVAL_CACHE_MISS: Counter = Counter::new("sizing.eval.cache_miss");
+/// Lookups whose 64-bit hash matched a stored entry but whose full key
+/// bytes did not. Counted as a miss (and re-simulated) — never served as
+/// a hit.
+static EVAL_CACHE_COLLISION: Counter = Counter::new("sizing.eval.cache_collision");
 
 /// Input drive of a generated amplifier netlist.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,16 +73,29 @@ pub trait Amplifier: Sync {
     /// Rough slew-rate estimate (V/s), used only to choose the transient
     /// time scale.
     fn slew_estimate(&self) -> f64;
-    /// Hash of every field that influences [`Amplifier::netlist`] and
+    /// Mix every field that influences [`Amplifier::netlist`] and
     /// [`Amplifier::slew_estimate`] — geometries, bias points, passives
-    /// and specs — used as the amplifier part of the [`EvalCache`] key.
+    /// and specs — into `h`, and return `true` to opt into [`EvalCache`]
+    /// keying. The hasher records the exact byte stream alongside the
+    /// hash, so the cache verifies the full key on lookup and a 64-bit
+    /// hash collision can never alias two designs.
     ///
-    /// The default `None` opts the topology out of caching entirely, so
-    /// an implementor that forgets to cover a field can only ever be
-    /// slower, never wrong *if* it hashes everything it exposes to the
-    /// netlist. Use [`FnvHasher`] so float quantisation is uniform.
+    /// The default (write nothing, return `false`) opts the topology out
+    /// of caching entirely, so an implementor that forgets to cover a
+    /// field can only ever be slower, never wrong *if* it hashes
+    /// everything it exposes to the netlist. [`FnvHasher`] keeps float
+    /// quantisation uniform across the whole key.
+    fn write_fingerprint(&self, h: &mut FnvHasher) -> bool {
+        let _ = h;
+        false
+    }
+    /// Hash of the amplifier part of the cache key, or `None` when the
+    /// topology opts out. Derived from [`Amplifier::write_fingerprint`];
+    /// implement that method, not this one, so byte-level verification
+    /// keeps working.
     fn cache_fingerprint(&self) -> Option<u64> {
-        None
+        let mut h = FnvHasher::new();
+        self.write_fingerprint(&mut h).then(|| h.finish())
     }
 }
 
@@ -141,15 +159,53 @@ impl fmt::Display for Performance {
     }
 }
 
+/// Broad classification of an evaluation failure.
+///
+/// The batch engine's retry policy keys off this: [`Analysis`] failures
+/// are worth another attempt (a perturbed continuation ladder often
+/// converges), [`BadNetlist`] never is, and the two interruption kinds
+/// mean the budget — not the circuit — ended the evaluation.
+///
+/// [`Analysis`]: EvalErrorKind::Analysis
+/// [`BadNetlist`]: EvalErrorKind::BadNetlist
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalErrorKind {
+    /// A numerical analysis failed: non-convergence, a singular system,
+    /// or an un-measurable response (no unity crossing, buffer never
+    /// settled). Potentially transient.
+    Analysis,
+    /// The generated netlist itself is invalid (bad element values, bad
+    /// time range). Permanent — retrying rebuilds the same netlist.
+    BadNetlist,
+    /// The evaluation was cancelled through the installed
+    /// [`losac_sim::interrupt::SimInterrupt`] stop flag.
+    Cancelled,
+    /// The evaluation ran past the installed deadline.
+    TimedOut,
+}
+
 /// Evaluation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalError {
     message: String,
+    kind: EvalErrorKind,
 }
 
 impl EvalError {
     fn new(m: impl Into<String>) -> Self {
-        Self { message: m.into() }
+        Self::with_kind(m, EvalErrorKind::Analysis)
+    }
+
+    fn with_kind(m: impl Into<String>, kind: EvalErrorKind) -> Self {
+        Self {
+            message: m.into(),
+            kind,
+        }
+    }
+
+    /// What broad class of failure this is.
+    pub fn kind(&self) -> EvalErrorKind {
+        self.kind
     }
 }
 
@@ -161,9 +217,24 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+fn kind_of_dc(e: &DcError) -> EvalErrorKind {
+    match e {
+        DcError::BadNetlist(_) => EvalErrorKind::BadNetlist,
+        DcError::Interrupted(Interrupted::Cancelled) => EvalErrorKind::Cancelled,
+        DcError::Interrupted(Interrupted::TimedOut) => EvalErrorKind::TimedOut,
+        _ => EvalErrorKind::Analysis,
+    }
+}
+
 impl From<DcError> for EvalError {
     fn from(e: DcError) -> Self {
-        EvalError::new(e.to_string())
+        EvalError::with_kind(e.to_string(), kind_of_dc(&e))
+    }
+}
+
+impl From<TranError> for EvalError {
+    fn from(e: TranError) -> Self {
+        EvalError::with_kind(e.to_string(), kind_of_dc(&e.cause))
     }
 }
 
@@ -239,6 +310,22 @@ impl EvalOptions {
     }
 }
 
+/// The full identity of one evaluation: the 64-bit FNV hash used for
+/// bucket selection plus the exact byte stream that produced it. The
+/// bytes are compared on lookup, so two designs that collide on the hash
+/// can never alias each other's [`Performance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct EvalKey {
+    hash: u64,
+    bytes: Box<[u8]>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    bytes: Box<[u8]>,
+    perf: Performance,
+}
+
 /// A keyed memo of completed evaluations.
 ///
 /// The synthesis loop re-evaluates the same sizing under the same
@@ -247,12 +334,15 @@ impl EvalOptions {
 /// returns the stored [`Performance`] instead of re-simulating. Hits and
 /// misses are counted on `sizing.eval.cache_hit` / `sizing.eval.cache_miss`.
 ///
-/// Keys quantise every float (see [`FnvHasher::write_f64`]), so a
-/// collision would require two different designs to agree on a 64-bit
-/// hash; a miss merely re-simulates.
+/// Keys quantise every float (see [`FnvHasher::write_f64`]) and store
+/// the exact quantised byte stream alongside the hash: a lookup whose
+/// hash matches but whose bytes do not is a *collision*, counted on
+/// `sizing.eval.cache_collision` and served as a miss. (An earlier
+/// version keyed on the bare 64-bit hash and would have returned the
+/// colliding design's numbers as a hit.)
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    map: Mutex<HashMap<u64, Performance>>,
+    map: Mutex<HashMap<u64, Vec<CacheEntry>>>,
 }
 
 impl EvalCache {
@@ -263,7 +353,7 @@ impl EvalCache {
 
     /// Number of distinct evaluations stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("eval cache poisoned").len()
+        self.lock().values().map(Vec::len).sum()
     }
 
     /// Whether the cache is empty.
@@ -271,25 +361,39 @@ impl EvalCache {
         self.len() == 0
     }
 
-    fn lookup(&self, key: u64) -> Option<Performance> {
-        let hit = self
-            .map
-            .lock()
-            .expect("eval cache poisoned")
-            .get(&key)
-            .copied();
+    /// Lock the map, tolerating poisoning: a worker that panicked while
+    /// holding the lock can only have been *reading*, or inserting a
+    /// fully-formed entry, so the data is still consistent — and the
+    /// cache must keep serving the surviving workers of the batch.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<CacheEntry>>> {
+        self.map.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lookup(&self, key: &EvalKey) -> Option<Performance> {
+        let map = self.lock();
+        let bucket = map.get(&key.hash);
+        let hit = bucket.and_then(|b| b.iter().find(|e| *e.bytes == *key.bytes).map(|e| e.perf));
         match hit {
             Some(_) => EVAL_CACHE_HIT.incr(),
-            None => EVAL_CACHE_MISS.incr(),
+            None => {
+                if bucket.is_some_and(|b| !b.is_empty()) {
+                    EVAL_CACHE_COLLISION.incr();
+                }
+                EVAL_CACHE_MISS.incr();
+            }
         }
         hit
     }
 
-    fn store(&self, key: u64, perf: Performance) {
-        self.map
-            .lock()
-            .expect("eval cache poisoned")
-            .insert(key, perf);
+    fn store(&self, key: &EvalKey, perf: Performance) {
+        let mut map = self.lock();
+        let bucket = map.entry(key.hash).or_default();
+        if !bucket.iter().any(|e| *e.bytes == *key.bytes) {
+            bucket.push(CacheEntry {
+                bytes: key.bytes.clone(),
+                perf,
+            });
+        }
     }
 }
 
@@ -298,10 +402,18 @@ impl EvalCache {
 /// Floats are quantised before hashing so that values differing only in
 /// the last few mantissa bits (float noise from a different summation
 /// order upstream) land on the same key. Amplifier implementations use
-/// this in [`Amplifier::cache_fingerprint`] so quantisation is uniform
+/// this in [`Amplifier::write_fingerprint`] so quantisation is uniform
 /// across the whole key.
+///
+/// Besides the rolling 64-bit hash, the hasher records every mixed byte;
+/// the cache stores that byte stream with each entry and verifies it on
+/// lookup, turning a hash collision into a counted miss instead of a
+/// wrong answer.
 #[derive(Debug, Clone)]
-pub struct FnvHasher(u64);
+pub struct FnvHasher {
+    hash: u64,
+    bytes: Vec<u8>,
+}
 
 impl Default for FnvHasher {
     fn default() -> Self {
@@ -312,14 +424,23 @@ impl Default for FnvHasher {
 impl FnvHasher {
     /// FNV-1a offset basis.
     pub fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
+        Self {
+            hash: 0xcbf2_9ce4_8422_2325,
+            bytes: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn mix_byte(&mut self, b: u8) {
+        self.hash ^= b as u64;
+        self.hash = self.hash.wrapping_mul(0x0100_0000_01b3);
+        self.bytes.push(b);
     }
 
     /// Mix raw 64 bits.
     pub fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+            self.mix_byte(b);
         }
     }
 
@@ -327,8 +448,7 @@ impl FnvHasher {
     pub fn write_str(&mut self, s: &str) {
         self.write_u64(s.len() as u64);
         for &b in s.as_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+            self.mix_byte(b);
         }
     }
 
@@ -341,7 +461,15 @@ impl FnvHasher {
 
     /// The accumulated hash.
     pub fn finish(&self) -> u64 {
-        self.0
+        self.hash
+    }
+
+    /// The full cache key: hash plus the recorded byte stream.
+    pub(crate) fn into_key(self) -> EvalKey {
+        EvalKey {
+            hash: self.hash,
+            bytes: self.bytes.into_boxed_slice(),
+        }
     }
 }
 
@@ -374,13 +502,27 @@ pub fn hash_common_fingerprint(
 
 /// Cache key for one evaluation, or `None` when the amplifier does not
 /// fingerprint itself.
-fn eval_key(ota: &dyn Amplifier, tech: &Technology, mode: &ParasiticMode) -> Option<u64> {
-    let fp = ota.cache_fingerprint()?;
+fn eval_key(ota: &dyn Amplifier, tech: &Technology, mode: &ParasiticMode) -> Option<EvalKey> {
     let mut h = FnvHasher::new();
-    h.write_u64(fp);
-    h.write_str(tech.name());
+    if !ota.write_fingerprint(&mut h) {
+        return None;
+    }
+    hash_technology(&mut h, tech);
     hash_mode(&mut h, mode);
-    Some(h.finish())
+    Some(h.into_key())
+}
+
+/// Mix the full identity of a technology: its name *and* the rendering
+/// of every parameter field. An earlier version hashed only the name, so
+/// two [`Technology`] values sharing a name but differing in model
+/// parameters (a characterisation sweep, a corner variant) keyed to the
+/// same cache slot and served each other's numbers.
+fn hash_technology(h: &mut FnvHasher, tech: &Technology) {
+    h.write_str(tech.name());
+    // The Debug rendering covers every field — including ones added after
+    // this function was written — at the cost of hashing text. Key
+    // construction is once per evaluation; the simulations dwarf it.
+    h.write_str(&format!("{tech:?}"));
 }
 
 /// Mix the full content of a parasitic mode: the case label separates
@@ -514,17 +656,26 @@ pub fn evaluate_with(
     opts: &EvalOptions,
 ) -> Result<Performance, EvalError> {
     let _span = losac_obs::span("sizing.evaluate");
+    #[cfg(feature = "failpoints")]
+    if let Some(action) = losac_obs::failpoint::hit("sizing.evaluate") {
+        return Err(match action {
+            losac_obs::failpoint::FailAction::Nan => {
+                EvalError::new("injected NaN residual at `sizing.evaluate`")
+            }
+            _ => EvalError::new("injected failure at `sizing.evaluate`"),
+        });
+    }
     let key = match &opts.cache {
         Some(_) => eval_key(ota, tech, mode),
         None => None,
     };
-    if let (Some(cache), Some(key)) = (&opts.cache, key) {
+    if let (Some(cache), Some(key)) = (&opts.cache, &key) {
         if let Some(perf) = cache.lookup(key) {
             return Ok(perf);
         }
     }
     let perf = evaluate_uncached(ota, tech, mode, opts)?;
-    if let (Some(cache), Some(key)) = (&opts.cache, key) {
+    if let (Some(cache), Some(key)) = (&opts.cache, &key) {
         cache.store(key, perf);
     }
     Ok(perf)
@@ -544,8 +695,15 @@ fn evaluate_uncached(
     opts: &EvalOptions,
 ) -> Result<Performance, EvalError> {
     if opts.resolved_threads() >= 2 {
+        // The slew lane must honour the same stop flag / deadline as the
+        // calling thread: interrupts are thread-local, so re-install the
+        // caller's on the worker.
+        let interrupt = losac_sim::interrupt::current();
         std::thread::scope(|s| {
-            let slew = s.spawn(|| measure_slew_rate(ota, tech, mode));
+            let slew = s.spawn(move || {
+                let _interrupt = interrupt.map(losac_sim::interrupt::install);
+                measure_slew_rate(ota, tech, mode)
+            });
             let main = small_signal(ota, tech, mode, opts);
             let slew = slew
                 .join()
@@ -764,8 +922,7 @@ fn measure_slew_rate(
             dt: tstop / 1500.0,
             newton: DcOptions::default(),
         },
-    )
-    .map_err(|e| EvalError::new(e.to_string()))?;
+    )?;
     let final_v = res.final_value(&c, "out");
     if (final_v - (mid + step)).abs() > 0.2 {
         return Err(EvalError::new(format!(
@@ -842,6 +999,100 @@ mod tests {
             "power {:.2} mW",
             p.power * 1e3
         );
+    }
+
+    fn sample_perf(tag: f64) -> Performance {
+        Performance {
+            dc_gain_db: 60.0 + tag,
+            gbw: 50e6,
+            phase_margin: 60.0,
+            slew_rate: 40e6,
+            cmrr_db: 80.0,
+            offset: 1e-3,
+            output_resistance: 1e6,
+            input_noise_rms: 50e-6,
+            thermal_noise_density: 10e-9,
+            flicker_noise_density: 1e-6,
+            power: 1e-3,
+        }
+    }
+
+    #[test]
+    fn hash_collision_is_a_counted_miss_not_a_hit() {
+        // Regression: the cache used to key on the bare 64-bit hash, so
+        // two designs colliding on it served each other's numbers.
+        let cache = EvalCache::new();
+        let a = EvalKey {
+            hash: 42,
+            bytes: b"design-a".to_vec().into_boxed_slice(),
+        };
+        let b = EvalKey {
+            hash: 42,
+            bytes: b"design-b".to_vec().into_boxed_slice(),
+        };
+        cache.store(&a, sample_perf(0.0));
+        let collisions_before = EVAL_CACHE_COLLISION.get();
+        assert_eq!(
+            cache.lookup(&b),
+            None,
+            "same hash, different key bytes must miss"
+        );
+        assert_eq!(EVAL_CACHE_COLLISION.get(), collisions_before + 1);
+        cache.store(&b, sample_perf(1.0));
+        assert_eq!(cache.len(), 2, "both entries live in the same bucket");
+        assert_eq!(cache.lookup(&a), Some(sample_perf(0.0)));
+        assert_eq!(cache.lookup(&b), Some(sample_perf(1.0)));
+        // Re-storing an existing key does not duplicate the entry.
+        cache.store(&a, sample_perf(0.0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_hash_and_bytes_are_deterministic() {
+        let write = |h: &mut FnvHasher| {
+            h.write_str("abc");
+            h.write_f64(1.5);
+            h.write_u64(7);
+        };
+        let (mut h1, mut h2) = (FnvHasher::new(), FnvHasher::new());
+        write(&mut h1);
+        write(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_eq!(h1.into_key(), h2.into_key());
+        let mut h3 = FnvHasher::new();
+        h3.write_str("abd");
+        h3.write_f64(1.5);
+        h3.write_u64(7);
+        let mut h4 = FnvHasher::new();
+        write(&mut h4);
+        assert_ne!(h3.into_key().bytes, h4.into_key().bytes);
+    }
+
+    #[test]
+    fn same_name_techs_do_not_share_cache_entries() {
+        // Regression: the cache key used to hash only `tech.name()`, so
+        // two technologies sharing a name but differing in their model
+        // cards keyed identically — the second evaluation was served the
+        // first one's numbers.
+        let (tech_a, ota) = setup();
+        let mut tech_b = tech_a.clone();
+        tech_b.nmos.vt0 *= 1.05; // same name, different model card
+        let cache = Arc::new(EvalCache::new());
+        let opts = EvalOptions::default().with_cache(cache.clone());
+        let p_a = evaluate_with(&ota, &tech_a, &ParasiticMode::None, &opts).unwrap();
+        let p_b = evaluate_with(&ota, &tech_b, &ParasiticMode::None, &opts).unwrap();
+        assert_eq!(cache.len(), 2, "each technology gets its own entry");
+        assert_ne!(
+            p_a.gbw, p_b.gbw,
+            "a different model card must change the measurement"
+        );
+        // Identical inputs still hit. (The hit counter is process-global,
+        // so another test may bump it concurrently: assert growth, not an
+        // exact delta.)
+        let hits_before = EVAL_CACHE_HIT.get();
+        let again = evaluate_with(&ota, &tech_a, &ParasiticMode::None, &opts).unwrap();
+        assert_eq!(again, p_a);
+        assert!(EVAL_CACHE_HIT.get() > hits_before);
     }
 
     #[test]

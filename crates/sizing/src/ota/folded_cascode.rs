@@ -791,10 +791,9 @@ impl Amplifier for FoldedCascodeOta {
         self.currents.i_tail / self.specs.c_load.max(1e-15)
     }
 
-    fn cache_fingerprint(&self) -> Option<u64> {
-        let mut h = crate::eval::FnvHasher::new();
+    fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
         h.write_str("folded_cascode");
-        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [
             self.bias.vp1,
             self.bias.vbn,
@@ -807,7 +806,7 @@ impl Amplifier for FoldedCascodeOta {
         ] {
             h.write_f64(v);
         }
-        Some(h.finish())
+        true
     }
 }
 

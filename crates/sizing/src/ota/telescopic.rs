@@ -290,14 +290,13 @@ impl Amplifier for TelescopicOta {
         self.i_tail / self.specs.c_load.max(1e-15)
     }
 
-    fn cache_fingerprint(&self) -> Option<u64> {
-        let mut h = crate::eval::FnvHasher::new();
+    fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
         h.write_str("telescopic");
-        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [self.vp1, self.vcp, self.vcn, self.i_tail] {
             h.write_f64(v);
         }
-        Some(h.finish())
+        true
     }
 }
 

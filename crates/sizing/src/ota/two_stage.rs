@@ -325,14 +325,13 @@ impl Amplifier for TwoStageOta {
         (self.i_tail / self.cc).min(self.i_stage2 / self.specs.c_load)
     }
 
-    fn cache_fingerprint(&self) -> Option<u64> {
-        let mut h = crate::eval::FnvHasher::new();
+    fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
         h.write_str("two_stage");
-        crate::eval::hash_common_fingerprint(&mut h, &self.devices, &self.specs);
+        crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [self.vp1, self.vp2, self.cc, self.i_tail, self.i_stage2] {
             h.write_f64(v);
         }
-        Some(h.finish())
+        true
     }
 }
 

@@ -62,4 +62,24 @@ fn reuse_and_cache_cut_matrix_factorisations() {
         0,
         "a cache hit must not run the simulator"
     );
+
+    // Byte-verified keys: in normal operation (no engineered 64-bit hash
+    // collisions) the collision counter must never move — a nonzero value
+    // would mean distinct designs land in one hash bucket and are told
+    // apart only by the byte check, i.e. the fingerprint hash degraded.
+    // Exercise several distinct keys (two parasitic modes on top of the
+    // evaluations above) and require zero collisions throughout.
+    let before = snapshot();
+    for m in [ParasiticMode::None, ParasiticMode::UnfoldedDiffusion] {
+        evaluate_with(&ota, &tech, &m, &opts).expect("mode sweep");
+    }
+    let since = snapshot().counters_since(&before);
+    assert_eq!(
+        since
+            .get("sizing.eval.cache_collision")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "distinct eval keys must occupy distinct hash buckets"
+    );
 }

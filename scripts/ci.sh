@@ -51,6 +51,33 @@ if ! LOSAC_LOG=off LOSAC_ENGINE_WORKERS=4 cargo test -q --release --test batch_e
     fail=1
 fi
 
+# Chaos gates: seeded fault schedules through the batch engine, with the
+# fail-point feature on. Outcomes must be bitwise identical at 1 and 4
+# workers, panics must stay contained, and budget stops must win over
+# hung solvers. (The tier-1 build above runs feature-off, pinning the
+# production paths.)
+echo "==> chaos suite (1 worker)"
+if ! LOSAC_LOG=off LOSAC_CHAOS_WORKERS=1 cargo test -q --release \
+    -p losac-engine --features failpoints --test chaos; then
+    echo "FAIL: chaos suite (1 worker)"
+    fail=1
+fi
+
+echo "==> chaos suite (4 workers)"
+if ! LOSAC_LOG=off LOSAC_CHAOS_WORKERS=4 cargo test -q --release \
+    -p losac-engine --features failpoints --test chaos; then
+    echo "FAIL: chaos suite (4 workers)"
+    fail=1
+fi
+
+echo "==> clippy (failpoints on)"
+if command -v cargo-clippy >/dev/null 2>&1; then
+    if ! cargo clippy -q -p losac-engine --all-targets --features failpoints -- -D warnings; then
+        echo "FAIL: clippy (failpoints)"
+        fail=1
+    fi
+fi
+
 # Hot-path equivalence gates: every simulator optimisation (linearisation
 # reuse, thread fan-out, eval cache) must be bitwise identical to the
 # legacy serial path, and must measurably cut matrix factorisations.

@@ -3,12 +3,17 @@
 //! serial run of the same sweep.
 //!
 //! ```text
-//! batch_sweep [--workers N] [--json]
+//! batch_sweep [--workers N] [--json] [--topology a,b,c]
 //! ```
 //!
 //! * `--workers N` — worker threads for the parallel run (default 0 =
 //!   one per available core);
-//! * `--json` — emit a machine-readable run record instead of the table.
+//! * `--json` — emit a machine-readable run record instead of the table;
+//! * `--topology a,b,c` — run a topology smoke sweep instead: the full
+//!   parasitic loop (case 4, min-area) once per named topology from the
+//!   built-in registry (`folded_cascode`, `telescopic`, `two_stage`),
+//!   each against its own example specification. Unknown names exit
+//!   non-zero.
 //!
 //! The binary asserts the engine's determinism contract: the parallel
 //! run must produce **bit-identical** performance numbers to the serial
@@ -19,6 +24,7 @@ use losac_bench::{counters_json, json_mode, perf_json};
 use losac_core::prelude::*;
 use losac_engine::{Engine, EngineOptions, JobOutcome, SweepBuilder};
 use losac_obs::json::{array, Object};
+use losac_sizing::TopologyRegistry;
 use std::sync::Arc;
 
 fn workers_arg() -> usize {
@@ -28,6 +34,14 @@ fn workers_arg() -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+fn topology_arg() -> Option<Vec<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(str::to_owned).collect())
 }
 
 fn shapes() -> [ShapeConstraint; 4] {
@@ -70,16 +84,44 @@ fn main() {
     let tech = Arc::new(Technology::cmos06());
     let specs = OtaSpecs::paper_example();
 
-    let sweep = || {
-        SweepBuilder::new(tech.clone(), specs)
+    // Resolve a --topology smoke sweep through the registry (errors out
+    // on unknown names before any work is done).
+    let topo_plans = topology_arg().map(|names| {
+        let registry = TopologyRegistry::builtin();
+        names
+            .iter()
+            .map(|name| {
+                registry.get(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown topology {name:?}; available: {}",
+                        registry.names().join(", ")
+                    );
+                    std::process::exit(1);
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let sweep = || match &topo_plans {
+        Some(plans) => SweepBuilder::new(tech.clone(), specs)
+            .over_topologies(plans.clone())
+            .over_cases([Case::AllParasitics])
+            .build(),
+        None => SweepBuilder::new(tech.clone(), specs)
             .over_cases(Case::ALL)
             .over_shapes(shapes())
-            .build()
+            .build(),
     };
     let jobs = sweep();
     let n = jobs.len();
     if !json {
-        println!("batch sweep: {n} jobs (4 cases x 4 shape constraints), {specs}");
+        match &topo_plans {
+            Some(plans) => println!(
+                "batch sweep: {n} topology smoke jobs (case 4, min-area, {} topologies)",
+                plans.len()
+            ),
+            None => println!("batch sweep: {n} jobs (4 cases x 4 shape constraints), {specs}"),
+        }
     }
 
     // Serial reference: the same sweep, one worker.

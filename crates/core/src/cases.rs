@@ -8,12 +8,15 @@
 //! values in brackets) come from the extracted netlist.
 
 use crate::flow::{layout_oriented_synthesis, FlowControl, FlowError, FlowOptions};
-use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use crate::layout_gen::{to_feedback, topology_layout_plan, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
 use losac_sizing::eval::{evaluate_with, EvalError, EvalErrorKind, EvalOptions};
-use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
+use losac_sizing::{
+    FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance, Topology, TopologyPlan,
+};
 use losac_tech::Technology;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which of Table 1's four sizing strategies to run.
 ///
@@ -66,8 +69,9 @@ impl fmt::Display for Case {
 pub struct CaseResult {
     /// Which case this is.
     pub case: Case,
-    /// The sized circuit.
-    pub ota: FoldedCascodeOta,
+    /// The sized circuit. Recover the concrete type — when it is known —
+    /// through [`Topology::as_any`].
+    pub ota: Arc<dyn Topology>,
     /// What the sizing tool believes (Table 1's plain numbers).
     pub synthesized: Performance,
     /// Simulation of the extracted netlist (Table 1's bracketed
@@ -143,8 +147,9 @@ impl From<losac_layout::plan::PlanError> for CaseError {
 /// default flow tolerance and call budget, no cancellation).
 #[derive(Debug, Clone)]
 pub struct CaseOptions {
-    /// Sizing design plan.
-    pub plan: FoldedCascodePlan,
+    /// Topology design plan (any [`TopologyPlan`]; the default is the
+    /// paper's folded cascode).
+    pub plan: Arc<dyn TopologyPlan>,
     /// Layout implementation options (matching styles, finger target).
     pub layout: LayoutOptions,
     /// Shape constraint, applied both inside the flow loop and to the
@@ -168,7 +173,7 @@ impl Default for CaseOptions {
     fn default() -> Self {
         let flow = FlowOptions::default();
         Self {
-            plan: FoldedCascodePlan::default(),
+            plan: Arc::new(FoldedCascodePlan::default()),
             layout: flow.layout,
             shape: flow.shape,
             tolerance: flow.tolerance,
@@ -229,31 +234,41 @@ pub fn run_case_with(
         .control
         .sim_interrupt()
         .map(losac_sim::interrupt::install);
-    let (ota, synth_mode, layout_calls) = match case {
+    let (ota, synth_mode, layout_calls): (Arc<dyn Topology>, ParasiticMode, usize) = match case {
         Case::NoParasitics => {
-            let ota = opts.plan.size(tech, specs, &ParasiticMode::None)?;
-            (ota, ParasiticMode::None, 1)
+            let ota = opts.plan.size_topology(tech, specs, &ParasiticMode::None)?;
+            (Arc::from(ota), ParasiticMode::None, 1)
         }
         Case::UnfoldedDiffusion => {
             let ota = opts
                 .plan
-                .size(tech, specs, &ParasiticMode::UnfoldedDiffusion)?;
-            (ota, ParasiticMode::UnfoldedDiffusion, 1)
+                .size_topology(tech, specs, &ParasiticMode::UnfoldedDiffusion)?;
+            (Arc::from(ota), ParasiticMode::UnfoldedDiffusion, 1)
         }
         Case::ExactDiffusion => {
-            let r = layout_oriented_synthesis(tech, specs, &opts.plan, &opts.flow_options(true))?;
+            let r = layout_oriented_synthesis(
+                tech,
+                specs,
+                opts.plan.as_ref(),
+                &opts.flow_options(true),
+            )?;
             let calls = r.layout_calls;
             (r.ota, r.mode, calls)
         }
         Case::AllParasitics => {
-            let r = layout_oriented_synthesis(tech, specs, &opts.plan, &opts.flow_options(false))?;
+            let r = layout_oriented_synthesis(
+                tech,
+                specs,
+                opts.plan.as_ref(),
+                &opts.flow_options(false),
+            )?;
             let calls = r.layout_calls;
             (r.ota, r.mode, calls)
         }
     };
 
     // Synthesized performance: the sizing tool's own belief.
-    let synthesized = evaluate_with(&ota, tech, &synth_mode, &opts.eval)?;
+    let synthesized = evaluate_with(ota.as_ref(), tech, &synth_mode, &opts.eval)?;
 
     // Extraction step: generate the layout of this sizing, extract all
     // parasitics, simulate (the paper's bracketed values — done with the
@@ -261,7 +276,7 @@ pub fn run_case_with(
     // point first: cases 1–2 have no flow loop, so without this check a
     // cancelled batch would still pay for layout generation.
     opts.control.check()?;
-    let lplan = ota_layout_plan(tech, &ota, &opts.layout);
+    let lplan = topology_layout_plan(tech, ota.as_ref(), &opts.layout);
     let generated = lplan.generate(tech, opts.shape)?;
     let report = losac_layout::plan::ParasiticReport {
         devices: generated.devices.clone(),
@@ -276,7 +291,7 @@ pub fn run_case_with(
         em_clean: generated.em_clean,
     };
     let full = ParasiticMode::Full(to_feedback(&report, false));
-    let extracted = evaluate_with(&ota, tech, &full, &opts.eval)?;
+    let extracted = evaluate_with(ota.as_ref(), tech, &full, &opts.eval)?;
 
     Ok(CaseResult {
         case,
@@ -310,7 +325,6 @@ mod tests {
     #[test]
     fn run_case_with_honours_cancellation() {
         use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
         let tech = Technology::cmos06();
         let specs = OtaSpecs::paper_example();
         let opts = CaseOptions {

@@ -21,14 +21,12 @@
 //! moves by more than the tolerance between consecutive layout calls —
 //! the paper needed three calls on the example OTA.
 
-use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use crate::layout_gen::{to_feedback, topology_layout_plan, LayoutOptions};
 use crate::telemetry::FlowTelemetry;
 use losac_layout::plan::{GeneratedLayout, ParasiticReport};
 use losac_layout::slicing::ShapeConstraint;
 use losac_obs::f;
-use losac_sizing::{
-    EvalOptions, FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, SizingError,
-};
+use losac_sizing::{EvalOptions, OtaSpecs, ParasiticMode, SizingError, Topology, TopologyPlan};
 use losac_tech::Technology;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -281,8 +279,12 @@ impl FlowOptions {
 /// The result of a layout-oriented synthesis run.
 #[derive(Debug)]
 pub struct FlowResult {
-    /// The final sized circuit.
-    pub ota: FoldedCascodeOta,
+    /// The final sized circuit, behind the object-safe [`Topology`]
+    /// interface (evaluation, device map, layout spec, supply current).
+    /// Callers that need topology-specific data (bias voltages, branch
+    /// currents) can recover the concrete type through
+    /// [`Topology::as_any`].
+    pub ota: Arc<dyn Topology>,
     /// The parasitic mode the final sizing used (carries the feedback).
     pub mode: ParasiticMode,
     /// The physically generated layout (generation mode output).
@@ -394,7 +396,7 @@ fn diffusion_change(a: &ParasiticReport, b: &ParasiticReport) -> f64 {
 pub fn layout_oriented_synthesis(
     tech: &Technology,
     specs: &OtaSpecs,
-    plan: &FoldedCascodePlan,
+    plan: &dyn TopologyPlan,
     opts: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
     opts.validate()?;
@@ -409,6 +411,7 @@ pub fn layout_oriented_synthesis(
     let _flow_span = losac_obs::span_with(
         "flow",
         vec![
+            f("topology", plan.topology_name()),
             f("tolerance", opts.tolerance),
             f("max_layout_calls", opts.max_layout_calls),
             f("diffusion_only", opts.diffusion_only),
@@ -424,7 +427,7 @@ pub fn layout_oriented_synthesis(
     let mut layout_calls = 0;
     let mut converged = false;
     let sizing_start = Instant::now();
-    let mut ota = plan.size(tech, specs, &mode)?;
+    let mut ota: Box<dyn Topology> = plan.size_topology(tech, specs, &mode)?;
     telemetry.sizing_durations.push(sizing_start.elapsed());
 
     let mut layout_opts = opts.layout.clone();
@@ -443,7 +446,7 @@ pub fn layout_oriented_synthesis(
         }
         let call_span = losac_obs::span_with("flow.layout_call", vec![f("call", layout_calls + 1)]);
         let call_start = Instant::now();
-        let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+        let lplan = topology_layout_plan(tech, ota.as_ref(), &layout_opts);
         let report = lplan.calculate_parasitics(tech, opts.shape)?;
         telemetry.layout_call_durations.push(call_start.elapsed());
         drop(call_span);
@@ -532,7 +535,7 @@ pub fn layout_oriented_synthesis(
             ParasiticMode::Full(fb)
         };
         let sizing_start = Instant::now();
-        ota = plan.size(tech, specs, &mode)?;
+        ota = plan.size_topology(tech, specs, &mode)?;
         telemetry.sizing_durations.push(sizing_start.elapsed());
         prev_report = Some(report);
     }
@@ -541,7 +544,7 @@ pub fn layout_oriented_synthesis(
     // with the same frozen folding decisions the loop converged on.
     opts.control.check()?;
     let generation_start = Instant::now();
-    let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+    let lplan = topology_layout_plan(tech, ota.as_ref(), &layout_opts);
     let layout = lplan.generate(tech, opts.shape)?;
     telemetry.generation_duration = generation_start.elapsed();
     let report = prev_report.expect("validate() guarantees at least one layout call");
@@ -559,7 +562,7 @@ pub fn layout_oriented_synthesis(
     );
 
     Ok(FlowResult {
-        ota,
+        ota: Arc::from(ota),
         mode,
         layout,
         report,
@@ -574,16 +577,23 @@ pub fn layout_oriented_synthesis(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use losac_sizing::FoldedCascodePlan;
 
-    fn run() -> FlowResult {
+    /// Shared scaffolding: run the flow on the paper's folded-cascode
+    /// example with the given options (every test used to spell out the
+    /// same technology/specs/plan triple inline).
+    fn run_with(opts: &FlowOptions) -> Result<FlowResult, FlowError> {
         let tech = Technology::cmos06();
         layout_oriented_synthesis(
             &tech,
             &OtaSpecs::paper_example(),
             &FoldedCascodePlan::default(),
-            &FlowOptions::default(),
+            opts,
         )
-        .unwrap()
+    }
+
+    fn run() -> FlowResult {
+        run_with(&FlowOptions::default()).unwrap()
     }
 
     #[test]
@@ -603,16 +613,10 @@ mod tests {
 
     #[test]
     fn single_layout_call_budget_is_not_an_error() {
-        let tech = Technology::cmos06();
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                max_layout_calls: 1,
-                ..Default::default()
-            },
-        )
+        let r = run_with(&FlowOptions {
+            max_layout_calls: 1,
+            ..Default::default()
+        })
         .unwrap();
         // One call leaves nothing to compare: no history, no convergence
         // claim, and crucially no panic.
@@ -624,15 +628,6 @@ mod tests {
 
     #[test]
     fn invalid_options_are_rejected() {
-        let tech = Technology::cmos06();
-        let run = |o: FlowOptions| {
-            layout_oriented_synthesis(
-                &tech,
-                &OtaSpecs::paper_example(),
-                &FoldedCascodePlan::default(),
-                &o,
-            )
-        };
         for bad in [
             FlowOptions {
                 tolerance: 0.0,
@@ -651,7 +646,7 @@ mod tests {
                 ..Default::default()
             },
         ] {
-            assert!(matches!(run(bad), Err(FlowError::InvalidOptions(_))));
+            assert!(matches!(run_with(&bad), Err(FlowError::InvalidOptions(_))));
         }
     }
 
@@ -707,17 +702,11 @@ mod tests {
         // Regression: the invariant must hold whether convergence takes
         // several comparisons (tight tolerance) or is declared on the
         // very first one (loose tolerance).
-        let tech = Technology::cmos06();
         for tolerance in [0.02, 0.5] {
-            let r = layout_oriented_synthesis(
-                &tech,
-                &OtaSpecs::paper_example(),
-                &FoldedCascodePlan::default(),
-                &FlowOptions {
-                    tolerance,
-                    ..Default::default()
-                },
-            )
+            let r = run_with(&FlowOptions {
+                tolerance,
+                ..Default::default()
+            })
             .unwrap();
             assert!(r.converged, "tolerance {tolerance}: {:?}", r.history);
             let last = r
@@ -731,30 +720,20 @@ mod tests {
         }
         // A loose tolerance converges on the first comparison: exactly
         // one history entry, and it is the converging one.
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                tolerance: 0.9,
-                ..Default::default()
-            },
-        )
+        let r = run_with(&FlowOptions {
+            tolerance: 0.9,
+            ..Default::default()
+        })
         .unwrap();
         assert!(r.converged);
         assert_eq!(r.history.len(), 1, "history {:?}", r.history);
         assert!(r.final_change().unwrap() <= 0.9);
         // And an unsatisfiable tolerance never claims convergence.
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                tolerance: 1e-12,
-                max_layout_calls: 3,
-                ..Default::default()
-            },
-        )
+        let r = run_with(&FlowOptions {
+            tolerance: 1e-12,
+            max_layout_calls: 3,
+            ..Default::default()
+        })
         .unwrap();
         assert!(!r.converged);
     }
@@ -785,33 +764,20 @@ mod tests {
     #[test]
     fn raised_stop_flag_cancels_the_run() {
         use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
-        let tech = Technology::cmos06();
         let flag = Arc::new(AtomicBool::new(true));
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                control: FlowControl::new().with_stop(flag),
-                ..Default::default()
-            },
-        );
+        let r = run_with(&FlowOptions {
+            control: FlowControl::new().with_stop(flag),
+            ..Default::default()
+        });
         assert!(matches!(r, Err(FlowError::Cancelled)));
     }
 
     #[test]
     fn expired_deadline_times_the_run_out() {
-        let tech = Technology::cmos06();
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                control: FlowControl::new().with_budget(Duration::ZERO),
-                ..Default::default()
-            },
-        );
+        let r = run_with(&FlowOptions {
+            control: FlowControl::new().with_budget(Duration::ZERO),
+            ..Default::default()
+        });
         assert!(matches!(r, Err(FlowError::TimedOut)));
     }
 
@@ -825,16 +791,10 @@ mod tests {
 
     #[test]
     fn diffusion_only_flow_also_converges() {
-        let tech = Technology::cmos06();
-        let r = layout_oriented_synthesis(
-            &tech,
-            &OtaSpecs::paper_example(),
-            &FoldedCascodePlan::default(),
-            &FlowOptions {
-                diffusion_only: true,
-                ..Default::default()
-            },
-        )
+        let r = run_with(&FlowOptions {
+            diffusion_only: true,
+            ..Default::default()
+        })
         .unwrap();
         assert!(r.converged);
         assert!(matches!(r.mode, ParasiticMode::DiffusionOnly(_)));

@@ -1,18 +1,23 @@
-//! Layout-plan construction for the folded-cascode OTA, and the
-//! conversion of the layout tool's parasitic report into sizing-tool
+//! Layout-plan construction from a topology's declared layout spec, and
+//! the conversion of the layout tool's parasitic report into sizing-tool
 //! feedback.
 //!
 //! This module is the "glue" the paper describes in §2: it carries
 //! transistor sizes, currents, layout options (matching styles) and the
 //! shape constraint *to* the layout tool, and folding styles, diffusion
 //! geometry, routing/coupling/well capacitance *back* to the sizing tool.
+//! The plan is built from [`Topology::layout_spec`] — matched groups
+//! become interdigitated stacks, standalone devices fold individually —
+//! so any topology that declares its groups gets the full treatment.
 
 use losac_layout::plan::{DeviceDef, FoldPolicy, LayoutPlan, Module, ParasiticReport};
 use losac_layout::slicing::SlicingTree;
 use losac_layout::stack::{StackDevice, StackSpec, StackStyle};
-use losac_sizing::{DeviceFeedback, DiffGeom, FoldedCascodeOta, LayoutFeedback};
+use losac_sizing::{
+    DeviceFeedback, DiffGeom, FoldedCascodeOta, LayoutFeedback, LayoutModule, Topology,
+};
 use losac_tech::units::{m_to_nm, Nm};
-use losac_tech::{Polarity, Technology};
+use losac_tech::Technology;
 use std::collections::HashMap;
 
 /// Options forwarded to the layout tool ("layout options regarding the
@@ -40,20 +45,36 @@ impl LayoutOptions {
     }
 }
 
-/// Build the OTA's layout plan from the sized circuit.
+/// Build the folded-cascode OTA's layout plan from the sized circuit.
 ///
-/// Matched groups that share a source net become stacks (input pair,
-/// bottom sinks, mirror sources); cascodes have distinct sources and
-/// become individually folded devices with the even/internal-drain
-/// policy that minimises drain capacitance on the signal path (Fig. 2
-/// case (a)).
+/// Thin wrapper over [`topology_layout_plan`], kept for callers that
+/// hold the concrete type; the plan is built from the topology's
+/// declared layout spec either way.
 pub fn ota_layout_plan(
     tech: &Technology,
     ota: &FoldedCascodeOta,
     opts: &LayoutOptions,
 ) -> LayoutPlan {
-    let w_nm = |name: &str| m_to_nm(ota.devices[name].w);
-    let l_nm = |name: &str| m_to_nm(ota.devices[name].l);
+    topology_layout_plan(tech, ota, opts)
+}
+
+/// Build a topology's layout plan from the sized circuit.
+///
+/// Matched groups that share a source net become stacks (input pair,
+/// bottom sinks, mirror sources); cascodes have distinct sources and
+/// become individually folded devices with the even/internal-drain
+/// policy that minimises drain capacitance on the signal path (Fig. 2
+/// case (a)). The module set, the placement rows and the net currents
+/// all come from [`Topology::layout_spec`].
+pub fn topology_layout_plan(
+    tech: &Technology,
+    ota: &dyn Topology,
+    opts: &LayoutOptions,
+) -> LayoutPlan {
+    let spec = ota.layout_spec();
+    let devices = ota.devices();
+    let w_nm = |name: &str| m_to_nm(devices[name].w);
+    let l_nm = |name: &str| m_to_nm(devices[name].l);
 
     // Even finger count per stacked device near the target finger width,
     // unless a fold hint pins it.
@@ -81,144 +102,82 @@ pub fn ota_layout_plan(
             .max(losac_layout::row::min_finger_width(tech))
     };
 
-    let mut net_currents: HashMap<String, f64> = HashMap::new();
-    let cur = &ota.currents;
-    net_currents.insert("vdd".into(), cur.i_tail + 2.0 * cur.i_casc);
-    net_currents.insert("gnd".into(), 2.0 * cur.i_sink);
-    net_currents.insert("tail".into(), cur.i_tail);
-    net_currents.insert("f1".into(), cur.i_sink);
-    net_currents.insert("f2".into(), cur.i_sink);
-    net_currents.insert("m".into(), cur.i_casc);
-    net_currents.insert("a".into(), cur.i_casc);
-    net_currents.insert("b".into(), cur.i_casc);
-    net_currents.insert("out".into(), cur.i_casc);
+    let net_currents = spec.net_currents;
 
-    // --- matched stacks -----------------------------------------------------
-    let pair_nf = fingers_of("mp1");
-    let input_pair = StackSpec {
-        name: "pair".into(),
-        polarity: Polarity::Pmos,
-        finger_w: finger_w_of("mp1", pair_nf),
-        gate_l: l_nm("mp1"),
-        devices: vec![
-            StackDevice {
-                name: "mp1".into(),
-                fingers: pair_nf,
-                drain_net: "f1".into(),
-                gate_net: "vinp".into(),
-            },
-            StackDevice {
-                name: "mp2".into(),
-                fingers: pair_nf,
-                drain_net: "f2".into(),
-                gate_net: "vinn".into(),
-            },
-        ],
-        source_net: "tail".into(),
-        bulk_net: "vdd".into(),
-        end_dummies: true,
-        style: opts.input_pair_style,
-        net_currents: net_currents.clone(),
-    };
-
-    let sink_nf = fingers_of("mn5");
-    let sinks = StackSpec {
-        name: "sinks".into(),
-        polarity: Polarity::Nmos,
-        finger_w: finger_w_of("mn5", sink_nf),
-        gate_l: l_nm("mn5"),
-        devices: vec![
-            StackDevice {
-                name: "mn5".into(),
-                fingers: sink_nf,
-                drain_net: "f1".into(),
-                gate_net: "vbn".into(),
-            },
-            StackDevice {
-                name: "mn6".into(),
-                fingers: sink_nf,
-                drain_net: "f2".into(),
-                gate_net: "vbn".into(),
-            },
-        ],
-        source_net: "gnd".into(),
-        bulk_net: "gnd".into(),
-        end_dummies: true,
-        style: StackStyle::CommonCentroid,
-        net_currents: net_currents.clone(),
-    };
-
-    let mirror_nf = fingers_of("mp3");
-    let mirror = StackSpec {
-        name: "mirror".into(),
-        polarity: Polarity::Pmos,
-        finger_w: finger_w_of("mp3", mirror_nf),
-        gate_l: l_nm("mp3"),
-        devices: vec![
-            StackDevice {
-                name: "mp3".into(),
-                fingers: mirror_nf,
-                drain_net: "a".into(),
-                gate_net: "m".into(),
-            },
-            StackDevice {
-                name: "mp4".into(),
-                fingers: mirror_nf,
-                drain_net: "b".into(),
-                gate_net: "m".into(),
-            },
-        ],
-        source_net: "vdd".into(),
-        bulk_net: "vdd".into(),
-        end_dummies: true,
-        style: StackStyle::CommonCentroid,
-        net_currents: net_currents.clone(),
-    };
-
-    // --- individually folded devices -----------------------------------------
-    let dev = |name: &str, d: &str, g: &str, s: &str, b: &str, pol: Polarity| {
-        let policy = match opts.fold_hints.get(name) {
-            Some(&nf) => FoldPolicy::Fixed(nf),
-            None => FoldPolicy::EvenInternal,
-        };
-        Module::Device(DeviceDef {
-            name: name.into(),
-            polarity: pol,
-            w: w_nm(name),
-            l: l_nm(name),
-            d: d.into(),
-            g: g.into(),
-            s: s.into(),
-            b: b.into(),
-            policy,
+    let modules: Vec<Module> = spec
+        .modules
+        .iter()
+        .map(|module| match module {
+            // A matched group becomes one interdigitated stack; the lead
+            // device's size decides the shared finger geometry (members
+            // are sized identically by construction).
+            LayoutModule::Group(g) => {
+                let lead = &g.devices[0].name;
+                let nf = fingers_of(lead);
+                Module::Stack(StackSpec {
+                    name: g.name.clone(),
+                    polarity: g.polarity,
+                    finger_w: finger_w_of(lead, nf),
+                    gate_l: l_nm(lead),
+                    devices: g
+                        .devices
+                        .iter()
+                        .map(|d| StackDevice {
+                            name: d.name.clone(),
+                            fingers: nf,
+                            drain_net: d.drain_net.clone(),
+                            gate_net: d.gate_net.clone(),
+                        })
+                        .collect(),
+                    source_net: g.source_net.clone(),
+                    bulk_net: g.bulk_net.clone(),
+                    end_dummies: true,
+                    style: if g.is_input_pair {
+                        opts.input_pair_style
+                    } else {
+                        StackStyle::CommonCentroid
+                    },
+                    net_currents: net_currents.clone(),
+                })
+            }
+            // A standalone device folds individually with the
+            // even/internal-drain policy, unless a fold hint pins it.
+            LayoutModule::Single(s) => {
+                let policy = match opts.fold_hints.get(&s.name) {
+                    Some(&nf) => FoldPolicy::Fixed(nf),
+                    None => FoldPolicy::EvenInternal,
+                };
+                Module::Device(DeviceDef {
+                    name: s.name.clone(),
+                    polarity: s.polarity,
+                    w: w_nm(&s.name),
+                    l: l_nm(&s.name),
+                    d: s.d.clone(),
+                    g: s.g.clone(),
+                    s: s.s.clone(),
+                    b: s.b.clone(),
+                    policy,
+                })
+            }
         })
-    };
+        .collect();
 
-    let modules = vec![
-        Module::Stack(input_pair),                                  // 0
-        dev("mptail", "tail", "vp1", "vdd", "vdd", Polarity::Pmos), // 1
-        Module::Stack(sinks),                                       // 2
-        dev("mn1c", "m", "vc1", "f1", "gnd", Polarity::Nmos),       // 3
-        dev("mn2c", "out", "vc1", "f2", "gnd", Polarity::Nmos),     // 4
-        Module::Stack(mirror),                                      // 5
-        dev("mp3c", "m", "vc3", "a", "vdd", Polarity::Pmos),        // 6
-        dev("mp4c", "out", "vc3", "b", "vdd", Polarity::Pmos),      // 7
-    ];
-
-    // Placement: NMOS rows at the bottom, PMOS rows (shared well region)
-    // at the top — the arrangement of the paper's Fig. 5.
-    let tree = SlicingTree::Column(
-        Box::new(SlicingTree::row_of(&[3, 2, 4])),
-        Box::new(SlicingTree::Column(
-            Box::new(SlicingTree::row_of(&[6, 5, 7])),
-            Box::new(SlicingTree::row_of(&[0, 1])),
-        )),
-    );
-
-    let mut plan = LayoutPlan::new("folded_cascode_ota", modules);
-    plan.tree = tree;
+    let mut plan = LayoutPlan::new(spec.cell_name, modules);
+    plan.tree = tree_of_rows(&spec.placement_rows);
     plan.net_currents = net_currents;
     plan
+}
+
+/// Stack the placement rows (bottom first) into a slicing tree.
+fn tree_of_rows(rows: &[Vec<usize>]) -> SlicingTree {
+    assert!(!rows.is_empty(), "a layout spec needs at least one row");
+    if rows.len() == 1 {
+        return SlicingTree::row_of(&rows[0]);
+    }
+    SlicingTree::Column(
+        Box::new(SlicingTree::row_of(&rows[0])),
+        Box::new(tree_of_rows(&rows[1..])),
+    )
 }
 
 /// Convert the layout tool's parasitic report into the sizing tool's
@@ -312,6 +271,35 @@ mod tests {
         assert_eq!(fb.devices["mn2c"].folds % 2, 0);
         // Input pair drawn widths are identical (matching!).
         assert_eq!(fb.devices["mp1"].drawn_w, fb.devices["mp2"].drawn_w);
+    }
+
+    #[test]
+    fn generic_planner_handles_every_builtin_topology() {
+        use losac_sizing::TopologyRegistry;
+        let tech = Technology::cmos06();
+        for name in ["folded_cascode", "telescopic", "two_stage"] {
+            let plan = TopologyRegistry::builtin().get(name).unwrap();
+            let topo = plan
+                .size_topology(&tech, &plan.example_specs(), &ParasiticMode::None)
+                .unwrap();
+            let lplan = topology_layout_plan(&tech, topo.as_ref(), &LayoutOptions::default());
+            assert_eq!(
+                lplan.modules.len(),
+                topo.layout_spec().modules.len(),
+                "{name}"
+            );
+            let g = lplan.generate(&tech, ShapeConstraint::MinArea).unwrap();
+            assert_eq!(g.devices.len(), topo.devices().len(), "{name}");
+            let rep = lplan
+                .calculate_parasitics(&tech, ShapeConstraint::MinArea)
+                .unwrap();
+            let fb = to_feedback(&rep, true);
+            assert_eq!(fb.devices.len(), topo.devices().len(), "{name}");
+            assert!(
+                fb.net_caps.get("out").copied().unwrap_or(0.0) > 0.0,
+                "{name}: out has no routing capacitance"
+            );
+        }
     }
 
     #[test]

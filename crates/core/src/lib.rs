@@ -12,8 +12,8 @@
 //! * [`traditional`] — the size→layout→extract→simulate baseline
 //!   ([Fig. 1(a)]);
 //! * [`cases`] — the four parasitic-awareness strategies of Table 1;
-//! * [`layout_gen`] — OTA-specific layout-plan construction and the
-//!   report→feedback conversion;
+//! * [`layout_gen`] — layout-plan construction from any topology's
+//!   declared layout spec and the report→feedback conversion;
 //! * [`report`] — Table-1-style formatting;
 //! * [`telemetry`] — per-run timing and solver-activity summary
 //!   (`losac-obs` counter deltas), attached to every
@@ -22,19 +22,27 @@
 //! [Fig. 1(b)]: flow::layout_oriented_synthesis
 //! [Fig. 1(a)]: traditional::traditional_flow
 //!
+//! The flow is topology-generic: it runs on any
+//! [`losac_sizing::TopologyPlan`], selected directly or by name through
+//! the [`losac_sizing::TopologyRegistry`]:
+//!
 //! ```no_run
 //! use losac_core::flow::{layout_oriented_synthesis, FlowOptions};
-//! use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+//! use losac_sizing::TopologyRegistry;
 //! use losac_tech::Technology;
 //!
 //! let tech = Technology::cmos06();
-//! let result = layout_oriented_synthesis(
-//!     &tech,
-//!     &OtaSpecs::paper_example(),
-//!     &FoldedCascodePlan::default(),
-//!     &FlowOptions::default(),
-//! )?;
-//! println!("converged after {} layout calls", result.layout_calls);
+//! let registry = TopologyRegistry::builtin();
+//! for name in ["folded_cascode", "telescopic", "two_stage"] {
+//!     let plan = registry.get(name).expect("builtin topology");
+//!     let result = layout_oriented_synthesis(
+//!         &tech,
+//!         &plan.example_specs(),
+//!         plan.as_ref(),
+//!         &FlowOptions::default(),
+//!     )?;
+//!     println!("{name}: converged after {} layout calls", result.layout_calls);
+//! }
 //! # Ok::<(), losac_core::flow::FlowError>(())
 //! ```
 
@@ -49,9 +57,9 @@ pub use cases::{run_case, run_case_with, Case, CaseError, CaseOptions, CaseResul
 pub use flow::{
     layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowOptionsBuilder, FlowResult,
 };
-pub use layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+pub use layout_gen::{ota_layout_plan, to_feedback, topology_layout_plan, LayoutOptions};
 pub use telemetry::FlowTelemetry;
-pub use traditional::{traditional_flow, TraditionalResult};
+pub use traditional::{traditional_flow, traditional_flow_with, TraditionalResult};
 
 /// One-stop imports for driving the synthesis flow.
 ///
@@ -77,9 +85,12 @@ pub mod prelude {
     pub use crate::flow::{
         layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowResult,
     };
-    pub use crate::layout_gen::LayoutOptions;
-    pub use crate::traditional::traditional_flow;
+    pub use crate::layout_gen::{topology_layout_plan, LayoutOptions};
+    pub use crate::traditional::{traditional_flow, traditional_flow_with};
     pub use losac_layout::slicing::ShapeConstraint;
-    pub use losac_sizing::{FoldedCascodePlan, OtaSpecs, Performance};
+    pub use losac_sizing::{
+        FoldedCascodePlan, OtaSpecs, Performance, TelescopicPlan, Topology, TopologyPlan,
+        TopologyRegistry, TwoStagePlan,
+    };
     pub use losac_tech::Technology;
 }

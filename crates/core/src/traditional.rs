@@ -9,18 +9,21 @@
 //! flow eliminates.
 
 use crate::cases::CaseError;
-use crate::layout_gen::{ota_layout_plan, to_feedback, LayoutOptions};
+use crate::layout_gen::{to_feedback, topology_layout_plan, LayoutOptions};
 use losac_layout::slicing::ShapeConstraint;
 use losac_sizing::eval::evaluate;
-use losac_sizing::{FoldedCascodeOta, FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance};
+use losac_sizing::{
+    FoldedCascodePlan, OtaSpecs, ParasiticMode, Performance, Topology, TopologyPlan,
+};
 use losac_tech::Technology;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of a traditional-flow run.
 #[derive(Debug)]
 pub struct TraditionalResult {
     /// Final sized circuit.
-    pub ota: FoldedCascodeOta,
+    pub ota: Arc<dyn Topology>,
     /// Final extracted performance.
     pub extracted: Performance,
     /// Number of size→layout→extract→simulate iterations.
@@ -44,23 +47,36 @@ pub fn traditional_flow(
     specs: &OtaSpecs,
     max_iterations: usize,
 ) -> Result<TraditionalResult, CaseError> {
+    traditional_flow_with(tech, specs, max_iterations, &FoldedCascodePlan::default())
+}
+
+/// [`traditional_flow`] for an arbitrary topology plan.
+///
+/// # Errors
+///
+/// Returns [`CaseError`] when sizing, layout or measurement fails.
+pub fn traditional_flow_with(
+    tech: &Technology,
+    specs: &OtaSpecs,
+    max_iterations: usize,
+    plan: &dyn TopologyPlan,
+) -> Result<TraditionalResult, CaseError> {
     let start = Instant::now();
-    let plan = FoldedCascodePlan::default();
     let layout_opts = LayoutOptions::default();
 
     let mut working_specs = *specs;
     let mut gbw_history = Vec::new();
-    let mut best: Option<(FoldedCascodeOta, Performance)> = None;
+    let mut best: Option<(Box<dyn Topology>, Performance)> = None;
     let mut met = false;
     let mut iterations = 0;
 
     for _ in 0..max_iterations {
         iterations += 1;
         // Blind sizing (no layout information at all).
-        let ota = plan.size(tech, &working_specs, &ParasiticMode::None)?;
+        let ota = plan.size_topology(tech, &working_specs, &ParasiticMode::None)?;
 
         // Layout → extraction → simulation of the extracted netlist.
-        let lplan = ota_layout_plan(tech, &ota, &layout_opts);
+        let lplan = topology_layout_plan(tech, ota.as_ref(), &layout_opts);
         let generated = lplan.generate(tech, ShapeConstraint::MinArea)?;
         let report = losac_layout::plan::ParasiticReport {
             devices: generated.devices.clone(),
@@ -75,7 +91,7 @@ pub fn traditional_flow(
             em_clean: generated.em_clean,
         };
         let full = ParasiticMode::Full(to_feedback(&report, false));
-        let perf = evaluate(&ota, tech, &full)?;
+        let perf = evaluate(ota.as_ref(), tech, &full)?;
         gbw_history.push(perf.gbw);
 
         let gbw_ok = perf.gbw >= specs.gbw;
@@ -101,7 +117,7 @@ pub fn traditional_flow(
 
     let (ota, extracted) = best.expect("at least one iteration ran");
     Ok(TraditionalResult {
-        ota,
+        ota: Arc::from(ota),
         extracted,
         iterations,
         met_specs: met,

@@ -5,7 +5,7 @@ use losac_core::flow::FlowControl;
 use losac_core::prelude::{Case, CaseResult, FlowOptions};
 use losac_core::LayoutOptions;
 use losac_layout::slicing::ShapeConstraint;
-use losac_sizing::{FoldedCascodePlan, OtaSpecs};
+use losac_sizing::{FoldedCascodePlan, OtaSpecs, TopologyPlan};
 use losac_tech::Technology;
 use std::sync::Arc;
 use std::time::Duration;
@@ -99,8 +99,8 @@ pub struct SynthesisJob {
     pub specs: OtaSpecs,
     /// Which Table-1 parasitic-awareness strategy to run.
     pub case: Case,
-    /// Sizing design plan.
-    pub plan: FoldedCascodePlan,
+    /// Topology design plan (shared across jobs of the same topology).
+    pub plan: Arc<dyn TopologyPlan>,
     /// Layout implementation options.
     pub layout: LayoutOptions,
     /// Layout shape constraint.
@@ -163,9 +163,17 @@ impl SynthesisJob {
         self
     }
 
-    /// Set the sizing plan.
+    /// Set the sizing plan to a folded-cascode plan (convenience wrapper
+    /// over [`with_topology_plan`](Self::with_topology_plan)).
     #[must_use]
     pub fn with_plan(mut self, plan: FoldedCascodePlan) -> Self {
+        self.plan = Arc::new(plan);
+        self
+    }
+
+    /// Set the topology design plan.
+    #[must_use]
+    pub fn with_topology_plan(mut self, plan: Arc<dyn TopologyPlan>) -> Self {
         self.plan = plan;
         self
     }
@@ -218,7 +226,7 @@ impl SynthesisJob {
     /// engine overrides them per batch (shared cache, sim-thread count).
     pub fn case_options(&self, control: FlowControl) -> CaseOptions {
         CaseOptions {
-            plan: self.plan,
+            plan: self.plan.clone(),
             layout: self.layout.clone(),
             shape: self.shape,
             tolerance: self.tolerance,

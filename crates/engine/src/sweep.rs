@@ -10,7 +10,7 @@
 use crate::job::{RetryPolicy, SynthesisJob};
 use losac_core::prelude::{Case, OtaSpecs};
 use losac_layout::slicing::ShapeConstraint;
-use losac_sizing::FoldedCascodePlan;
+use losac_sizing::{FoldedCascodePlan, TopologyPlan};
 use losac_tech::Technology;
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,7 +86,8 @@ pub struct SweepBuilder {
     cases: Vec<Case>,
     shapes: Vec<ShapeConstraint>,
     axes: Vec<(SpecAxis, Vec<f64>)>,
-    plan: FoldedCascodePlan,
+    plan: Arc<dyn TopologyPlan>,
+    topologies: Vec<Arc<dyn TopologyPlan>>,
     budget: Option<Duration>,
     retry: Option<RetryPolicy>,
 }
@@ -100,7 +101,8 @@ impl SweepBuilder {
             cases: Vec::new(),
             shapes: Vec::new(),
             axes: Vec::new(),
-            plan: FoldedCascodePlan::default(),
+            plan: Arc::new(FoldedCascodePlan::default()),
+            topologies: Vec::new(),
             budget: None,
             retry: None,
         }
@@ -125,9 +127,31 @@ impl SweepBuilder {
         self
     }
 
-    /// Use this sizing plan for every job.
+    /// Use this folded-cascode sizing plan for every job (convenience
+    /// wrapper over [`with_topology_plan`](Self::with_topology_plan)).
     pub fn with_plan(mut self, plan: FoldedCascodePlan) -> Self {
+        self.plan = Arc::new(plan);
+        self
+    }
+
+    /// Use this topology plan for every job.
+    pub fn with_topology_plan(mut self, plan: Arc<dyn TopologyPlan>) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Vary the amplifier topology. This is the slowest axis; each
+    /// topology runs against *its own* example specification
+    /// ([`TopologyPlan::example_specs`]) rather than the builder's base
+    /// (a telescopic cascode cannot meet the folded cascode's wide
+    /// swing), with any [`over_spec_axis`](Self::over_spec_axis) values
+    /// applied on top. Job labels gain a `topo=<name>/` prefix; without
+    /// this axis labels are unchanged.
+    pub fn over_topologies(
+        mut self,
+        plans: impl IntoIterator<Item = Arc<dyn TopologyPlan>>,
+    ) -> Self {
+        self.topologies = plans.into_iter().collect();
         self
     }
 
@@ -144,8 +168,8 @@ impl SweepBuilder {
     }
 
     /// Expand the cartesian product into jobs. Order is deterministic:
-    /// the first axis varies slowest (cases, then shapes, then each
-    /// spec axis in the order added).
+    /// the first axis varies slowest (topologies, then cases, then
+    /// shapes, then each spec axis in the order added).
     pub fn build(self) -> Vec<SynthesisJob> {
         let cases = if self.cases.is_empty() {
             vec![Case::AllParasitics]
@@ -157,34 +181,56 @@ impl SweepBuilder {
         } else {
             self.shapes
         };
+        // Without a topology axis every job shares the builder's plan and
+        // base specification, and labels keep their historical form.
+        let topologies: Vec<(String, Arc<dyn TopologyPlan>, OtaSpecs)> =
+            if self.topologies.is_empty() {
+                vec![(String::new(), self.plan.clone(), self.base)]
+            } else {
+                self.topologies
+                    .iter()
+                    .map(|p| {
+                        (
+                            format!("topo={}/", p.topology_name()),
+                            p.clone(),
+                            p.example_specs(),
+                        )
+                    })
+                    .collect()
+            };
 
-        // Expand the spec axes into (label-suffix, specs) points.
-        let mut spec_points: Vec<(String, OtaSpecs)> = vec![(String::new(), self.base)];
-        for (axis, values) in &self.axes {
-            let mut next = Vec::with_capacity(spec_points.len() * values.len().max(1));
-            for (suffix, specs) in &spec_points {
-                for v in values {
-                    let mut s = *specs;
-                    axis.apply(&mut s, *v);
-                    next.push((format!("{suffix}/{}={v}", axis.label()), s));
+        let mut jobs = Vec::new();
+        for (prefix, plan, base) in &topologies {
+            // Expand the spec axes into (label-suffix, specs) points on
+            // top of this topology's base specification.
+            let mut spec_points: Vec<(String, OtaSpecs)> = vec![(String::new(), *base)];
+            for (axis, values) in &self.axes {
+                let mut next = Vec::with_capacity(spec_points.len() * values.len().max(1));
+                for (suffix, specs) in &spec_points {
+                    for v in values {
+                        let mut s = *specs;
+                        axis.apply(&mut s, *v);
+                        next.push((format!("{suffix}/{}={v}", axis.label()), s));
+                    }
+                }
+                if !next.is_empty() {
+                    spec_points = next;
                 }
             }
-            if !next.is_empty() {
-                spec_points = next;
-            }
-        }
 
-        let mut jobs = Vec::with_capacity(cases.len() * shapes.len() * spec_points.len());
-        for case in &cases {
-            for shape in &shapes {
-                for (suffix, specs) in &spec_points {
-                    let label = format!("{}/{}{}", case.label(), shape_label(shape), suffix);
-                    jobs.push(
-                        SynthesisJob::new(self.tech.clone(), *specs, *case)
-                            .with_plan(self.plan)
-                            .with_shape(*shape)
-                            .with_label(label),
-                    );
+            jobs.reserve(cases.len() * shapes.len() * spec_points.len());
+            for case in &cases {
+                for shape in &shapes {
+                    for (suffix, specs) in &spec_points {
+                        let label =
+                            format!("{prefix}{}/{}{}", case.label(), shape_label(shape), suffix);
+                        jobs.push(
+                            SynthesisJob::new(self.tech.clone(), *specs, *case)
+                                .with_topology_plan(plan.clone())
+                                .with_shape(*shape)
+                                .with_label(label),
+                        );
+                    }
                 }
             }
         }
@@ -257,6 +303,34 @@ mod tests {
         assert!(jobs
             .iter()
             .all(|j| j.retry == Some(RetryPolicy::attempts(2))));
+    }
+
+    #[test]
+    fn topology_axis_is_slowest_and_uses_example_specs() {
+        use losac_sizing::TopologyRegistry;
+        let registry = TopologyRegistry::builtin();
+        let plans: Vec<_> = ["folded_cascode", "telescopic", "two_stage"]
+            .iter()
+            .map(|n| registry.get(n).unwrap())
+            .collect();
+        let jobs = builder()
+            .over_topologies(plans.clone())
+            .over_cases([Case::NoParasitics, Case::AllParasitics])
+            .build();
+        assert_eq!(jobs.len(), 3 * 2);
+        // Topology varies slowest; labels carry the topo prefix.
+        assert!(jobs[0].label.starts_with("topo=folded_cascode/Case 1"));
+        assert!(jobs[2].label.starts_with("topo=telescopic/"));
+        assert!(jobs[4].label.starts_with("topo=two_stage/"));
+        // Each topology runs against its own example specification.
+        for (i, plan) in plans.iter().enumerate() {
+            let want = plan.example_specs();
+            assert_eq!(jobs[2 * i].specs.output_range, want.output_range);
+            assert_eq!(jobs[2 * i].plan.topology_name(), plan.topology_name());
+        }
+        // Without the axis, labels keep their historical form.
+        let plain = builder().build();
+        assert_eq!(plain[0].label, "Case 4/min_area");
     }
 
     #[test]

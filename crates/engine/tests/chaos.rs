@@ -11,6 +11,7 @@ use losac_core::prelude::{Case, OtaSpecs};
 use losac_engine::{Engine, EngineOptions, JobOutcome, RetryPolicy, SynthesisJob};
 use losac_obs::failpoint::{FailAction, FailPlan};
 use losac_sizing::rng::Xorshift128Plus;
+use losac_sizing::TopologyRegistry;
 use losac_tech::Technology;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,6 +85,23 @@ fn seeded_batch(seed: u64) -> Vec<SynthesisJob> {
             2 => j.with_fail_plan(FailPlan::new().always("sim.dc.newton", FailAction::Fail)),
             3 => j.with_fail_plan(FailPlan::new().once("sim.ac.sweep", FailAction::Nan)),
             _ => j,
+        };
+        jobs.push(j);
+    }
+    // Topology axis: one full-loop job per built-in topology, each
+    // against its own example specification. One-shot faults on the
+    // sizing evaluation exercise retry across the dynamic dispatch too.
+    let registry = TopologyRegistry::builtin();
+    for (i, name) in registry.names().iter().enumerate() {
+        let plan = registry.get(name).expect("builtin topology");
+        let j = SynthesisJob::new(tech(), plan.example_specs(), Case::AllParasitics)
+            .with_topology_plan(plan)
+            .with_label(format!("chaos-topo-{name}"))
+            .with_retry(RetryPolicy::attempts(3).with_jitter_seed(seed));
+        let j = if i % 2 == 0 {
+            j.with_fail_plan(FailPlan::new().once("sizing.evaluate", FailAction::Fail))
+        } else {
+            j
         };
         jobs.push(j);
     }

@@ -89,12 +89,25 @@ pub trait Amplifier: Sync {
         let _ = h;
         false
     }
+    /// Topology discriminant prefixed to every cache key *before*
+    /// [`Amplifier::write_fingerprint`] runs, written through the same
+    /// [`FnvHasher`] so byte-level verification covers it. Two topologies
+    /// that happen to emit identical fingerprint byte streams can
+    /// therefore never alias in a shared [`EvalCache`] as long as their
+    /// discriminants differ. Implementors that opt into caching must
+    /// return a string unique to the topology (its stable name); the
+    /// empty default is only safe for topologies that never cache.
+    fn fingerprint_discriminant(&self) -> &str {
+        ""
+    }
     /// Hash of the amplifier part of the cache key, or `None` when the
-    /// topology opts out. Derived from [`Amplifier::write_fingerprint`];
-    /// implement that method, not this one, so byte-level verification
-    /// keeps working.
+    /// topology opts out. Derived from
+    /// [`Amplifier::fingerprint_discriminant`] +
+    /// [`Amplifier::write_fingerprint`]; implement those methods, not
+    /// this one, so byte-level verification keeps working.
     fn cache_fingerprint(&self) -> Option<u64> {
         let mut h = FnvHasher::new();
+        h.write_str(self.fingerprint_discriminant());
         self.write_fingerprint(&mut h).then(|| h.finish())
     }
 }
@@ -504,6 +517,7 @@ pub fn hash_common_fingerprint(
 /// fingerprint itself.
 fn eval_key(ota: &dyn Amplifier, tech: &Technology, mode: &ParasiticMode) -> Option<EvalKey> {
     let mut h = FnvHasher::new();
+    h.write_str(ota.fingerprint_discriminant());
     if !ota.write_fingerprint(&mut h) {
         return None;
     }
@@ -1045,6 +1059,61 @@ mod tests {
         // Re-storing an existing key does not duplicate the entry.
         cache.store(&a, sample_perf(0.0));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn topologies_with_identical_fingerprints_do_not_alias() {
+        // Regression: before the discriminant prefix, two different
+        // topologies emitting identical `write_fingerprint` byte streams
+        // keyed identically in a shared cache — the second topology was
+        // served the first one's numbers.
+        struct Twin(&'static str);
+        impl Amplifier for Twin {
+            fn specs(&self) -> &OtaSpecs {
+                unreachable!("key construction never reads specs")
+            }
+            fn netlist(
+                &self,
+                _tech: &Technology,
+                _mode: &ParasiticMode,
+                _drive: InputDrive,
+            ) -> Circuit {
+                unreachable!("key construction never builds a netlist")
+            }
+            fn slew_estimate(&self) -> f64 {
+                unreachable!("key construction never estimates slew")
+            }
+            fn write_fingerprint(&self, h: &mut FnvHasher) -> bool {
+                // Both twins emit the *same* byte stream.
+                h.write_str("identical-stream");
+                h.write_f64(1.25);
+                true
+            }
+            fn fingerprint_discriminant(&self) -> &str {
+                self.0
+            }
+        }
+
+        let tech = Technology::cmos06();
+        let key_a = eval_key(&Twin("topology_a"), &tech, &ParasiticMode::None).unwrap();
+        let key_b = eval_key(&Twin("topology_b"), &tech, &ParasiticMode::None).unwrap();
+        assert_ne!(
+            key_a.bytes, key_b.bytes,
+            "the discriminant must separate the byte streams"
+        );
+        let cache = EvalCache::new();
+        cache.store(&key_a, sample_perf(0.0));
+        assert_eq!(
+            cache.lookup(&key_b),
+            None,
+            "a different topology with an identical fingerprint must miss"
+        );
+        assert_eq!(cache.lookup(&key_a), Some(sample_perf(0.0)));
+        // The derived fingerprint hash separates them too.
+        assert_ne!(
+            Twin("topology_a").cache_fingerprint(),
+            Twin("topology_b").cache_fingerprint()
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`statistical`] — Monte-Carlo mismatch (offset) analysis on the
 //!   Pelgrom model, quantifying what the layout's matching styles buy;
 //! * [`techeval`] — the technology evaluation interface: gm/ID, fT and
-//!   intrinsic-gain characterisation of a process.
+//!   intrinsic-gain characterisation of a process;
+//! * [`topology`] — the object-safe [`Topology`]/[`TopologyPlan`]
+//!   abstraction the synthesis loop, layout planner and batch engine run
+//!   on, plus the name → plan [`TopologyRegistry`].
 //!
 //! ```no_run
 //! use losac_sizing::{FoldedCascodePlan, OtaSpecs, ParasiticMode};
@@ -37,6 +40,7 @@ pub mod rng;
 pub mod specs;
 pub mod statistical;
 pub mod techeval;
+pub mod topology;
 
 pub use eval::{
     evaluate_with, measure_psrr, Amplifier, EvalCache, EvalError, EvalOptions, InputDrive,
@@ -46,8 +50,13 @@ pub use feedback::{DeviceFeedback, DiffGeom, LayoutFeedback, ParasiticMode};
 pub use ota::folded_cascode::{
     BiasVoltages, BranchCurrents, FoldedCascodeOta, FoldedCascodePlan, SizedDevice, SizingError,
 };
+pub use ota::telescopic::telescopic_example_specs;
 pub use ota::telescopic::{TelescopicOta, TelescopicPlan};
 pub use ota::two_stage::{TwoStageOta, TwoStagePlan};
 pub use specs::OtaSpecs;
 pub use statistical::{offset_monte_carlo, MatchingStyle, OffsetStatistics};
 pub use techeval::{summarize, TechSummary};
+pub use topology::{
+    GroupDevice, LayoutModule, MatchedGroup, SingleDevice, Topology, TopologyLayoutSpec,
+    TopologyPlan, TopologyRegistry,
+};

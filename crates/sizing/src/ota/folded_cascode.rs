@@ -27,6 +27,10 @@
 use crate::eval::{Amplifier, InputDrive};
 use crate::feedback::{DiffGeom, ParasiticMode};
 use crate::specs::OtaSpecs;
+use crate::topology::{
+    GroupDevice, LayoutModule, MatchedGroup, SingleDevice, Topology, TopologyLayoutSpec,
+    TopologyPlan,
+};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::{evaluate, threshold};
 use losac_device::folding::{DiffusionGeometry, FoldSpec};
@@ -546,7 +550,9 @@ fn self_loading(
 }
 
 /// Lumped routing/coupling/well capacitance the mode attributes to `net`.
-fn parasitic_on(mode: &ParasiticMode, net: &str) -> f64 {
+/// Shared by every topology's sizing procedure: the extra load the layout
+/// feedback puts on a net is what closes the sizing↔layout loop.
+pub(crate) fn parasitic_on(mode: &ParasiticMode, net: &str) -> f64 {
     let Some(fb) = mode.feedback() else {
         return 0.0;
     };
@@ -728,39 +734,52 @@ impl FoldedCascodeOta {
         c.capacitor("cload", "out", "0", self.specs.c_load);
 
         // Routing, coupling and well parasitics (case 4 only).
-        if mode.includes_routing() {
-            if let Some(fb) = mode.feedback() {
-                let mut k = 0usize;
-                for (net, cap) in sorted(&fb.net_caps) {
-                    if is_internal_net(net) && *cap > 0.0 {
-                        c.capacitor(&format!("cr{k}"), net, "0", *cap);
-                        k += 1;
-                    }
-                }
-                for ((na, nb), cap) in sorted(&fb.coupling) {
-                    if !(is_internal_net(na) && is_internal_net(nb) && *cap > 0.0) {
-                        continue;
-                    }
-                    if fb.lump_coupling_to_ground {
-                        // The sizing tool's view: one lumped capacitance
-                        // per net.
-                        c.capacitor(&format!("cca{k}"), na, "0", *cap);
-                        c.capacitor(&format!("ccb{k}"), nb, "0", *cap);
-                    } else {
-                        c.capacitor(&format!("cc{k}"), na, nb, *cap);
-                    }
-                    k += 1;
-                }
-                for (net, cap) in sorted(&fb.well_caps) {
-                    if is_internal_net(net) && *cap > 0.0 {
-                        c.capacitor(&format!("cw{k}"), net, "0", *cap);
-                        k += 1;
-                    }
-                }
-            }
-        }
+        add_routing_caps(&mut c, mode, is_internal_net);
 
         c
+    }
+}
+
+/// Attach the mode's routing, coupling and well parasitics (case 4 only)
+/// to the netlist as lumped capacitors, restricted to nets `is_internal`
+/// accepts — parasitics on other nets (e.g. bias distribution) attach to
+/// nets the testbench drives ideally, where they would be shorted anyway.
+/// Shared by every topology's netlist builder; iteration is sorted so the
+/// element order (and thus the matrix stamp order) is deterministic.
+pub(crate) fn add_routing_caps(
+    c: &mut Circuit,
+    mode: &ParasiticMode,
+    is_internal: impl Fn(&str) -> bool,
+) {
+    if !mode.includes_routing() {
+        return;
+    }
+    let Some(fb) = mode.feedback() else { return };
+    let mut k = 0usize;
+    for (net, cap) in sorted(&fb.net_caps) {
+        if is_internal(net) && *cap > 0.0 {
+            c.capacitor(&format!("cr{k}"), net, "0", *cap);
+            k += 1;
+        }
+    }
+    for ((na, nb), cap) in sorted(&fb.coupling) {
+        if !(is_internal(na) && is_internal(nb) && *cap > 0.0) {
+            continue;
+        }
+        if fb.lump_coupling_to_ground {
+            // The sizing tool's view: one lumped capacitance per net.
+            c.capacitor(&format!("cca{k}"), na, "0", *cap);
+            c.capacitor(&format!("ccb{k}"), nb, "0", *cap);
+        } else {
+            c.capacitor(&format!("cc{k}"), na, nb, *cap);
+        }
+        k += 1;
+    }
+    for (net, cap) in sorted(&fb.well_caps) {
+        if is_internal(net) && *cap > 0.0 {
+            c.capacitor(&format!("cw{k}"), net, "0", *cap);
+            k += 1;
+        }
     }
 }
 
@@ -791,8 +810,11 @@ impl Amplifier for FoldedCascodeOta {
         self.currents.i_tail / self.specs.c_load.max(1e-15)
     }
 
+    fn fingerprint_discriminant(&self) -> &str {
+        "folded_cascode"
+    }
+
     fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
-        h.write_str("folded_cascode");
         crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [
             self.bias.vp1,
@@ -807,6 +829,131 @@ impl Amplifier for FoldedCascodeOta {
             h.write_f64(v);
         }
         true
+    }
+}
+
+impl Topology for FoldedCascodeOta {
+    fn topology_name(&self) -> &'static str {
+        "folded_cascode"
+    }
+
+    fn devices(&self) -> &HashMap<String, SizedDevice> {
+        &self.devices
+    }
+
+    fn devices_mut(&mut self) -> &mut HashMap<String, SizedDevice> {
+        &mut self.devices
+    }
+
+    fn layout_spec(&self) -> TopologyLayoutSpec {
+        let group =
+            |name: &str, pol, src: &str, bulk: &str, input, devs: [(&str, &str, &str); 2]| {
+                LayoutModule::Group(MatchedGroup {
+                    name: name.into(),
+                    polarity: pol,
+                    source_net: src.into(),
+                    bulk_net: bulk.into(),
+                    is_input_pair: input,
+                    devices: devs
+                        .iter()
+                        .map(|(n, d, g)| GroupDevice {
+                            name: (*n).into(),
+                            drain_net: (*d).into(),
+                            gate_net: (*g).into(),
+                        })
+                        .collect(),
+                })
+            };
+        let single = |name: &str, pol, d: &str, g: &str, s: &str, b: &str| {
+            LayoutModule::Single(SingleDevice {
+                name: name.into(),
+                polarity: pol,
+                d: d.into(),
+                g: g.into(),
+                s: s.into(),
+                b: b.into(),
+            })
+        };
+        let cur = &self.currents;
+        let net_currents: HashMap<String, f64> = [
+            ("vdd", cur.i_tail + 2.0 * cur.i_casc),
+            ("gnd", 2.0 * cur.i_sink),
+            ("tail", cur.i_tail),
+            ("f1", cur.i_sink),
+            ("f2", cur.i_sink),
+            ("m", cur.i_casc),
+            ("a", cur.i_casc),
+            ("b", cur.i_casc),
+            ("out", cur.i_casc),
+        ]
+        .into_iter()
+        .map(|(n, i)| (n.to_owned(), i))
+        .collect();
+        TopologyLayoutSpec {
+            cell_name: "folded_cascode_ota",
+            modules: vec![
+                group(
+                    "pair",
+                    Polarity::Pmos,
+                    "tail",
+                    "vdd",
+                    true,
+                    [("mp1", "f1", "vinp"), ("mp2", "f2", "vinn")],
+                ), // 0
+                single("mptail", Polarity::Pmos, "tail", "vp1", "vdd", "vdd"), // 1
+                group(
+                    "sinks",
+                    Polarity::Nmos,
+                    "gnd",
+                    "gnd",
+                    false,
+                    [("mn5", "f1", "vbn"), ("mn6", "f2", "vbn")],
+                ), // 2
+                single("mn1c", Polarity::Nmos, "m", "vc1", "f1", "gnd"),       // 3
+                single("mn2c", Polarity::Nmos, "out", "vc1", "f2", "gnd"),     // 4
+                group(
+                    "mirror",
+                    Polarity::Pmos,
+                    "vdd",
+                    "vdd",
+                    false,
+                    [("mp3", "a", "m"), ("mp4", "b", "m")],
+                ), // 5
+                single("mp3c", Polarity::Pmos, "m", "vc3", "a", "vdd"),        // 6
+                single("mp4c", Polarity::Pmos, "out", "vc3", "b", "vdd"),      // 7
+            ],
+            // NMOS rows at the bottom, PMOS rows (shared well region) at
+            // the top — the arrangement of the paper's Fig. 5.
+            placement_rows: vec![vec![3, 2, 4], vec![6, 5, 7], vec![0, 1]],
+            net_currents,
+        }
+    }
+
+    fn supply_current_estimate(&self) -> f64 {
+        FoldedCascodeOta::supply_current_estimate(self)
+    }
+
+    fn drawn_w(&self, mode: &ParasiticMode, name: &str) -> f64 {
+        FoldedCascodeOta::drawn_w(self, mode, name)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl TopologyPlan for FoldedCascodePlan {
+    fn topology_name(&self) -> &'static str {
+        "folded_cascode"
+    }
+
+    fn size_topology(
+        &self,
+        tech: &Technology,
+        specs: &OtaSpecs,
+        mode: &ParasiticMode,
+    ) -> Result<Box<dyn Topology>, SizingError> {
+        self.size(tech, specs, mode).map(|ota| Box::new(ota) as _)
     }
 }
 

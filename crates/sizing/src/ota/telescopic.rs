@@ -27,8 +27,14 @@
 use crate::blocks::{gate_bias_for, size_device, size_diff_pair, size_mirror};
 use crate::eval::{Amplifier, InputDrive};
 use crate::feedback::ParasiticMode;
-use crate::ota::folded_cascode::{diffusion_geometry, SizedDevice, SizingError};
+use crate::ota::folded_cascode::{
+    add_routing_caps, diffusion_geometry, parasitic_on, SizedDevice, SizingError,
+};
 use crate::specs::OtaSpecs;
+use crate::topology::{
+    GroupDevice, LayoutModule, MatchedGroup, SingleDevice, Topology, TopologyLayoutSpec,
+    TopologyPlan,
+};
 use losac_device::Mosfet;
 use losac_sim::netlist::{Circuit, DiffGeom as SimDiffGeom, Waveform};
 use losac_tech::{Polarity, Technology};
@@ -38,6 +44,15 @@ use std::collections::HashMap;
 pub const DEVICE_NAMES: [&str; 9] = [
     "mptail", "mp1", "mp2", "mp1c", "mp2c", "mn1c", "mn2c", "mn3", "mn4",
 ];
+
+/// Circuit nets of the topology (excluding the input/bias sources).
+pub const SIGNAL_NETS: [&str; 8] = ["tail", "x1", "x2", "y1", "z1", "z2", "out", "vdd"];
+
+/// Nets that exist in the verification netlist (see
+/// [`add_routing_caps`]).
+fn is_internal_net(net: &str) -> bool {
+    SIGNAL_NETS.contains(&net) || net == "vinp" || net == "vinn"
+}
 
 /// A sized telescopic-cascode OTA.
 #[derive(Debug, Clone)]
@@ -94,7 +109,6 @@ impl TelescopicPlan {
         let _span =
             losac_obs::span_with("sizing.size", vec![losac_obs::f("topology", "telescopic")]);
         specs.validate().map_err(SizingError::new)?;
-        let _ = mode;
         let vdd = specs.vdd;
         let pp = &tech.pmos;
 
@@ -123,9 +137,13 @@ impl TelescopicPlan {
         let veff_in = (0.4 * headroom).clamp(0.10, 0.45);
         let veff_tail = (headroom - veff_in - 0.05).clamp(0.10, 0.8);
 
-        // gm from GBW and load; all branch currents equal the input
-        // current (that is the telescopic's efficiency).
-        let gm1 = 2.0 * std::f64::consts::PI * specs.gbw * specs.c_load * 1.05;
+        // gm from GBW and load — the load includes whatever routing,
+        // coupling and well capacitance the layout feedback lumps onto
+        // the output net, which is what closes the sizing↔layout loop;
+        // all branch currents equal the input current (that is the
+        // telescopic's efficiency).
+        let c_out = specs.c_load + parasitic_on(mode, "out");
+        let gm1 = 2.0 * std::f64::consts::PI * specs.gbw * c_out * 1.05;
         let (input_dev, i_in) = size_diff_pair(tech, Polarity::Pmos, self.l_in, veff_in, gm1)?;
         let i_tail = 2.0 * i_in;
 
@@ -190,6 +208,19 @@ impl TelescopicPlan {
 }
 
 impl TelescopicOta {
+    /// Drawn width of a device (m) — the layout feedback's grid-snapped
+    /// width when it corresponds to this sizing (see
+    /// [`Topology::drawn_w`] for the 5 % guard).
+    pub fn drawn_w(&self, mode: &ParasiticMode, name: &str) -> f64 {
+        Topology::drawn_w(self, mode, name)
+    }
+
+    /// Total quiescent current estimate (A): one tail current feeds both
+    /// telescopic branches — there is no separate cascode branch.
+    pub fn supply_current_estimate(&self) -> f64 {
+        self.i_tail
+    }
+
     /// Build the amplifier netlist for the requested testbench.
     pub fn netlist(&self, tech: &Technology, mode: &ParasiticMode, drive: InputDrive) -> Circuit {
         let mut c = Circuit::new();
@@ -229,7 +260,8 @@ impl TelescopicOta {
         let mut mos = |name: &str, d: &str, g: &str, s: &str, b: &str| {
             let dev = &self.devices[name];
             let params = tech.mos(dev.polarity);
-            let m = Mosfet::new(*params, dev.w, dev.l);
+            let w = self.drawn_w(mode, name);
+            let m = Mosfet::new(*params, w, dev.l);
             let junction = match dev.polarity {
                 Polarity::Nmos => tech.caps.ndiff,
                 Polarity::Pmos => tech.caps.pdiff,
@@ -273,6 +305,9 @@ impl TelescopicOta {
         mos("mn4", "z2", "y1", "0", "0");
 
         c.capacitor("cload", "out", "0", self.specs.c_load);
+
+        // Routing, coupling and well parasitics (case 4 only).
+        add_routing_caps(&mut c, mode, is_internal_net);
         c
     }
 }
@@ -290,13 +325,165 @@ impl Amplifier for TelescopicOta {
         self.i_tail / self.specs.c_load.max(1e-15)
     }
 
+    fn fingerprint_discriminant(&self) -> &str {
+        "telescopic"
+    }
+
     fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
-        h.write_str("telescopic");
         crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [self.vp1, self.vcp, self.vcn, self.i_tail] {
             h.write_f64(v);
         }
         true
+    }
+}
+
+impl Topology for TelescopicOta {
+    fn topology_name(&self) -> &'static str {
+        "telescopic"
+    }
+
+    fn devices(&self) -> &HashMap<String, SizedDevice> {
+        &self.devices
+    }
+
+    fn devices_mut(&mut self) -> &mut HashMap<String, SizedDevice> {
+        &mut self.devices
+    }
+
+    fn layout_spec(&self) -> TopologyLayoutSpec {
+        let i_in = self.i_tail / 2.0;
+        let net_currents: HashMap<String, f64> = [
+            ("vdd", self.i_tail),
+            ("gnd", self.i_tail),
+            ("tail", self.i_tail),
+            ("x1", i_in),
+            ("x2", i_in),
+            ("y1", i_in),
+            ("z1", i_in),
+            ("z2", i_in),
+            ("out", i_in),
+        ]
+        .into_iter()
+        .map(|(n, i)| (n.to_owned(), i))
+        .collect();
+        TopologyLayoutSpec {
+            cell_name: "telescopic_ota",
+            modules: vec![
+                // 0: input pair — shares the tail source net.
+                LayoutModule::Group(MatchedGroup {
+                    name: "pair".into(),
+                    polarity: Polarity::Pmos,
+                    source_net: "tail".into(),
+                    bulk_net: "vdd".into(),
+                    is_input_pair: true,
+                    devices: vec![
+                        GroupDevice {
+                            name: "mp1".into(),
+                            drain_net: "x1".into(),
+                            gate_net: "vinp".into(),
+                        },
+                        GroupDevice {
+                            name: "mp2".into(),
+                            drain_net: "x2".into(),
+                            gate_net: "vinn".into(),
+                        },
+                    ],
+                }),
+                // 1: tail current source.
+                LayoutModule::Single(SingleDevice {
+                    name: "mptail".into(),
+                    polarity: Polarity::Pmos,
+                    d: "tail".into(),
+                    g: "vp1".into(),
+                    s: "vdd".into(),
+                    b: "vdd".into(),
+                }),
+                // 2: NMOS mirror — shares the ground source net.
+                LayoutModule::Group(MatchedGroup {
+                    name: "mirror".into(),
+                    polarity: Polarity::Nmos,
+                    source_net: "gnd".into(),
+                    bulk_net: "gnd".into(),
+                    is_input_pair: false,
+                    devices: vec![
+                        GroupDevice {
+                            name: "mn3".into(),
+                            drain_net: "z1".into(),
+                            gate_net: "y1".into(),
+                        },
+                        GroupDevice {
+                            name: "mn4".into(),
+                            drain_net: "z2".into(),
+                            gate_net: "y1".into(),
+                        },
+                    ],
+                }),
+                // 3–6: the four cascodes, each with a distinct source.
+                LayoutModule::Single(SingleDevice {
+                    name: "mn1c".into(),
+                    polarity: Polarity::Nmos,
+                    d: "y1".into(),
+                    g: "vcn".into(),
+                    s: "z1".into(),
+                    b: "gnd".into(),
+                }),
+                LayoutModule::Single(SingleDevice {
+                    name: "mn2c".into(),
+                    polarity: Polarity::Nmos,
+                    d: "out".into(),
+                    g: "vcn".into(),
+                    s: "z2".into(),
+                    b: "gnd".into(),
+                }),
+                LayoutModule::Single(SingleDevice {
+                    name: "mp1c".into(),
+                    polarity: Polarity::Pmos,
+                    d: "y1".into(),
+                    g: "vcp".into(),
+                    s: "x1".into(),
+                    b: "vdd".into(),
+                }),
+                LayoutModule::Single(SingleDevice {
+                    name: "mp2c".into(),
+                    polarity: Polarity::Pmos,
+                    d: "out".into(),
+                    g: "vcp".into(),
+                    s: "x2".into(),
+                    b: "vdd".into(),
+                }),
+            ],
+            // NMOS rows at the bottom, PMOS rows at the top.
+            placement_rows: vec![vec![3, 2, 4], vec![5, 6], vec![0, 1]],
+            net_currents,
+        }
+    }
+
+    fn supply_current_estimate(&self) -> f64 {
+        TelescopicOta::supply_current_estimate(self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl TopologyPlan for TelescopicPlan {
+    fn topology_name(&self) -> &'static str {
+        "telescopic"
+    }
+
+    fn size_topology(
+        &self,
+        tech: &Technology,
+        specs: &OtaSpecs,
+        mode: &ParasiticMode,
+    ) -> Result<Box<dyn Topology>, SizingError> {
+        self.size(tech, specs, mode).map(|ota| Box::new(ota) as _)
+    }
+
+    fn example_specs(&self) -> OtaSpecs {
+        telescopic_example_specs()
     }
 }
 
@@ -365,6 +552,52 @@ mod tests {
             p.power < 2e-3,
             "telescopic should be frugal: {:.2} mW",
             p.power * 1e3
+        );
+    }
+
+    #[test]
+    fn supply_current_matches_hand_computed_branches() {
+        let (_, ota) = setup();
+        // One tail current splits into two equal branch currents that
+        // flow straight down both telescopic stacks to ground; there is
+        // no other path from the supply. Hence supply = i_tail exactly,
+        // and each branch carries i_tail / 2.
+        assert_eq!(ota.supply_current_estimate(), ota.i_tail);
+        let i_in = ota.i_tail / 2.0;
+        assert_eq!(i_in + i_in, ota.supply_current_estimate());
+        assert!(ota.i_tail > 0.0);
+        // The trait sees the same estimate.
+        let topo: &dyn Topology = &ota;
+        assert_eq!(topo.supply_current_estimate(), ota.i_tail);
+    }
+
+    #[test]
+    fn drawn_w_prefers_matching_feedback_only() {
+        use crate::feedback::{DeviceFeedback, LayoutFeedback};
+        let (_, ota) = setup();
+        let w = ota.devices["mp1"].w;
+        let mut fb = LayoutFeedback::default();
+        fb.devices.insert(
+            "mp1".to_owned(),
+            DeviceFeedback {
+                folds: 4,
+                drawn_w: losac_tech::units::m_to_nm(w * 1.02),
+                drain: Default::default(),
+                source: Default::default(),
+            },
+        );
+        let mode = ParasiticMode::DiffusionOnly(fb.clone());
+        // Within 5 %: the drawn width wins.
+        let drawn = ota.drawn_w(&mode, "mp1");
+        assert!((drawn - w * 1.02).abs() < 2e-9, "{drawn} vs {}", w * 1.02);
+        // Stale feedback (way off this sizing) is ignored.
+        fb.devices.get_mut("mp1").unwrap().drawn_w = losac_tech::units::m_to_nm(w * 2.0);
+        let mode = ParasiticMode::DiffusionOnly(fb);
+        assert_eq!(ota.drawn_w(&mode, "mp1"), w);
+        // No feedback at all: the synthesised width.
+        assert_eq!(
+            ota.drawn_w(&ParasiticMode::None, "mp2"),
+            ota.devices["mp2"].w
         );
     }
 

@@ -23,8 +23,14 @@
 
 use crate::eval::{Amplifier, InputDrive};
 use crate::feedback::ParasiticMode;
-use crate::ota::folded_cascode::{diffusion_geometry, SizedDevice, SizingError};
+use crate::ota::folded_cascode::{
+    add_routing_caps, diffusion_geometry, parasitic_on, SizedDevice, SizingError,
+};
 use crate::specs::OtaSpecs;
+use crate::topology::{
+    GroupDevice, LayoutModule, MatchedGroup, SingleDevice, Topology, TopologyLayoutSpec,
+    TopologyPlan,
+};
 use losac_device::ekv::{evaluate, threshold};
 use losac_device::solve::{vgs_for_current, width_for_current, WidthBounds};
 use losac_device::Mosfet;
@@ -34,6 +40,15 @@ use std::collections::HashMap;
 
 /// The device names of the two-stage topology.
 pub const DEVICE_NAMES: [&str; 7] = ["mp1", "mp2", "mptail", "mn3", "mn4", "mn6", "mp7"];
+
+/// Circuit nets of the topology (excluding the input/bias sources).
+pub const SIGNAL_NETS: [&str; 5] = ["tail", "x0", "x1", "out", "vdd"];
+
+/// Nets that exist in the verification netlist (see
+/// [`add_routing_caps`]).
+fn is_internal_net(net: &str) -> bool {
+    SIGNAL_NETS.contains(&net) || net == "vinp" || net == "vinn"
+}
 
 /// A sized two-stage OTA.
 #[derive(Debug, Clone)]
@@ -88,7 +103,7 @@ impl TwoStagePlan {
         &self,
         tech: &Technology,
         specs: &OtaSpecs,
-        _mode: &ParasiticMode,
+        mode: &ParasiticMode,
     ) -> Result<TwoStageOta, SizingError> {
         let _span =
             losac_obs::span_with("sizing.size", vec![losac_obs::f("topology", "two_stage")]);
@@ -118,13 +133,18 @@ impl TwoStagePlan {
         let i_in = gm1 / gm_over_id_in;
         let i_tail = 2.0 * i_in;
 
-        // Phase-margin loop on the second-stage transconductance.
+        // Phase-margin loop on the second-stage transconductance. The
+        // output pole is set by the *total* output load: the specified
+        // capacitor plus whatever routing, coupling and well capacitance
+        // the layout feedback lumps onto the output net — the channel
+        // through which the layout loop re-sizes the second stage.
+        let c_out = specs.c_load + parasitic_on(mode, "out");
         let mut gm6_mult = self.gm6_over_gm1;
         let mut pm_est = 0.0;
         for _ in 0..10 {
             let gm6 = gm6_mult * gm1;
             let fu = specs.gbw;
-            let p2 = gm6 / (2.0 * std::f64::consts::PI * specs.c_load);
+            let p2 = gm6 / (2.0 * std::f64::consts::PI * c_out);
             let z = gm6 / (2.0 * std::f64::consts::PI * cc);
             pm_est = 90.0 - (fu / p2).atan().to_degrees() - (fu / z).atan().to_degrees();
             if pm_est >= specs.phase_margin + 2.0 || gm6_mult > 30.0 {
@@ -230,6 +250,19 @@ impl TwoStagePlan {
 }
 
 impl TwoStageOta {
+    /// Drawn width of a device (m) — the layout feedback's grid-snapped
+    /// width when it corresponds to this sizing (see
+    /// [`Topology::drawn_w`] for the 5 % guard).
+    pub fn drawn_w(&self, mode: &ParasiticMode, name: &str) -> f64 {
+        Topology::drawn_w(self, mode, name)
+    }
+
+    /// Total quiescent current estimate (A): the first-stage tail plus
+    /// the second-stage branch.
+    pub fn supply_current_estimate(&self) -> f64 {
+        self.i_tail + self.i_stage2
+    }
+
     /// Build the amplifier netlist for the requested testbench.
     pub fn netlist(&self, tech: &Technology, mode: &ParasiticMode, drive: InputDrive) -> Circuit {
         let mut c = Circuit::new();
@@ -268,7 +301,8 @@ impl TwoStageOta {
         let mut mos = |name: &str, d: &str, g: &str, s: &str, b: &str| {
             let dev = &self.devices[name];
             let params = tech.mos(dev.polarity);
-            let m = Mosfet::new(*params, dev.w, dev.l);
+            let w = self.drawn_w(mode, name);
+            let m = Mosfet::new(*params, w, dev.l);
             let junction = match dev.polarity {
                 Polarity::Nmos => tech.caps.ndiff,
                 Polarity::Pmos => tech.caps.pdiff,
@@ -308,6 +342,9 @@ impl TwoStageOta {
 
         c.capacitor("cc", "x1", "out", self.cc);
         c.capacitor("cload", "out", "0", self.specs.c_load);
+
+        // Routing, coupling and well parasitics (case 4 only).
+        add_routing_caps(&mut c, mode, is_internal_net);
         c
     }
 }
@@ -325,13 +362,146 @@ impl Amplifier for TwoStageOta {
         (self.i_tail / self.cc).min(self.i_stage2 / self.specs.c_load)
     }
 
+    fn fingerprint_discriminant(&self) -> &str {
+        "two_stage"
+    }
+
     fn write_fingerprint(&self, h: &mut crate::eval::FnvHasher) -> bool {
-        h.write_str("two_stage");
         crate::eval::hash_common_fingerprint(h, &self.devices, &self.specs);
         for v in [self.vp1, self.vp2, self.cc, self.i_tail, self.i_stage2] {
             h.write_f64(v);
         }
         true
+    }
+}
+
+impl Topology for TwoStageOta {
+    fn topology_name(&self) -> &'static str {
+        "two_stage"
+    }
+
+    fn devices(&self) -> &HashMap<String, SizedDevice> {
+        &self.devices
+    }
+
+    fn devices_mut(&mut self) -> &mut HashMap<String, SizedDevice> {
+        &mut self.devices
+    }
+
+    fn layout_spec(&self) -> TopologyLayoutSpec {
+        let i_in = self.i_tail / 2.0;
+        let net_currents: HashMap<String, f64> = [
+            ("vdd", self.i_tail + self.i_stage2),
+            ("gnd", self.i_tail + self.i_stage2),
+            ("tail", self.i_tail),
+            ("x0", i_in),
+            ("x1", i_in),
+            ("out", self.i_stage2),
+        ]
+        .into_iter()
+        .map(|(n, i)| (n.to_owned(), i))
+        .collect();
+        // The Miller capacitor is a netlist-only element today: the
+        // layout tool places and routes transistors, so `cc` contributes
+        // neither area nor routing parasitics to the feedback.
+        TopologyLayoutSpec {
+            cell_name: "two_stage_ota",
+            modules: vec![
+                // 0: input pair — shares the tail source net.
+                LayoutModule::Group(MatchedGroup {
+                    name: "pair".into(),
+                    polarity: Polarity::Pmos,
+                    source_net: "tail".into(),
+                    bulk_net: "vdd".into(),
+                    is_input_pair: true,
+                    devices: vec![
+                        GroupDevice {
+                            name: "mp1".into(),
+                            drain_net: "x1".into(),
+                            gate_net: "vinp".into(),
+                        },
+                        GroupDevice {
+                            name: "mp2".into(),
+                            drain_net: "x0".into(),
+                            gate_net: "vinn".into(),
+                        },
+                    ],
+                }),
+                // 1: tail current source.
+                LayoutModule::Single(SingleDevice {
+                    name: "mptail".into(),
+                    polarity: Polarity::Pmos,
+                    d: "tail".into(),
+                    g: "vp1".into(),
+                    s: "vdd".into(),
+                    b: "vdd".into(),
+                }),
+                // 2: first-stage NMOS mirror (mn3 is the diode).
+                LayoutModule::Group(MatchedGroup {
+                    name: "mirror".into(),
+                    polarity: Polarity::Nmos,
+                    source_net: "gnd".into(),
+                    bulk_net: "gnd".into(),
+                    is_input_pair: false,
+                    devices: vec![
+                        GroupDevice {
+                            name: "mn3".into(),
+                            drain_net: "x0".into(),
+                            gate_net: "x0".into(),
+                        },
+                        GroupDevice {
+                            name: "mn4".into(),
+                            drain_net: "x1".into(),
+                            gate_net: "x0".into(),
+                        },
+                    ],
+                }),
+                // 3: second-stage common source.
+                LayoutModule::Single(SingleDevice {
+                    name: "mn6".into(),
+                    polarity: Polarity::Nmos,
+                    d: "out".into(),
+                    g: "x1".into(),
+                    s: "gnd".into(),
+                    b: "gnd".into(),
+                }),
+                // 4: second-stage current source.
+                LayoutModule::Single(SingleDevice {
+                    name: "mp7".into(),
+                    polarity: Polarity::Pmos,
+                    d: "out".into(),
+                    g: "vp2".into(),
+                    s: "vdd".into(),
+                    b: "vdd".into(),
+                }),
+            ],
+            // NMOS row at the bottom, PMOS row at the top.
+            placement_rows: vec![vec![2, 3], vec![0, 1, 4]],
+            net_currents,
+        }
+    }
+
+    fn supply_current_estimate(&self) -> f64 {
+        TwoStageOta::supply_current_estimate(self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl TopologyPlan for TwoStagePlan {
+    fn topology_name(&self) -> &'static str {
+        "two_stage"
+    }
+
+    fn size_topology(
+        &self,
+        tech: &Technology,
+        specs: &OtaSpecs,
+        mode: &ParasiticMode,
+    ) -> Result<Box<dyn Topology>, SizingError> {
+        self.size(tech, specs, mode).map(|ota| Box::new(ota) as _)
     }
 }
 
@@ -377,6 +547,24 @@ mod tests {
             "rout {:.0} kΩ",
             p.output_resistance / 1e3
         );
+    }
+
+    #[test]
+    fn supply_current_matches_hand_computed_branches() {
+        let (_, ota) = setup();
+        // Two paths from VDD to ground: the first-stage tail (splitting
+        // into two equal i_tail/2 branches through the mirror) and the
+        // second-stage branch through mp7/mn6. Nothing else conducts.
+        assert_eq!(ota.supply_current_estimate(), ota.i_tail + ota.i_stage2);
+        let i_in = ota.i_tail / 2.0;
+        assert_eq!(
+            i_in + i_in + ota.i_stage2,
+            ota.supply_current_estimate(),
+            "branch currents must add up to the supply estimate"
+        );
+        assert!(ota.i_tail > 0.0 && ota.i_stage2 > 0.0);
+        let topo: &dyn Topology = &ota;
+        assert_eq!(topo.supply_current_estimate(), ota.i_tail + ota.i_stage2);
     }
 
     #[test]

@@ -29,10 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The sized devices.
     println!("\ndevices:");
-    let mut names: Vec<_> = result.ota.devices.keys().collect();
+    let devices = result.ota.devices();
+    let mut names: Vec<_> = devices.keys().collect();
     names.sort();
     for name in names {
-        let d = &result.ota.devices[name];
+        let d = &devices[name];
         println!(
             "  {name:<8} W = {:7.2} um  L = {:.2} um",
             d.w * 1e6,
@@ -41,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Verified performance, with all extracted parasitics.
-    let perf = evaluate(&result.ota, &tech, &result.mode)?;
+    let perf = evaluate(result.ota.as_ref(), &tech, &result.mode)?;
     println!("\nperformance (with layout parasitics):\n{perf}");
 
     // 5. The physical layout.

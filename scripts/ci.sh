@@ -51,6 +51,18 @@ if ! LOSAC_LOG=off LOSAC_ENGINE_WORKERS=4 cargo test -q --release --test batch_e
     fail=1
 fi
 
+# Topology smoke gate: every built-in topology, selected by name through
+# the registry CLI path, must complete the full parasitic loop — and the
+# binary itself asserts the parallel run is bitwise identical to serial.
+for topo in folded_cascode telescopic two_stage; do
+    echo "==> batch_sweep --topology ${topo}"
+    if ! LOSAC_LOG=off ./target/release/batch_sweep --topology "${topo}" --workers 4 \
+        >/dev/null; then
+        echo "FAIL: topology smoke (${topo})"
+        fail=1
+    fi
+done
+
 # Chaos gates: seeded fault schedules through the batch engine, with the
 # fail-point feature on. Outcomes must be bitwise identical at 1 and 4
 # workers, panics must stay contained, and budget stops must win over

@@ -1,0 +1,115 @@
+//! Integration: the synthesis flow and the batch engine are
+//! topology-generic. Every built-in topology — selected by name through
+//! the registry — completes the full sizing↔layout parasitic loop, and a
+//! mixed-topology batch replays bit-identically at any worker count.
+
+use losac::engine::{Engine, EngineOptions, SweepBuilder};
+use losac::flow::prelude::*;
+use std::sync::Arc;
+
+fn perf_bits(p: &Performance) -> [u64; 11] {
+    [
+        p.dc_gain_db,
+        p.gbw,
+        p.phase_margin,
+        p.slew_rate,
+        p.cmrr_db,
+        p.offset,
+        p.output_resistance,
+        p.input_noise_rms,
+        p.thermal_noise_density,
+        p.flicker_noise_density,
+        p.power,
+    ]
+    .map(f64::to_bits)
+}
+
+#[test]
+fn every_builtin_topology_completes_the_full_parasitic_loop() {
+    let tech = Technology::cmos06();
+    let registry = TopologyRegistry::builtin();
+    let opts = FlowOptions::default();
+    for name in ["folded_cascode", "telescopic", "two_stage"] {
+        let plan = registry.get(name).expect("registered topology");
+        let r = layout_oriented_synthesis(&tech, &plan.example_specs(), plan.as_ref(), &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            r.converged && r.layout_calls <= opts.max_layout_calls,
+            "{name}: converged={} after {} calls (history {:?})",
+            r.converged,
+            r.layout_calls,
+            r.history
+        );
+        // Convergence means the triggering change was within tolerance,
+        // and the parasitic change shrank monotonically towards it: the
+        // loop's relaxation must not re-expand the parasitics once they
+        // start settling.
+        let final_change = r
+            .final_change()
+            .expect("at least two layout calls compared");
+        assert!(
+            final_change <= opts.tolerance,
+            "{name}: final change {final_change} > tolerance {}",
+            opts.tolerance
+        );
+        assert!(
+            r.history.windows(2).all(|w| w[1] <= w[0]),
+            "{name}: parasitic change expanded after convergence began: {:?}",
+            r.history
+        );
+        // The final sizing ran against full layout feedback covering
+        // every device, with real routing capacitance on the output.
+        let fb = r.mode.feedback().expect("final mode carries feedback");
+        assert_eq!(fb.devices.len(), r.ota.devices().len(), "{name}");
+        assert!(
+            fb.net_caps.get("out").copied().unwrap_or(0.0) > 0.0,
+            "{name}: no routing capacitance fed back on the output net"
+        );
+        // The generation-mode layout physically exists.
+        assert!(r.layout.cell.bbox().is_some(), "{name}: empty layout");
+    }
+}
+
+#[test]
+fn mixed_topology_batch_is_bitwise_deterministic_across_worker_counts() {
+    let tech = Arc::new(Technology::cmos06());
+    let registry = TopologyRegistry::builtin();
+    let sweep = || {
+        SweepBuilder::new(tech.clone(), OtaSpecs::paper_example())
+            .over_topologies(
+                ["two_stage", "folded_cascode", "telescopic"]
+                    .iter()
+                    .map(|n| registry.get(n).expect("registered topology")),
+            )
+            .over_cases([Case::AllParasitics])
+            .build()
+    };
+
+    let serial = Engine::new(EngineOptions::with_workers(1)).run_batch(sweep());
+    let parallel = Engine::new(EngineOptions::with_workers(4)).run_batch(sweep());
+    assert_eq!(serial.outcomes.len(), 3);
+    for (i, (s, p)) in serial.outcomes.iter().zip(&parallel.outcomes).enumerate() {
+        let (s, p) = (
+            s.result()
+                .unwrap_or_else(|| panic!("serial job {i} failed: {}", s.status())),
+            p.result()
+                .unwrap_or_else(|| panic!("parallel job {i} failed: {}", p.status())),
+        );
+        assert_eq!(
+            perf_bits(&s.synthesized),
+            perf_bits(&p.synthesized),
+            "job {i}: synthesized rows diverge across worker counts"
+        );
+        assert_eq!(
+            perf_bits(&s.extracted),
+            perf_bits(&p.extracted),
+            "job {i}: extracted rows diverge across worker counts"
+        );
+        assert_eq!(s.layout_calls, p.layout_calls, "job {i}");
+        assert_eq!(
+            s.ota.topology_name(),
+            p.ota.topology_name(),
+            "job {i}: topology mixed up across worker counts"
+        );
+    }
+}

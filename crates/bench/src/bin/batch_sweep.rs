@@ -3,27 +3,34 @@
 //! serial run of the same sweep.
 //!
 //! ```text
-//! batch_sweep [--workers N] [--json] [--topology a,b,c]
+//! batch_sweep [--workers N] [--json] [--profile] [--topology a,b,c]
 //! ```
 //!
 //! * `--workers N` — worker threads for the parallel run (default 0 =
 //!   one per available core);
 //! * `--json` — emit a machine-readable run record instead of the table;
+//! * `--profile` — print an aggregated span-tree profile (table +
+//!   collapsed stacks) on stderr at exit;
 //! * `--topology a,b,c` — run a topology smoke sweep instead: the full
 //!   parasitic loop (case 4, min-area) once per named topology from the
 //!   built-in registry (`folded_cascode`, `telescopic`, `two_stage`),
 //!   each against its own example specification. Unknown names exit
 //!   non-zero.
 //!
+//! The parallel run streams live progress to stderr: a self-overwriting
+//! `k/n done · ETA · p95 job ms` line normally, or one JSON line per
+//! `engine.*` event in `--json` mode (stdout stays the run record).
+//!
 //! The binary asserts the engine's determinism contract: the parallel
 //! run must produce **bit-identical** performance numbers to the serial
 //! run, in submission order. It exits non-zero if any job fails or any
 //! result differs.
 
-use losac_bench::{counters_json, json_mode, perf_json};
+use losac_bench::{counters_json, json_mode, perf_json, ProfileHandle};
 use losac_core::prelude::*;
 use losac_engine::{Engine, EngineOptions, JobOutcome, SweepBuilder};
 use losac_obs::json::{array, Object};
+use losac_obs::{ProgressMode, ProgressSink};
 use losac_sizing::TopologyRegistry;
 use std::sync::Arc;
 
@@ -80,6 +87,7 @@ fn perf_identical(a: &Performance, b: &Performance) -> bool {
 
 fn main() {
     let json = json_mode();
+    let _profile = ProfileHandle::from_args();
     let workers = workers_arg();
     let tech = Arc::new(Technology::cmos06());
     let specs = OtaSpecs::paper_example();
@@ -126,10 +134,19 @@ fn main() {
 
     // Serial reference: the same sweep, one worker.
     let serial = Engine::new(EngineOptions::with_workers(1)).run_batch(sweep());
-    // Parallel run under test.
+    // Parallel run under test, with live progress streamed to stderr —
+    // human-readable normally, one JSON line per engine event in `--json`
+    // mode (stdout stays the run record).
+    let progress = ProgressSink::new(if json {
+        ProgressMode::Jsonl
+    } else {
+        ProgressMode::Human
+    });
+    let progress_guard = losac_obs::install(Arc::new(progress));
     let engine = Engine::new(EngineOptions::with_workers(workers));
     let resolved = engine.workers();
     let parallel = engine.run_batch(jobs);
+    drop(progress_guard);
 
     // Determinism check: identical outcomes, in submission order.
     let mut identical = true;

@@ -1,14 +1,19 @@
 //! Wall-time + factorisation-count snapshot of the simulator hot path,
-//! written to `BENCH_PR3.json`.
+//! written to `BENCH_PR6.json`.
 //!
 //! Measures the Table-1 measurement pipeline in every bitwise-equal
 //! configuration (legacy serial, linearisation reuse, reuse + threads,
-//! cached) plus the raw AC sweep and a full case-4 synthesis run, so the
+//! cached) plus the raw AC sweep, a full case-4 synthesis run, and the
+//! p50/p95 of the `sizing.evaluate.ms` latency histogram, so the
 //! README's performance numbers can be regenerated with one command:
 //!
 //! ```text
 //! scripts/bench_snapshot.sh       # or: cargo run --release -p losac-bench --bin bench_snapshot
 //! ```
+//!
+//! The committed `BENCH_PR3.json` is the frozen PR-3 baseline;
+//! `scripts/bench_check.sh` diffs a fresh `BENCH_PR6.json` against it
+//! and fails on hot-path regressions.
 
 use losac_core::cases::{run_case_with, Case, CaseOptions};
 use losac_obs::metrics::snapshot;
@@ -161,6 +166,22 @@ fn main() {
     ));
     out.push_str(&format!("  \"eval_cache_hits_total\": {hits},\n"));
 
+    // --- latency distribution of every uncached evaluate above ------------
+    if let Some(h) = snapshot().histograms.get("sizing.evaluate.ms") {
+        out.push_str(&format!(
+            "  \"evaluate_hist\": {{ \"count\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3} }},\n",
+            h.count,
+            h.p50(),
+            h.p95()
+        ));
+        println!(
+            "evaluate histogram: n={} p50={:.1} ms p95={:.1} ms",
+            h.count,
+            h.p50(),
+            h.p95()
+        );
+    }
+
     // Reference numbers from the pre-overhaul tree (commit 2b00b84),
     // measured with this same binary on the same machine before the
     // workspace/linearisation/thread work landed.
@@ -170,6 +191,6 @@ fn main() {
          \"run_case4_factorizations\": 10904 }\n}\n",
     );
 
-    std::fs::write("BENCH_PR3.json", &out).expect("write BENCH_PR3.json");
-    println!("wrote BENCH_PR3.json");
+    std::fs::write("BENCH_PR6.json", &out).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
 }

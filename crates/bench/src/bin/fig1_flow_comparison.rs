@@ -9,12 +9,14 @@
 //! traditional flow needs repeated full layout + extraction + simulation
 //! rounds to compensate blind sizing.
 
-use losac_bench::{counters_json, json_mode};
+use losac_bench::{counters_json, json_mode, ProfileHandle};
 use losac_core::prelude::*;
 use losac_obs::json::{array, number, Object};
 
 fn main() {
     let json = json_mode();
+    // `--profile`: aggregated span-tree report on stderr at exit.
+    let _profile = ProfileHandle::from_args();
     let tech = Technology::cmos06();
     let specs = OtaSpecs::paper_example();
     if json {

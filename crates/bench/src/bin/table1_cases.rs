@@ -11,7 +11,7 @@
 //! * case 4 — everything matches and the specs are met; the parasitic
 //!   loop converges in a few layout calls.
 
-use losac_bench::{counters_json, json_mode, perf_json};
+use losac_bench::{counters_json, json_mode, perf_json, ProfileHandle};
 use losac_core::prelude::*;
 use losac_core::report::table1;
 use losac_obs::json::{array, Object};
@@ -19,6 +19,9 @@ use std::time::Instant;
 
 fn main() {
     let json = json_mode();
+    // `--profile`: aggregate every span into a call tree, printed to
+    // stderr when the handle drops at exit.
+    let _profile = ProfileHandle::from_args();
     let tech = Technology::cmos06();
     let specs = OtaSpecs::paper_example();
     if !json {

@@ -47,6 +47,53 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Whether the binary was invoked with `--profile` (aggregated span-tree
+/// report on exit).
+pub fn profile_mode() -> bool {
+    std::env::args().any(|a| a == "--profile")
+}
+
+/// RAII handle behind `--profile`: keeps a [`losac_obs::Profiler`]
+/// installed and prints its aggregated span tree (indented table plus
+/// collapsed flamegraph stacks) to stderr when dropped.
+pub struct ProfileHandle {
+    profiler: losac_obs::Profiler,
+    _guard: losac_obs::SinkGuard,
+}
+
+impl ProfileHandle {
+    /// Install a profiler for the rest of the program when `--profile`
+    /// was passed; otherwise do nothing. Worker-pool wrapper spans
+    /// (`engine.worker`) are collapsed so batch profiles are invariant
+    /// to the worker count.
+    pub fn from_args() -> Option<Self> {
+        if !profile_mode() {
+            return None;
+        }
+        let profiler = losac_obs::Profiler::collapse(&["engine.worker"]);
+        let guard = losac_obs::install(std::sync::Arc::new(profiler.clone()));
+        Some(Self {
+            profiler,
+            _guard: guard,
+        })
+    }
+
+    /// The profile aggregated so far.
+    pub fn report(&self) -> losac_obs::profile::ProfileReport {
+        self.profiler.report()
+    }
+}
+
+impl Drop for ProfileHandle {
+    fn drop(&mut self) {
+        let report = self.profiler.report();
+        eprintln!("\n-- profile (span tree) --");
+        eprint!("{}", report.render_table());
+        eprintln!("\n-- profile (collapsed stacks) --");
+        eprint!("{}", report.render_collapsed());
+    }
+}
+
 /// Serialise a performance row as a JSON object.
 pub fn perf_json(p: &Performance) -> String {
     Object::new()

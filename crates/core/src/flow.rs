@@ -444,11 +444,15 @@ pub fn layout_oriented_synthesis(
                 ),
             ));
         }
+        static LAYOUT_CALL_MS: losac_obs::Histogram =
+            losac_obs::Histogram::new("flow.layout_call.ms");
         let call_span = losac_obs::span_with("flow.layout_call", vec![f("call", layout_calls + 1)]);
         let call_start = Instant::now();
         let lplan = topology_layout_plan(tech, ota.as_ref(), &layout_opts);
         let report = lplan.calculate_parasitics(tech, opts.shape)?;
-        telemetry.layout_call_durations.push(call_start.elapsed());
+        let call_elapsed = call_start.elapsed();
+        telemetry.layout_call_durations.push(call_elapsed);
+        LAYOUT_CALL_MS.observe_duration(call_elapsed);
         drop(call_span);
         layout_calls += 1;
         let total_folds: u32 = report.devices.values().map(|d| d.folds).sum();

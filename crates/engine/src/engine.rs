@@ -7,10 +7,10 @@ use crate::telemetry::BatchTelemetry;
 use losac_core::cases::{run_case_with, CaseError};
 use losac_core::flow::{FlowControl, FlowError};
 use losac_core::prelude::CaseResult;
-use losac_obs::{f, Counter};
+use losac_obs::{f, Counter, Histogram, HistogramCore};
 use losac_sizing::eval::EvalErrorKind;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,6 +18,16 @@ use std::time::{Duration, Instant};
 static ENGINE_JOB_RETRIES: Counter = Counter::new("engine.job.retries");
 /// Jobs that ended [`JobOutcome::Degraded`], across all batches.
 static ENGINE_JOB_DEGRADED: Counter = Counter::new("engine.job.degraded");
+/// Per-job wall-clock time, across all batches (milliseconds).
+static ENGINE_JOB_MS: Histogram = Histogram::new("engine.job.ms");
+/// Backoff delay before each retry attempt (milliseconds).
+static ENGINE_RETRY_BACKOFF_MS: Histogram = Histogram::new("engine.retry.backoff_ms");
+/// The sizing crate's cache counters, resolved by name to the same
+/// registry slots — read here to report a running hit rate on
+/// `engine.job.done` events. Process-global, so concurrent batches see
+/// each other's deltas (same approximation the flow telemetry makes).
+static EVAL_CACHE_HITS: Counter = Counter::new("sizing.eval.cache_hit");
+static EVAL_CACHE_MISSES: Counter = Counter::new("sizing.eval.cache_miss");
 
 /// How one attempt of a job ended, folded into the retry decision.
 enum Attempt {
@@ -249,7 +259,18 @@ impl Engine {
             "engine.batch",
             vec![f("jobs", n as u64), f("workers", workers as u64)],
         );
+        losac_obs::event(
+            "engine.batch.start",
+            &[f("jobs", n as u64), f("workers", workers as u64)],
+        );
         let started = Instant::now();
+        // Live-progress state: jobs currently inside a worker, jobs
+        // completed, the batch's own latency distribution, and the cache
+        // counters at batch start (for a running hit rate).
+        let busy = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let batch_job_ms = HistogramCore::new();
+        let cache_base = (EVAL_CACHE_HITS.get(), EVAL_CACHE_MISSES.get());
         let job_times: Vec<std::sync::Mutex<Duration>> = (0..n)
             .map(|_| std::sync::Mutex::new(Duration::ZERO))
             .collect();
@@ -274,6 +295,17 @@ impl Engine {
                     "engine.job",
                     vec![f("job", i as u64), f("label", job.label.as_str())],
                 );
+                let busy_now = busy.fetch_add(1, Ordering::Relaxed) + 1;
+                let done_now = done.load(Ordering::Relaxed);
+                losac_obs::event(
+                    "engine.job.start",
+                    &[
+                        f("job", i as u64),
+                        f("label", job.label.as_str()),
+                        f("busy", busy_now as u64),
+                        f("queued", n.saturating_sub(done_now + busy_now) as u64),
+                    ],
+                );
                 let begun = Instant::now();
                 // One deadline for the whole job: every attempt and
                 // every backoff sleep counts against the same budget.
@@ -287,6 +319,10 @@ impl Engine {
                 let mut attempt: u32 = 1;
                 let mut last_error: Option<String> = None;
                 let outcome = loop {
+                    losac_obs::event(
+                        "engine.job.attempt",
+                        &[f("job", i as u64), f("attempt", u64::from(attempt))],
+                    );
                     // Per-attempt catch_unwind so a panicking attempt is
                     // retryable; the pool's own catch_unwind stays as a
                     // backstop for this orchestration code itself.
@@ -333,17 +369,18 @@ impl Engine {
                             let policy = retry.as_ref().expect("can_retry implies a policy");
                             ENGINE_JOB_RETRIES.incr();
                             job_retries[i].fetch_add(1, Ordering::Relaxed);
+                            let delay = policy.backoff(i, attempt);
+                            ENGINE_RETRY_BACKOFF_MS.observe_duration(delay);
                             losac_obs::event(
                                 "engine.job.retry",
                                 &[
                                     f("job", i as u64),
                                     f("attempt", u64::from(attempt)),
                                     f("error", message.as_str()),
+                                    f("backoff_ms", delay.as_secs_f64() * 1e3),
                                 ],
                             );
-                            if let Some(o) =
-                                backoff_sleep(policy.backoff(i, attempt), &self.stop, deadline)
-                            {
+                            if let Some(o) = backoff_sleep(delay, &self.stop, deadline) {
                                 break o;
                             }
                             last_error = Some(message);
@@ -351,13 +388,39 @@ impl Engine {
                         }
                     }
                 };
-                if matches!(outcome, JobOutcome::Degraded { .. }) {
+                if let JobOutcome::Degraded { attempts, .. } = &outcome {
                     ENGINE_JOB_DEGRADED.incr();
+                    losac_obs::event(
+                        "engine.job.degraded",
+                        &[f("job", i as u64), f("attempts", u64::from(*attempts))],
+                    );
                 }
-                *job_times[i].lock().expect("job time lock poisoned") = begun.elapsed();
+                let elapsed = begun.elapsed();
+                *job_times[i].lock().expect("job time lock poisoned") = elapsed;
+                ENGINE_JOB_MS.observe_duration(elapsed);
+                batch_job_ms.observe_duration(elapsed);
+                let done_now = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let busy_now = busy.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                let (hits, misses) = (
+                    EVAL_CACHE_HITS.get().saturating_sub(cache_base.0),
+                    EVAL_CACHE_MISSES.get().saturating_sub(cache_base.1),
+                );
+                let cache_hit_rate = if hits + misses > 0 {
+                    hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                };
                 losac_obs::event(
                     "engine.job.done",
-                    &[f("job", i as u64), f("status", outcome.status())],
+                    &[
+                        f("job", i as u64),
+                        f("status", outcome.status()),
+                        f("ms", elapsed.as_secs_f64() * 1e3),
+                        f("done", done_now as u64),
+                        f("total", n as u64),
+                        f("busy", busy_now as u64),
+                        f("cache_hit_rate", cache_hit_rate),
+                    ],
                 );
                 outcome
             },
@@ -393,6 +456,7 @@ impl Engine {
             serial_estimate,
             retries,
             degraded,
+            job_ms: batch_job_ms.snapshot(),
         };
         losac_obs::event(
             "engine.batch.done",

@@ -2,6 +2,7 @@
 //! workers were used.
 
 use losac_obs::json::{array, number, Object};
+use losac_obs::HistogramSnapshot;
 use std::time::Duration;
 
 /// Runtime summary of one [`crate::Engine::run_batch`] call.
@@ -26,6 +27,9 @@ pub struct BatchTelemetry {
     /// Number of jobs that ended [`Degraded`](crate::JobOutcome::Degraded)
     /// — they needed their retry policy, whether or not they recovered.
     pub degraded: usize,
+    /// Distribution of per-job wall-clock times, in milliseconds
+    /// (p50/p90/p99 via [`HistogramSnapshot`]'s quantile readouts).
+    pub job_ms: HistogramSnapshot,
 }
 
 impl BatchTelemetry {
@@ -67,6 +71,7 @@ impl BatchTelemetry {
                 "worker_jobs",
                 array(self.worker_jobs.iter().map(|j| j.to_string())),
             )
+            .raw("job_ms", self.job_ms.to_json())
             .build()
     }
 }
@@ -86,6 +91,12 @@ mod tests {
             serial_estimate: Duration::from_secs(3),
             retries: 5,
             degraded: 2,
+            job_ms: {
+                let h = losac_obs::HistogramCore::new();
+                h.observe(900.0);
+                h.observe(1100.0);
+                h.snapshot()
+            },
         };
         assert!((t.speedup() - 1.5).abs() < 1e-9);
         assert!((t.utilization() - 0.75).abs() < 1e-9);
@@ -94,6 +105,8 @@ mod tests {
         assert!(j.contains("\"worker_jobs\":[3,1]"), "{j}");
         assert!(j.contains("\"retries\":5"), "{j}");
         assert!(j.contains("\"degraded\":2"), "{j}");
+        assert!(j.contains("\"job_ms\":{\"count\":2,"), "{j}");
+        assert!(j.contains("\"p99\":"), "{j}");
     }
 
     #[test]

@@ -57,6 +57,16 @@ impl Collector {
             .collect()
     }
 
+    /// Events with the given name from *every* thread, in arrival order.
+    /// Use for multi-threaded emitters like the batch engine, whose
+    /// `engine.job.*` events fire on worker threads.
+    pub fn all_events(&self, name: &str) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.name == name && matches!(r.kind, RecordKind::Event))
+            .collect()
+    }
+
     /// Sum of counter deltas recorded for `name` on the calling thread.
     pub fn counter_sum(&self, name: &str) -> u64 {
         self.current_thread_records()

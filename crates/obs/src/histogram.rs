@@ -1,0 +1,421 @@
+//! Lock-light fixed-bucket latency histograms.
+//!
+//! A [`Histogram`] is the third metrics primitive beside [`crate::Counter`]
+//! and [`crate::Gauge`]: log-spaced fixed buckets, updated with two relaxed
+//! atomic adds plus one CAS loop for the running sum — no locks, no
+//! allocation, cheap enough for hot paths. Like counters, histograms
+//! accumulate whether or not a sink is installed (observations are *state*,
+//! not records), and [`crate::metrics::snapshot`] returns them in
+//! deterministic (name-sorted, bucket-ordered) form.
+//!
+//! The bucket grid is unit-agnostic but tuned for **milliseconds**: 64
+//! buckets at ratio `10^(1/8)` (8 per decade, ~15 % relative resolution)
+//! from `1e-3` upward, so values from 1 µs to ~10⁵ s land in distinct
+//! buckets when expressed in ms. Anything at or below the first boundary
+//! (including zero, negatives and non-finite values) falls into bucket 0;
+//! anything past the top boundary into the last bucket.
+//!
+//! ```
+//! use losac_obs::Histogram;
+//! static EVAL_MS: Histogram = Histogram::new("doc.eval.ms");
+//! EVAL_MS.observe(24.1);
+//! let s = EVAL_MS.snapshot();
+//! assert_eq!(s.count, 1);
+//! assert!(s.p50() > 20.0 && s.p50() < 30.0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 64;
+
+/// Lower bound of bucket 1 (bucket 0 catches everything at or below it).
+const MIN: f64 = 1e-3;
+
+/// Buckets per decade of the log-spaced grid.
+const PER_DECADE: f64 = 8.0;
+
+/// Index of the bucket that `value` falls into.
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= MIN {
+        // NaN, non-positive and tiny values all land in bucket 0.
+        return 0;
+    }
+    let idx = ((value / MIN).log10() * PER_DECADE).floor();
+    if idx >= (BUCKETS - 1) as f64 {
+        BUCKETS - 1
+    } else {
+        // `idx >= 0` because `value > MIN`; +1 because bucket 0 is the
+        // underflow bucket.
+        (idx as usize + 1).min(BUCKETS - 1)
+    }
+}
+
+/// `[lower, upper)` bounds of bucket `i` (bucket 0 is `[0, MIN]`, the
+/// last bucket is open-ended with `upper = f64::INFINITY`).
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        return (0.0, MIN);
+    }
+    let lo = MIN * 10f64.powf((i - 1) as f64 / PER_DECADE);
+    if i == BUCKETS - 1 {
+        (lo, f64::INFINITY)
+    } else {
+        (lo, MIN * 10f64.powf(i as f64 / PER_DECADE))
+    }
+}
+
+/// Representative value reported for bucket `i`: the geometric midpoint
+/// of its bounds (the bounds themselves for the two unbounded edges).
+fn bucket_mid(i: usize) -> f64 {
+    let (lo, hi) = bucket_bounds(i);
+    if i == 0 {
+        hi
+    } else if i == BUCKETS - 1 {
+        lo
+    } else {
+        (lo * hi).sqrt()
+    }
+}
+
+/// The atomic state behind one histogram. Usable standalone (e.g. a
+/// per-batch histogram owned by an engine run) or behind a registered
+/// static [`Histogram`].
+#[derive(Debug)]
+pub struct HistogramCore {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Running sum as f64 bits, updated by CAS. The sum's last-bits value
+    /// depends on accumulation order under concurrency; bucket counts and
+    /// `count` are exact and deterministic.
+    sum_bits: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCore {
+    /// An empty histogram (const-friendly).
+    pub const fn new() -> Self {
+        Self {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+    }
+
+    /// Record a duration, in milliseconds (the grid's natural unit).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64() * 1e3);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            counts,
+        }
+    }
+}
+
+/// A named histogram, declared as a static next to the code it
+/// instruments (same registration model as [`crate::Counter`]).
+pub struct Histogram {
+    name: &'static str,
+    cell: OnceLock<&'static HistogramCore>,
+}
+
+impl Histogram {
+    /// Declare a histogram (const-friendly; registers lazily on first use).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn core(&self) -> &'static HistogramCore {
+        self.cell
+            .get_or_init(|| crate::metrics::histogram_slot(self.name))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        self.core().observe(value);
+    }
+
+    /// Record a duration, in milliseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.core().observe_duration(d);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core().snapshot()
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Point-in-time copy of one histogram's distribution.
+///
+/// `counts` is empty for a histogram that never observed anything (the
+/// `Default` value), otherwise exactly [`BUCKETS`] long in bucket order —
+/// both forms compare equal to themselves, and every accessor treats the
+/// empty form as all-zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all finite observed values.
+    pub sum: f64,
+    /// Per-bucket observation counts (empty or [`BUCKETS`] long).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the representative value of the
+    /// bucket holding it — exact to the grid's ~15 % bucket resolution.
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition).
+    /// Bucket counts merge exactly; the sums add in call order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Render as a JSON object: `count`, `sum`, the standard quantiles,
+    /// and the non-empty buckets as `[[index, count], …]`.
+    pub fn to_json(&self) -> String {
+        let buckets = crate::json::array(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| format!("[{i},{c}]")),
+        );
+        crate::json::Object::new()
+            .u64("count", self.count)
+            .f64("sum", self.sum)
+            .f64("p50", self.p50())
+            .f64("p90", self.p90())
+            .f64("p99", self.p99())
+            .raw("buckets", buckets)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log_spaced_and_total() {
+        // Bucket 0 catches the bottom, the last bucket the top; interior
+        // buckets tile [MIN, top) with ratio 10^(1/8), adjacent and
+        // non-overlapping.
+        assert_eq!(bucket_bounds(0), (0.0, MIN));
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, f64::INFINITY);
+        for i in 1..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert!((hi - next_lo).abs() / hi < 1e-12, "bucket {i} not adjacent");
+            assert!(
+                (hi / lo - 10f64.powf(1.0 / PER_DECADE)).abs() < 1e-9,
+                "bucket {i} ratio"
+            );
+        }
+        // Every observation lands in the bucket whose bounds contain it
+        // (buckets are closed at the bottom: an exact-boundary value goes
+        // into the bucket whose lower bound it is).
+        for v in [1e-4, 1e-3, 1.0001e-3, 0.5, 24.1, 1e4, 1e9] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(v >= lo, "{v} below bucket {i} [{lo}, {hi})");
+            assert!(v <= hi || hi.is_infinite(), "{v} above bucket {i}");
+        }
+        // Degenerate inputs land in bucket 0 and never panic.
+        for v in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert_eq!(bucket_index(v), 0);
+        }
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = HistogramCore::new();
+        for i in 1..=100u32 {
+            h.observe(f64::from(i)); // 1..=100 ms, ~uniform
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        // Grid resolution is ~15 %; quantiles must land within a bucket
+        // of the exact order statistic.
+        assert!((s.p50() / 50.0 - 1.0).abs() < 0.2, "p50 {}", s.p50());
+        assert!((s.p90() / 90.0 - 1.0).abs() < 0.2, "p90 {}", s.p90());
+        assert!((s.p99() / 99.0 - 1.0).abs() < 0.2, "p99 {}", s.p99());
+        assert_eq!(HistogramSnapshot::default().p50(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_observations_merge_deterministically() {
+        // 4 threads hammer one histogram with the same value set; bucket
+        // counts must come out exact (atomic adds commute), equal to the
+        // serial reference, and a merge of per-thread snapshots must
+        // reproduce the shared histogram bucket-for-bucket.
+        let shared = HistogramCore::new();
+        let per_thread: Vec<HistogramCore> = (0..4).map(|_| HistogramCore::new()).collect();
+        std::thread::scope(|s| {
+            for local in &per_thread {
+                let shared = &shared;
+                s.spawn(move || {
+                    for k in 0..10_000u32 {
+                        let v = 0.001 * f64::from(k % 977) + 0.01;
+                        shared.observe(v);
+                        local.observe(v);
+                    }
+                });
+            }
+        });
+        let reference = HistogramCore::new();
+        for _ in 0..4 {
+            for k in 0..10_000u32 {
+                reference.observe(0.001 * f64::from(k % 977) + 0.01);
+            }
+        }
+        let got = shared.snapshot();
+        assert_eq!(got.count, 40_000);
+        assert_eq!(got.counts, reference.snapshot().counts);
+        let mut merged = HistogramSnapshot::default();
+        for local in &per_thread {
+            merged.merge(&local.snapshot());
+        }
+        assert_eq!(merged.counts, got.counts);
+        assert_eq!(merged.count, got.count);
+        // The sum is order-dependent in its last bits only.
+        assert!((merged.sum / got.sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_histograms_share_state_and_snapshot() {
+        static A: Histogram = Histogram::new("obs.test.hist.shared");
+        static B: Histogram = Histogram::new("obs.test.hist.shared");
+        let before = A.snapshot().count;
+        B.observe(1.5);
+        B.observe_duration(Duration::from_millis(3));
+        let s = A.snapshot();
+        assert_eq!(s.count - before, 2);
+        let m = crate::metrics::snapshot();
+        assert_eq!(
+            m.histograms.get("obs.test.hist.shared").map(|h| h.count),
+            Some(s.count)
+        );
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = HistogramCore::new();
+        h.observe(10.0);
+        h.observe(10.0);
+        let j = h.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"count\":2"), "{j}");
+        assert!(j.contains("\"p50\":"), "{j}");
+        let i = bucket_index(10.0);
+        assert!(j.contains(&format!("\"buckets\":[[{i},2]]")), "{j}");
+    }
+}

@@ -3,7 +3,10 @@
 //! One record per line, schema documented on
 //! [`crate::Record::to_jsonl`]. Lines are flushed as they are written so
 //! the file is valid even if the process exits without unwinding (env-
-//! installed sinks are never dropped).
+//! installed sinks are never dropped); dropping the sink additionally
+//! flushes any buffered bytes — including on the panic/unwind path — and
+//! fsyncs file-backed sinks, so a chaos-suite run never truncates
+//! mid-record.
 
 use crate::record::Record;
 use crate::sink::Sink;
@@ -14,6 +17,9 @@ use std::sync::Mutex;
 /// A sink writing one JSON record per line to any `Write` target.
 pub struct JsonlSink<W: Write + Send> {
     out: Mutex<BufWriter<W>>,
+    /// Durability hook run after flushes (set for file-backed sinks,
+    /// where it is `File::sync_all`).
+    sync: Option<fn(&W) -> std::io::Result<()>>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
@@ -21,32 +27,62 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(writer: W) -> Self {
         Self {
             out: Mutex::new(BufWriter::new(writer)),
+            sync: None,
         }
+    }
+
+    /// Lock the writer, surviving a poisoned lock: on the unwind path we
+    /// still want to flush whatever made it into the buffer.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufWriter<W>> {
+        self.out.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl JsonlSink<std::fs::File> {
-    /// Create (truncate) a JSONL file at `path`.
+    /// Create (truncate) a JSONL file at `path`. File-backed sinks fsync
+    /// on [`Sink::flush`] and on drop.
     ///
     /// # Errors
     ///
     /// Propagates the file-creation failure.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        Ok(Self::new(std::fs::File::create(path)?))
+        let mut sink = Self::new(std::fs::File::create(path)?);
+        sink.sync = Some(std::fs::File::sync_all);
+        Ok(sink)
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&self, r: &Record) {
         let line = r.to_jsonl();
-        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let mut out = self.lock();
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
         let _ = out.flush();
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let mut out = self.lock();
+        let _ = out.flush();
+        if let Some(sync) = self.sync {
+            let _ = sync(out.get_ref());
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Same as `flush`, but must not touch the lock if the sink is
+        // being dropped while a panicking thread holds it — `get_mut`
+        // reaches the writer without locking.
+        let out = match self.out.get_mut() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
+        if let Some(sync) = self.sync {
+            let _ = sync(out.get_ref());
+        }
     }
 }
 
@@ -70,19 +106,23 @@ mod tests {
         }
     }
 
+    fn record(t_us: u64) -> Record {
+        Record {
+            t_us,
+            thread: 1,
+            kind: RecordKind::Event,
+            name: "e",
+            path: "e".into(),
+            fields: vec![],
+        }
+    }
+
     #[test]
     fn writes_one_line_per_record() {
         let buf = Buf::default();
         let sink = JsonlSink::new(buf.clone());
         for k in 0..3u64 {
-            sink.record(&Record {
-                t_us: k,
-                thread: 1,
-                kind: RecordKind::Event,
-                name: "e",
-                path: "e".into(),
-                fields: vec![],
-            });
+            sink.record(&record(k));
         }
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -91,5 +131,45 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"kind\":\"event\""));
         }
+    }
+
+    #[test]
+    fn drop_flushes_buffered_bytes_even_after_panic() {
+        let buf = Buf::default();
+        let sink = Arc::new(JsonlSink::new(buf.clone()));
+        // Write a raw (unflushed) line straight into the BufWriter to
+        // simulate buffered output pending at drop time.
+        sink.lock().write_all(b"{\"pending\":true}\n").unwrap();
+        assert!(buf.0.lock().unwrap().is_empty(), "still buffered");
+
+        // Poison the sink's lock from a panicking thread, then drop.
+        let poison = Arc::clone(&sink);
+        let _ = std::thread::spawn(move || {
+            let _guard = poison.out.lock().unwrap();
+            panic!("chaos");
+        })
+        .join();
+        drop(sink);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"pending\":true}\n");
+    }
+
+    #[test]
+    fn file_sink_is_durable_across_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "losac_obs_jsonl_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&record(1));
+            sink.flush();
+            sink.record(&record(2));
+            // Dropped without an explicit flush: drop must flush + fsync.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -59,20 +59,26 @@ pub mod collector;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;
 pub mod field;
+pub mod histogram;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod pretty;
+pub mod profile;
+pub mod progress;
 pub mod record;
 pub mod sink;
 pub mod span;
 
 pub use collector::Collector;
 pub use field::{f, Field, FieldValue};
+pub use histogram::{Histogram, HistogramCore, HistogramSnapshot};
 pub use jsonl::JsonlSink;
 pub use metrics::{Counter, Gauge, MetricsSnapshot};
 pub use pretty::PrettySink;
-pub use record::{Record, RecordKind};
+pub use profile::Profiler;
+pub use progress::{ProgressMode, ProgressSink};
+pub use record::{Record, RecordKind, SCHEMA_VERSION};
 pub use sink::{active, init_from_env, install, Sink, SinkGuard};
 pub use span::{thread_id, SpanGuard};
 

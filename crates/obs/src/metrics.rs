@@ -12,6 +12,7 @@
 //! assert!(SOLVES.get() >= 1);
 //! ```
 
+use crate::histogram::{HistogramCore, HistogramSnapshot};
 use crate::record::{now_us, Record, RecordKind};
 use crate::sink;
 use crate::span;
@@ -22,6 +23,7 @@ use std::sync::{Mutex, OnceLock};
 enum Slot {
     Counter(&'static AtomicU64),
     Gauge(&'static AtomicU64), // f64 bits
+    Hist(&'static HistogramCore),
 }
 
 fn registry() -> &'static Mutex<BTreeMap<&'static str, Slot>> {
@@ -43,6 +45,22 @@ fn slot(name: &'static str, gauge: bool) -> &'static AtomicU64 {
     });
     match entry {
         Slot::Counter(c) | Slot::Gauge(c) => c,
+        Slot::Hist(_) => panic!("metric {name:?} already registered as a histogram"),
+    }
+}
+
+/// Resolve (registering on first use) the shared core behind a named
+/// histogram. Used by [`crate::Histogram`]; same registry as counters and
+/// gauges, so names must be unique across all three kinds.
+pub(crate) fn histogram_slot(name: &'static str) -> &'static HistogramCore {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    let entry = reg.entry(name).or_insert_with(|| {
+        let core: &'static HistogramCore = Box::leak(Box::new(HistogramCore::new()));
+        Slot::Hist(core)
+    });
+    match entry {
+        Slot::Hist(h) => h,
+        _ => panic!("metric {name:?} already registered as a counter or gauge"),
     }
 }
 
@@ -146,6 +164,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<&'static str, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Histogram distributions by name (bucket counts in bucket order).
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -179,6 +199,9 @@ pub fn snapshot() -> MetricsSnapshot {
             Slot::Gauge(g) => {
                 s.gauges
                     .insert(name, f64::from_bits(g.load(Ordering::Relaxed)));
+            }
+            Slot::Hist(h) => {
+                s.histograms.insert(name, h.snapshot());
             }
         }
     }

@@ -1,0 +1,318 @@
+//! Span-tree profiler: fold span records into an aggregated call tree.
+//!
+//! A [`Profiler`] is a [`Sink`] that listens only to `span_end` records
+//! and aggregates them by span *path* — the `>`-joined chain of enclosing
+//! span names every record already carries. The result is a call tree
+//! with per-node call counts, total (inclusive) time and self
+//! (exclusive) time, rendered either as an indented table or in the
+//! collapsed-stack text format flamegraph tooling consumes
+//! (`a;b;c <self_µs>` per line).
+//!
+//! Aggregation is by path, not by call site, so two calls of
+//! `sizing.evaluate` under different parents stay separate nodes. Worker
+//! pools introduce a wrapper span per thread (`engine.worker`); pass its
+//! name to [`Profiler::collapse`] to splice such segments out of every
+//! path, making batch profiles invariant to the worker count.
+//!
+//! Tree shape and call counts are deterministic for a deterministic
+//! workload; wall-clock totals naturally vary run to run.
+//!
+//! ```
+//! use losac_obs::{self as obs, Profiler};
+//! use std::sync::Arc;
+//!
+//! let profiler = Profiler::new();
+//! let guard = obs::install(Arc::new(profiler.clone()));
+//! {
+//!     let _flow = obs::span("doc.flow");
+//!     let _inner = obs::span("doc.step");
+//! }
+//! drop(guard);
+//! let report = profiler.report();
+//! assert_eq!(report.call_counts().get("doc.flow>doc.step"), Some(&1));
+//! println!("{}", report.render_table());
+//! ```
+
+use crate::record::{Record, RecordKind};
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeStat {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Aggregated stats keyed by path segments; `BTreeMap` on
+    /// `Vec<String>` orders element-wise, i.e. depth-first tree order.
+    nodes: Mutex<BTreeMap<Vec<String>, NodeStat>>,
+    /// Span names spliced out of every path before aggregation.
+    collapse: Vec<&'static str>,
+}
+
+/// A sink folding `span_end` records into an aggregated call tree.
+/// Cheap to clone (shared state), so a clone can be kept for reading
+/// after the installed copy is dropped.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty profiler that removes every occurrence of the given span
+    /// names from recorded paths. Use for per-thread wrapper spans
+    /// (e.g. `engine.worker`) whose count depends on the pool size.
+    pub fn collapse(names: &[&'static str]) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                nodes: Mutex::new(BTreeMap::new()),
+                collapse: names.to_vec(),
+            }),
+        }
+    }
+
+    /// Snapshot the aggregated tree.
+    pub fn report(&self) -> ProfileReport {
+        let nodes = self.inner.nodes.lock().expect("profiler poisoned");
+        // Self time = total minus direct children's totals. Children of a
+        // node are contiguous after it in the BTreeMap's depth-first
+        // order, so one pass with a lookup per node suffices.
+        let mut out = Vec::with_capacity(nodes.len());
+        for (path, stat) in nodes.iter() {
+            let child_total: u64 = nodes
+                .iter()
+                .filter(|(p, _)| p.len() == path.len() + 1 && p.starts_with(path))
+                .map(|(_, s)| s.total_ns)
+                .sum();
+            out.push(ProfileNode {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+                // Concurrent children (a child span running on a helper
+                // thread while the parent continues) can sum past the
+                // parent; clamp rather than report negative self time.
+                self_ns: stat.total_ns.saturating_sub(child_total),
+            });
+        }
+        ProfileReport { nodes: out }
+    }
+}
+
+impl Sink for Profiler {
+    fn record(&self, r: &Record) {
+        let RecordKind::SpanEnd { elapsed_ns } = r.kind else {
+            return;
+        };
+        let mut path: Vec<String> = r
+            .path
+            .split('>')
+            .filter(|seg| !self.inner.collapse.contains(seg))
+            .map(str::to_owned)
+            .collect();
+        if path.is_empty() {
+            // The span itself was collapsed away.
+            return;
+        }
+        // A collapsed wrapper's children become roots; their recorded
+        // name is unchanged.
+        path.shrink_to_fit();
+        let mut nodes = self.inner.nodes.lock().expect("profiler poisoned");
+        let stat = nodes.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+    }
+}
+
+/// One aggregated call-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Span path segments, outermost first.
+    pub path: Vec<String>,
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total (inclusive) wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive nanoseconds: total minus direct children's totals.
+    pub self_ns: u64,
+}
+
+impl ProfileNode {
+    /// The `>`-joined path.
+    pub fn path_string(&self) -> String {
+        self.path.join(">")
+    }
+}
+
+/// Snapshot of a [`Profiler`]'s aggregated tree, in depth-first order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Aggregated nodes, depth-first.
+    pub nodes: Vec<ProfileNode>,
+}
+
+impl ProfileReport {
+    /// Call counts by `>`-joined path — the deterministic part of a
+    /// profile, suitable for equality assertions across worker counts.
+    pub fn call_counts(&self) -> BTreeMap<String, u64> {
+        self.nodes
+            .iter()
+            .map(|n| (n.path_string(), n.count))
+            .collect()
+    }
+
+    /// Render an indented table: name, calls, total/self/avg time.
+    pub fn render_table(&self) -> String {
+        let name_width = self
+            .nodes
+            .iter()
+            .map(|n| 2 * (n.path.len() - 1) + n.path.last().map_or(0, String::len))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+            "span", "calls", "total", "self", "avg"
+        );
+        for n in &self.nodes {
+            let indent = "  ".repeat(n.path.len() - 1);
+            let label = format!("{indent}{}", n.path.last().map_or("", String::as_str));
+            let avg_ns = n.total_ns / n.count.max(1);
+            let _ = writeln!(
+                out,
+                "{label:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}",
+                n.count,
+                human_time(n.total_ns),
+                human_time(n.self_ns),
+                human_time(avg_ns)
+            );
+        }
+        out
+    }
+
+    /// Render collapsed stacks (`a;b;c <self_µs>`), one line per node
+    /// with non-zero self time — the text format flamegraph tools read.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            let self_us = n.self_ns / 1_000;
+            if self_us == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {self_us}", n.path.join(";"));
+        }
+        out
+    }
+}
+
+/// `1.234s` / `56.7ms` / `890µs` / `12ns` — compact fixed-ish width.
+fn human_time(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{}µs", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    fn end(path: &str, elapsed_ns: u64) -> Record {
+        Record {
+            t_us: 0,
+            thread: 1,
+            kind: RecordKind::SpanEnd { elapsed_ns },
+            name: "x",
+            path: path.to_owned(),
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_totals_and_self_time() {
+        let p = Profiler::new();
+        p.record(&end("flow>eval", 40));
+        p.record(&end("flow>eval", 60));
+        p.record(&end("flow>layout", 25));
+        p.record(&end("flow", 150));
+        let r = p.report();
+        assert_eq!(
+            r.call_counts(),
+            BTreeMap::from([
+                ("flow".to_owned(), 1),
+                ("flow>eval".to_owned(), 2),
+                ("flow>layout".to_owned(), 1),
+            ])
+        );
+        let flow = &r.nodes[0];
+        assert_eq!(flow.path_string(), "flow");
+        assert_eq!(flow.total_ns, 150);
+        assert_eq!(flow.self_ns, 150 - 100 - 25);
+        // Nodes come out depth-first: parent before children.
+        assert_eq!(r.nodes[1].path_string(), "flow>eval");
+        assert_eq!(r.nodes[1].self_ns, 100);
+    }
+
+    #[test]
+    fn collapse_splices_out_wrapper_spans() {
+        let p = Profiler::collapse(&["worker"]);
+        p.record(&end("batch>worker>job", 10));
+        p.record(&end("batch>worker", 12)); // the wrapper itself: dropped
+        p.record(&end("batch>job", 7)); // serial path, no wrapper
+        p.record(&end("batch", 30));
+        let r = p.report();
+        assert_eq!(
+            r.call_counts(),
+            BTreeMap::from([("batch".to_owned(), 2), ("batch>job".to_owned(), 2)])
+        );
+        assert_eq!(r.nodes[1].total_ns, 17);
+    }
+
+    #[test]
+    fn self_time_clamps_on_concurrent_children() {
+        let p = Profiler::new();
+        p.record(&end("a>b", 80));
+        p.record(&end("a>c", 70));
+        p.record(&end("a", 100)); // children overlap in wall time
+        assert_eq!(p.report().nodes[0].self_ns, 0);
+    }
+
+    #[test]
+    fn renders_table_and_collapsed() {
+        let p = Profiler::new();
+        p.record(&end("flow>eval", 2_500_000));
+        p.record(&end("flow", 4_000_000));
+        let r = p.report();
+        let table = r.render_table();
+        assert!(table.contains("span"), "{table}");
+        assert!(table.contains("  eval"), "indented child: {table}");
+        assert!(table.contains("2.5ms"), "{table}");
+        let collapsed = r.render_collapsed();
+        assert!(collapsed.contains("flow;eval 2500"), "{collapsed}");
+        assert!(collapsed.contains("flow 1500"), "{collapsed}");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert_eq!(human_time(12), "12ns");
+        assert_eq!(human_time(8_900), "8µs");
+        assert_eq!(human_time(56_700_000), "56.7ms");
+        assert_eq!(human_time(1_234_000_000), "1.234s");
+    }
+}

@@ -1,0 +1,239 @@
+//! Live batch-progress streaming.
+//!
+//! A [`ProgressSink`] turns the structured `engine.*` events emitted by
+//! `Engine::run_batch` into a live progress feed — the same event stream
+//! a synthesis-as-a-service daemon would serve. Two modes:
+//!
+//! * [`ProgressMode::Human`] — a single self-overwriting stderr line,
+//!   re-rendered at most every 200 ms:
+//!   `  3/16 done · 4 busy · ETA 2.1s · p95 job 310ms · cache 38%`
+//! * [`ProgressMode::Jsonl`] — every `engine.*` event forwarded to
+//!   stderr as one JSON line (schema of [`crate::Record::to_jsonl`]),
+//!   leaving stdout free for the run record.
+//!
+//! The sink is bounded and non-blocking by construction: it keeps no
+//! queue, ignores every record that is not an `engine.*` event, and its
+//! only state is a handful of atomics plus a latency histogram — a
+//! slow terminal can delay the emitting worker by at most one stderr
+//! write, never by unbounded buffering.
+//!
+//! Event vocabulary consumed (all fields optional — missing fields just
+//! blank out the corresponding readout):
+//!
+//! | event | fields used |
+//! |---|---|
+//! | `engine.batch.start` | `jobs` |
+//! | `engine.job.done` | `ms`, `done`, `busy`, `cache_hit_rate` |
+//! | `engine.batch.done` | `jobs`, `wall_ms` |
+
+use crate::histogram::HistogramCore;
+use crate::record::{Record, RecordKind};
+use crate::sink::Sink;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// How a [`ProgressSink`] renders the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Self-overwriting human-readable stderr line.
+    Human,
+    /// One JSON line per `engine.*` event on stderr.
+    Jsonl,
+}
+
+/// Minimum interval between human-mode re-renders.
+const RENDER_EVERY_US: u64 = 200_000;
+
+/// A [`Sink`] streaming batch progress to stderr. Install it around an
+/// `Engine::run_batch` call; records from other subsystems are ignored.
+pub struct ProgressSink {
+    mode: ProgressMode,
+    start: Instant,
+    total: AtomicU64,
+    done: AtomicU64,
+    job_ms: HistogramCore,
+    last_render_us: AtomicU64,
+    rendered: AtomicBool,
+}
+
+impl ProgressSink {
+    /// A fresh sink; the ETA clock starts now.
+    pub fn new(mode: ProgressMode) -> Self {
+        Self {
+            mode,
+            start: Instant::now(),
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            job_ms: HistogramCore::new(),
+            last_render_us: AtomicU64::new(0),
+            rendered: AtomicBool::new(false),
+        }
+    }
+
+    fn field_u64(r: &Record, key: &str) -> Option<u64> {
+        r.field(key).and_then(|v| v.as_u64())
+    }
+
+    fn field_f64(r: &Record, key: &str) -> Option<f64> {
+        r.field(key).and_then(|v| v.as_f64())
+    }
+
+    /// Claim a render slot if the throttle interval elapsed.
+    fn may_render(&self) -> bool {
+        let now = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let last = self.last_render_us.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < RENDER_EVERY_US && last != 0 {
+            return false;
+        }
+        self.last_render_us
+            .compare_exchange(last, now.max(1), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn render_line(&self, busy: Option<u64>, cache_hit_rate: Option<f64>) {
+        let done = self.done.load(Ordering::Relaxed);
+        let total = self.total.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let mut line = if total > 0 {
+            format!("{done:>4}/{total} done")
+        } else {
+            format!("{done:>4} done")
+        };
+        if let Some(b) = busy {
+            line.push_str(&format!(" · {b} busy"));
+        }
+        if total > done && done > 0 {
+            let eta = elapsed * (total - done) as f64 / done as f64;
+            line.push_str(&format!(" · ETA {eta:.1}s"));
+        }
+        let p95 = self.job_ms.snapshot().p95();
+        if p95 > 0.0 {
+            line.push_str(&format!(" · p95 job {p95:.0}ms"));
+        }
+        if let Some(rate) = cache_hit_rate {
+            line.push_str(&format!(" · cache {:.0}%", rate * 100.0));
+        }
+        self.rendered.store(true, Ordering::Relaxed);
+        eprint!("\r\x1b[2K{line}");
+        let _ = std::io::stderr().flush();
+    }
+
+    fn finish_line(&self, r: &Record) {
+        let jobs = Self::field_u64(r, "jobs").unwrap_or(self.done.load(Ordering::Relaxed));
+        let wall_ms = Self::field_f64(r, "wall_ms").unwrap_or(0.0);
+        let p95 = self.job_ms.snapshot().p95();
+        // Clear the live line before the final summary so it does not
+        // linger half-overwritten.
+        let prefix = if self.rendered.load(Ordering::Relaxed) {
+            "\r\x1b[2K"
+        } else {
+            ""
+        };
+        eprintln!("{prefix}{jobs} jobs in {wall_ms:.0}ms · p95 job {p95:.0}ms");
+    }
+}
+
+impl Sink for ProgressSink {
+    fn record(&self, r: &Record) {
+        if r.kind != RecordKind::Event || !r.name.starts_with("engine.") {
+            return;
+        }
+        if self.mode == ProgressMode::Jsonl {
+            let mut err = std::io::stderr().lock();
+            let _ = err.write_all(r.to_jsonl().as_bytes());
+            let _ = err.write_all(b"\n");
+            return;
+        }
+        match r.name {
+            "engine.batch.start" => {
+                if let Some(jobs) = Self::field_u64(r, "jobs") {
+                    self.total.store(jobs, Ordering::Relaxed);
+                }
+            }
+            "engine.job.done" => {
+                self.done.fetch_add(1, Ordering::Relaxed);
+                if let Some(ms) = Self::field_f64(r, "ms") {
+                    self.job_ms.observe(ms);
+                }
+                if self.may_render() {
+                    self.render_line(
+                        Self::field_u64(r, "busy"),
+                        Self::field_f64(r, "cache_hit_rate"),
+                    );
+                }
+            }
+            "engine.batch.done" => self.finish_line(r),
+            _ => {}
+        }
+    }
+
+    fn flush(&self) {
+        if self.mode == ProgressMode::Human && self.rendered.load(Ordering::Relaxed) {
+            // Leave the cursor on a fresh line if a live line is showing.
+            eprintln!();
+            self.rendered.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::f;
+
+    fn event(name: &'static str, fields: Vec<crate::field::Field>) -> Record {
+        Record {
+            t_us: 0,
+            thread: 1,
+            kind: RecordKind::Event,
+            name,
+            path: name.to_owned(),
+            fields,
+        }
+    }
+
+    #[test]
+    fn tracks_totals_and_latency_from_events() {
+        let sink = ProgressSink::new(ProgressMode::Human);
+        sink.record(&event("engine.batch.start", vec![f("jobs", 5u64)]));
+        for ms in [10.0, 20.0, 400.0] {
+            sink.record(&event(
+                "engine.job.done",
+                vec![f("ms", ms), f("busy", 2u64)],
+            ));
+        }
+        assert_eq!(sink.total.load(Ordering::Relaxed), 5);
+        assert_eq!(sink.done.load(Ordering::Relaxed), 3);
+        let s = sink.job_ms.snapshot();
+        assert_eq!(s.count, 3);
+        assert!(s.p95() > 300.0, "p95 {}", s.p95());
+        sink.record(&event(
+            "engine.batch.done",
+            vec![f("jobs", 3u64), f("wall_ms", 430.0)],
+        ));
+    }
+
+    #[test]
+    fn ignores_everything_but_engine_events() {
+        let sink = ProgressSink::new(ProgressMode::Human);
+        sink.record(&event("sizing.eval.done", vec![]));
+        sink.record(&Record {
+            t_us: 0,
+            thread: 1,
+            kind: RecordKind::SpanEnd { elapsed_ns: 1 },
+            name: "engine.job",
+            path: "engine.job".into(),
+            fields: vec![],
+        });
+        assert_eq!(sink.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn render_throttle_claims_once() {
+        let sink = ProgressSink::new(ProgressMode::Human);
+        assert!(sink.may_render());
+        // Immediately after a render the throttle holds.
+        assert!(!sink.may_render());
+    }
+}

@@ -5,6 +5,13 @@ use crate::json::Object;
 use std::sync::OnceLock;
 use std::time::Instant;
 
+/// Version of the JSONL record schema, emitted as `"v"` on every line.
+///
+/// History: **1** — initial schema (no `v` field; consumers treat a
+/// missing `v` as 1); **2** — adds the `v` field itself, the `engine.*`
+/// progress-event vocabulary, and histogram summaries in run records.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// What kind of observation a [`Record`] carries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordKind {
@@ -78,10 +85,12 @@ impl Record {
     }
 
     /// Render this record as one line of the JSONL schema (no trailing
-    /// newline). Schema: `{"t_us", "thread", "kind", "name", "path",
-    /// "elapsed_ns"?, "total"?, "delta"?, "value"?, "fields"?: {…}}`.
+    /// newline). Schema: `{"v", "t_us", "thread", "kind", "name", "path",
+    /// "elapsed_ns"?, "total"?, "delta"?, "value"?, "fields"?: {…}}`,
+    /// where `"v"` is [`SCHEMA_VERSION`].
     pub fn to_jsonl(&self) -> String {
         let mut o = Object::new()
+            .u64("v", SCHEMA_VERSION)
             .u64("t_us", self.t_us)
             .u64("thread", self.thread)
             .str("kind", self.kind.tag())
@@ -130,6 +139,7 @@ mod tests {
         };
         let line = r.to_jsonl();
         assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.starts_with(&format!("{{\"v\":{SCHEMA_VERSION},")));
         assert!(line.contains("\"kind\":\"span_end\""));
         assert!(line.contains("\"elapsed_ns\":42"));
         assert!(line.contains("\"fields\":{\"call\":2}"));

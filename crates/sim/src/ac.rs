@@ -58,21 +58,24 @@ impl AcOptions {
         self
     }
 
-    /// The effective thread count (`0` resolved to the machine's
-    /// available parallelism).
+    /// The effective thread count: `0` resolves to the machine's
+    /// available parallelism, and explicit counts are clamped to it.
     pub fn resolved_threads(&self) -> usize {
         resolve_threads(self.threads)
     }
 }
 
-/// `0` → available parallelism, anything else verbatim.
+/// `0` → available parallelism; explicit counts are clamped to it —
+/// oversubscribing a sweep only adds scheduling overhead (results are
+/// bitwise identical at any thread count, so clamping is free).
 pub(crate) fn resolve_threads(threads: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        available
     } else {
-        threads
+        threads.min(available)
     }
 }
 

@@ -310,15 +310,19 @@ impl EvalOptions {
         self
     }
 
-    /// The effective thread count (`0` resolved to the machine's
-    /// available parallelism).
+    /// The effective thread count: `0` resolves to the machine's
+    /// available parallelism, and explicit counts are clamped to it —
+    /// on a 1-CPU container `threads: 4` runs serially instead of
+    /// paying thread-spawn overhead for nothing (results are bitwise
+    /// identical at any thread count).
     pub fn resolved_threads(&self) -> usize {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            available
         } else {
-            self.threads
+            self.threads.min(available)
         }
     }
 }
@@ -688,7 +692,21 @@ pub fn evaluate_with(
             return Ok(perf);
         }
     }
+    // Latency and LU-work distributions of real (uncached) evaluations;
+    // cache hits are excluded (they are counted on `sizing.eval.cache_hit`
+    // and would otherwise collapse the latency percentiles to µs). The
+    // factorization delta reads a process-global counter, so concurrent
+    // evaluations attribute each other's work — same approximation the
+    // flow telemetry makes.
+    static EVAL_MS: losac_obs::Histogram = losac_obs::Histogram::new("sizing.evaluate.ms");
+    static EVAL_FACTS: losac_obs::Histogram =
+        losac_obs::Histogram::new("sizing.evaluate.factorizations");
+    static MATRIX_FACTS: losac_obs::Counter = losac_obs::Counter::new("sim.matrix.factorizations");
+    let begun = std::time::Instant::now();
+    let facts_before = MATRIX_FACTS.get();
     let perf = evaluate_uncached(ota, tech, mode, opts)?;
+    EVAL_MS.observe_duration(begun.elapsed());
+    EVAL_FACTS.observe(MATRIX_FACTS.get().saturating_sub(facts_before) as f64);
     if let (Some(cache), Some(key)) = (&opts.cache, &key) {
         cache.store(key, perf);
     }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Hot-path regression gate: regenerate BENCH_PR6.json (unless it already
+# exists and --no-run is passed) and diff it against the committed PR-3
+# baseline. Fails on >25% regression in the two numbers the simulator
+# overhaul is judged by: `evaluate.reuse_1t.ms` and
+# `run_case4.cache_warm_repeat.ms`.
+#
+# Usage: scripts/bench_check.sh [--no-run]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" != "--no-run" ] || [ ! -f BENCH_PR6.json ]; then
+    cargo run --release -q -p losac-bench --bin bench_snapshot
+fi
+
+if [ ! -f BENCH_PR3.json ]; then
+    echo "bench_check: BENCH_PR3.json baseline missing"
+    exit 1
+fi
+
+python3 - <<'EOF'
+import json
+import sys
+
+with open("BENCH_PR3.json") as fh:
+    base = json.load(fh)
+with open("BENCH_PR6.json") as fh:
+    now = json.load(fh)
+
+LIMIT = 0.25  # fail on >25% slowdown
+checks = [
+    ("evaluate.reuse_1t.ms", base["evaluate"]["reuse_1t"]["ms"], now["evaluate"]["reuse_1t"]["ms"]),
+    (
+        "run_case4.cache_warm_repeat.ms",
+        base["run_case4"]["cache_warm_repeat"]["ms"],
+        now["run_case4"]["cache_warm_repeat"]["ms"],
+    ),
+]
+
+fail = False
+for name, was, got in checks:
+    ratio = got / was if was > 0 else float("inf")
+    status = "OK"
+    if ratio > 1.0 + LIMIT:
+        status = "FAIL"
+        fail = True
+    print(f"bench_check: {name}: {was:.1f} ms -> {got:.1f} ms ({ratio:.2f}x) {status}")
+
+hist = now.get("evaluate_hist")
+if hist:
+    print(
+        "bench_check: evaluate latency n={count} p50={p50_ms:.1f} ms "
+        "p95={p95_ms:.1f} ms".format(**hist)
+    )
+
+if fail:
+    print(f"bench_check: FAILED (>{LIMIT:.0%} regression)")
+    sys.exit(1)
+print("bench_check: OK")
+EOF

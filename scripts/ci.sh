@@ -26,7 +26,9 @@ else
 fi
 
 echo "==> tier-1: cargo build --release"
-if ! cargo build --release; then
+# --workspace so the bench binaries the later gates invoke
+# (batch_sweep, table1_cases) are guaranteed to exist.
+if ! cargo build --release --workspace; then
     echo "FAIL: release build"
     fail=1
 fi
@@ -97,6 +99,74 @@ echo "==> simulator equivalence gates"
 if ! LOSAC_LOG=off cargo test -q --release -p losac-sizing \
     --test sim_equivalence --test eval_cache_counters; then
     echo "FAIL: simulator equivalence gates"
+    fail=1
+fi
+
+# Profiler smoke: `--profile` must print an aggregated span tree with the
+# flow's top-level span in it.
+echo "==> table1_cases --profile smoke"
+profile_err="$(mktemp)"
+if ! LOSAC_LOG=off ./target/release/table1_cases --profile \
+    >/dev/null 2>"$profile_err"; then
+    echo "FAIL: table1_cases --profile exited non-zero"
+    fail=1
+elif ! grep -q "profile (span tree)" "$profile_err" ||
+    ! grep -q "^flow " "$profile_err"; then
+    echo "FAIL: --profile printed no span tree (see below)"
+    cat "$profile_err"
+    fail=1
+fi
+rm -f "$profile_err"
+
+# Progress-stream gate: in --json mode the batch engine streams its
+# engine.* events to stderr as JSONL; every line must parse, and the
+# final run record on stdout must carry the job-latency histogram.
+echo "==> batch_sweep progress stream (JSONL line-by-line)"
+events="$(mktemp)"
+record="$(mktemp)"
+if ! LOSAC_LOG=off ./target/release/batch_sweep --workers 4 --json \
+    >"$record" 2>"$events"; then
+    echo "FAIL: batch_sweep --workers 4 --json exited non-zero"
+    fail=1
+elif ! python3 - "$events" "$record" <<'EOF'
+import json, sys
+
+names = set()
+with open(sys.argv[1]) as fh:
+    for i, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"stderr line {i} is not valid JSON: {e}\n{line}")
+        if rec.get("v") != 2:
+            sys.exit(f"stderr line {i} missing schema version v=2: {line}")
+        names.add(rec.get("name"))
+for required in ("engine.batch.start", "engine.job.start", "engine.job.done", "engine.batch.done"):
+    if required not in names:
+        sys.exit(f"progress stream missing event {required!r} (saw {sorted(names)})")
+with open(sys.argv[2]) as fh:
+    record = json.load(fh)
+job_ms = record["parallel"]["job_ms"]
+for key in ("p50", "p90", "p99"):
+    if key not in job_ms:
+        sys.exit(f"run record job_ms missing {key}")
+if job_ms["count"] != record["jobs"]:
+    sys.exit(f"job_ms.count {job_ms['count']} != jobs {record['jobs']}")
+print(f"progress stream OK: {len(names)} event kinds, job_ms p95 present")
+EOF
+then
+    echo "FAIL: progress stream validation"
+    fail=1
+fi
+rm -f "$events" "$record"
+
+# Hot-path regression gate against the committed PR-3 baseline.
+echo "==> bench_check (BENCH_PR6 vs BENCH_PR3 baseline)"
+if ! scripts/bench_check.sh; then
+    echo "FAIL: bench_check"
     fail=1
 fi
 

@@ -112,6 +112,16 @@ fn disabled_instrumentation_overhead_is_small() {
     }
     let per_add = start.elapsed().as_nanos() / u128::from(N);
 
+    // A histogram observation is a bucket index (one log10) plus three
+    // relaxed atomic updates — sink or no sink, it must stay lock-free
+    // and well under the same bound.
+    static HIST: losac::obs::Histogram = losac::obs::Histogram::new("test.overhead.hist");
+    let start = Instant::now();
+    for i in 0..N {
+        HIST.observe(f64::from(i % 1000) * 0.01);
+    }
+    let per_observe = start.elapsed().as_nanos() / u128::from(N);
+
     // The sibling test installs a sink while running its flow; when it
     // overlaps with this one the spans arm and the measurement reflects
     // the *enabled* path instead. Only assert the disabled-path bound
@@ -122,4 +132,8 @@ fn disabled_instrumentation_overhead_is_small() {
     }
     assert!(per_span < 2_000, "disabled span costs {per_span} ns");
     assert!(per_add < 2_000, "counter add costs {per_add} ns");
+    assert!(
+        per_observe < 2_000,
+        "histogram observe costs {per_observe} ns"
+    );
 }

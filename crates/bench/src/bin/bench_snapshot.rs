@@ -135,10 +135,9 @@ fn main() {
     // A shared cache across repeated identical runs (the batch-engine
     // scenario): the repeat's evaluations are answered from the cache.
     let cache = Arc::new(EvalCache::new());
-    let cached_opts = CaseOptions {
-        eval: EvalOptions::default().with_cache(cache.clone()),
-        ..Default::default()
-    };
+    let cached_opts = CaseOptions::builder()
+        .with_eval(EvalOptions::default().with_cache(cache.clone()))
+        .build();
     let (first_ms, first_facts) = timed(1, || {
         let _ = run_case_with(&tech, &specs, Case::AllParasitics, &cached_opts).unwrap();
     });

@@ -1,0 +1,229 @@
+//! Smoke/verification driver for the `losac-serve` daemon, used by
+//! `scripts/ci.sh`.
+//!
+//! ```text
+//! serve_bench --addr HOST:PORT [--clients N] [--cases 1,2]
+//!             [--verify-offline] [--expect-cache-hits] [--shutdown drain]
+//! ```
+//!
+//! Runs N concurrent clients against a daemon, each submitting the same
+//! sweep, and checks that every client's results are **bitwise
+//! identical** to each other — and, with `--verify-offline`, to an
+//! in-process `Engine::run_batch` of the same `SweepSpec` expansion.
+//! `--expect-cache-hits` asserts the daemon's `sizing.eval.cache_hit`
+//! counter moved (the warm-restart gate for `--cache-dir`); `--shutdown
+//! drain` asks the daemon to drain afterwards, letting the harness
+//! `wait` on the daemon and check its exit code.
+//!
+//! Exits 0 on success, 1 on any mismatch or protocol failure.
+
+use losac_engine::{Engine, EngineOptions, JobOutcome};
+use losac_serve::wire::{perf_bits, Frame, OutcomeSummary, ShutdownMode};
+use losac_serve::{ServeClient, SubmitRequest, SweepSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: serve_bench --addr HOST:PORT [options]
+  --clients N          concurrent client connections (default 2)
+  --cases LIST         comma-separated Table-1 cases (default 1,2)
+  --verify-offline     also compare against in-process Engine::run_batch
+  --expect-cache-hits  require daemon cache_hit counter > 0 afterwards
+  --shutdown drain     drain the daemon after verification";
+
+struct Args {
+    addr: String,
+    clients: usize,
+    cases: Vec<u8>,
+    verify_offline: bool,
+    expect_cache_hits: bool,
+    shutdown: Option<ShutdownMode>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut clients = 2;
+    let mut cases = vec![1, 2];
+    let mut verify_offline = false;
+    let mut expect_cache_hits = false;
+    let mut shutdown = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--cases" => {
+                cases = value("--cases")?
+                    .split(',')
+                    .map(|c| c.trim().parse().map_err(|e| format!("--cases: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--verify-offline" => verify_offline = true,
+            "--expect-cache-hits" => expect_cache_hits = true,
+            "--shutdown" => {
+                shutdown = Some(match value("--shutdown")?.as_str() {
+                    "drain" => ShutdownMode::Drain,
+                    "abort" => ShutdownMode::Abort,
+                    other => return Err(format!("unknown shutdown mode {other:?}\n{USAGE}")),
+                })
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        addr: addr.ok_or_else(|| format!("--addr is required\n{USAGE}"))?,
+        clients: clients.max(1),
+        cases,
+        verify_offline,
+        expect_cache_hits,
+        shutdown,
+    })
+}
+
+/// Status + the exact bit patterns of both performance rows, per job.
+type Digest = Vec<(String, String, Vec<[u64; 11]>)>;
+
+fn wire_digest(outcomes: &[OutcomeSummary]) -> Digest {
+    outcomes
+        .iter()
+        .map(|o| {
+            let mut rows = Vec::new();
+            if let Some(p) = &o.synthesized {
+                rows.push(perf_bits(p));
+            }
+            if let Some(p) = &o.extracted {
+                rows.push(perf_bits(p));
+            }
+            (o.label.clone(), o.status.clone(), rows)
+        })
+        .collect()
+}
+
+fn offline_digest(sweep: &SweepSpec) -> Result<Digest, String> {
+    let jobs = sweep.to_jobs().map_err(|e| e.to_string())?;
+    let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+    let batch = Engine::new(EngineOptions::default()).run_batch(jobs);
+    Ok(labels
+        .into_iter()
+        .zip(&batch.outcomes)
+        .map(|(label, outcome)| {
+            let rows = match outcome {
+                JobOutcome::Finished(r) => {
+                    vec![perf_bits(&r.synthesized), perf_bits(&r.extracted)]
+                }
+                _ => Vec::new(),
+            };
+            (label, outcome.status().to_owned(), rows)
+        })
+        .collect())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let sweep = SweepSpec {
+        cases: args.cases.clone(),
+        ..SweepSpec::default()
+    };
+    let digests: Vec<Digest> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..args.clients)
+            .map(|i| {
+                let sweep = sweep.clone();
+                let addr = args.addr.clone();
+                scope.spawn(move || -> Result<Digest, String> {
+                    let mut client = ServeClient::connect(&*addr)
+                        .map_err(|e| format!("client {i}: connect: {e}"))?;
+                    let id = client
+                        .submit(&SubmitRequest {
+                            id: Some(format!("bench-{}-{i}", std::process::id())),
+                            sweep,
+                            ..SubmitRequest::default()
+                        })
+                        .map_err(|e| format!("client {i}: submit: {e}"))?;
+                    let (frame, _) = client
+                        .wait_result(&id)
+                        .map_err(|e| format!("client {i}: wait: {e}"))?;
+                    let Frame::Result { outcomes, .. } = frame else {
+                        return Err(format!("client {i}: expected result frame"));
+                    };
+                    Ok(wire_digest(&outcomes))
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread panicked"))
+            .collect::<Result<_, _>>()
+    })?;
+    for (i, digest) in digests.iter().enumerate().skip(1) {
+        if digest != &digests[0] {
+            return Err(format!(
+                "client {i} results differ from client 0:\n  {digest:?}\nvs\n  {:?}",
+                digests[0]
+            ));
+        }
+    }
+    println!(
+        "serve_bench: {} clients × {} jobs bitwise-identical",
+        args.clients,
+        digests[0].len()
+    );
+    if args.verify_offline {
+        let reference = offline_digest(&sweep)?;
+        if digests[0] != reference {
+            return Err(format!(
+                "daemon results differ from offline run_batch:\n  {:?}\nvs\n  {reference:?}",
+                digests[0]
+            ));
+        }
+        println!("serve_bench: daemon matches offline Engine::run_batch bitwise");
+    }
+    let mut client = ServeClient::connect(&*args.addr).map_err(|e| format!("op connect: {e}"))?;
+    if args.expect_cache_hits {
+        let status = client.status().map_err(|e| format!("status: {e}"))?;
+        let hits = status.counter("sizing.eval.cache_hit");
+        if hits == 0 {
+            return Err(format!(
+                "expected warm-cache hits, counters: {:?}",
+                status.counters
+            ));
+        }
+        println!(
+            "serve_bench: daemon reports {hits} cache hits ({} disk)",
+            status.counter("sizing.eval.cache_disk_hit")
+        );
+    }
+    if let Some(mode) = args.shutdown {
+        client
+            .shutdown(mode)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!(
+            "serve_bench: daemon acknowledged {} shutdown",
+            mode.as_str()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve_bench: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

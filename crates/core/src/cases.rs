@@ -146,6 +146,7 @@ impl From<losac_layout::plan::PlanError> for CaseError {
 /// exactly (default plan, default layout options, min-area shape, the
 /// default flow tolerance and call budget, no cancellation).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CaseOptions {
     /// Topology design plan (any [`TopologyPlan`]; the default is the
     /// paper's folded cascode).
@@ -185,6 +186,13 @@ impl Default for CaseOptions {
 }
 
 impl CaseOptions {
+    /// A builder starting from [`CaseOptions::default`]. The struct is
+    /// `#[non_exhaustive]`, so downstream crates construct it through
+    /// this builder — new fields are then non-breaking.
+    pub fn builder() -> CaseOptionsBuilder {
+        CaseOptionsBuilder::default()
+    }
+
     /// The flow options these case options imply.
     pub fn flow_options(&self, diffusion_only: bool) -> FlowOptions {
         FlowOptions {
@@ -196,6 +204,66 @@ impl CaseOptions {
             control: self.control.clone(),
             eval: self.eval.clone(),
         }
+    }
+}
+
+/// Builder for [`CaseOptions`] (see [`CaseOptions::builder`]).
+///
+/// `build` is infallible: each knob is individually valid and range
+/// errors surface from the flow itself (`FlowOptions::validate`), so the
+/// builder adds no second validation pass that could drift from it.
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the CaseOptions"]
+pub struct CaseOptionsBuilder {
+    opts: CaseOptions,
+}
+
+impl CaseOptionsBuilder {
+    /// Topology design plan (see [`CaseOptions::plan`]).
+    pub fn with_plan(mut self, plan: Arc<dyn TopologyPlan>) -> Self {
+        self.opts.plan = plan;
+        self
+    }
+
+    /// Layout implementation options (see [`CaseOptions::layout`]).
+    pub fn with_layout(mut self, layout: LayoutOptions) -> Self {
+        self.opts.layout = layout;
+        self
+    }
+
+    /// Shape constraint (see [`CaseOptions::shape`]).
+    pub fn with_shape(mut self, shape: ShapeConstraint) -> Self {
+        self.opts.shape = shape;
+        self
+    }
+
+    /// Convergence tolerance (see [`CaseOptions::tolerance`]).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.opts.tolerance = tolerance;
+        self
+    }
+
+    /// Layout-call budget (see [`CaseOptions::max_layout_calls`]).
+    pub fn with_max_layout_calls(mut self, calls: usize) -> Self {
+        self.opts.max_layout_calls = calls;
+        self
+    }
+
+    /// Cancellation / deadline control (see [`CaseOptions::control`]).
+    pub fn with_control(mut self, control: FlowControl) -> Self {
+        self.opts.control = control;
+        self
+    }
+
+    /// Evaluation knobs (see [`CaseOptions::eval`]).
+    pub fn with_eval(mut self, eval: EvalOptions) -> Self {
+        self.opts.eval = eval;
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> CaseOptions {
+        self.opts
     }
 }
 
@@ -327,10 +395,9 @@ mod tests {
         use std::sync::atomic::AtomicBool;
         let tech = Technology::cmos06();
         let specs = OtaSpecs::paper_example();
-        let opts = CaseOptions {
-            control: FlowControl::new().with_stop(Arc::new(AtomicBool::new(true))),
-            ..Default::default()
-        };
+        let opts = CaseOptions::builder()
+            .with_control(FlowControl::new().with_stop(Arc::new(AtomicBool::new(true))))
+            .build();
         // Every case — including the loop-free cases 1–2 — stops before
         // doing any work.
         for case in Case::ALL {

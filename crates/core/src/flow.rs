@@ -76,6 +76,25 @@ impl FlowControl {
         self.with_deadline(Instant::now() + budget)
     }
 
+    /// Attach `deadline` only if it is sooner than any deadline already
+    /// set — the merge rule for stacking limits from different layers (a
+    /// per-job budget under a batch-wide or request-wide deadline).
+    #[must_use]
+    pub fn with_deadline_earliest(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Time left until the deadline (zero once it has passed); `None`
+    /// when no deadline is attached.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Whether the stop flag has been raised.
     pub fn is_cancelled(&self) -> bool {
         self.stop

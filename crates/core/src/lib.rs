@@ -53,7 +53,9 @@ pub mod report;
 pub mod telemetry;
 pub mod traditional;
 
-pub use cases::{run_case, run_case_with, Case, CaseError, CaseOptions, CaseResult};
+pub use cases::{
+    run_case, run_case_with, Case, CaseError, CaseOptions, CaseOptionsBuilder, CaseResult,
+};
 pub use flow::{
     layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowOptionsBuilder, FlowResult,
 };

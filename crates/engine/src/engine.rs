@@ -100,6 +100,7 @@ fn backoff_sleep(
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineOptions {
     /// Worker threads; `0` means [`std::thread::available_parallelism`].
     pub workers: usize,
@@ -112,6 +113,17 @@ pub struct EngineOptions {
     /// small batches on wide machines. `0` means auto. Results are
     /// bitwise identical at any setting.
     pub sim_threads: usize,
+    /// Shared evaluation cache. `None` (the default, and the historical
+    /// behaviour) gives each batch a fresh in-memory cache; a daemon
+    /// passes one cache — possibly disk-backed via
+    /// [`losac_sizing::EvalCache::persistent`] — so hits carry across
+    /// batches and restarts. Memoisation is bitwise-neutral either way.
+    pub cache: Option<Arc<losac_sizing::EvalCache>>,
+    /// Batch-wide absolute deadline, merged under each job's own budget
+    /// via [`FlowControl::with_deadline_earliest`]: jobs past it stop at
+    /// their next phase boundary as [`JobOutcome::TimedOut`]. `None`
+    /// means no batch deadline.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for EngineOptions {
@@ -120,16 +132,26 @@ impl Default for EngineOptions {
             workers: 0,
             queue: QueueKind::default(),
             sim_threads: 1,
+            cache: None,
+            deadline: None,
         }
     }
 }
 
 impl EngineOptions {
+    /// A builder starting from [`EngineOptions::default`]. The struct is
+    /// `#[non_exhaustive]`, so downstream crates construct it through
+    /// this builder (or [`EngineOptions::with_workers`]) — new fields
+    /// are then non-breaking.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::default()
+    }
+
     /// Options with an explicit worker count (`0` = auto).
     pub fn with_workers(workers: usize) -> Self {
         Self {
             workers,
-            ..Default::default()
+            ..Self::default()
         }
     }
 
@@ -148,6 +170,53 @@ impl EngineOptions {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+}
+
+/// Builder for [`EngineOptions`] (see [`EngineOptions::builder`]).
+///
+/// `build` is infallible: every knob has a valid default and out-of-range
+/// values (worker count 0, past deadlines) already have defined meanings.
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the EngineOptions"]
+pub struct EngineOptionsBuilder {
+    opts: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Worker threads (see [`EngineOptions::workers`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Queue implementation (see [`EngineOptions::queue`]).
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.opts.queue = queue;
+        self
+    }
+
+    /// Per-job simulator threads (see [`EngineOptions::sim_threads`]).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.opts.sim_threads = sim_threads;
+        self
+    }
+
+    /// Shared evaluation cache (see [`EngineOptions::cache`]).
+    pub fn with_cache(mut self, cache: Arc<losac_sizing::EvalCache>) -> Self {
+        self.opts.cache = Some(cache);
+        self
+    }
+
+    /// Batch-wide absolute deadline (see [`EngineOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> EngineOptions {
+        self.opts
     }
 }
 
@@ -282,8 +351,15 @@ impl Engine {
         // sweep varies a knob the sizing is insensitive to, or when the
         // synthesized and extracted measurements coincide — reuse the
         // stored result. Memoisation is bitwise-neutral, so outcomes are
-        // unchanged; `sizing.eval.cache_hit` counts what it saved.
-        let eval_cache = Arc::new(losac_sizing::EvalCache::new());
+        // unchanged; `sizing.eval.cache_hit` counts what it saved. A
+        // cache passed through `EngineOptions::cache` (the daemon's
+        // shared, possibly disk-backed one) is used as-is so hits carry
+        // across batches; otherwise each batch gets a fresh one.
+        let eval_cache = self
+            .opts
+            .cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(losac_sizing::EvalCache::new()));
 
         let (pool_out, stats) = run_indexed(
             workers,
@@ -308,8 +384,19 @@ impl Engine {
                 );
                 let begun = Instant::now();
                 // One deadline for the whole job: every attempt and
-                // every backoff sleep counts against the same budget.
-                let deadline = job.budget.map(|b| begun + b);
+                // every backoff sleep counts against the same budget,
+                // clamped under the batch-wide deadline when one is set.
+                let control_proto = {
+                    let mut c = FlowControl::new().with_stop(self.stop.clone());
+                    if let Some(b) = job.budget {
+                        c = c.with_deadline(begun + b);
+                    }
+                    if let Some(d) = self.opts.deadline {
+                        c = c.with_deadline_earliest(d);
+                    }
+                    c
+                };
+                let deadline = control_proto.deadline();
                 // The fault plan is installed once, outside the attempt
                 // loop, so its hit counters persist across retries — a
                 // `once` fault fails attempt 1 and spares attempt 2.
@@ -327,11 +414,7 @@ impl Engine {
                     // retryable; the pool's own catch_unwind stays as a
                     // backstop for this orchestration code itself.
                     let run = catch_unwind(AssertUnwindSafe(|| {
-                        let mut control = FlowControl::new().with_stop(self.stop.clone());
-                        if let Some(d) = deadline {
-                            control = control.with_deadline(d);
-                        }
-                        let mut opts = job.case_options(control);
+                        let mut opts = job.case_options(control_proto.clone());
                         opts.eval.threads = self.opts.sim_threads;
                         opts.eval.cache = Some(eval_cache.clone());
                         run_case_with(&job.tech, &job.specs, job.case, &opts)

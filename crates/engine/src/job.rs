@@ -225,15 +225,15 @@ impl SynthesisJob {
     /// attached. Evaluation knobs default to serial/uncached here; the
     /// engine overrides them per batch (shared cache, sim-thread count).
     pub fn case_options(&self, control: FlowControl) -> CaseOptions {
-        CaseOptions {
-            plan: self.plan.clone(),
-            layout: self.layout.clone(),
-            shape: self.shape,
-            tolerance: self.tolerance,
-            max_layout_calls: self.max_layout_calls,
-            control,
-            eval: losac_sizing::EvalOptions::default(),
-        }
+        CaseOptions::builder()
+            .with_plan(self.plan.clone())
+            .with_layout(self.layout.clone())
+            .with_shape(self.shape)
+            .with_tolerance(self.tolerance)
+            .with_max_layout_calls(self.max_layout_calls)
+            .with_control(control)
+            .with_eval(losac_sizing::EvalOptions::default())
+            .build()
     }
 
     /// The [`FlowOptions`] this job implies (no run control), for

@@ -53,7 +53,7 @@ pub mod pool;
 mod sweep;
 mod telemetry;
 
-pub use engine::{BatchResult, CancelToken, Engine, EngineOptions};
+pub use engine::{BatchResult, CancelToken, Engine, EngineOptions, EngineOptionsBuilder};
 pub use job::{JobOutcome, RetryPolicy, SynthesisJob};
 pub use pool::QueueKind;
 pub use sweep::{SpecAxis, SweepBuilder};

@@ -79,7 +79,7 @@ pub use pretty::PrettySink;
 pub use profile::Profiler;
 pub use progress::{ProgressMode, ProgressSink};
 pub use record::{Record, RecordKind, SCHEMA_VERSION};
-pub use sink::{active, init_from_env, install, Sink, SinkGuard};
+pub use sink::{active, flush_all, init_from_env, install, Sink, SinkGuard};
 pub use span::{thread_id, SpanGuard};
 
 /// Enter a span. The span ends (and its `span_end` record, carrying the

@@ -115,6 +115,17 @@ pub fn active() -> bool {
 }
 
 /// Dispatch a record to every installed sink.
+/// Flush every installed sink without uninstalling anything. Long-lived
+/// processes (the `losac-serve` daemon) call this at quiescent points —
+/// end of a drain, before exiting — so buffered output reaches disk even
+/// for sinks whose guards are intentionally leaked.
+pub fn flush_all() {
+    let sinks = registry().sinks.read().expect("sink registry poisoned");
+    for (_, sink) in sinks.iter() {
+        sink.flush();
+    }
+}
+
 pub(crate) fn dispatch(r: &Record) {
     let sinks = registry().sinks.read().expect("sink registry poisoned");
     for (_, sink) in sinks.iter() {

@@ -1,0 +1,65 @@
+//! # losac-serve — synthesis as a service
+//!
+//! The serving layer of the workspace: a long-running daemon that
+//! accepts synthesis sweeps over a line-delimited JSON protocol on TCP,
+//! queues them with priorities / per-client quotas / deadlines, runs
+//! each batch through the [`losac_engine`] worker fleet, and streams
+//! per-job progress back to subscribed clients. Everything is `std`
+//! only, like the rest of the workspace.
+//!
+//! Three guarantees shape the design (see `DESIGN.md` §6h):
+//!
+//! 1. **Bitwise fidelity** — a sweep submitted over the wire produces
+//!    results bit-identical to an offline [`losac_engine::Engine::run_batch`]
+//!    of the same [`wire::SweepSpec::to_jobs`] expansion, at any worker
+//!    count and client count. Floats travel as shortest-roundtrip JSON
+//!    numbers, which `f64` round-trips exactly.
+//! 2. **Typed failure, resilient connection** — a malformed or
+//!    unsupported frame gets an `error` frame with a typed code
+//!    ([`wire::ErrorCode`]); the connection stays usable.
+//! 3. **Graceful drain** — `shutdown drain` stops intake, finishes the
+//!    queue, flushes telemetry sinks and exits 0; `shutdown abort`
+//!    cancels in-flight work through the engine's cancel token so every
+//!    job still reports a `cancelled` outcome.
+//!
+//! The daemon shares one [`losac_sizing::EvalCache`] across every batch
+//! it runs; with `--cache-dir` the cache is disk-backed and survives
+//! restarts (entries are byte-verified on read, so a corrupt or
+//! colliding file is a counted miss, never a wrong hit).
+//!
+//! ```no_run
+//! use losac_serve::{ServeClient, ServeOptions, Server};
+//! use losac_serve::wire::{ShutdownMode, SubmitRequest, SweepSpec};
+//!
+//! let server = Server::bind(ServeOptions::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = ServeClient::connect(addr)?;
+//! let submit = SubmitRequest {
+//!     sweep: SweepSpec {
+//!         cases: vec![1, 4],
+//!         ..SweepSpec::default()
+//!     },
+//!     ..SubmitRequest::default()
+//! };
+//! let id = client.submit(&submit)?;
+//! let (result, _events) = client.wait_result(&id)?;
+//! println!("{result:?}");
+//! client.shutdown(ShutdownMode::Drain)?;
+//! handle.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod json;
+pub mod wire;
+
+mod client;
+mod server;
+
+pub use client::ServeClient;
+pub use server::{ServeOptions, Server};
+pub use wire::{
+    ErrorCode, Frame, OutcomeSummary, Request, ShutdownMode, StatusInfo, SubmitRequest, SweepSpec,
+    WireError, WIRE_VERSION,
+};

@@ -1,0 +1,355 @@
+//! Wire-protocol conformance: every frame round-trips through its JSON
+//! form, malformed input maps to *typed* error codes (never a dropped
+//! parse), unknown fields and unknown frame types are tolerated, and
+//! performance rows survive the wire bit-for-bit.
+
+use losac_engine::JobOutcome;
+use losac_layout::slicing::ShapeConstraint;
+use losac_serve::json::Value;
+use losac_serve::wire::{
+    self, frame_accepted, frame_cancelled, frame_error, frame_event, frame_listening, frame_pong,
+    frame_result, frame_shutting_down, frame_status, outcome_json, perf_bits, perf_from_value,
+    perf_json_full, ErrorCode, Frame, Request, ShutdownMode, StatusInfo, SubmitRequest, SweepSpec,
+    WireError,
+};
+use losac_sizing::Performance;
+
+fn full_spec() -> SweepSpec {
+    SweepSpec {
+        tech: "cmos035".to_owned(),
+        topologies: vec!["folded_cascode".to_owned()],
+        cases: vec![1, 4],
+        shapes: vec![
+            ShapeConstraint::MinArea,
+            ShapeConstraint::Aspect(1.5),
+            ShapeConstraint::MaxHeight(120_000),
+            ShapeConstraint::MaxWidth(90_000),
+        ],
+        gbw: vec![1.0e6, 5.0e6],
+        pm: vec![60.0],
+        cl: vec![10e-12],
+        vdd: vec![3.3],
+        tolerance: Some(0.02),
+        max_layout_calls: Some(17),
+        budget_ms: Some(30_000),
+    }
+}
+
+#[test]
+fn every_request_round_trips() {
+    let requests = [
+        Request::Submit(Box::new(SubmitRequest {
+            id: Some("alpha".to_owned()),
+            priority: -3,
+            deadline_ms: Some(12_000),
+            subscribe: true,
+            sweep: full_spec(),
+        })),
+        Request::Submit(Box::default()),
+        Request::Status,
+        Request::Cancel {
+            id: "alpha".to_owned(),
+        },
+        Request::Shutdown {
+            mode: ShutdownMode::Drain,
+        },
+        Request::Shutdown {
+            mode: ShutdownMode::Abort,
+        },
+        Request::Ping,
+    ];
+    for req in requests {
+        let line = req.to_json();
+        let back = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back, req, "round trip of {line}");
+    }
+}
+
+#[test]
+fn every_server_frame_round_trips() {
+    let status = StatusInfo {
+        state: "draining".to_owned(),
+        queued: 3,
+        running: 1,
+        jobs_done: 42,
+        workers: 8,
+        cache_entries: 1234,
+        counters: vec![
+            ("sizing.eval.cache_hit".to_owned(), 17),
+            ("sizing.eval.cache_miss".to_owned(), 4),
+        ],
+    };
+    let err = WireError::new(ErrorCode::QuotaExceeded, "too many").with_id("beta");
+    let outcome = outcome_json("case4/min_area", &JobOutcome::Panicked("boom".to_owned()));
+    let lines = [
+        frame_listening("127.0.0.1:4444"),
+        frame_accepted("alpha", 8, 2),
+        frame_result("alpha", vec![outcome], "{\"wall_s\":1.5}".to_owned()),
+        frame_cancelled("alpha"),
+        frame_status(&status),
+        frame_error(&err),
+        frame_pong(),
+        frame_shutting_down(ShutdownMode::Abort),
+    ];
+    let expect = [
+        Frame::Listening {
+            addr: "127.0.0.1:4444".to_owned(),
+        },
+        Frame::Accepted {
+            id: "alpha".to_owned(),
+            jobs: 8,
+            queue_depth: 2,
+        },
+        Frame::Result {
+            id: "alpha".to_owned(),
+            outcomes: vec![wire::OutcomeSummary {
+                label: "case4/min_area".to_owned(),
+                status: "panicked".to_owned(),
+                attempts: None,
+                error: Some("boom".to_owned()),
+                layout_calls: None,
+                synthesized: None,
+                extracted: None,
+            }],
+            telemetry: Value::parse("{\"wall_s\":1.5}").unwrap(),
+        },
+        Frame::Cancelled {
+            id: "alpha".to_owned(),
+        },
+        Frame::Status(status.clone()),
+        Frame::Error(err.clone()),
+        Frame::Pong,
+        Frame::ShuttingDown {
+            mode: ShutdownMode::Abort,
+        },
+    ];
+    for (line, want) in lines.iter().zip(expect) {
+        let got = Frame::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(got, want, "round trip of {line}");
+    }
+}
+
+#[test]
+fn event_frames_carry_record_fields() {
+    let record = losac_obs::Record {
+        t_us: 1234,
+        thread: 1,
+        kind: losac_obs::RecordKind::Event,
+        name: "engine.job.done",
+        path: String::new(),
+        fields: vec![
+            losac_obs::f("job", 3u64),
+            losac_obs::f("status", "finished"),
+            losac_obs::f("wall_s", 0.25f64),
+        ],
+    };
+    let line = frame_event("alpha", &record);
+    let Frame::Event { id, name, fields } = Frame::parse(&line).unwrap() else {
+        panic!("not an event frame: {line}");
+    };
+    assert_eq!(id, "alpha");
+    assert_eq!(name, "engine.job.done");
+    assert_eq!(fields.get("job").and_then(Value::as_u64), Some(3));
+    assert_eq!(
+        fields.get("status").and_then(Value::as_str),
+        Some("finished")
+    );
+    assert_eq!(fields.get("wall_s").and_then(Value::as_f64), Some(0.25));
+}
+
+#[test]
+fn outcome_statuses_serialise() {
+    for (outcome, status, error) in [
+        (JobOutcome::TimedOut, "timed_out", None),
+        (JobOutcome::Cancelled, "cancelled", None),
+        (
+            JobOutcome::Panicked("kaboom".to_owned()),
+            "panicked",
+            Some("kaboom"),
+        ),
+        (
+            JobOutcome::Degraded {
+                attempts: 3,
+                last_error: "flaky".to_owned(),
+                partial: None,
+            },
+            "degraded",
+            Some("flaky"),
+        ),
+    ] {
+        let line = frame_result("r", vec![outcome_json("lbl", &outcome)], "null".to_owned());
+        let Frame::Result { outcomes, .. } = Frame::parse(&line).unwrap() else {
+            panic!("not a result frame: {line}");
+        };
+        assert_eq!(outcomes[0].status, status);
+        assert_eq!(outcomes[0].error.as_deref(), error);
+        assert_eq!(outcomes[0].label, "lbl");
+    }
+}
+
+#[test]
+fn malformed_input_yields_typed_errors() {
+    let cases: [(&str, ErrorCode); 10] = [
+        ("not json at all", ErrorCode::Malformed),
+        ("[1,2,3]", ErrorCode::Malformed),
+        ("{\"type\":42}", ErrorCode::Malformed),
+        ("{}", ErrorCode::Malformed),
+        ("{\"v\":0,\"type\":\"ping\"}", ErrorCode::Malformed),
+        ("{\"v\":\"one\",\"type\":\"ping\"}", ErrorCode::Malformed),
+        ("{\"type\":\"cancel\"}", ErrorCode::Malformed),
+        ("{\"type\":\"warp\"}", ErrorCode::Unsupported),
+        (
+            "{\"type\":\"shutdown\",\"mode\":\"sideways\"}",
+            ErrorCode::Malformed,
+        ),
+        (
+            "{\"type\":\"submit\",\"sweep\":{\"cases\":[9]}}",
+            ErrorCode::Malformed, // placeholder; bad case number surfaces at to_jobs
+        ),
+    ];
+    for (line, want) in &cases[..9] {
+        let err = Request::parse(line).expect_err(line);
+        assert_eq!(err.code, *want, "{line} → {err}");
+    }
+    // Structural sweep errors parse fine but fail expansion with a
+    // BadSweep, carrying enough detail to act on.
+    let Request::Submit(s) = Request::parse(cases[9].0).unwrap() else {
+        panic!("submit should parse structurally");
+    };
+    assert_eq!(s.sweep.to_jobs().unwrap_err().code, ErrorCode::BadSweep);
+    for bad in [
+        SweepSpec {
+            tech: "cmos9000".to_owned(),
+            ..SweepSpec::default()
+        },
+        SweepSpec {
+            topologies: vec!["ring_oscillator".to_owned()],
+            ..SweepSpec::default()
+        },
+    ] {
+        assert_eq!(bad.to_jobs().unwrap_err().code, ErrorCode::BadSweep);
+    }
+    // Mistyped sweep fields are BadSweep at parse time, with the request
+    // id attached for correlation.
+    let err = Request::parse("{\"type\":\"submit\",\"id\":\"x\",\"sweep\":{\"gbw\":\"fast\"}}")
+        .expect_err("mistyped sweep axis");
+    assert_eq!(err.code, ErrorCode::BadSweep);
+    assert_eq!(err.id.as_deref(), Some("x"));
+}
+
+#[test]
+fn unknown_fields_and_frame_types_are_tolerated() {
+    // Unknown request fields are ignored.
+    let req = Request::parse(
+        "{\"v\":3,\"type\":\"ping\",\"shiny_new_field\":{\"deep\":[1,2]},\"another\":true}",
+    )
+    .expect("additive fields must parse");
+    assert_eq!(req, Request::Ping);
+    // Unknown submit fields are ignored too.
+    let req =
+        Request::parse("{\"type\":\"submit\",\"retries\":9,\"sweep\":{\"cases\":[1],\"hint\":0}}")
+            .expect("additive submit fields must parse");
+    let Request::Submit(s) = req else {
+        panic!("expected submit")
+    };
+    assert_eq!(s.sweep.cases, vec![1]);
+    // Unknown *server* frame types parse as Frame::Unknown so clients
+    // skip rather than die.
+    let frame = Frame::parse("{\"v\":2,\"type\":\"hologram\",\"payload\":[]}").unwrap();
+    assert_eq!(
+        frame,
+        Frame::Unknown {
+            ty: "hologram".to_owned()
+        }
+    );
+    // Unknown error codes degrade to ErrorCode::Unknown, keeping message
+    // and id.
+    let Frame::Error(err) =
+        Frame::parse("{\"type\":\"error\",\"code\":\"teapot\",\"message\":\"m\",\"id\":\"i\"}")
+            .unwrap()
+    else {
+        panic!("expected error frame");
+    };
+    assert_eq!(err.code, ErrorCode::Unknown);
+    assert_eq!(err.id.as_deref(), Some("i"));
+}
+
+#[test]
+fn sweep_expansion_matches_offline_builder() {
+    let spec = SweepSpec {
+        cases: vec![1, 2, 4],
+        shapes: vec![ShapeConstraint::MinArea, ShapeConstraint::Aspect(2.0)],
+        gbw: vec![1.0e6, 2.0e6],
+        ..SweepSpec::default()
+    };
+    let jobs = spec.to_jobs().expect("valid sweep");
+    assert_eq!(jobs.len(), 3 * 2 * 2);
+    // Round-tripping the spec through the wire must preserve the
+    // expansion exactly (same labels, same order).
+    let line = Request::Submit(Box::new(SubmitRequest {
+        sweep: spec.clone(),
+        ..SubmitRequest::default()
+    }))
+    .to_json();
+    let Request::Submit(back) = Request::parse(&line).unwrap() else {
+        panic!("expected submit")
+    };
+    assert_eq!(back.sweep, spec);
+    let labels: Vec<_> = jobs.iter().map(|j| j.label.clone()).collect();
+    let relabels: Vec<_> = back
+        .sweep
+        .to_jobs()
+        .unwrap()
+        .iter()
+        .map(|j| j.label.clone())
+        .collect();
+    assert_eq!(labels, relabels);
+    // Overrides land on every job.
+    let jobs = SweepSpec {
+        tolerance: Some(0.5),
+        max_layout_calls: Some(3),
+        budget_ms: Some(1000),
+        ..SweepSpec::default()
+    }
+    .to_jobs()
+    .unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].tolerance, 0.5);
+    assert_eq!(jobs[0].max_layout_calls, 3);
+    assert_eq!(jobs[0].budget, Some(std::time::Duration::from_secs(1)));
+}
+
+#[test]
+fn performance_rows_survive_the_wire_bit_for_bit() {
+    // Awkward values: subnormal, negative zero, huge, tiny, many digits.
+    let perf = Performance {
+        dc_gain_db: 93.217_430_000_1,
+        gbw: 1.234_567_890_123_456_7e6,
+        phase_margin: 63.999_999_999_999_99,
+        slew_rate: -0.0,
+        cmrr_db: f64::MIN_POSITIVE,
+        offset: 5.0e-324, // smallest subnormal
+        output_resistance: 1.797_693_134_862_315_7e308,
+        input_noise_rms: 2.220_446_049_250_313e-16,
+        thermal_noise_density: 1.0 / 3.0,
+        flicker_noise_density: 0.1 + 0.2, // 0.30000000000000004
+        power: 1e-3,
+    };
+    let json = perf_json_full(&perf);
+    let back = perf_from_value(&Value::parse(&json).unwrap()).expect("full row");
+    assert_eq!(
+        perf_bits(&back),
+        perf_bits(&perf),
+        "bitwise drift in {json}"
+    );
+    // Non-finite values render as null and come back NaN (by design:
+    // JSON has no NaN/Inf).
+    let perf = Performance {
+        dc_gain_db: f64::NAN,
+        gbw: f64::INFINITY,
+        ..perf
+    };
+    let back = perf_from_value(&Value::parse(&perf_json_full(&perf)).unwrap()).unwrap();
+    assert!(back.dc_gain_db.is_nan());
+    assert!(back.gbw.is_nan());
+}

@@ -258,6 +258,7 @@ impl From<TranError> for EvalError {
 /// identical to the plain [`evaluate`] pipeline (enforced by the
 /// `sim_equivalence` test suite).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EvalOptions {
     /// Worker threads: fans out AC/noise frequency points and, at `>= 2`,
     /// runs the slew-rate transient concurrently with the small-signal
@@ -287,15 +288,19 @@ impl Default for EvalOptions {
 }
 
 impl EvalOptions {
+    /// A builder starting from [`EvalOptions::default`]. The struct is
+    /// `#[non_exhaustive]`, so downstream crates construct it through
+    /// this builder (or the `with_*` conveniences) — new knobs are then
+    /// non-breaking.
+    pub fn builder() -> EvalOptionsBuilder {
+        EvalOptionsBuilder::default()
+    }
+
     /// Options matching the historical evaluator exactly: serial, no
     /// linearisation reuse, no cache. The reference arm of the
     /// equivalence gates.
     pub fn legacy() -> Self {
-        Self {
-            threads: 1,
-            reuse_linearisation: false,
-            cache: None,
-        }
+        Self::builder().with_reuse_linearisation(false).build()
     }
 
     /// Same options with an explicit thread count.
@@ -327,14 +332,51 @@ impl EvalOptions {
     }
 }
 
+/// Builder for [`EvalOptions`] (see [`EvalOptions::builder`]).
+///
+/// `build` is infallible: every knob is an optimisation with a valid
+/// default, so there is nothing to validate — unlike
+/// `FlowOptionsBuilder`, whose numeric ranges can be inconsistent.
+#[derive(Debug, Clone, Default)]
+#[must_use = "call .build() to obtain the EvalOptions"]
+pub struct EvalOptionsBuilder {
+    opts: EvalOptions,
+}
+
+impl EvalOptionsBuilder {
+    /// Worker threads (see [`EvalOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Toggle linearisation reuse (see
+    /// [`EvalOptions::reuse_linearisation`]).
+    pub fn with_reuse_linearisation(mut self, reuse: bool) -> Self {
+        self.opts.reuse_linearisation = reuse;
+        self
+    }
+
+    /// Evaluate through `cache` (see [`EvalOptions::cache`]).
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.opts.cache = Some(cache);
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> EvalOptions {
+        self.opts
+    }
+}
+
 /// The full identity of one evaluation: the 64-bit FNV hash used for
 /// bucket selection plus the exact byte stream that produced it. The
 /// bytes are compared on lookup, so two designs that collide on the hash
 /// can never alias each other's [`Performance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct EvalKey {
-    hash: u64,
-    bytes: Box<[u8]>,
+    pub(crate) hash: u64,
+    pub(crate) bytes: Box<[u8]>,
 }
 
 #[derive(Debug)]
@@ -357,15 +399,43 @@ struct CacheEntry {
 /// `sizing.eval.cache_collision` and served as a miss. (An earlier
 /// version keyed on the bare 64-bit hash and would have returned the
 /// colliding design's numbers as a hit.)
+///
+/// A cache opened with [`EvalCache::persistent`] additionally backs
+/// every entry with a content-addressed file (see `persist.rs`):
+/// memory misses probe the directory, verified disk entries are served
+/// as ordinary hits (plus `sizing.eval.cache_disk_hit`) and lazily
+/// re-populate memory, and fresh evaluations are written through with
+/// temp-file + atomic rename, so the cache survives the process and is
+/// shared across concurrent daemon runs.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     map: Mutex<HashMap<u64, Vec<CacheEntry>>>,
+    disk: Option<crate::persist::DiskStore>,
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache persisted under `dir` (created if needed), shared across
+    /// processes and daemon restarts. Entries are loaded lazily — opening
+    /// a warm directory costs nothing until a key is probed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn persistent(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        Ok(Self {
+            map: Mutex::new(HashMap::new()),
+            disk: Some(crate::persist::DiskStore::open(dir.into())?),
+        })
+    }
+
+    /// The backing directory, when the cache is persistent.
+    pub fn disk_dir(&self) -> Option<&std::path::Path> {
+        self.disk.as_ref().map(|d| d.dir())
     }
 
     /// Number of distinct evaluations stored.
@@ -387,30 +457,52 @@ impl EvalCache {
     }
 
     fn lookup(&self, key: &EvalKey) -> Option<Performance> {
-        let map = self.lock();
-        let bucket = map.get(&key.hash);
-        let hit = bucket.and_then(|b| b.iter().find(|e| *e.bytes == *key.bytes).map(|e| e.perf));
-        match hit {
-            Some(_) => EVAL_CACHE_HIT.incr(),
-            None => {
-                if bucket.is_some_and(|b| !b.is_empty()) {
-                    EVAL_CACHE_COLLISION.incr();
-                }
-                EVAL_CACHE_MISS.incr();
+        let memory_hit = {
+            let map = self.lock();
+            let bucket = map.get(&key.hash);
+            let hit =
+                bucket.and_then(|b| b.iter().find(|e| *e.bytes == *key.bytes).map(|e| e.perf));
+            if hit.is_none() && bucket.is_some_and(|b| !b.is_empty()) {
+                EVAL_CACHE_COLLISION.incr();
             }
+            hit
+        };
+        if let Some(perf) = memory_hit {
+            EVAL_CACHE_HIT.incr();
+            return Some(perf);
         }
-        hit
+        // Memory miss: probe the disk layer (byte-verified — a corrupt or
+        // colliding file is a miss, never a wrong hit) and re-populate
+        // memory without writing back to disk.
+        if let Some(perf) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            EVAL_CACHE_HIT.incr();
+            self.insert_memory(key, perf);
+            return Some(perf);
+        }
+        EVAL_CACHE_MISS.incr();
+        None
     }
 
     fn store(&self, key: &EvalKey, perf: Performance) {
+        if self.insert_memory(key, perf) {
+            if let Some(disk) = &self.disk {
+                disk.save(key, &perf);
+            }
+        }
+    }
+
+    /// Insert into the in-memory map only; `true` when the entry was new.
+    fn insert_memory(&self, key: &EvalKey, perf: Performance) -> bool {
         let mut map = self.lock();
         let bucket = map.entry(key.hash).or_default();
-        if !bucket.iter().any(|e| *e.bytes == *key.bytes) {
-            bucket.push(CacheEntry {
-                bytes: key.bytes.clone(),
-                perf,
-            });
+        if bucket.iter().any(|e| *e.bytes == *key.bytes) {
+            return false;
         }
+        bucket.push(CacheEntry {
+            bytes: key.bytes.clone(),
+            perf,
+        });
+        true
     }
 }
 

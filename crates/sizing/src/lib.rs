@@ -36,6 +36,7 @@ pub mod blocks;
 pub mod eval;
 pub mod feedback;
 pub mod ota;
+mod persist;
 pub mod rng;
 pub mod specs;
 pub mod statistical;
@@ -43,8 +44,8 @@ pub mod techeval;
 pub mod topology;
 
 pub use eval::{
-    evaluate_with, measure_psrr, Amplifier, EvalCache, EvalError, EvalOptions, InputDrive,
-    Performance,
+    evaluate_with, measure_psrr, Amplifier, EvalCache, EvalError, EvalOptions, EvalOptionsBuilder,
+    InputDrive, Performance,
 };
 pub use feedback::{DeviceFeedback, DiffGeom, LayoutFeedback, ParasiticMode};
 pub use ota::folded_cascode::{

@@ -163,6 +163,56 @@ then
 fi
 rm -f "$events" "$record"
 
+# Serving smoke gate: start the daemon on an ephemeral loopback port,
+# run two concurrent clients against it, require their results bitwise
+# identical to an in-process offline run, drain, and check the daemon
+# exits 0. A second daemon over the same cache directory must then
+# answer from the persistent cache (cache_hit > 0 in its counters).
+echo "==> losac-serve smoke (2 clients, bitwise vs offline, drain)"
+serve_cache="$(mktemp -d)"
+serve_log="$(mktemp)"
+serve_smoke() {
+    local label="$1"
+    shift
+    LOSAC_LOG=off ./target/release/losac-serve --addr 127.0.0.1:0 --workers 2 \
+        --cache-dir "$serve_cache" >"$serve_log" &
+    local serve_pid=$!
+    local serve_addr=""
+    for _ in $(seq 1 100); do
+        serve_addr="$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$serve_log" | head -n 1)"
+        [ -n "$serve_addr" ] && break
+        if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    if [ -z "$serve_addr" ]; then
+        echo "FAIL: losac-serve printed no listening frame ($label)"
+        kill "$serve_pid" 2>/dev/null
+        wait "$serve_pid" 2>/dev/null
+        return 1
+    fi
+    if ! LOSAC_LOG=off ./target/release/serve_bench --addr "$serve_addr" \
+        --clients 2 --cases 1,2 --shutdown drain "$@"; then
+        echo "FAIL: serve_bench ($label)"
+        kill "$serve_pid" 2>/dev/null
+        wait "$serve_pid" 2>/dev/null
+        return 1
+    fi
+    if ! wait "$serve_pid"; then
+        echo "FAIL: losac-serve did not exit 0 after drain ($label)"
+        return 1
+    fi
+    return 0
+}
+if ! serve_smoke "cold" --verify-offline; then
+    fail=1
+# Warm restart over the same cache dir: the persisted entries must
+# produce verified hits.
+elif ! serve_smoke "warm restart" --expect-cache-hits; then
+    fail=1
+fi
+rm -rf "$serve_cache"
+rm -f "$serve_log"
+
 # Hot-path regression gate against the committed PR-3 baseline.
 echo "==> bench_check (BENCH_PR6 vs BENCH_PR3 baseline)"
 if ! scripts/bench_check.sh; then

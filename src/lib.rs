@@ -18,6 +18,7 @@
 //! | [`flow`] | the layout-oriented synthesis loop, the Table-1 cases, the traditional baseline |
 //! | [`engine`] | parallel batch synthesis: jobs, worker pool, sweeps, batch telemetry |
 //! | [`obs`] | zero-dependency tracing/metrics: spans, counters, events, sinks (`LOSAC_LOG`) |
+//! | [`serve`] | synthesis-as-a-service: the `losac-serve` daemon, JSONL wire protocol, client |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,42 @@ pub use losac_device as device;
 pub use losac_engine as engine;
 pub use losac_layout as layout;
 pub use losac_obs as obs;
+pub use losac_serve as serve;
 pub use losac_sim as sim;
 pub use losac_sizing as sizing;
 pub use losac_tech as tech;
+
+/// The workspace-wide umbrella prelude: the entry points of the sizing
+/// flow, the batch engine and the serving layer in one import, so
+/// downstream code stops naming four crates.
+///
+/// ```no_run
+/// use losac::prelude::*;
+///
+/// let tech = std::sync::Arc::new(Technology::cmos06());
+/// let jobs = SweepBuilder::new(tech, OtaSpecs::paper_example())
+///     .over_cases(Case::ALL)
+///     .build();
+/// let batch = Engine::new(EngineOptions::with_workers(0)).run_batch(jobs);
+/// assert_eq!(batch.outcomes.len(), 4);
+/// ```
+pub mod prelude {
+    pub use losac_core::cases::{
+        run_case, run_case_with, Case, CaseError, CaseOptions, CaseOptionsBuilder, CaseResult,
+    };
+    pub use losac_core::flow::{
+        layout_oriented_synthesis, FlowControl, FlowError, FlowOptions, FlowResult,
+    };
+    pub use losac_core::layout_gen::LayoutOptions;
+    pub use losac_engine::{
+        BatchResult, CancelToken, Engine, EngineOptions, EngineOptionsBuilder, JobOutcome,
+        RetryPolicy, SpecAxis, SweepBuilder, SynthesisJob,
+    };
+    pub use losac_layout::slicing::ShapeConstraint;
+    pub use losac_serve::{ServeClient, ServeOptions, Server};
+    pub use losac_sizing::{
+        EvalCache, EvalOptions, EvalOptionsBuilder, OtaSpecs, ParasiticMode, Performance,
+        TopologyPlan, TopologyRegistry,
+    };
+    pub use losac_tech::Technology;
+}

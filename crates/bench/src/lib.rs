@@ -91,6 +91,21 @@ impl Drop for ProfileHandle {
         eprint!("{}", report.render_table());
         eprintln!("\n-- profile (collapsed stacks) --");
         eprint!("{}", report.render_collapsed());
+        let m = losac_obs::metrics::snapshot();
+        let c = |name: &str| m.counters.get(name).copied().unwrap_or(0);
+        eprintln!("\n-- profile (linear solver) --");
+        eprintln!(
+            "kernel {:?}: {} symbolic analyses, {} sparse numeric refactors, \
+             {} total factorizations, {} dense fallbacks, last pattern nnz {}",
+            losac_sim::solver_kind(),
+            c("sim.matrix.symbolic_analyses"),
+            c("sim.matrix.numeric_refactors"),
+            c("sim.matrix.factorizations"),
+            c("sim.matrix.sparse_fallbacks"),
+            m.gauges
+                .get("sim.sparse.nnz")
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
+        );
     }
 }
 

@@ -158,11 +158,21 @@ impl Precomputed {
     fn of(m: &Mosfet, temp_k: f64) -> Self {
         let p = &m.params;
         let l_eff = m.l_eff();
+        // At nominal temperature the mobility ratio is (1.0)^-1.5 = 1.0
+        // exactly, and multiplying by exactly 1.0 is an identity — skip the
+        // `powf` without changing a single bit. This is the hot case: every
+        // Newton iteration of every transient step lands here.
+        let t_ratio = temp_k / T_NOMINAL;
+        let mobility_scale = if t_ratio == 1.0 {
+            1.0
+        } else {
+            t_ratio.powf(MOBILITY_TEMP_EXP)
+        };
         Self {
             ut: KBOLTZMANN * temp_k / QELECTRON,
             vt0_t: p.vt0 + VT_TEMP_COEFF * (temp_k - T_NOMINAL),
             a: p.phi.sqrt() + p.gamma / 2.0,
-            beta: p.kp * (temp_k / T_NOMINAL).powf(MOBILITY_TEMP_EXP) * m.w / l_eff,
+            beta: p.kp * mobility_scale * m.w / l_eff,
             ecrit_l: p.ecrit * l_eff,
             va: p.va_per_l * l_eff,
         }
@@ -259,8 +269,14 @@ pub fn evaluate_at(m: &Mosfet, vgs: f64, vds: f64, vbs: f64, temp_k: f64) -> Mos
 
     let p = &m.params;
     let pre = Precomputed::of(m, temp_k);
-    let (id, i_f, i_r, vp, n, veff) = drain_current_pre(m, &pre, vg, vs, vd);
+    // [`drain_current_pre`] unrolled so `sabs` is computed once and shared
+    // with the gate probes below — same operations, same bits.
+    let (vp, n) = pinch_off(p, &pre, vg);
+    let i_f = ekv_f((vp - vs) / pre.ut);
+    let i_r = ekv_f((vp - vd) / pre.ut);
+    let veff = 2.0 * n * pre.ut * i_f.sqrt();
     let sabs = smooth_abs(vd - vs, pre.ut);
+    let id = current_from_parts(p, &pre, n, i_f, i_r, sabs);
 
     // Central differences on the normalised voltages. gm = ∂Id/∂VGS maps to
     // ∂Id/∂vg; gds to ∂Id/∂vd; gmb = −(∂/∂vg + ∂/∂vs + ∂/∂vd) because a

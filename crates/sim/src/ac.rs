@@ -334,11 +334,26 @@ where
     I: Fn() -> W + Sync,
     F: Fn(&Linearized, f64, &mut W) -> Result<R, E> + Sync,
 {
+    // More workers than claimable chunks only spawn threads that exit
+    // immediately — clamp first so the single-chunk case goes serial.
+    let threads = threads.min(freqs.len().div_ceil(SWEEP_CHUNK)).max(1);
+    if threads <= 1 {
+        // One effective worker: run in order on the caller's thread with
+        // zero coordination machinery (no slots, no atomics, no spawn).
+        // First-failure-wins matches the parallel path's lowest-index
+        // error semantics, and the caller's interrupt and solver kind
+        // are already in place.
+        let mut ws = init();
+        return freqs.iter().map(|&f| point(lin, f, &mut ws)).collect();
+    }
     let slots: Vec<Mutex<Option<Result<R, E>>>> = freqs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    // Budgets follow the work: workers re-install the caller's interrupt
-    // so a point kernel that polls it still observes the job's deadline.
+    // Budgets and kernel choice follow the work: workers re-install the
+    // caller's interrupt so a point kernel that polls it still observes
+    // the job's deadline, and the caller's solver kind so a dense-mode
+    // override scopes over the whole fan-out.
     let interrupt = crate::interrupt::current();
+    let solver = crate::sparse::solver_kind();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let slots = &slots;
@@ -348,6 +363,7 @@ where
             let interrupt = interrupt.clone();
             s.spawn(move || {
                 let _interrupt = interrupt.map(crate::interrupt::install);
+                let _solver = crate::sparse::install_solver(solver);
                 let mut ws = init();
                 loop {
                     let start = next.fetch_add(SWEEP_CHUNK, Ordering::Relaxed);

@@ -10,6 +10,7 @@
 use crate::interrupt::Interrupted;
 use crate::netlist::{Circuit, Element, GROUND};
 use crate::num::{Matrix, SingularMatrix};
+use crate::sparse::{MatrixStamp, SparseRealSystem};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::{evaluate, MosOp};
 use losac_obs::Counter;
@@ -251,36 +252,42 @@ pub(crate) fn assemble(
 /// Assemble the Jacobian and residual at point `x` into caller-owned
 /// buffers — zero allocations once the buffers have reached size, which
 /// matters because this runs once per Newton iteration.
-pub(crate) fn assemble_into(
+///
+/// Generic over the Jacobian sink so the same stamping logic fills the
+/// dense matrix, collects a sparse pattern, or restamps cached sparse
+/// values (see [`MatrixStamp`]). The emitted stamp *positions* depend
+/// only on the circuit structure and the [`AssembleMode`] variant, never
+/// on `x`, `gmin` or the source scale — the pattern-stability property
+/// the sparse kernel's cached symbolic analysis relies on. In particular
+/// zero-valued device capacitances still stamp (a numeric no-op) so a
+/// bias point where some junction capacitance vanishes cannot shrink the
+/// structure mid-Newton.
+pub(crate) fn assemble_into<S: MatrixStamp>(
     circuit: &Circuit,
     u: &Unknowns,
     x: &[f64],
     gmin: f64,
     mode: &AssembleMode<'_>,
-    j: &mut Matrix<f64>,
+    j: &mut S,
     f: &mut Vec<f64>,
 ) {
-    if j.n() != u.total {
-        *j = Matrix::zeros(u.total);
-    } else {
-        j.clear();
-    }
+    j.reset(u.total);
     f.clear();
     f.resize(u.total, 0.0);
     let mut vsrc_idx = 0usize;
 
     // gmin to ground on every node.
     for i in 0..u.n_nodes {
-        j.add(i, i, gmin);
+        j.stamp(i, i, gmin);
         f[i] += gmin * x[i];
     }
 
     // Backward-Euler companion for a capacitor `farads` between nodes a, b.
-    let stamp_cap = |j: &mut Matrix<f64>, f: &mut Vec<f64>, a: usize, b: usize, farads: f64| {
+    let stamp_cap = |j: &mut S, f: &mut Vec<f64>, a: usize, b: usize, farads: f64| {
         let AssembleMode::Tran { h, x_prev, .. } = mode else {
             return; // open at DC
         };
-        if farads <= 0.0 {
+        if farads < 0.0 {
             return;
         }
         let geq = farads / h;
@@ -290,16 +297,16 @@ pub(crate) fn assemble_into(
         let (ia, ib) = (u.node(a), u.node(b));
         if let Some(ia) = ia {
             f[ia] += i_c;
-            j.add(ia, ia, geq);
+            j.stamp(ia, ia, geq);
             if let Some(ib) = ib {
-                j.add(ia, ib, -geq);
+                j.stamp(ia, ib, -geq);
             }
         }
         if let Some(ib) = ib {
             f[ib] -= i_c;
-            j.add(ib, ib, geq);
+            j.stamp(ib, ib, geq);
             if let Some(ia) = ia {
-                j.add(ib, ia, -geq);
+                j.stamp(ib, ia, -geq);
             }
         }
     };
@@ -312,16 +319,16 @@ pub(crate) fn assemble_into(
                 let i = g * (v_of(x, u, *a) - v_of(x, u, *b));
                 if let Some(ia) = ia {
                     f[ia] += i;
-                    j.add(ia, ia, g);
+                    j.stamp(ia, ia, g);
                     if let Some(ib) = ib {
-                        j.add(ia, ib, -g);
+                        j.stamp(ia, ib, -g);
                     }
                 }
                 if let Some(ib) = ib {
                     f[ib] -= i;
-                    j.add(ib, ib, g);
+                    j.stamp(ib, ib, g);
                     if let Some(ia) = ia {
-                        j.add(ib, ia, -g);
+                        j.stamp(ib, ia, -g);
                     }
                 }
             }
@@ -339,15 +346,15 @@ pub(crate) fn assemble_into(
                 // Branch equation: v_pos − v_neg − V = 0.
                 f[row] = v_of(x, u, vs.pos) - v_of(x, u, vs.neg) - value;
                 if let Some(ip) = ip {
-                    j.add(row, ip, 1.0);
+                    j.stamp(row, ip, 1.0);
                     // KCL: the branch current flows into the + terminal.
                     f[ip] += x[row];
-                    j.add(ip, row, 1.0);
+                    j.stamp(ip, row, 1.0);
                 }
                 if let Some(in_) = in_ {
-                    j.add(row, in_, -1.0);
+                    j.stamp(row, in_, -1.0);
                     f[in_] -= x[row];
-                    j.add(in_, row, -1.0);
+                    j.stamp(in_, row, -1.0);
                 }
             }
             Element::Isource(is) => {
@@ -377,31 +384,31 @@ pub(crate) fn assemble_into(
                 if let Some(r) = nd {
                     f[r] += i_d;
                     if let Some(c) = ng {
-                        j.add(r, c, gm);
+                        j.stamp(r, c, gm);
                     }
                     if let Some(c) = nd {
-                        j.add(r, c, gds);
+                        j.stamp(r, c, gds);
                     }
                     if let Some(c) = nb {
-                        j.add(r, c, gmb);
+                        j.stamp(r, c, gmb);
                     }
                     if let Some(c) = ns {
-                        j.add(r, c, g_s);
+                        j.stamp(r, c, g_s);
                     }
                 }
                 if let Some(r) = ns {
                     f[r] -= i_d;
                     if let Some(c) = ng {
-                        j.add(r, c, -gm);
+                        j.stamp(r, c, -gm);
                     }
                     if let Some(c) = nd {
-                        j.add(r, c, -gds);
+                        j.stamp(r, c, -gds);
                     }
                     if let Some(c) = nb {
-                        j.add(r, c, -gmb);
+                        j.stamp(r, c, -gmb);
                     }
                     if let Some(c) = ns {
-                        j.add(r, c, -g_s);
+                        j.stamp(r, c, -g_s);
                     }
                 }
                 // In transient mode the device capacitances integrate too.
@@ -426,7 +433,10 @@ pub(crate) fn assemble_into(
     }
 }
 
-/// Reusable buffers for the Newton loop: Jacobian (factored in place —
+/// Reusable buffers for the Newton loop: the sparse system (pattern
+/// collected on first use, then cached for every later iteration — one
+/// symbolic analysis per scratch lifetime, i.e. per DC solve or per
+/// whole transient run), the dense Jacobian fallback (factored in place —
 /// it is rebuilt by the next assembly anyway), pivot vector, residual,
 /// negated right-hand side and update vector. One scratch per solve (or
 /// per transient run) means the inner loop allocates and copies nothing.
@@ -437,11 +447,23 @@ pub(crate) struct NewtonScratch {
     perm: Vec<usize>,
     rhs: Vec<f64>,
     dx: Vec<f64>,
+    sparse: SparseRealSystem,
+    /// Set when the sparse kernel hit a pivot breakdown: the rest of this
+    /// scratch's lifetime runs on the pivoted dense kernel.
+    sparse_fallback: bool,
 }
 
 impl NewtonScratch {
     pub(crate) fn new() -> Self {
         Self::default()
+    }
+
+    /// Start a fresh solve on a (possibly) reused scratch: a pivot
+    /// breakdown demotes the *remainder of one solve* to the dense kernel,
+    /// not every later solve of a long-lived [`DcSession`] — matching the
+    /// one-shot entry points, which rebuild the scratch per solve.
+    pub(crate) fn begin_solve(&mut self) {
+        self.sparse_fallback = false;
     }
 }
 
@@ -472,17 +494,64 @@ pub(crate) fn newton(
                 _ => DcError::Singular(SingularMatrix { column: usize::MAX }),
             });
         }
-        assemble_into(circuit, u, &x, gmin, mode, &mut scratch.j, &mut scratch.f);
-        last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-        scratch
-            .j
-            .factor_in_place(&mut scratch.perm)
-            .map_err(DcError::Singular)?;
-        scratch.rhs.clear();
-        scratch.rhs.extend(scratch.f.iter().map(|&v| -v));
-        scratch
-            .j
-            .solve_factored(&scratch.perm, &scratch.rhs, &mut scratch.dx);
+        // Sparse first: restamp cached value slots, numeric-only
+        // refactorisation. Pivot breakdown (no pivoting in the sparse
+        // kernel) demotes this scratch to the dense pivoted path — whose
+        // own failure is what decides `Singular`, keeping error semantics
+        // identical to the dense-only solver.
+        let mut solved = false;
+        if crate::sparse::use_sparse() && !scratch.sparse_fallback {
+            if scratch.sparse.needs_pattern_for(u.total) {
+                // First iteration: a structure-collection assembly, then
+                // the one-time symbolic analysis (branch-current rows
+                // eliminated last — their diagonals are structurally zero).
+                assemble_into(
+                    circuit,
+                    u,
+                    &x,
+                    gmin,
+                    mode,
+                    &mut scratch.sparse,
+                    &mut scratch.f,
+                );
+                scratch.sparse.finalize(u.nv_offset);
+            }
+            assemble_into(
+                circuit,
+                u,
+                &x,
+                gmin,
+                mode,
+                &mut scratch.sparse,
+                &mut scratch.f,
+            );
+            last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            match scratch.sparse.factor() {
+                Ok(()) => {
+                    scratch.rhs.clear();
+                    scratch.rhs.extend(scratch.f.iter().map(|&v| -v));
+                    scratch.sparse.solve_into(&scratch.rhs, &mut scratch.dx);
+                    solved = true;
+                }
+                Err(_) => {
+                    crate::sparse::record_sparse_fallback();
+                    scratch.sparse_fallback = true;
+                }
+            }
+        }
+        if !solved {
+            assemble_into(circuit, u, &x, gmin, mode, &mut scratch.j, &mut scratch.f);
+            last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            scratch
+                .j
+                .factor_in_place(&mut scratch.perm)
+                .map_err(DcError::Singular)?;
+            scratch.rhs.clear();
+            scratch.rhs.extend(scratch.f.iter().map(|&v| -v));
+            scratch
+                .j
+                .solve_factored(&scratch.perm, &scratch.rhs, &mut scratch.dx);
+        }
         let dx = &scratch.dx;
         // Damping on the node-voltage part.
         let max_dv = dx[..u.n_nodes]
@@ -513,48 +582,135 @@ pub(crate) fn newton(
 /// Returns [`DcError`] when the netlist is invalid, the matrix is
 /// structurally singular, or no continuation strategy converges.
 pub fn dc_operating_point(circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, DcError> {
-    let _span = losac_obs::span("sim.dc.solve");
-    DC_SOLVES.incr();
-    circuit
-        .validate()
-        .map_err(|e| DcError::BadNetlist(e.to_string()))?;
-    let u = Unknowns::of(circuit);
-    let x0 = vec![0.0; u.total];
+    DcSession::new().solve(circuit, opts)
+}
 
-    // Ladder: plain Newton → gmin stepping → source stepping.
-    let mut total_iter = 0usize;
-    let mut scratch = NewtonScratch::new();
-    let attempt = newton(
-        circuit,
-        &u,
-        &x0,
-        opts.gmin,
-        &AssembleMode::Dc { src_scale: 1.0 },
-        opts,
-        &mut scratch,
-    );
-    let x = match attempt {
-        Ok((x, it)) => {
-            total_iter += it;
-            x
-        }
-        Err(DcError::Singular(s)) => {
-            DC_FAILURES.incr();
-            return Err(DcError::Singular(s));
-        }
-        // Interruption is not a numerical failure: propagate immediately
-        // instead of burning the remaining budget on the continuation
-        // ladder (and keep it out of the failure counter).
-        Err(e @ DcError::Interrupted(_)) => return Err(e),
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
-            .inspect_err(|e| {
+/// Reusable solver state for repeated DC solves of one circuit
+/// structure — a bias bisection, a `.dc` sweep, a corner loop.
+///
+/// The session carries the Newton scratch (Jacobian storage, and on the
+/// sparse kernel the symbolic analysis plus the stamp-to-slot replay
+/// sequence) across solves, so the fill-reducing ordering is computed
+/// once and every later solve restamps numeric values only. Results are
+/// bitwise identical to the one-shot entry points, which are themselves
+/// single-solve sessions.
+///
+/// Circuits passed to one session must share a stamp structure: same
+/// unknowns, same element order — only element *values* may differ
+/// between solves. Debug builds assert the structure matches stamp by
+/// stamp; a circuit with a different unknown count safely resets the
+/// cached pattern.
+#[derive(Debug, Default)]
+pub struct DcSession {
+    scratch: NewtonScratch,
+}
+
+impl DcSession {
+    /// A fresh session with no cached structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`dc_operating_point`], reusing this session's cached solver state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`dc_operating_point`].
+    pub fn solve(&mut self, circuit: &Circuit, opts: &DcOptions) -> Result<DcSolution, DcError> {
+        let _span = losac_obs::span("sim.dc.solve");
+        DC_SOLVES.incr();
+        circuit
+            .validate()
+            .map_err(|e| DcError::BadNetlist(e.to_string()))?;
+        let u = Unknowns::of(circuit);
+        let x0 = vec![0.0; u.total];
+
+        // Ladder: plain Newton → gmin stepping → source stepping.
+        let mut total_iter = 0usize;
+        let scratch = &mut self.scratch;
+        scratch.begin_solve();
+        let attempt = newton(
+            circuit,
+            &u,
+            &x0,
+            opts.gmin,
+            &AssembleMode::Dc { src_scale: 1.0 },
+            opts,
+            scratch,
+        );
+        let x = match attempt {
+            Ok((x, it)) => {
+                total_iter += it;
+                x
+            }
+            Err(DcError::Singular(s)) => {
+                DC_FAILURES.incr();
+                return Err(DcError::Singular(s));
+            }
+            // Interruption is not a numerical failure: propagate immediately
+            // instead of burning the remaining budget on the continuation
+            // ladder (and keep it out of the failure counter).
+            Err(e @ DcError::Interrupted(_)) => return Err(e),
+            Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, scratch)
+                .inspect_err(|e| {
                 if !matches!(e, DcError::Interrupted(_)) {
                     DC_FAILURES.incr();
                 }
             })?,
-    };
+        };
 
-    Ok(package(circuit, &u, x, total_iter))
+        Ok(package(circuit, &u, x, total_iter))
+    }
+
+    /// [`dc_from_previous`], reusing this session's cached solver state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`dc_operating_point`].
+    pub fn solve_from(
+        &mut self,
+        circuit: &Circuit,
+        previous: &DcSolution,
+        opts: &DcOptions,
+    ) -> Result<DcSolution, DcError> {
+        DC_SOLVES.incr();
+        let u = Unknowns::of(circuit);
+        let n = circuit.num_nodes();
+        let mut x0 = vec![0.0; u.total];
+        x0[..n - 1].copy_from_slice(&previous.v[1..]);
+        for (k, i) in previous.branch_currents.iter().enumerate() {
+            x0[u.nv_offset + k] = *i;
+        }
+        let mut total_iter = 0usize;
+        let scratch = &mut self.scratch;
+        scratch.begin_solve();
+        let x = match newton(
+            circuit,
+            &u,
+            &x0,
+            opts.gmin,
+            &AssembleMode::Dc { src_scale: 1.0 },
+            opts,
+            scratch,
+        ) {
+            Ok((x, it)) => {
+                total_iter += it;
+                x
+            }
+            Err(DcError::Singular(s)) => {
+                DC_FAILURES.incr();
+                return Err(DcError::Singular(s));
+            }
+            Err(e @ DcError::Interrupted(_)) => return Err(e),
+            Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, scratch)
+                .inspect_err(|e| {
+                if !matches!(e, DcError::Interrupted(_)) {
+                    DC_FAILURES.incr();
+                }
+            })?,
+        };
+        Ok(package(circuit, &u, x, total_iter))
+    }
 }
 
 /// Re-solve starting from a previous solution (used by sweeps: much faster
@@ -568,42 +724,7 @@ pub fn dc_from_previous(
     previous: &DcSolution,
     opts: &DcOptions,
 ) -> Result<DcSolution, DcError> {
-    DC_SOLVES.incr();
-    let u = Unknowns::of(circuit);
-    let n = circuit.num_nodes();
-    let mut x0 = vec![0.0; u.total];
-    x0[..n - 1].copy_from_slice(&previous.v[1..]);
-    for (k, i) in previous.branch_currents.iter().enumerate() {
-        x0[u.nv_offset + k] = *i;
-    }
-    let mut total_iter = 0usize;
-    let mut scratch = NewtonScratch::new();
-    let x = match newton(
-        circuit,
-        &u,
-        &x0,
-        opts.gmin,
-        &AssembleMode::Dc { src_scale: 1.0 },
-        opts,
-        &mut scratch,
-    ) {
-        Ok((x, it)) => {
-            total_iter += it;
-            x
-        }
-        Err(DcError::Singular(s)) => {
-            DC_FAILURES.incr();
-            return Err(DcError::Singular(s));
-        }
-        Err(e @ DcError::Interrupted(_)) => return Err(e),
-        Err(_) => gmin_then_source_stepping(circuit, &u, &x0, opts, &mut total_iter, &mut scratch)
-            .inspect_err(|e| {
-                if !matches!(e, DcError::Interrupted(_)) {
-                    DC_FAILURES.incr();
-                }
-            })?,
-    };
-    Ok(package(circuit, &u, x, total_iter))
+    DcSession::new().solve_from(circuit, previous, opts)
 }
 
 /// Sweep the DC value of a named voltage source, re-solving with warm
@@ -629,6 +750,9 @@ pub fn dc_sweep(
         })
         .ok_or_else(|| DcError::BadNetlist(format!("no voltage source named `{source}`")))?;
     let mut out: Vec<DcSolution> = Vec::with_capacity(values.len());
+    // One session across the sweep: only the source value changes, so the
+    // sparse pattern (and its symbolic analysis) is computed exactly once.
+    let mut session = DcSession::new();
     for &v in values {
         circuit
             .set_vsource_dc(source, v)
@@ -636,8 +760,8 @@ pub fn dc_sweep(
         // Warm-start from the last solution already in `out` — no clone
         // of the full `DcSolution` per step.
         let sol = match out.last() {
-            Some(p) => dc_from_previous(circuit, p, opts)?,
-            None => dc_operating_point(circuit, opts)?,
+            Some(p) => session.solve_from(circuit, p, opts)?,
+            None => session.solve(circuit, opts)?,
         };
         out.push(sol);
     }

@@ -13,7 +13,9 @@
 //!   contributions;
 //! * [`tran`] — backward-Euler transient (slew-rate measurements);
 //! * [`meas`] — Bode summaries: DC gain, GBW, phase margin, margins;
-//! * [`num`] — the dense real/complex LU kernel behind all of it;
+//! * [`num`] — the dense real/complex LU kernel (pivoted fallback);
+//! * [`sparse`] — the default pattern-cached sparse LU kernel with a
+//!   symbolic/numeric split and a vectorisable SoA complex AC path;
 //! * [`spice`] — SPICE-deck export of any netlist;
 //! * [`interrupt`] — cooperative stop-flag/deadline polling inside the
 //!   Newton and continuation loops (per-job budgets in the batch engine).
@@ -43,16 +45,18 @@ pub mod meas;
 pub mod netlist;
 pub mod noise;
 pub mod num;
+pub mod sparse;
 pub mod spice;
 pub mod tran;
 
 pub use ac::{ac_point_on, ac_sweep, ac_sweep_on, AcOptions, AcResult, NodeTrace};
-pub use dc::{dc_operating_point, DcOptions, DcSolution};
+pub use dc::{dc_operating_point, DcOptions, DcSession, DcSolution};
 pub use interrupt::{Interrupted, SimInterrupt};
 pub use linear::{AcWorkspace, Linearized};
 pub use meas::{bode_summary, bode_summary_of, BodeSummary};
 pub use netlist::Circuit;
 pub use noise::{noise_analysis, noise_analysis_on, NoiseResult};
 pub use num::Complex;
+pub use sparse::{install_solver, solver_kind, SolverGuard, SolverKind};
 pub use spice::to_spice;
 pub use tran::{transient, TranOptions, TranResult};

@@ -8,10 +8,12 @@
 use crate::dc::{DcSolution, Unknowns};
 use crate::netlist::{Circuit, Element, MosInstance};
 use crate::num::{Complex, Lu, LuWorkspace, Matrix, SingularMatrix};
+use crate::sparse::{SparseAcFactors, SparseAcSolver};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::evaluate;
 use losac_device::noise as devnoise;
 use losac_tech::units::{KBOLTZMANN, T_NOMINAL};
+use std::sync::Arc;
 
 /// A noise current generator between two nodes.
 #[derive(Debug, Clone)]
@@ -34,8 +36,20 @@ pub struct NoiseSource {
 
 impl NoiseSource {
     /// Current PSD at frequency `f` (A²/Hz).
+    ///
+    /// Fast paths avoid the `powf` call when the source has no flicker
+    /// component (every thermal source) or the flicker exponent is the
+    /// default `af = 1.0` — both bit-identical to the general formula,
+    /// since `f.powf(1.0) == f` and adding a `+0.0` flicker term is a
+    /// no-op. `powf` is only paid for genuinely fractional exponents.
     pub fn psd(&self, f: f64) -> f64 {
-        self.psd_white + self.psd_flicker_1hz / f.powf(self.af)
+        if self.psd_flicker_1hz == 0.0 {
+            self.psd_white
+        } else if self.af == 1.0 {
+            self.psd_white + self.psd_flicker_1hz / f
+        } else {
+            self.psd_white + self.psd_flicker_1hz / f.powf(self.af)
+        }
     }
 }
 
@@ -52,6 +66,10 @@ pub struct Linearized {
     pub b_ac: Vec<Complex>,
     /// Noise generators.
     pub noise_sources: Vec<NoiseSource>,
+    /// Sparse `(G + jωC)` kernel: the symbolic analysis runs once here,
+    /// in [`Linearized::build`], and every frequency point of every AC
+    /// and noise sweep refactorises it numerically.
+    pub(crate) sparse: Arc<SparseAcSolver>,
 }
 
 impl Linearized {
@@ -143,12 +161,17 @@ impl Linearized {
             }
         }
 
+        // One symbolic analysis per linearisation: G and C are never
+        // restamped (only `b_ac` changes, via `restamp_excitation`), so
+        // their dense nonzero structure *is* the sweep-wide pattern.
+        let sparse = Arc::new(SparseAcSolver::build(&g, &c, u.nv_offset));
         Self {
             u,
             g,
             c,
             b_ac,
             noise_sources,
+            sparse,
         }
     }
 
@@ -176,13 +199,29 @@ impl Linearized {
     }
 
     /// Factorise `G + jωC` into a reusable workspace — zero allocations
-    /// once the workspace is sized, and factors bitwise identical to
-    /// [`Linearized::factor`].
+    /// once the workspace is sized.
+    ///
+    /// With the sparse kernel selected (the default, see
+    /// [`crate::sparse::solver_kind`]) this is a numeric-only
+    /// refactorisation of the symbolic pattern cached at build time; a
+    /// pivot breakdown falls back to the dense pivoted kernel for this
+    /// frequency point only (`sim.matrix.sparse_fallbacks`). On the dense
+    /// path, factors are bitwise identical to [`Linearized::factor`].
     ///
     /// # Errors
     ///
     /// Returns the singularity error from the LU factorisation.
     pub fn factor_into(&self, omega: f64, ws: &mut AcWorkspace) -> Result<(), SingularMatrix> {
+        if crate::sparse::use_sparse() {
+            match self.sparse.refactor(omega, &mut ws.sp) {
+                Ok(()) => {
+                    ws.last_sparse = true;
+                    return Ok(());
+                }
+                Err(_) => crate::sparse::record_sparse_fallback(),
+            }
+        }
+        ws.last_sparse = false;
         let n = self.g.n();
         if ws.a.n() != n {
             ws.a = Matrix::zeros(n);
@@ -287,6 +326,10 @@ impl Linearized {
 pub struct AcWorkspace {
     a: Matrix<Complex>,
     lu: LuWorkspace<Complex>,
+    sp: SparseAcFactors,
+    /// Which kernel produced the factors currently held — set by
+    /// [`Linearized::factor_into`], consumed by [`AcWorkspace::solve`].
+    last_sparse: bool,
     x: Vec<Complex>,
 }
 
@@ -298,14 +341,19 @@ impl AcWorkspace {
 
     /// Solve against the factors of the last successful
     /// [`Linearized::factor_into`], returning the internal solution
-    /// buffer. Bitwise identical to [`Lu::solve`] on the same system.
+    /// buffer. On the dense path this is bitwise identical to
+    /// [`Lu::solve`] on the same system.
     ///
     /// # Panics
     ///
     /// Panics if the workspace holds no factorisation or the length of
     /// `b` does not match it.
     pub fn solve(&mut self, b: &[Complex]) -> &[Complex] {
-        self.lu.solve_into(b, &mut self.x);
+        if self.last_sparse {
+            self.sp.solve_into(b, &mut self.x);
+        } else {
+            self.lu.solve_into(b, &mut self.x);
+        }
         &self.x
     }
 }

@@ -14,6 +14,13 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// exactly one, so this counter is the simulator's work unit.
 static FACTORIZATIONS: Counter = Counter::new("sim.matrix.factorizations");
 
+/// Count one factorisation against `sim.matrix.factorizations` on behalf
+/// of another kernel (the sparse solver), keeping the counter a single
+/// universal work unit across dense and sparse paths.
+pub(crate) fn record_factorization() {
+    FACTORIZATIONS.incr();
+}
+
 /// A complex number (cartesian form).
 ///
 /// A tiny self-contained implementation — the workspace deliberately avoids

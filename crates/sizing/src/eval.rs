@@ -12,7 +12,7 @@ use crate::feedback::ParasiticMode;
 use crate::specs::OtaSpecs;
 use losac_obs::Counter;
 use losac_sim::ac::{ac_point_on, ac_sweep, ac_sweep_on, log_grid, AcOptions};
-use losac_sim::dc::{dc_from_previous, dc_operating_point, DcError, DcOptions, DcSolution};
+use losac_sim::dc::{dc_operating_point, DcError, DcOptions, DcSession, DcSolution};
 use losac_sim::interrupt::Interrupted;
 use losac_sim::linear::Linearized;
 use losac_sim::meas::{bode_summary_of, db};
@@ -275,6 +275,11 @@ pub struct EvalOptions {
     /// technology, parasitic mode). `None` (the default) disables
     /// caching; the engine's batch runner shares one cache across a job.
     pub cache: Option<Arc<EvalCache>>,
+    /// Pin the linear-solver kernel for this evaluation (including its
+    /// worker threads). `None` (the default) inherits the ambient
+    /// [`losac_sim::solver_kind`] — sparse unless overridden. Used by the
+    /// sparse-vs-dense ablation bench and equivalence tests.
+    pub solver: Option<losac_sim::SolverKind>,
 }
 
 impl Default for EvalOptions {
@@ -283,6 +288,7 @@ impl Default for EvalOptions {
             threads: 1,
             reuse_linearisation: true,
             cache: None,
+            solver: None,
         }
     }
 }
@@ -312,6 +318,12 @@ impl EvalOptions {
     /// Same options evaluating through `cache`.
     pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Same options pinned to `solver` (see [`EvalOptions::solver`]).
+    pub fn with_solver(mut self, solver: losac_sim::SolverKind) -> Self {
+        self.solver = Some(solver);
         self
     }
 
@@ -360,6 +372,12 @@ impl EvalOptionsBuilder {
     /// Evaluate through `cache` (see [`EvalOptions::cache`]).
     pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.opts.cache = Some(cache);
+        self
+    }
+
+    /// Pin the linear-solver kernel (see [`EvalOptions::solver`]).
+    pub fn with_solver(mut self, solver: losac_sim::SolverKind) -> Self {
+        self.opts.solver = Some(solver);
         self
     }
 
@@ -699,10 +717,14 @@ pub fn balance(
             .expect("vinn exists");
     };
 
-    let vout_at = |c: &Circuit, prev: Option<&DcSolution>| -> Result<DcSolution, EvalError> {
+    // One solver session for the whole bisection: only the input-source
+    // values change between the ~60 solves, so the sparse kernel runs its
+    // symbolic analysis once and every later solve restamps numbers only.
+    let mut session = DcSession::new();
+    let mut vout_at = |c: &Circuit, prev: Option<&DcSolution>| -> Result<DcSolution, EvalError> {
         let sol = match prev {
-            Some(p) => dc_from_previous(c, p, &opts)?,
-            None => dc_operating_point(c, &opts)?,
+            Some(p) => session.solve_from(c, p, &opts)?,
+            None => session.solve(c, &opts)?,
         };
         Ok(sol)
     };
@@ -766,6 +788,10 @@ pub fn evaluate_with(
     opts: &EvalOptions,
 ) -> Result<Performance, EvalError> {
     let _span = losac_obs::span("sizing.evaluate");
+    // Thread-local override, restored on return; `evaluate_uncached`
+    // propagates it into the slew lane, and the sweep fan-out re-installs
+    // it on its own workers.
+    let _solver = opts.solver.map(losac_sim::install_solver);
     #[cfg(feature = "failpoints")]
     if let Some(action) = losac_obs::failpoint::hit("sizing.evaluate") {
         return Err(match action {
@@ -819,13 +845,15 @@ fn evaluate_uncached(
     opts: &EvalOptions,
 ) -> Result<Performance, EvalError> {
     if opts.resolved_threads() >= 2 {
-        // The slew lane must honour the same stop flag / deadline as the
-        // calling thread: interrupts are thread-local, so re-install the
-        // caller's on the worker.
+        // The slew lane must honour the same stop flag / deadline and use
+        // the same linear-solver kernel as the calling thread: both are
+        // thread-local, so re-install the caller's on the worker.
         let interrupt = losac_sim::interrupt::current();
+        let solver = losac_sim::solver_kind();
         std::thread::scope(|s| {
             let slew = s.spawn(move || {
                 let _interrupt = interrupt.map(losac_sim::interrupt::install);
+                let _solver = losac_sim::install_solver(solver);
                 measure_slew_rate(ota, tech, mode)
             });
             let main = small_signal(ota, tech, mode, opts);

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR6.json — wall-time + factorisation-count snapshot of
+# Regenerate BENCH_PR8.json — wall-time + factorisation-count snapshot of
 # the simulator hot path (AC sweep, `evaluate`, full case-4 run) in every
-# bitwise-equal configuration, plus the evaluate-latency histogram
-# percentiles. Writes to the repo root; `scripts/bench_check.sh` diffs it
-# against the committed BENCH_PR3.json baseline.
+# configuration including a same-run dense-kernel ablation, plus the
+# sparse-kernel counters and the evaluate-latency histogram percentiles.
+# Writes to the repo root; `scripts/bench_check.sh` diffs it against the
+# committed BENCH_PR6.json baseline.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -214,7 +214,7 @@ rm -rf "$serve_cache"
 rm -f "$serve_log"
 
 # Hot-path regression gate against the committed PR-3 baseline.
-echo "==> bench_check (BENCH_PR6 vs BENCH_PR3 baseline)"
+echo "==> bench_check (BENCH_PR8 vs BENCH_PR6 baseline)"
 if ! scripts/bench_check.sh; then
     echo "FAIL: bench_check"
     fail=1

@@ -1,26 +1,30 @@
 //! Wall-time + factorisation-count snapshot of the simulator hot path,
-//! written to `BENCH_PR8.json`.
+//! written to `BENCH_PR9.json`.
 //!
 //! Measures the Table-1 measurement pipeline in every configuration
 //! (legacy serial, linearisation reuse, reuse + threads, cached), a
-//! same-run **dense-kernel ablation** of the sparse solver, the raw AC
+//! same-run **dense-kernel ablation** of the sparse solver, a same-run
+//! **finite-difference ablation** of the analytic device derivatives
+//! (`fd_1t`, the historical 7-evals-per-stamp model path), the raw AC
 //! sweep, a full case-4 synthesis run, the sparse-kernel counters
-//! (symbolic analyses vs numeric-only refactorisations) and the p50/p95
-//! of the `sizing.evaluate.ms` latency histogram, so the README's
-//! performance numbers can be regenerated with one command:
+//! (symbolic analyses vs numeric-only refactorisations), the
+//! device-model counters (`device.model.evals`, transcendental budget,
+//! floored capacitor stamps) and the p50/p95 of the
+//! `sizing.evaluate.ms` latency histogram, so the README's performance
+//! numbers can be regenerated with one command:
 //!
 //! ```text
 //! scripts/bench_snapshot.sh       # or: cargo run --release -p losac-bench --bin bench_snapshot
 //! ```
 //!
-//! Each row reports both the mean (`ms`, comparable to the committed
-//! `BENCH_PR6.json` baseline, which used means) and the best rep
-//! (`min_ms`, robust against scheduler noise on shared hosts). The
-//! dense ablation rows exist because day-to-day machine speed varies by
-//! tens of percent: the honest speedup of the sparse kernel is
-//! same-run sparse vs same-run dense, not a cross-day comparison.
-//! `scripts/bench_check.sh` diffs a fresh `BENCH_PR8.json` against the
-//! committed PR-6 baseline and fails on hot-path regressions.
+//! Each row reports both the mean (`ms`) and the best rep (`min_ms`,
+//! robust against scheduler noise on shared hosts). The ablation rows
+//! exist because day-to-day machine speed varies by tens of percent:
+//! the honest speedup of the sparse kernel (or of the analytic
+//! derivatives) is same-run treated vs same-run ablated, not a
+//! cross-day comparison. `scripts/bench_check.sh` diffs a fresh
+//! `BENCH_PR9.json` against the committed `BENCH_PR8.json` baseline
+//! and fails on hot-path regressions.
 
 use losac_core::cases::{run_case_with, Case, CaseOptions};
 use losac_obs::metrics::snapshot;
@@ -180,6 +184,7 @@ fn main() {
     let reuse_2t = EvalOptions::default().with_threads(2);
     let reuse_4t = EvalOptions::default().with_threads(4);
     let dense_1t = EvalOptions::default().with_solver(SolverKind::Dense);
+    let fd_1t = EvalOptions::default().with_deriv(losac_device::DerivKind::FiniteDifference);
     let run = |opts: &EvalOptions| {
         let _ = evaluate_with(&ota, &tech, &ParasiticMode::None, opts).unwrap();
     };
@@ -191,6 +196,9 @@ fn main() {
             ("reuse_2t", Box::new(|| run(&reuse_2t))),
             ("reuse_4t", Box::new(|| run(&reuse_4t))),
             ("dense_1t", Box::new(|| run(&dense_1t))),
+            // Finite-difference ablation of the analytic derivatives,
+            // same run: the historical 7-model-evals-per-stamp path.
+            ("fd_1t", Box::new(|| run(&fd_1t))),
         ],
     )
     .into_iter()
@@ -239,6 +247,34 @@ fn main() {
             "sparse kernel: {} symbolic analyses vs {} numeric refactors per evaluate, nnz {nnz:.0}",
             c("sim.matrix.symbolic_analyses"),
             c("sim.matrix.numeric_refactors"),
+        );
+    }
+
+    // --- device-model counters over one evaluate, per derivative kind ------
+    {
+        let count_kind = |kind: losac_device::DerivKind| {
+            let before = snapshot();
+            let opts = EvalOptions::default().with_deriv(kind);
+            let _ = evaluate_with(&ota, &tech, &ParasiticMode::None, &opts).unwrap();
+            let since = snapshot().counters_since(&before);
+            let c = |name: &str| since.get(name).copied().unwrap_or(0);
+            (
+                c("device.model.evals"),
+                c("device.model.transcendentals"),
+                c("sim.stamp.cap_floored"),
+            )
+        };
+        let (a_evals, a_trans, a_floored) = count_kind(losac_device::DerivKind::Analytic);
+        let (f_evals, f_trans, _) = count_kind(losac_device::DerivKind::FiniteDifference);
+        out.push_str(&format!(
+            "  \"device_model\": {{ \
+             \"analytic\": {{ \"evals_per_evaluate\": {a_evals}, \"transcendentals_per_evaluate\": {a_trans} }}, \
+             \"fd\": {{ \"evals_per_evaluate\": {f_evals}, \"transcendentals_per_evaluate\": {f_trans} }}, \
+             \"cap_floored_per_evaluate\": {a_floored} }},\n",
+        ));
+        println!(
+            "device model: {a_evals} evals/evaluate ({a_trans} transcendentals) analytic vs \
+             {f_evals} ({f_trans}) fd, {a_floored} floored cap stamps"
         );
     }
 
@@ -300,15 +336,15 @@ fn main() {
         );
     }
 
-    // Reference numbers from the committed BENCH_PR6.json (dense kernel,
-    // measured on its own machine-day — compare through the same-run
-    // dense ablation rows above, not across days).
+    // Reference numbers from the committed BENCH_PR8.json (finite-difference
+    // device model, measured on its own machine-day — compare through the
+    // same-run fd ablation rows above, not across days).
     out.push_str(
-        "  \"pr6_baseline\": { \"ac_sweep_reuse_1t_ms\": 1.212, \"evaluate_reuse_1t_ms\": 22.3, \
-         \"evaluate_factorizations\": 3568, \"run_case4_ms\": 84.8, \
+        "  \"pr8_baseline\": { \"ac_sweep_reuse_1t_ms\": 0.472, \"evaluate_reuse_1t_ms\": 20.3, \
+         \"evaluate_factorizations\": 3568, \"run_case4_ms\": 76.3, \
          \"run_case4_factorizations\": 10884 }\n}\n",
     );
 
-    std::fs::write("BENCH_PR8.json", &out).expect("write BENCH_PR8.json");
-    println!("wrote BENCH_PR8.json");
+    std::fs::write("BENCH_PR9.json", &out).expect("write BENCH_PR9.json");
+    println!("wrote BENCH_PR9.json");
 }

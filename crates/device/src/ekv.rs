@@ -22,15 +22,121 @@
 //! v_clm  = smooth |VDS|,  VA = va_per_l · L_eff
 //! ```
 //!
-//! Small-signal parameters are obtained by central finite differences of
-//! the same expression — which guarantees that the Jacobian used by the
-//! Newton solver in `losac-sim` is exactly consistent with the current
-//! equation, and that the sizing tool and the simulator can never disagree
-//! about gm.
+//! Small-signal parameters come from **analytic derivatives of the same
+//! expression** (the default, [`DerivKind::Analytic`]): the chain rule is
+//! propagated through the pinch-off clamps, the interpolation function
+//! (d/dx F(x) = √F·σ(x/2)) and the mobility/CLM terms, so one model
+//! evaluation yields Id, gm, gds and gmb. The historical central-difference
+//! probes remain runtime-selectable ([`DerivKind::FiniteDifference`],
+//! `LOSAC_DERIV=fd`) as an ablation/fallback; both paths share the exact
+//! value computation bit for bit — only the derivatives differ, by the
+//! finite-difference truncation error (≲1e-9 relative away from the clamp
+//! boundaries; see DESIGN §6j). This keeps the Jacobian used by the Newton
+//! solver in `losac-sim` consistent with the current equation, so the
+//! sizing tool and the simulator can never disagree about gm.
 
 use crate::Mosfet;
+use losac_obs::Counter;
 use losac_tech::units::{KBOLTZMANN, QELECTRON, T_NOMINAL};
 use losac_tech::MosParams;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Full model evaluations (one per operating point, any derivative kind).
+static MODEL_EVALS: Counter = Counter::new("device.model.evals");
+/// Transcendental calls (exp/ln/sqrt/cosh/tanh) attributed per evaluation:
+/// a statically-accounted per-path cost, not an instrumented count, so the
+/// hot loop pays one relaxed atomic add instead of one per call.
+static MODEL_TRANSCENDENTALS: Counter = Counter::new("device.model.transcendentals");
+
+/// Transcendental calls in one analytic evaluation: 2 sqrt (pinch-off),
+/// 2 exp + 2 ln (F and σ share one exp per side), cosh + ln + tanh (CLM),
+/// 2 sqrt (√i_f, √i_r) + 1 sqrt (veff).
+const TRANSCENDENTALS_ANALYTIC: u64 = 13;
+/// Transcendental calls in one finite-difference evaluation: the nominal
+/// evaluation (11) plus six probes (2×8 gate, 2×6 source, 2×6 drain).
+const TRANSCENDENTALS_FD: u64 = 51;
+
+// ---------------------------------------------------------------------------
+// Derivative-kind selection
+// ---------------------------------------------------------------------------
+
+/// How the small-signal parameters (gm, gds, gmb) are computed.
+///
+/// Both kinds share the exact drain-current computation — `id`, `veff`,
+/// `vp`, `slope_n`, the normalised currents and the region classification
+/// are bit-identical between them. Only the derivative values differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivKind {
+    /// Analytic derivatives of the model expression (the default): one
+    /// model evaluation per operating point, clamp-consistent at the
+    /// pinch-off clamp boundaries.
+    Analytic,
+    /// The historical six central-difference probes (h = 1 µV). Kept as a
+    /// runtime-selectable ablation/fallback; reproduces the pre-analytic
+    /// Newton trajectories bitwise.
+    FiniteDifference,
+}
+
+const DERIV_UNSET: u8 = 0;
+const DERIV_ANALYTIC: u8 = 1;
+const DERIV_FD: u8 = 2;
+
+/// Process-wide default, resolved lazily from `LOSAC_DERIV`.
+static GLOBAL_DERIV: AtomicU8 = AtomicU8::new(DERIV_UNSET);
+
+thread_local! {
+    static THREAD_DERIV: Cell<Option<DerivKind>> = const { Cell::new(None) };
+}
+
+fn global_deriv() -> DerivKind {
+    match GLOBAL_DERIV.load(Ordering::Relaxed) {
+        DERIV_ANALYTIC => DerivKind::Analytic,
+        DERIV_FD => DerivKind::FiniteDifference,
+        _ => {
+            let kind = match std::env::var("LOSAC_DERIV").as_deref() {
+                Ok("fd") => DerivKind::FiniteDifference,
+                _ => DerivKind::Analytic,
+            };
+            GLOBAL_DERIV.store(
+                match kind {
+                    DerivKind::Analytic => DERIV_ANALYTIC,
+                    DerivKind::FiniteDifference => DERIV_FD,
+                },
+                Ordering::Relaxed,
+            );
+            kind
+        }
+    }
+}
+
+/// The derivative kind in effect on this thread.
+pub fn deriv_kind() -> DerivKind {
+    THREAD_DERIV.with(|c| c.get()).unwrap_or_else(global_deriv)
+}
+
+/// Install a thread-local derivative-kind override, restored on drop.
+///
+/// Mirrors [`losac-sim`'s solver selection]: the sizing evaluator
+/// propagates the installing thread's kind into its worker threads, so
+/// one guard scopes a whole evaluation. Used by the analytic-vs-FD
+/// ablation bench and the equivalence tests.
+pub fn install_deriv(kind: DerivKind) -> DerivGuard {
+    let prev = THREAD_DERIV.with(|c| c.replace(Some(kind)));
+    DerivGuard { prev }
+}
+
+/// Guard returned by [`install_deriv`]; restores the previous override.
+#[derive(Debug)]
+pub struct DerivGuard {
+    prev: Option<DerivKind>,
+}
+
+impl Drop for DerivGuard {
+    fn drop(&mut self) {
+        THREAD_DERIV.with(|c| c.set(self.prev));
+    }
+}
 
 /// Operating region, classified from the inversion coefficient and the
 /// drain saturation voltage.
@@ -110,6 +216,24 @@ fn ln1pexp(x: f64) -> f64 {
     }
 }
 
+/// `(ln(1 + e^x), σ(x))` sharing one exponential. The first component is
+/// bit-identical to [`ln1pexp`]; the second is the *exact* derivative of
+/// whichever branch expression produced the first — `1` above the upper
+/// cutoff (where the value is `x`), `e^x` below the lower one (where the
+/// value is `e^x`) — so the analytic derivatives differentiate the
+/// function as implemented, branches included.
+fn ln1pexp_sig(x: f64) -> (f64, f64) {
+    if x > 35.0 {
+        (x, 1.0)
+    } else if x < -35.0 {
+        let e = x.exp();
+        (e, e)
+    } else {
+        let e = x.exp();
+        (e.ln_1p(), e / (1.0 + e))
+    }
+}
+
 /// EKV interpolation function F(x) = ln²(1 + e^{x/2}).
 fn ekv_f(x: f64) -> f64 {
     let l = ln1pexp(x / 2.0);
@@ -128,19 +252,45 @@ fn smooth_abs(x: f64, ut: f64) -> f64 {
     }
 }
 
+/// [`smooth_abs`] fused with its derivative d/dx = tanh(x/Ut): one `x/Ut`
+/// scaling and one branch serve both. The value half keeps the
+/// [`smooth_abs`] expressions verbatim (it is on the locked value path),
+/// and the derivative is branch-consistent with it: past the |x/Ut| > 30
+/// cutoff the value is the exact line `Ut·(|y|−ln 2)` whose slope is ±1 —
+/// and `tanh(±30)` rounds to ±1.0 in f64 anyway, so the derivative is
+/// continuous across the branch.
+fn smooth_abs_pair(x: f64, ut: f64) -> (f64, f64) {
+    let y = x / ut;
+    let a = y.abs();
+    if a > 30.0 {
+        (ut * (a - core::f64::consts::LN_2), y.signum())
+    } else {
+        (ut * a.cosh().ln(), y.tanh())
+    }
+}
+
 /// Threshold temperature coefficient (V/K): VT drops ≈ 2 mV per kelvin.
 const VT_TEMP_COEFF: f64 = -2.0e-3;
 
 /// Mobility temperature exponent: µ ∝ (T/T₀)^−1.5.
 const MOBILITY_TEMP_EXP: f64 = -1.5;
 
+/// Lower clamp on the pinch-off square-root argument (see [`pinch_off`]).
+const ARG_CLAMP: f64 = 1e-12;
+
+/// Lower clamp on φ + VP inside the slope-factor expression.
+const PV_CLAMP: f64 = 0.05;
+
 /// Everything in the model that does not depend on the terminal voltages:
 /// thermal voltage, shifted threshold, the pinch-off constant `a`, the
 /// temperature-scaled transconductance factor and the CLM/degradation
-/// length terms. Computed once per bias point and shared by the nominal
-/// evaluation and all six finite-difference probes, which both removes six
-/// `powf` calls per evaluation and guarantees the probes see bit-identical
-/// constants.
+/// length terms. Computed once per (device, temperature) and cached by
+/// [`OpEval`]/[`MosBatch`] across Newton iterations — it used to be
+/// rebuilt on every one of the ~3000 assemblies of a transient run. On
+/// the finite-difference path it is also shared by the nominal evaluation
+/// and all six probes, which both removes six `powf` calls per evaluation
+/// and guarantees the probes see bit-identical constants.
+#[derive(Debug, Clone)]
 struct Precomputed {
     ut: f64,
     vt0_t: f64,
@@ -152,6 +302,15 @@ struct Precomputed {
     ecrit_l: f64,
     /// Early voltage VA = va_per_l·L_eff.
     va: f64,
+    /// Reciprocals of the above, used **only** in derivative expressions
+    /// (the analytic chain rule), never on the value path: replacing a
+    /// value-path divide with a reciprocal multiply would change the
+    /// rounding and break the bitwise finite-difference reproduction
+    /// gates. Derivatives are tolerance-gated (1e-5 per conductance,
+    /// 1e-9 per Table-1 metric), where one extra rounding is invisible.
+    inv_ut: f64,
+    inv_ecrit_l: f64,
+    inv_va: f64,
 }
 
 impl Precomputed {
@@ -168,13 +327,19 @@ impl Precomputed {
         } else {
             t_ratio.powf(MOBILITY_TEMP_EXP)
         };
+        let ut = KBOLTZMANN * temp_k / QELECTRON;
+        let ecrit_l = p.ecrit * l_eff;
+        let va = p.va_per_l * l_eff;
         Self {
-            ut: KBOLTZMANN * temp_k / QELECTRON,
+            ut,
             vt0_t: p.vt0 + VT_TEMP_COEFF * (temp_k - T_NOMINAL),
             a: p.phi.sqrt() + p.gamma / 2.0,
             beta: p.kp * mobility_scale * m.w / l_eff,
-            ecrit_l: p.ecrit * l_eff,
-            va: p.va_per_l * l_eff,
+            ecrit_l,
+            va,
+            inv_ut: 1.0 / ut,
+            inv_ecrit_l: 1.0 / ecrit_l,
+            inv_va: 1.0 / va,
         }
     }
 }
@@ -182,11 +347,98 @@ impl Precomputed {
 /// Pinch-off voltage and slope factor for a bulk-referenced gate voltage
 /// `vg` (NMOS-normalised); depends on the gate voltage only.
 fn pinch_off(p: &MosParams, pre: &Precomputed, vg: f64) -> (f64, f64) {
-    let a = pre.a;
-    let arg = (vg - pre.vt0_t + a * a).max(1e-12);
-    let vp = vg - pre.vt0_t - p.gamma * (arg.sqrt() - a);
-    let n = 1.0 + p.gamma / (2.0 * (p.phi + vp).max(0.05).sqrt());
+    let (vp, n, _, _) = pinch_off_d(p, pre, vg);
     (vp, n)
+}
+
+/// [`pinch_off`] together with the gate derivatives `(vp, n, dvp, dn)`.
+///
+/// The derivatives are **clamp-consistent**: they differentiate the
+/// clamped expression as implemented, so inside a clamp the frozen term
+/// contributes zero slope.
+///
+/// * When `vg − vt0_t + a²` is clamped at [`ARG_CLAMP`] the `γ·√arg` term
+///   is constant, leaving dvp/dvg = 1 (the leading `vg` term survives).
+///   Just *outside* that boundary dvp ≈ 1 − γ/(2·√ARG_CLAMP) ≈ −γ·5e5 —
+///   a central-difference probe straddling the boundary averages the two
+///   regimes and returns a step-size-dependent answer; the analytic value
+///   is exact on both sides.
+/// * When `φ + vp` is clamped at [`PV_CLAMP`] the slope factor is frozen,
+///   so dn/dvg = 0.
+fn pinch_off_d(p: &MosParams, pre: &Precomputed, vg: f64) -> (f64, f64, f64, f64) {
+    let a = pre.a;
+    let raw = vg - pre.vt0_t + a * a;
+    let arg = raw.max(ARG_CLAMP);
+    let sqrt_arg = arg.sqrt();
+    let vp = vg - pre.vt0_t - p.gamma * (sqrt_arg - a);
+    let pv_raw = p.phi + vp;
+    let pv = pv_raw.max(PV_CLAMP);
+    let sqrt_pv = pv.sqrt();
+    let n = 1.0 + p.gamma / (2.0 * sqrt_pv);
+    let dvp = if raw >= ARG_CLAMP {
+        1.0 - p.gamma / (2.0 * sqrt_arg)
+    } else {
+        1.0
+    };
+    let dn = if pv_raw >= PV_CLAMP {
+        -p.gamma * dvp / (4.0 * pv * sqrt_pv)
+    } else {
+        0.0
+    };
+    (vp, n, dvp, dn)
+}
+
+/// The drain current plus every intermediate the analytic derivatives
+/// need. The `id` expression performs the historical operations in the
+/// historical order, so [`current_from_parts`] (and with it the whole
+/// finite-difference path) is bit-identical to the pre-refactor code.
+struct CurrentParts {
+    id: f64,
+    /// Specific current Is = 2·n·β·Ut².
+    is: f64,
+    /// √i_f, √i_r.
+    sif: f64,
+    sir: f64,
+    /// Mobility-degradation denominators 1 + θ·v_deg and 1 + v_deg/EcritL.
+    d1: f64,
+    d2: f64,
+    /// 1/(d1·d2).
+    mob: f64,
+    /// 1 + sabs/VA.
+    clm: f64,
+}
+
+fn current_parts(
+    p: &MosParams,
+    pre: &Precomputed,
+    n: f64,
+    i_f: f64,
+    i_r: f64,
+    sabs: f64,
+) -> CurrentParts {
+    let is = 2.0 * n * pre.beta * pre.ut * pre.ut;
+    // Degradation uses a source/drain-symmetric inversion measure so that
+    // swapping the terminal labels exactly negates the current:
+    // v_deg = n·Ut·(√i_f + √i_r) equals veff at VDS = 0 and veff/2 in deep
+    // saturation (θ and Ecrit are fitted to this convention).
+    let sif = i_f.sqrt();
+    let sir = i_r.sqrt();
+    let v_deg = n * pre.ut * (sif + sir);
+    let d1 = 1.0 + p.theta * v_deg;
+    let d2 = 1.0 + v_deg / pre.ecrit_l;
+    let mob = 1.0 / (d1 * d2);
+    let clm = 1.0 + sabs / pre.va;
+    let id = mob * is * (i_f - i_r) * clm;
+    CurrentParts {
+        id,
+        is,
+        sif,
+        sir,
+        d1,
+        d2,
+        mob,
+        clm,
+    }
 }
 
 /// Assemble the drain current from the bias-dependent pieces: slope factor
@@ -201,15 +453,7 @@ fn current_from_parts(
     i_r: f64,
     sabs: f64,
 ) -> f64 {
-    let is = 2.0 * n * pre.beta * pre.ut * pre.ut;
-    // Degradation uses a source/drain-symmetric inversion measure so that
-    // swapping the terminal labels exactly negates the current:
-    // v_deg = n·Ut·(√i_f + √i_r) equals veff at VDS = 0 and veff/2 in deep
-    // saturation (θ and Ecrit are fitted to this convention).
-    let v_deg = n * pre.ut * (i_f.sqrt() + i_r.sqrt());
-    let mobility = 1.0 / ((1.0 + p.theta * v_deg) * (1.0 + v_deg / pre.ecrit_l));
-    let clm = 1.0 + sabs / pre.va;
-    mobility * is * (i_f - i_r) * clm
+    current_parts(p, pre, n, i_f, i_r, sabs).id
 }
 
 /// Raw drain current for bulk-referenced, NMOS-normalised terminal
@@ -242,6 +486,469 @@ fn drain_current(
     drain_current_pre(m, &Precomputed::of(m, temp_k), vg, vs, vd)
 }
 
+/// Classify the operating region and compute vdsat from the forward
+/// normalised current (shared verbatim by both derivative paths).
+fn region_of(i_f: f64, vds_n: f64, ut: f64) -> (f64, Region) {
+    region_of_s(i_f, i_f.sqrt(), vds_n, ut)
+}
+
+/// [`region_of`] with √i_f supplied by a caller that already has it (the
+/// analytic assembly holds it in `CurrentParts`); `sqrt` is correctly
+/// rounded, so passing the previously computed root is bit-identical to
+/// recomputing it.
+fn region_of_s(i_f: f64, sif: f64, vds_n: f64, ut: f64) -> (f64, Region) {
+    let vdsat = 2.0 * ut * sif + 4.0 * ut;
+    let region = if i_f < 1e-3 {
+        Region::Cutoff
+    } else if i_f < 0.1 {
+        Region::Weak
+    } else if vds_n < vdsat {
+        Region::Triode
+    } else {
+        Region::Saturation
+    };
+    (vdsat, region)
+}
+
+/// Final stage of the analytic path: given the per-device transcendental
+/// results (pinch-off with derivatives, both interpolation-function values
+/// with their sigmoids, smoothed |VDS| with its tanh), assemble the
+/// current — through the *unchanged* [`current_parts`] expression, so the
+/// value is bit-identical to the finite-difference path — and the three
+/// conductances by the chain rule:
+///
+/// ```text
+/// ∂Id/∂vg = clm·( mob'·v_deg'_g·Is·Δi + mob·(Is'_g·Δi + Is·(i_f'_g − i_r'_g)) )
+/// ∂Id/∂vs = clm·( mob'·(−n·σf/2)·Is·Δi − mob·Is·√i_f·σf/Ut ) − mob·Is·Δi·tanh/VA
+/// ∂Id/∂vd = clm·( mob'·(−n·σr/2)·Is·Δi + mob·Is·√i_r·σr/Ut ) + mob·Is·Δi·tanh/VA
+/// ```
+///
+/// with `i_f'_g = √i_f·σf·vp'/Ut`, `v_deg'_g = n'·Ut·(√i_f+√i_r) +
+/// n·vp'·(σf+σr)/2`, `Is'_g = 2·n'·β·Ut²` and `mob' = −mob·(θ/d1 +
+/// 1/(EcritL·d2))`. The bulk transconductance is `−(∂vg + ∂vs + ∂vd)`,
+/// exactly the mapping the finite-difference path uses. This stage is
+/// pure arithmetic — all transcendentals happen in the flat loops before
+/// it (see [`MosBatch`]).
+#[allow(clippy::too_many_arguments)]
+fn assemble_analytic_op(
+    p: &MosParams,
+    pre: &Precomputed,
+    vs: f64,
+    vd: f64,
+    vp: f64,
+    n: f64,
+    dvp: f64,
+    dn: f64,
+    lf: f64,
+    sf: f64,
+    lr: f64,
+    sr: f64,
+    sabs: f64,
+    tt: f64,
+) -> MosOp {
+    let ut = pre.ut;
+    let i_f = lf * lf;
+    let i_r = lr * lr;
+    let parts = current_parts(p, pre, n, i_f, i_r, sabs);
+    // √(lf²) recovers lf exactly (sqrt and mul are correctly rounded), so
+    // `parts.sif` is the bit-identical √i_f the historical veff used.
+    let veff = 2.0 * n * ut * parts.sif;
+    let diff = i_f - i_r;
+    let mob_is = parts.mob * parts.is;
+
+    // d(mob)/d(v_deg), shared by all three terminals:
+    // −mob·(θ/d1 + 1/(EcritL·d2)) = −mob²·(θ·d2 + d1/EcritL), trading two
+    // derivative-path divides for multiplies by the cached reciprocal.
+    let dmob = -(parts.mob * parts.mob) * (p.theta * parts.d2 + parts.d1 * pre.inv_ecrit_l);
+    let is_diff = parts.is * diff;
+    let dmob_is_diff = dmob * is_diff;
+
+    // Gate: vp and n move, and with them both normalised currents, the
+    // specific current and the degradation voltage.
+    let dif_dvg = lf * sf * dvp * pre.inv_ut;
+    let dir_dvg = lr * sr * dvp * pre.inv_ut;
+    let dvdeg_dvg = dn * ut * (parts.sif + parts.sir) + n * dvp * (sf + sr) * 0.5;
+    let dis_dvg = 2.0 * dn * pre.beta * ut * ut;
+    let d_vg = parts.clm
+        * (dmob_is_diff * dvdeg_dvg
+            + parts.mob * (dis_dvg * diff + parts.is * (dif_dvg - dir_dvg)));
+
+    // Source: only i_f and the smoothed |VDS| move (vp, n fixed).
+    let clm_tail = mob_is * diff * tt * pre.inv_va;
+    let d_vs = parts.clm * (dmob_is_diff * (-n * sf * 0.5) + mob_is * (-(lf * sf * pre.inv_ut)))
+        - clm_tail;
+
+    // Drain: only i_r and the smoothed |VDS| move.
+    let d_vd =
+        parts.clm * (dmob_is_diff * (-n * sr * 0.5) + mob_is * (lr * sr * pre.inv_ut)) + clm_tail;
+
+    let (vdsat, region) = region_of_s(i_f, parts.sif, vd - vs, ut);
+    MosOp {
+        id: parts.id,
+        gm: d_vg,
+        gds: d_vd,
+        gmb: -(d_vg + d_vs + d_vd),
+        inversion: i_f,
+        reverse: i_r,
+        vdsat,
+        veff,
+        vp,
+        slope_n: n,
+        region,
+    }
+}
+
+/// Scalar analytic evaluation on NMOS-normalised, bulk-referenced
+/// voltages: exactly the four stages of [`MosBatch::evaluate_all`] run
+/// back-to-back for one element, so scalar and batched results are
+/// bit-identical by construction.
+fn eval_analytic(m: &Mosfet, pre: &Precomputed, vg: f64, vs: f64, vd: f64) -> MosOp {
+    let p = &m.params;
+    let (vp, n, dvp, dn) = pinch_off_d(p, pre, vg);
+    let (lf, sf) = ln1pexp_sig((vp - vs) / pre.ut / 2.0);
+    let (lr, sr) = ln1pexp_sig((vp - vd) / pre.ut / 2.0);
+    let (sabs, tt) = smooth_abs_pair(vd - vs, pre.ut);
+    assemble_analytic_op(p, pre, vs, vd, vp, n, dvp, dn, lf, sf, lr, sr, sabs, tt)
+}
+
+/// Scalar finite-difference evaluation (the historical path, preserved
+/// bit for bit): one nominal evaluation plus six central-difference
+/// probes. Each probe recomputes only the pieces its voltage moves: the
+/// gate probes re-derive the pinch-off point (and with it both normalised
+/// currents), the source probe re-derives i_f only, the drain probe i_r
+/// only — every reused value is bit-identical to a full re-evaluation.
+fn eval_fd(m: &Mosfet, pre: &Precomputed, vg: f64, vs: f64, vd: f64) -> MosOp {
+    let p = &m.params;
+    let (vp, n) = pinch_off(p, pre, vg);
+    let i_f = ekv_f((vp - vs) / pre.ut);
+    let i_r = ekv_f((vp - vd) / pre.ut);
+    let veff = 2.0 * n * pre.ut * i_f.sqrt();
+    let sabs = smooth_abs(vd - vs, pre.ut);
+    let id = current_from_parts(p, pre, n, i_f, i_r, sabs);
+
+    // Central differences on the normalised voltages. gm = ∂Id/∂VGS maps to
+    // ∂Id/∂vg; gds to ∂Id/∂vd; gmb = −(∂/∂vg + ∂/∂vs + ∂/∂vd) because a
+    // bulk wiggle moves all three normalised voltages together (sign folded
+    // through twice, so the source-referenced conductances keep NMOS signs).
+    let h = 1e-6;
+    let d_vg = {
+        let probe = |vg_p: f64| {
+            let (vp_p, n_p) = pinch_off(p, pre, vg_p);
+            let if_p = ekv_f((vp_p - vs) / pre.ut);
+            let ir_p = ekv_f((vp_p - vd) / pre.ut);
+            current_from_parts(p, pre, n_p, if_p, ir_p, sabs)
+        };
+        (probe(vg + h) - probe(vg - h)) / (2.0 * h)
+    };
+    let d_vs = {
+        let probe = |vs_p: f64| {
+            let if_p = ekv_f((vp - vs_p) / pre.ut);
+            current_from_parts(p, pre, n, if_p, i_r, smooth_abs(vd - vs_p, pre.ut))
+        };
+        (probe(vs + h) - probe(vs - h)) / (2.0 * h)
+    };
+    let d_vd = {
+        let probe = |vd_p: f64| {
+            let ir_p = ekv_f((vp - vd_p) / pre.ut);
+            current_from_parts(p, pre, n, i_f, ir_p, smooth_abs(vd_p - vs, pre.ut))
+        };
+        (probe(vd + h) - probe(vd - h)) / (2.0 * h)
+    };
+
+    let (vdsat, region) = region_of(i_f, vd - vs, pre.ut);
+    MosOp {
+        id,
+        gm: d_vg,
+        gds: d_vd,
+        gmb: -(d_vg + d_vs + d_vd),
+        inversion: i_f,
+        reverse: i_r,
+        vdsat,
+        veff,
+        vp,
+        slope_n: n,
+        region,
+    }
+}
+
+/// Evaluate on NMOS-normalised voltages, dispatching on the ambient
+/// [`deriv_kind`] and attributing the telemetry counters.
+fn eval_normalised(m: &Mosfet, pre: &Precomputed, vg: f64, vs: f64, vd: f64) -> MosOp {
+    MODEL_EVALS.incr();
+    match deriv_kind() {
+        DerivKind::Analytic => {
+            MODEL_TRANSCENDENTALS.add(TRANSCENDENTALS_ANALYTIC);
+            eval_analytic(m, pre, vg, vs, vd)
+        }
+        DerivKind::FiniteDifference => {
+            MODEL_TRANSCENDENTALS.add(TRANSCENDENTALS_FD);
+            eval_fd(m, pre, vg, vs, vd)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached evaluation handles
+// ---------------------------------------------------------------------------
+
+/// A reusable operating-point evaluator for one (device, temperature):
+/// the bias-independent [`Precomputed`] block is built once and shared by
+/// every evaluation, instead of being rebuilt per call the way
+/// [`evaluate_at`] historically did on each of the ~3000 Newton
+/// assemblies of a transient run (and on every probe of the inverse
+/// solvers in [`crate::solve`]).
+///
+/// Results are bit-identical to the one-shot entry points: `Precomputed`
+/// is a pure function of (device, temperature), so caching it cannot
+/// change a single bit.
+#[derive(Debug, Clone)]
+pub struct OpEval {
+    m: Mosfet,
+    temp_k: f64,
+    pre: Precomputed,
+}
+
+impl OpEval {
+    /// Build the evaluator for `m` at temperature `temp_k` (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp_k` is not strictly positive.
+    pub fn new(m: &Mosfet, temp_k: f64) -> Self {
+        assert!(temp_k > 0.0, "temperature must be positive kelvin");
+        Self {
+            m: *m,
+            temp_k,
+            pre: Precomputed::of(m, temp_k),
+        }
+    }
+
+    /// Whether this evaluator was built for exactly this (device,
+    /// temperature) — used by [`MosBatch`] to decide when a cached slot
+    /// can be reused across Newton iterations.
+    pub fn matches(&self, m: &Mosfet, temp_k: f64) -> bool {
+        self.temp_k == temp_k && self.m == *m
+    }
+
+    /// The device this evaluator was built for.
+    pub fn device(&self) -> &Mosfet {
+        &self.m
+    }
+
+    /// [`evaluate_at`] through the cached precomputation.
+    pub fn eval(&self, vgs: f64, vds: f64, vbs: f64) -> MosOp {
+        let s = self.m.params.polarity.sign();
+        eval_normalised(
+            &self.m,
+            &self.pre,
+            s * (vgs - vbs),
+            s * (-vbs),
+            s * (vds - vbs),
+        )
+    }
+
+    /// [`drain_current_only`] through the cached precomputation: the
+    /// probe evaluator the inverse solvers hoist out of their bisection
+    /// loops. Bit-identical to the rebuild-per-call path.
+    pub fn drain_current(&self, vgs: f64, vds: f64, vbs: f64) -> f64 {
+        let s = self.m.params.polarity.sign();
+        drain_current_pre(
+            &self.m,
+            &self.pre,
+            s * (vgs - vbs),
+            s * (-vbs),
+            s * (vds - vbs),
+        )
+        .0
+    }
+}
+
+/// Batched model evaluation over flat arrays (structure-of-arrays).
+///
+/// The Newton assembler used to evaluate its MOSFETs one struct at a
+/// time; this evaluator splits the work into **staged flat loops** — one
+/// per transcendental group — over parallel `f64` arrays the compiler can
+/// vectorise, and caches one [`OpEval`] per device slot across
+/// iterations (rebuilt only when the slot's device or temperature
+/// changes, which a [`losac-sim` `DcSession`] never does mid-solve).
+///
+/// Usage follows a cursor protocol mirroring the assembler's element
+/// order: [`MosBatch::begin`], one [`MosBatch::bias`] per device,
+/// [`MosBatch::evaluate_all`], then [`MosBatch::op`] by index in the same
+/// order.
+///
+/// Every stage calls the same per-element helpers as the scalar path, so
+/// batched results are bit-identical to calling [`OpEval::eval`] per
+/// device — under either [`DerivKind`] (the finite-difference kind
+/// dispatches each element to the historical scalar code, preserving the
+/// pre-analytic Newton trajectories bitwise).
+#[derive(Debug, Default)]
+pub struct MosBatch {
+    devs: Vec<OpEval>,
+    /// Cursor: number of biases staged since the last [`MosBatch::begin`].
+    n: usize,
+    // NMOS-normalised, bulk-referenced terminal voltages.
+    vg: Vec<f64>,
+    vs: Vec<f64>,
+    vd: Vec<f64>,
+    // Stage outputs (analytic path).
+    vp: Vec<f64>,
+    sn: Vec<f64>,
+    dvp: Vec<f64>,
+    dn: Vec<f64>,
+    lf: Vec<f64>,
+    sf: Vec<f64>,
+    lr: Vec<f64>,
+    sr: Vec<f64>,
+    sabs: Vec<f64>,
+    tt: Vec<f64>,
+    ops: Vec<MosOp>,
+}
+
+impl MosBatch {
+    /// An empty batch; slots are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset the cursor for a new assembly pass. Cached per-slot
+    /// evaluators survive — that is the point.
+    pub fn begin(&mut self) {
+        self.n = 0;
+    }
+
+    /// Stage the bias of the next device (nominal temperature). The
+    /// cached evaluator in this slot is reused when it matches `m`;
+    /// otherwise it is rebuilt — so a batch stays correct even if the
+    /// caller swaps circuits between passes.
+    pub fn bias(&mut self, m: &Mosfet, vgs: f64, vds: f64, vbs: f64) {
+        let i = self.n;
+        if i == self.devs.len() {
+            self.devs.push(OpEval::new(m, T_NOMINAL));
+        } else if !self.devs[i].matches(m, T_NOMINAL) {
+            self.devs[i] = OpEval::new(m, T_NOMINAL);
+        }
+        let s = m.params.polarity.sign();
+        let (vg, vs, vd) = (s * (vgs - vbs), s * (-vbs), s * (vds - vbs));
+        if i == self.vg.len() {
+            self.vg.push(vg);
+            self.vs.push(vs);
+            self.vd.push(vd);
+        } else {
+            self.vg[i] = vg;
+            self.vs[i] = vs;
+            self.vd[i] = vd;
+        }
+        self.n += 1;
+    }
+
+    /// Number of biases staged since [`MosBatch::begin`].
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no biases are staged.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Evaluate every staged device.
+    pub fn evaluate_all(&mut self) {
+        let n = self.n;
+        self.ops.clear();
+        if n == 0 {
+            return;
+        }
+        MODEL_EVALS.add(n as u64);
+        match deriv_kind() {
+            DerivKind::FiniteDifference => {
+                MODEL_TRANSCENDENTALS.add(TRANSCENDENTALS_FD * n as u64);
+                for i in 0..n {
+                    let d = &self.devs[i];
+                    self.ops
+                        .push(eval_fd(&d.m, &d.pre, self.vg[i], self.vs[i], self.vd[i]));
+                }
+            }
+            DerivKind::Analytic => {
+                MODEL_TRANSCENDENTALS.add(TRANSCENDENTALS_ANALYTIC * n as u64);
+                for v in [
+                    &mut self.vp,
+                    &mut self.sn,
+                    &mut self.dvp,
+                    &mut self.dn,
+                    &mut self.lf,
+                    &mut self.sf,
+                    &mut self.lr,
+                    &mut self.sr,
+                    &mut self.sabs,
+                    &mut self.tt,
+                ] {
+                    v.resize(n, 0.0);
+                }
+                // Stage 1: pinch-off (sqrt group), gate voltage only.
+                for i in 0..n {
+                    let d = &self.devs[i];
+                    let (vp, sn, dvp, dn) = pinch_off_d(&d.m.params, &d.pre, self.vg[i]);
+                    self.vp[i] = vp;
+                    self.sn[i] = sn;
+                    self.dvp[i] = dvp;
+                    self.dn[i] = dn;
+                }
+                // Stage 2: interpolation function and its sigmoid (exp/ln
+                // group), forward and reverse.
+                for i in 0..n {
+                    let ut = self.devs[i].pre.ut;
+                    let (lf, sf) = ln1pexp_sig((self.vp[i] - self.vs[i]) / ut / 2.0);
+                    let (lr, sr) = ln1pexp_sig((self.vp[i] - self.vd[i]) / ut / 2.0);
+                    self.lf[i] = lf;
+                    self.sf[i] = sf;
+                    self.lr[i] = lr;
+                    self.sr[i] = sr;
+                }
+                // Stage 3: smoothed |VDS| and its tanh (cosh/ln/tanh group).
+                for i in 0..n {
+                    let ut = self.devs[i].pre.ut;
+                    let vds_n = self.vd[i] - self.vs[i];
+                    let (sabs, tt) = smooth_abs_pair(vds_n, ut);
+                    self.sabs[i] = sabs;
+                    self.tt[i] = tt;
+                }
+                // Stage 4: pure-arithmetic assembly.
+                for i in 0..n {
+                    let d = &self.devs[i];
+                    self.ops.push(assemble_analytic_op(
+                        &d.m.params,
+                        &d.pre,
+                        self.vs[i],
+                        self.vd[i],
+                        self.vp[i],
+                        self.sn[i],
+                        self.dvp[i],
+                        self.dn[i],
+                        self.lf[i],
+                        self.sf[i],
+                        self.lr[i],
+                        self.sr[i],
+                        self.sabs[i],
+                        self.tt[i],
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Operating point of the `i`-th staged device (same order as the
+    /// [`MosBatch::bias`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or [`MosBatch::evaluate_all`] has
+    /// not run since the last [`MosBatch::begin`].
+    pub fn op(&self, i: usize) -> &MosOp {
+        &self.ops[i]
+    }
+}
+
 /// Evaluate the model at a source-referenced bias point.
 ///
 /// `vgs`, `vds`, `vbs` follow the usual SPICE convention **in the device's
@@ -260,85 +967,7 @@ pub fn evaluate(m: &Mosfet, vgs: f64, vds: f64, vbs: f64) -> MosOp {
 /// zero-temperature-coefficient bias point the paper's operating-point
 /// discipline exploits.
 pub fn evaluate_at(m: &Mosfet, vgs: f64, vds: f64, vbs: f64, temp_k: f64) -> MosOp {
-    assert!(temp_k > 0.0, "temperature must be positive kelvin");
-    let s = m.params.polarity.sign();
-    // Normalise to NMOS, bulk-referenced: VB = 0.
-    let vg = s * (vgs - vbs);
-    let vs = s * (-vbs);
-    let vd = s * (vds - vbs);
-
-    let p = &m.params;
-    let pre = Precomputed::of(m, temp_k);
-    // [`drain_current_pre`] unrolled so `sabs` is computed once and shared
-    // with the gate probes below — same operations, same bits.
-    let (vp, n) = pinch_off(p, &pre, vg);
-    let i_f = ekv_f((vp - vs) / pre.ut);
-    let i_r = ekv_f((vp - vd) / pre.ut);
-    let veff = 2.0 * n * pre.ut * i_f.sqrt();
-    let sabs = smooth_abs(vd - vs, pre.ut);
-    let id = current_from_parts(p, &pre, n, i_f, i_r, sabs);
-
-    // Central differences on the normalised voltages. gm = ∂Id/∂VGS maps to
-    // ∂Id/∂vg; gds to ∂Id/∂vd; gmb = −(∂/∂vg + ∂/∂vs + ∂/∂vd) because a
-    // bulk wiggle moves all three normalised voltages together (sign folded
-    // through twice, so the source-referenced conductances keep NMOS signs).
-    // Each probe recomputes only the pieces its voltage moves: the gate
-    // probes re-derive the pinch-off point (and with it both normalised
-    // currents), the source probe re-derives i_f only, the drain probe i_r
-    // only — every reused value is bit-identical to a full re-evaluation.
-    let h = 1e-6;
-    let d_vg = {
-        let probe = |vg_p: f64| {
-            let (vp_p, n_p) = pinch_off(p, &pre, vg_p);
-            let if_p = ekv_f((vp_p - vs) / pre.ut);
-            let ir_p = ekv_f((vp_p - vd) / pre.ut);
-            current_from_parts(p, &pre, n_p, if_p, ir_p, sabs)
-        };
-        (probe(vg + h) - probe(vg - h)) / (2.0 * h)
-    };
-    let d_vs = {
-        let probe = |vs_p: f64| {
-            let if_p = ekv_f((vp - vs_p) / pre.ut);
-            current_from_parts(p, &pre, n, if_p, i_r, smooth_abs(vd - vs_p, pre.ut))
-        };
-        (probe(vs + h) - probe(vs - h)) / (2.0 * h)
-    };
-    let d_vd = {
-        let probe = |vd_p: f64| {
-            let ir_p = ekv_f((vp - vd_p) / pre.ut);
-            current_from_parts(p, &pre, n, i_f, ir_p, smooth_abs(vd_p - vs, pre.ut))
-        };
-        (probe(vd + h) - probe(vd - h)) / (2.0 * h)
-    };
-    let gm = d_vg;
-    let gds = d_vd;
-    let gmb = -(d_vg + d_vs + d_vd);
-
-    let ut = pre.ut;
-    let vdsat = 2.0 * ut * i_f.sqrt() + 4.0 * ut;
-    let region = if i_f < 1e-3 {
-        Region::Cutoff
-    } else if i_f < 0.1 {
-        Region::Weak
-    } else if (vd - vs) < vdsat {
-        Region::Triode
-    } else {
-        Region::Saturation
-    };
-
-    MosOp {
-        id,
-        gm,
-        gds,
-        gmb,
-        inversion: i_f,
-        reverse: i_r,
-        vdsat,
-        veff,
-        vp,
-        slope_n: n,
-        region,
-    }
+    OpEval::new(m, temp_k).eval(vgs, vds, vbs)
 }
 
 /// Evaluate only the drain current (A, polarity-normalised). Cheaper than
@@ -513,11 +1142,14 @@ mod tests {
     #[test]
     fn evaluation_is_total() {
         let m = nmos(1e-6, 0.6e-6);
-        for vgs in [-5.0, -1.0, 0.0, 0.3, 5.0] {
-            for vds in [-5.0, 0.0, 5.0] {
-                for vbs in [-5.0, 0.0, 1.0] {
-                    let op = evaluate(&m, vgs, vds, vbs);
-                    assert!(op.id.is_finite() && op.gm.is_finite() && op.gds.is_finite());
+        for kind in [DerivKind::Analytic, DerivKind::FiniteDifference] {
+            let _g = install_deriv(kind);
+            for vgs in [-5.0, -1.0, 0.0, 0.3, 5.0] {
+                for vds in [-5.0, 0.0, 5.0] {
+                    for vbs in [-5.0, 0.0, 1.0] {
+                        let op = evaluate(&m, vgs, vds, vbs);
+                        assert!(op.id.is_finite() && op.gm.is_finite() && op.gds.is_finite());
+                    }
                 }
             }
         }
@@ -542,9 +1174,11 @@ mod tests {
 
     #[test]
     fn probe_reuse_matches_full_finite_differences_bitwise() {
-        // The derivative probes in `evaluate_at` recompute only the pieces
-        // their voltage moves; this must be *bit-identical* to probing the
-        // full model, or the Newton trajectories of every simulation shift.
+        // The derivative probes in the finite-difference path recompute
+        // only the pieces their voltage moves; this must be *bit-identical*
+        // to probing the full model, or the FD fallback would not reproduce
+        // the historical Newton trajectories.
+        let _fd = install_deriv(DerivKind::FiniteDifference);
         let devs = [nmos(12e-6, 0.8e-6), pmos(30e-6, 1.2e-6)];
         let biases = [(1.25, 1.7, -0.2), (0.6, 0.05, 0.0), (1.8, 2.5, -0.5)];
         for m in &devs {
@@ -563,6 +1197,148 @@ mod tests {
                 assert_eq!(op.id.to_bits(), id(vg, vs, vd).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn analytic_and_fd_share_the_value_path_bitwise() {
+        // The two derivative kinds must agree on everything except the
+        // conductances: id, the normalised currents, vp, n, veff, vdsat
+        // and the region classification come from the identical
+        // expressions in the identical order.
+        let devs = [nmos(12e-6, 0.8e-6), pmos(30e-6, 1.2e-6)];
+        let biases = [
+            (1.25, 1.7, -0.2),
+            (0.6, 0.05, 0.0),
+            (1.8, 2.5, -0.5),
+            (0.0, 1.0, 0.0),
+        ];
+        for m in &devs {
+            for &(vgs, vds, vbs) in &biases {
+                let (svgs, svds, svbs) = {
+                    let s = m.params.polarity.sign();
+                    (s * vgs, s * vds, s * vbs)
+                };
+                let op_a = {
+                    let _g = install_deriv(DerivKind::Analytic);
+                    evaluate(m, svgs, svds, svbs)
+                };
+                let op_f = {
+                    let _g = install_deriv(DerivKind::FiniteDifference);
+                    evaluate(m, svgs, svds, svbs)
+                };
+                assert_eq!(op_a.id.to_bits(), op_f.id.to_bits());
+                assert_eq!(op_a.inversion.to_bits(), op_f.inversion.to_bits());
+                assert_eq!(op_a.reverse.to_bits(), op_f.reverse.to_bits());
+                assert_eq!(op_a.vdsat.to_bits(), op_f.vdsat.to_bits());
+                assert_eq!(op_a.veff.to_bits(), op_f.veff.to_bits());
+                assert_eq!(op_a.vp.to_bits(), op_f.vp.to_bits());
+                assert_eq!(op_a.slope_n.to_bits(), op_f.slope_n.to_bits());
+                assert_eq!(op_a.region, op_f.region);
+                // Conductances agree to FD truncation accuracy.
+                for (a, f) in [
+                    (op_a.gm, op_f.gm),
+                    (op_a.gds, op_f.gds),
+                    (op_a.gmb, op_f.gmb),
+                ] {
+                    let scale = a.abs().max(f.abs()).max(1e-18);
+                    assert!(
+                        (a - f).abs() / scale < 1e-5,
+                        "analytic {a:e} vs fd {f:e} at ({svgs}, {svds}, {svbs})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_eval_matches_one_shot_entry_points_bitwise() {
+        // Caching `Precomputed` cannot change a bit: it is a pure function
+        // of (device, temperature).
+        for m in [nmos(12e-6, 0.8e-6), pmos(30e-6, 1.2e-6)] {
+            for temp in [250.0, T_NOMINAL, 400.0] {
+                let ev = OpEval::new(&m, temp);
+                for &(vgs, vds, vbs) in &[(1.25, 1.7, -0.2), (0.6, 0.05, 0.0), (1.8, 2.5, -0.5)] {
+                    let s = m.params.polarity.sign();
+                    let (vgs, vds, vbs) = (s * vgs, s * vds, s * vbs);
+                    assert_eq!(ev.eval(vgs, vds, vbs), evaluate_at(&m, vgs, vds, vbs, temp));
+                    if temp == T_NOMINAL {
+                        assert_eq!(
+                            ev.drain_current(vgs, vds, vbs).to_bits(),
+                            drain_current_only(&m, vgs, vds, vbs).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_under_both_kinds() {
+        let devs = [
+            nmos(12e-6, 0.8e-6),
+            pmos(30e-6, 1.2e-6),
+            nmos(100e-6, 2e-6),
+            pmos(4e-6, 0.6e-6),
+        ];
+        let biases = [
+            (1.25, 1.7, -0.2),
+            (-1.3, -1.5, 0.0),
+            (0.55, 1.0, 0.0),
+            (-2.0, -0.1, 0.0),
+        ];
+        for kind in [DerivKind::Analytic, DerivKind::FiniteDifference] {
+            let _g = install_deriv(kind);
+            let mut batch = MosBatch::new();
+            // Two passes over the same slots: the second reuses the cached
+            // evaluators (the Newton-iteration pattern).
+            for pass in 0..2 {
+                batch.begin();
+                for (m, &(vgs, vds, vbs)) in devs.iter().zip(&biases) {
+                    batch.bias(m, vgs, vds, vbs);
+                }
+                assert_eq!(batch.len(), devs.len());
+                batch.evaluate_all();
+                for (i, (m, &(vgs, vds, vbs))) in devs.iter().zip(&biases).enumerate() {
+                    let scalar = evaluate(m, vgs, vds, vbs);
+                    assert_eq!(
+                        *batch.op(i),
+                        scalar,
+                        "kind {kind:?} pass {pass} device {i} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rebuilds_slot_on_device_change() {
+        let mut batch = MosBatch::new();
+        batch.begin();
+        batch.bias(&nmos(12e-6, 0.8e-6), 1.2, 1.5, 0.0);
+        batch.evaluate_all();
+        let first = *batch.op(0);
+        // Same slot, different width: the cached evaluator must not leak.
+        batch.begin();
+        let wider = nmos(24e-6, 0.8e-6);
+        batch.bias(&wider, 1.2, 1.5, 0.0);
+        batch.evaluate_all();
+        assert_eq!(*batch.op(0), evaluate(&wider, 1.2, 1.5, 0.0));
+        assert!(batch.op(0).id > 1.5 * first.id);
+    }
+
+    #[test]
+    fn deriv_kind_install_is_scoped() {
+        let ambient = deriv_kind();
+        {
+            let _g = install_deriv(DerivKind::FiniteDifference);
+            assert_eq!(deriv_kind(), DerivKind::FiniteDifference);
+            {
+                let _h = install_deriv(DerivKind::Analytic);
+                assert_eq!(deriv_kind(), DerivKind::Analytic);
+            }
+            assert_eq!(deriv_kind(), DerivKind::FiniteDifference);
+        }
+        assert_eq!(deriv_kind(), ambient);
     }
 
     #[test]

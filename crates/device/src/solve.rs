@@ -8,9 +8,10 @@
 //! current, gm grows monotonically with W (towards the weak-inversion
 //! ceiling `Id/(n·Ut)`).
 
-use crate::ekv::{drain_current_only, evaluate, MosOp};
+use crate::ekv::{drain_current_only, evaluate, MosOp, OpEval};
 use crate::Mosfet;
 use losac_obs::Counter;
+use losac_tech::units::T_NOMINAL;
 use losac_tech::MosParams;
 use std::fmt;
 
@@ -131,8 +132,12 @@ pub fn vgs_for_current(
     }
     VGS_BISECT_CALLS.incr();
     let sign = m.params.polarity.sign();
+    // Hoist the bias-independent precomputation out of the probe loop:
+    // ~100 probes per call used to rebuild it each time. Bit-identical to
+    // probing through `drain_current_only` (regression-tested).
+    let ev = OpEval::new(m, T_NOMINAL);
     // Work in NMOS-normalised vgs magnitude.
-    let f = |vgs_mag: f64| drain_current_only(m, sign * vgs_mag, vds, vbs) - id_target;
+    let f = |vgs_mag: f64| ev.drain_current(sign * vgs_mag, vds, vbs) - id_target;
     let (mut lo, mut hi) = (0.0, vgs_max.abs());
     if f(hi) < 0.0 {
         return Err(SolveError::new(format!(
@@ -296,6 +301,52 @@ mod tests {
             width_for_gm_at_current(&p, 1e-6, 1.5, 0.0, 10e-6, 400e-6, WidthBounds::default());
         assert!(err.is_err());
         assert!(err.unwrap_err().to_string().contains("ceiling"));
+    }
+
+    #[test]
+    fn hoisted_evaluator_probes_bit_identical_to_old_path() {
+        // The solver loops probe through a hoisted `OpEval` now; every
+        // probe must match the historical rebuild-per-call path bitwise,
+        // or the bisection trajectories (and with them every sizing plan)
+        // would drift.
+        for params in [nparams(), pparams()] {
+            let sign = params.polarity.sign();
+            let m = Mosfet::new(params, 17e-6, 0.9e-6);
+            let ev = OpEval::new(&m, T_NOMINAL);
+            for vgs_mag in [0.0, 0.4, 0.77, 1.3, 2.6, 4.9] {
+                for vds_mag in [0.05, 1.5, 3.0] {
+                    for vbs_mag in [0.0, 0.8] {
+                        let (vgs, vds, vbs) = (sign * vgs_mag, sign * vds_mag, -sign * vbs_mag);
+                        assert_eq!(
+                            ev.drain_current(vgs, vds, vbs).to_bits(),
+                            drain_current_only(&m, vgs, vds, vbs).to_bits(),
+                            "at vgs={vgs} vds={vds} vbs={vbs}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vgs_for_current_bitwise_stable_vs_unhoisted_bisection() {
+        // Replay the exact bisection with per-probe rebuilds and require
+        // the identical result bit for bit.
+        let m = Mosfet::new(nparams(), 20e-6, 1e-6);
+        let got = vgs_for_current(&m, 1.5, 0.0, 50e-6, 3.3).unwrap();
+        let f = |vgs_mag: f64| drain_current_only(&m, vgs_mag, 1.5, 0.0) - 50e-6;
+        let (mut lo, mut hi) = (0.0, 3.3f64.abs());
+        assert!(f(hi) >= 0.0);
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let expect = 0.5 * (lo + hi);
+        assert_eq!(got.to_bits(), expect.to_bits());
     }
 
     #[test]

@@ -12,13 +12,17 @@ use crate::netlist::{Circuit, Element, GROUND};
 use crate::num::{Matrix, SingularMatrix};
 use crate::sparse::{MatrixStamp, SparseRealSystem};
 use losac_device::caps::intrinsic_caps;
-use losac_device::ekv::{evaluate, MosOp};
+use losac_device::ekv::{evaluate, MosBatch, MosOp};
 use losac_obs::Counter;
 use std::collections::HashMap;
 use std::fmt;
 
 /// Operating points solved (cold starts and warm restarts alike).
 static DC_SOLVES: Counter = Counter::new("sim.dc.solves");
+/// Non-positive bias-dependent capacitances floored to keep the transient
+/// stamp pattern bias-independent (shares its slot with the AC-side
+/// counter of the same name in `linear.rs`).
+static CAP_FLOORED: Counter = Counter::new("sim.stamp.cap_floored");
 /// Newton iterations summed over all solves and continuation steps.
 static DC_NEWTON_ITERS: Counter = Counter::new("sim.dc.newton_iters");
 /// Solves that exhausted the whole continuation ladder.
@@ -245,7 +249,8 @@ pub(crate) fn assemble(
 ) -> (Matrix<f64>, Vec<f64>) {
     let mut j = Matrix::zeros(u.total);
     let mut f = vec![0.0; u.total];
-    assemble_into(circuit, u, x, gmin, mode, &mut j, &mut f);
+    let mut batch = MosBatch::new();
+    assemble_into(circuit, u, x, gmin, mode, &mut j, &mut f, &mut batch);
     (j, f)
 }
 
@@ -262,6 +267,7 @@ pub(crate) fn assemble(
 /// zero-valued device capacitances still stamp (a numeric no-op) so a
 /// bias point where some junction capacitance vanishes cannot shrink the
 /// structure mid-Newton.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_into<S: MatrixStamp>(
     circuit: &Circuit,
     u: &Unknowns,
@@ -270,11 +276,30 @@ pub(crate) fn assemble_into<S: MatrixStamp>(
     mode: &AssembleMode<'_>,
     j: &mut S,
     f: &mut Vec<f64>,
+    batch: &mut MosBatch,
 ) {
     j.reset(u.total);
     f.clear();
     f.resize(u.total, 0.0);
     let mut vsrc_idx = 0usize;
+
+    // Device-model pre-pass: stage every MOSFET's bias, then evaluate the
+    // whole set in one batched call over flat arrays (the transcendental
+    // hot spot of a Newton assembly — cost shares in DESIGN §6j). The batch
+    // also caches the bias-independent per-device precomputation across
+    // iterations; results are bit-identical to per-device evaluation.
+    batch.begin();
+    for e in circuit.elements() {
+        if let Element::Mos(m) = e {
+            let vg = v_of(x, u, m.g);
+            let vs = v_of(x, u, m.s);
+            let vd = v_of(x, u, m.d);
+            let vb = v_of(x, u, m.b);
+            batch.bias(&m.dev, vg - vs, vd - vs, vb - vs);
+        }
+    }
+    batch.evaluate_all();
+    let mut mos_idx = 0usize;
 
     // gmin to ground on every node.
     for i in 0..u.n_nodes {
@@ -287,9 +312,15 @@ pub(crate) fn assemble_into<S: MatrixStamp>(
         let AssembleMode::Tran { h, x_prev, .. } = mode else {
             return; // open at DC
         };
-        if farads < 0.0 {
-            return;
-        }
+        // Pattern stability: a bias-dependent capacitance that evaluates
+        // negative must still stamp its slots (with a floored, numeric
+        // no-op value), or the structure would change mid-Newton.
+        let farads = if farads < 0.0 {
+            CAP_FLOORED.incr();
+            0.0
+        } else {
+            farads
+        };
         let geq = farads / h;
         let v_now = v_of(x, u, a) - v_of(x, u, b);
         let v_old = v_of(x_prev, u, a) - v_of(x_prev, u, b);
@@ -371,11 +402,13 @@ pub(crate) fn assemble_into<S: MatrixStamp>(
                 }
             }
             Element::Mos(m) => {
-                let vg = v_of(x, u, m.g);
                 let vs = v_of(x, u, m.s);
                 let vd = v_of(x, u, m.d);
                 let vb = v_of(x, u, m.b);
-                let op = evaluate(&m.dev, vg - vs, vd - vs, vb - vs);
+                // Evaluated in the pre-pass; the element loop visits the
+                // MOSFETs in the same order it staged them.
+                let op = *batch.op(mos_idx);
+                mos_idx += 1;
                 let sign = m.dev.params.polarity.sign();
                 let i_d = sign * op.id; // current into the drain terminal
                 let (gm, gds, gmb) = (op.gm, op.gds, op.gmb);
@@ -448,6 +481,9 @@ pub(crate) struct NewtonScratch {
     rhs: Vec<f64>,
     dx: Vec<f64>,
     sparse: SparseRealSystem,
+    /// Batched device-model evaluator: caches one precomputation block
+    /// per MOSFET slot across every assembly of the scratch's lifetime.
+    batch: MosBatch,
     /// Set when the sparse kernel hit a pivot breakdown: the rest of this
     /// scratch's lifetime runs on the pivoted dense kernel.
     sparse_fallback: bool,
@@ -513,6 +549,7 @@ pub(crate) fn newton(
                     mode,
                     &mut scratch.sparse,
                     &mut scratch.f,
+                    &mut scratch.batch,
                 );
                 scratch.sparse.finalize(u.nv_offset);
             }
@@ -524,6 +561,7 @@ pub(crate) fn newton(
                 mode,
                 &mut scratch.sparse,
                 &mut scratch.f,
+                &mut scratch.batch,
             );
             last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             match scratch.sparse.factor() {
@@ -540,7 +578,16 @@ pub(crate) fn newton(
             }
         }
         if !solved {
-            assemble_into(circuit, u, &x, gmin, mode, &mut scratch.j, &mut scratch.f);
+            assemble_into(
+                circuit,
+                u,
+                &x,
+                gmin,
+                mode,
+                &mut scratch.j,
+                &mut scratch.f,
+                &mut scratch.batch,
+            );
             last_residual = scratch.f.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             scratch
                 .j
@@ -876,6 +923,94 @@ mod tests {
 
     fn solve(c: &Circuit) -> DcSolution {
         dc_operating_point(c, &DcOptions::default()).unwrap()
+    }
+
+    #[test]
+    #[ignore = "diagnostic timing breakdown, run with --ignored --nocapture"]
+    fn newton_iteration_cost_breakdown() {
+        // Rough per-phase cost of one Newton iteration on a mid-size MOS
+        // circuit: batched model eval, stamping, factor, solve.
+        let t = Technology::cmos06();
+        let mut c = Circuit::new();
+        c.vsource("vdd", "vdd", "0", 3.3);
+        c.vsource("vb", "bias", "0", 1.2);
+        for i in 0..13 {
+            let d = format!("d{i}");
+            c.resistor(&format!("r{i}"), "vdd", &d, 30e3 + i as f64 * 1e3);
+            c.mos(
+                &format!("m{i}"),
+                &d,
+                "bias",
+                "0",
+                "0",
+                Mosfet::new(t.nmos, 10e-6 + i as f64 * 2e-6, 0.8e-6),
+                t.caps.ndiff,
+                Default::default(),
+                Default::default(),
+            );
+        }
+        let u = Unknowns::of(&c);
+        let x = vec![0.5; u.total];
+        let mode = AssembleMode::Dc { src_scale: 1.0 };
+        let mut scratch = NewtonScratch::new();
+        // Prime pattern.
+        assemble_into(
+            &c,
+            &u,
+            &x,
+            1e-12,
+            &mode,
+            &mut scratch.sparse,
+            &mut scratch.f,
+            &mut scratch.batch,
+        );
+        scratch.sparse.finalize(u.nv_offset);
+        let reps = 20000;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            assemble_into(
+                &c,
+                &u,
+                &x,
+                1e-12,
+                &mode,
+                &mut scratch.sparse,
+                &mut scratch.f,
+                &mut scratch.batch,
+            );
+        }
+        let t_asm = t0.elapsed().as_secs_f64() / reps as f64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            scratch.sparse.factor().unwrap();
+        }
+        let t_fac = t0.elapsed().as_secs_f64() / reps as f64;
+        scratch.rhs.clear();
+        scratch.rhs.extend(scratch.f.iter().map(|&v| -v));
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            scratch.sparse.solve_into(&scratch.rhs, &mut scratch.dx);
+        }
+        let t_sol = t0.elapsed().as_secs_f64() / reps as f64;
+        // Model-eval share of the assembly.
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            scratch.batch.begin();
+            for e in c.elements() {
+                if let Element::Mos(m) = e {
+                    scratch.batch.bias(&m.dev, 1.2, 0.9, 0.0);
+                }
+            }
+            scratch.batch.evaluate_all();
+        }
+        let t_model = t0.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "assemble {:.0} ns (model {:.0} ns), factor {:.0} ns, solve {:.0} ns",
+            t_asm * 1e9,
+            t_model * 1e9,
+            t_fac * 1e9,
+            t_sol * 1e9
+        );
     }
 
     #[test]

@@ -12,8 +12,20 @@ use crate::sparse::{SparseAcFactors, SparseAcSolver};
 use losac_device::caps::intrinsic_caps;
 use losac_device::ekv::evaluate;
 use losac_device::noise as devnoise;
+use losac_obs::Counter;
 use losac_tech::units::{KBOLTZMANN, T_NOMINAL};
 use std::sync::Arc;
+
+/// Non-positive bias-dependent MOS capacitances floored so their slots
+/// still enter the AC pattern (DESIGN §6i pattern stability; shares its
+/// slot with the transient-side counter of the same name in `dc.rs`).
+static CAP_FLOORED: Counter = Counter::new("sim.stamp.cap_floored");
+
+/// Replacement value for a non-positive bias-dependent capacitance:
+/// small enough to be numerically invisible (ωC ≈ 6e-15 S at 1 GHz,
+/// three orders below gmin), large enough to register as a structural
+/// nonzero when the sparse AC pattern is derived from the dense stamps.
+const CAP_FLOOR: f64 = 1e-24;
 
 /// A noise current generator between two nodes.
 #[derive(Debug, Clone)]
@@ -415,9 +427,15 @@ fn stamp_mos(
         .capacitance(m.source_geom.area, m.source_geom.perimeter, vr_s);
 
     let mut stamp_c = |a: Option<usize>, b: Option<usize>, val: f64| {
-        if val <= 0.0 {
-            return;
-        }
+        // A capacitance that evaluates non-positive at this bias must not
+        // vanish from the AC pattern (DESIGN §6i): stamp a floored value
+        // so the slots stay structurally present.
+        let val = if val <= 0.0 {
+            CAP_FLOORED.incr();
+            CAP_FLOOR
+        } else {
+            val
+        };
         if let Some(a) = a {
             c.add(a, a, val);
             if let Some(b) = b {

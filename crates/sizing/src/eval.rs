@@ -280,6 +280,15 @@ pub struct EvalOptions {
     /// [`losac_sim::solver_kind`] — sparse unless overridden. Used by the
     /// sparse-vs-dense ablation bench and equivalence tests.
     pub solver: Option<losac_sim::SolverKind>,
+    /// Pin the device-model derivative kind for this evaluation
+    /// (including its worker threads). `None` (the default) inherits the
+    /// ambient [`losac_device::ekv::deriv_kind`] — analytic unless
+    /// overridden. Unlike the other knobs this one is *not* bitwise
+    /// neutral: finite differences perturb gm/gds/gmb in the last bits
+    /// and with them the Newton trajectories, which is why the kind is
+    /// part of the cache key and the analytic-vs-FD gate is
+    /// tolerance-based (DESIGN §6j). Used by the FD ablation bench.
+    pub deriv: Option<losac_device::DerivKind>,
 }
 
 impl Default for EvalOptions {
@@ -289,6 +298,7 @@ impl Default for EvalOptions {
             reuse_linearisation: true,
             cache: None,
             solver: None,
+            deriv: None,
         }
     }
 }
@@ -324,6 +334,12 @@ impl EvalOptions {
     /// Same options pinned to `solver` (see [`EvalOptions::solver`]).
     pub fn with_solver(mut self, solver: losac_sim::SolverKind) -> Self {
         self.solver = Some(solver);
+        self
+    }
+
+    /// Same options pinned to `deriv` (see [`EvalOptions::deriv`]).
+    pub fn with_deriv(mut self, deriv: losac_device::DerivKind) -> Self {
+        self.deriv = Some(deriv);
         self
     }
 
@@ -378,6 +394,12 @@ impl EvalOptionsBuilder {
     /// Pin the linear-solver kernel (see [`EvalOptions::solver`]).
     pub fn with_solver(mut self, solver: losac_sim::SolverKind) -> Self {
         self.opts.solver = Some(solver);
+        self
+    }
+
+    /// Pin the device-model derivative kind (see [`EvalOptions::deriv`]).
+    pub fn with_deriv(mut self, deriv: losac_device::DerivKind) -> Self {
+        self.opts.deriv = Some(deriv);
         self
     }
 
@@ -637,6 +659,13 @@ fn eval_key(ota: &dyn Amplifier, tech: &Technology, mode: &ParasiticMode) -> Opt
     }
     hash_technology(&mut h, tech);
     hash_mode(&mut h, mode);
+    // The derivative kind perturbs Newton trajectories (unlike the solver
+    // kernel, which is bitwise neutral), so an FD ablation run must not
+    // serve — or poison — analytic entries through a shared (possibly
+    // persistent) cache.
+    if losac_device::deriv_kind() == losac_device::DerivKind::FiniteDifference {
+        h.write_str("deriv=fd");
+    }
     Some(h.into_key())
 }
 
@@ -792,6 +821,7 @@ pub fn evaluate_with(
     // propagates it into the slew lane, and the sweep fan-out re-installs
     // it on its own workers.
     let _solver = opts.solver.map(losac_sim::install_solver);
+    let _deriv = opts.deriv.map(losac_device::install_deriv);
     #[cfg(feature = "failpoints")]
     if let Some(action) = losac_obs::failpoint::hit("sizing.evaluate") {
         return Err(match action {
@@ -846,14 +876,17 @@ fn evaluate_uncached(
 ) -> Result<Performance, EvalError> {
     if opts.resolved_threads() >= 2 {
         // The slew lane must honour the same stop flag / deadline and use
-        // the same linear-solver kernel as the calling thread: both are
-        // thread-local, so re-install the caller's on the worker.
+        // the same linear-solver kernel and device-model derivative kind
+        // as the calling thread: all three are thread-local, so
+        // re-install the caller's on the worker.
         let interrupt = losac_sim::interrupt::current();
         let solver = losac_sim::solver_kind();
+        let deriv = losac_device::deriv_kind();
         std::thread::scope(|s| {
             let slew = s.spawn(move || {
                 let _interrupt = interrupt.map(losac_sim::interrupt::install);
                 let _solver = losac_sim::install_solver(solver);
+                let _deriv = losac_device::install_deriv(deriv);
                 measure_slew_rate(ota, tech, mode)
             });
             let main = small_signal(ota, tech, mode, opts);

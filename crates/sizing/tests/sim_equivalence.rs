@@ -171,3 +171,67 @@ fn sparse_kernel_matches_dense_within_documented_bounds() {
         assert!(dev <= 1e-9, "{name}: sparse vs dense deviation {dev:.3e}");
     }
 }
+
+/// The analytic device-model derivatives differ from the FD probes by
+/// the probes' truncation error (~2e-10 relative in each stamped
+/// conductance), which shifts every Newton trajectory *and* every AC
+/// stamp — so, as with the solver kernels, the gate between the two
+/// [`losac_device::DerivKind`]s is the tolerance tier of DESIGN §6j:
+/// **1e-9 relative** per Table-1 metric on the paper example. Two
+/// metrics gate absolutely instead: offset at 1e-9 V (it can
+/// legitimately be 0.0), and CMRR at 1e-4 dB — CMRR divides by the
+/// common-mode gain, a cancellation residual whose relative sensitivity
+/// to a uniform conductance perturbation is amplified by the very
+/// matching it measures, so the FD arm's truncation lands at ~6e-6 dB
+/// (7e-8 relative) there while every other metric sits below 1e-9. The
+/// same run's FD arm also pins `LOSAC_DERIV=fd` end-to-end through the
+/// evaluator, complementing the bitwise FD-reproduction gates in
+/// `losac-device` itself.
+#[test]
+fn analytic_derivatives_match_fd_within_documented_bounds() {
+    let (tech, ota) = sized_ota();
+    let run = |kind| {
+        let opts = EvalOptions::default().with_deriv(kind);
+        evaluate_with(&ota, &tech, &ParasiticMode::None, &opts).expect("evaluate")
+    };
+    let analytic = run(losac_device::DerivKind::Analytic);
+    let fd = run(losac_device::DerivKind::FiniteDifference);
+    let gates = [
+        ("dc_gain_db", rel(analytic.dc_gain_db, fd.dc_gain_db), 1e-9),
+        ("gbw", rel(analytic.gbw, fd.gbw), 1e-9),
+        (
+            "phase_margin",
+            rel(analytic.phase_margin, fd.phase_margin),
+            1e-9,
+        ),
+        ("slew_rate", rel(analytic.slew_rate, fd.slew_rate), 1e-9),
+        (
+            "cmrr_db (dB absolute)",
+            (analytic.cmrr_db - fd.cmrr_db).abs(),
+            1e-4,
+        ),
+        ("offset", (analytic.offset - fd.offset).abs(), 1e-9),
+        (
+            "output_resistance",
+            rel(analytic.output_resistance, fd.output_resistance),
+            1e-9,
+        ),
+        (
+            "input_noise_rms",
+            rel(analytic.input_noise_rms, fd.input_noise_rms),
+            1e-9,
+        ),
+        ("power", rel(analytic.power, fd.power), 1e-9),
+    ];
+    for (name, dev, bound) in gates {
+        assert!(
+            dev <= bound,
+            "{name}: analytic vs fd deviation {dev:.3e} (bound {bound:e})"
+        );
+    }
+    // And the FD arm itself is deterministic: a second run is bitwise
+    // identical, so `LOSAC_DERIV=fd` is a faithful fallback, not a
+    // different-but-close approximation of itself.
+    let fd2 = run(losac_device::DerivKind::FiniteDifference);
+    assert_eq!(perf_bits(&fd), perf_bits(&fd2));
+}

@@ -1,24 +1,24 @@
 #!/usr/bin/env bash
-# Hot-path regression gate: regenerate BENCH_PR8.json (unless it already
-# exists and --no-run is passed) and diff it against the committed PR-6
+# Hot-path regression gate: regenerate BENCH_PR9.json (unless it already
+# exists and --no-run is passed) and diff it against the committed PR-8
 # baseline. Fails on >25% regression in the two numbers the simulator
 # work is judged by: `evaluate.reuse_1t.ms` and
-# `run_case4.cache_warm_repeat.ms`. Also reports the sparse-kernel hot
-# metrics: the same-run sparse-vs-dense ablation speedups and the
-# symbolic-analysis amortisation ratio (numeric refactorisations per
-# symbolic analysis — the higher, the better the pattern reuse).
+# `run_case4.cache_warm_repeat.ms`. Also reports the same-run ablation
+# ratios: analytic-vs-finite-difference derivatives (this PR's knob) and
+# sparse-vs-dense solve (PR 8's), plus the device-model decomposition
+# counters that pin the model share of an evaluate (DESIGN §6j).
 #
 # Usage: scripts/bench_check.sh [--no-run]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" != "--no-run" ] || [ ! -f BENCH_PR8.json ]; then
+if [ "${1:-}" != "--no-run" ] || [ ! -f BENCH_PR9.json ]; then
     cargo run --release -q -p losac-bench --bin bench_snapshot
 fi
 
-if [ ! -f BENCH_PR6.json ]; then
-    echo "bench_check: BENCH_PR6.json baseline missing"
+if [ ! -f BENCH_PR8.json ]; then
+    echo "bench_check: BENCH_PR8.json baseline missing"
     exit 1
 fi
 
@@ -26,17 +26,16 @@ python3 - <<'EOF'
 import json
 import sys
 
-with open("BENCH_PR6.json") as fh:
-    base = json.load(fh)
 with open("BENCH_PR8.json") as fh:
+    base = json.load(fh)
+with open("BENCH_PR9.json") as fh:
     now = json.load(fh)
 
 LIMIT = 0.25  # fail on >25% slowdown
-# The PR-6 baseline recorded means on an otherwise-idle host; on today's
-# shared hosts the mean is dominated by scheduler noise (reps of the same
-# config vary 1.5x within one run), so the fresh side uses the best rep
-# (`min_ms`) where the snapshot provides it — the closest stand-in for an
-# idle-host mean.
+# The committed baseline recorded means; on shared hosts the mean is
+# dominated by scheduler noise (reps of the same config vary 1.5x within
+# one run), so the fresh side uses the best rep (`min_ms`) where the
+# snapshot provides it — the closest stand-in for an idle-host mean.
 def fresh(row):
     return row.get("min_ms", row["ms"])
 
@@ -58,14 +57,13 @@ for name, was, got in checks:
         fail = True
     print(f"bench_check: {name}: {was:.1f} ms -> {got:.1f} ms ({ratio:.2f}x) {status}")
 
-# Sparse-kernel hot metrics (same-run ablation, immune to machine-day drift).
-ac = now["ac_sweep"]
+# Same-run ablations (immune to machine-day drift).
 ev = now["evaluate"]
-if "dense_1t_ms" in ac:
+if "fd_1t" in ev:
+    a, f = fresh(ev["reuse_1t"]), fresh(ev["fd_1t"])
     print(
-        "bench_check: ac_sweep sparse vs dense (same run): "
-        f"{ac['reuse_1t_ms']:.3f} ms vs {ac['dense_1t_ms']:.3f} ms "
-        f"({ac['dense_1t_ms'] / ac['reuse_1t_ms']:.2f}x faster sparse)"
+        "bench_check: evaluate analytic vs finite-difference (same run): "
+        f"{a:.1f} ms vs {f:.1f} ms ({f / a:.2f}x faster analytic)"
     )
 if "dense_1t" in ev:
     print(
@@ -73,6 +71,29 @@ if "dense_1t" in ev:
         f"{ev['reuse_1t']['ms']:.1f} ms vs {ev['dense_1t']['ms']:.1f} ms "
         f"({ev['dense_1t']['ms'] / ev['reuse_1t']['ms']:.2f}x faster sparse)"
     )
+ac = now["ac_sweep"]
+if "dense_1t_ms" in ac:
+    print(
+        "bench_check: ac_sweep sparse vs dense (same run): "
+        f"{ac['reuse_1t_ms']:.3f} ms vs {ac['dense_1t_ms']:.3f} ms "
+        f"({ac['dense_1t_ms'] / ac['reuse_1t_ms']:.2f}x faster sparse)"
+    )
+
+# Device-model decomposition: evals and transcendental ops per evaluate
+# under each derivative kind. The transcendental ratio is static (13
+# analytic vs 51 finite-difference per eval); the eval count ties the
+# model share of an evaluate to DESIGN §6j's Amdahl analysis.
+dm = now.get("device_model")
+if dm:
+    an, fd = dm["analytic"], dm["fd"]
+    print(
+        f"bench_check: device model: {an['evals_per_evaluate']} evals/evaluate, "
+        f"{an['transcendentals_per_evaluate']} transcendentals analytic vs "
+        f"{fd['transcendentals_per_evaluate']} fd "
+        f"({fd['transcendentals_per_evaluate'] / max(an['transcendentals_per_evaluate'], 1):.1f}x), "
+        f"{dm['cap_floored_per_evaluate']} floored cap stamps"
+    )
+
 sp = now.get("sparse")
 if sp:
     sym = sp["symbolic_analyses_per_evaluate"]

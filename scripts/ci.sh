@@ -102,6 +102,18 @@ if ! LOSAC_LOG=off cargo test -q --release -p losac-sizing \
     fail=1
 fi
 
+# Derivative-kind ablation gate: the same suites must hold with the
+# finite-difference fallback selected ambiently (the LOSAC_DERIV knob
+# mirrors LOSAC_SOLVER=dense) — the env var must reach the model, stay
+# deterministic, and keep the analytic-vs-fd tolerance tiers.
+echo "==> derivative equivalence gates (LOSAC_DERIV=fd)"
+if ! LOSAC_LOG=off LOSAC_DERIV=fd cargo test -q --release \
+    -p losac-device --test deriv_equivalence \
+    -p losac-sizing --test sim_equivalence; then
+    echo "FAIL: derivative equivalence gates (fd)"
+    fail=1
+fi
+
 # Profiler smoke: `--profile` must print an aggregated span tree with the
 # flow's top-level span in it.
 echo "==> table1_cases --profile smoke"
@@ -213,8 +225,8 @@ fi
 rm -rf "$serve_cache"
 rm -f "$serve_log"
 
-# Hot-path regression gate against the committed PR-3 baseline.
-echo "==> bench_check (BENCH_PR8 vs BENCH_PR6 baseline)"
+# Hot-path regression gate against the committed PR-8 baseline.
+echo "==> bench_check (BENCH_PR9 vs BENCH_PR8 baseline)"
 if ! scripts/bench_check.sh; then
     echo "FAIL: bench_check"
     fail=1
